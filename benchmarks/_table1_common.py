@@ -1,0 +1,16 @@
+"""Shared helpers for the Table-1 benchmark files."""
+
+from repro.benchlib.table1 import get_record
+
+
+def record_table1_info(benchmark, name, result, paper_total):
+    """Attach paper-vs-measured metadata to a pytest-benchmark entry."""
+    record = get_record(name)
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["n_qubits"] = record.num_qubits
+    benchmark.extra_info["original_cost"] = record.original_cost
+    benchmark.extra_info["measured_total_cost"] = result.total_cost
+    benchmark.extra_info["measured_added_cost"] = result.added_cost
+    benchmark.extra_info["paper_total_cost"] = paper_total
+    benchmark.extra_info["swaps"] = result.cost.swaps
+    benchmark.extra_info["reversals"] = result.cost.reversals

@@ -1,0 +1,62 @@
+"""Experiment E7 — Table 1, "IBM [12]" column and the paper's headline claim.
+
+For every Table-1 benchmark this runs the Qiskit-0.4-style stochastic swap
+mapper (best of 5 trials, as in the paper) and reports its total cost next to
+the exact minimum.  The final aggregation test reproduces the headline
+statement of Section 5: the heuristic's *added* cost exceeds the minimal
+added cost by a large margin (the paper reports ~104% on average, i.e. the
+mapping overhead roughly doubles).
+"""
+
+import pytest
+
+from repro.benchlib import benchmark_circuit, benchmark_names
+from repro.benchlib.table1 import get_record
+from repro.heuristic import StochasticSwapMapper
+from repro.verify import verify_result
+
+from _table1_common import record_table1_info
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_ibm_style_heuristic_cost(benchmark, qx4, minimal_costs, name):
+    """Total cost of the stochastic (Qiskit-0.4-style) mapper, best of 5 trials."""
+    record = get_record(name)
+    circuit = benchmark_circuit(name)
+    mapper = StochasticSwapMapper(qx4, trials=5, seed=0)
+
+    result = benchmark.pedantic(mapper.map, args=(circuit,), rounds=1, iterations=1)
+
+    assert verify_result(result, qx4).compliant
+    # A heuristic can never beat the exact minimum.
+    assert result.added_cost >= minimal_costs[name]
+    record_table1_info(benchmark, name, result, record.paper_ibm_cost)
+    benchmark.extra_info["overhead_vs_minimal_total"] = (
+        result.total_cost - (record.original_cost + minimal_costs[name])
+    )
+
+
+def test_headline_average_overhead(benchmark, qx4, minimal_costs):
+    """Section 5 headline: the heuristic's added cost far exceeds the minimum.
+
+    The paper reports that Qiskit's added operations exceed the minimal ``F``
+    by more than 100% on average; with the stand-in circuits the exact ratio
+    differs, but the heuristic overhead must remain strictly positive on
+    average and substantial (we assert > 25% to keep the check robust).
+    """
+
+    def run():
+        ratios = []
+        for name in benchmark_names():
+            minimal_added = minimal_costs[name]
+            if minimal_added == 0:
+                continue
+            circuit = benchmark_circuit(name)
+            heuristic = StochasticSwapMapper(qx4, trials=5, seed=0).map(circuit)
+            ratios.append((heuristic.added_cost - minimal_added) / minimal_added)
+        return 100.0 * sum(ratios) / len(ratios) if ratios else 0.0
+
+    average_overhead = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["average_added_cost_overhead_percent"] = average_overhead
+    benchmark.extra_info["paper_reported_percent"] = 104.0
+    assert average_overhead > 25.0

@@ -1,0 +1,49 @@
+"""Experiments E4-E6 — Table 1, "Performance Optimized (Section 4.2)" columns.
+
+For every Table-1 benchmark this regenerates the mapping cost under the three
+permutation-restriction strategies (disjoint qubits, odd gates, qubit
+triangle), together with the number of permutation spots ``|G'|``.  The
+structural claims of the paper are asserted on every instance:
+
+* a restricted strategy can never produce a cheaper circuit than the minimum,
+* the number of permutation spots shrinks from "disjoint" over "odd" towards
+  "triangle" for circuits dominated by few-qubit blocks.
+"""
+
+import pytest
+
+from repro.benchlib import benchmark_circuit, benchmark_names
+from repro.benchlib.table1 import get_record
+from repro.exact import DPMapper, get_strategy
+from repro.verify import verify_result
+
+from _table1_common import record_table1_info
+
+_STRATEGY_TO_PAPER_COLUMN = {
+    "disjoint": ("paper_disjoint_cost", "paper_disjoint_spots"),
+    "odd": ("paper_odd_cost", "paper_odd_spots"),
+    "triangle": ("paper_triangle_cost", "paper_triangle_spots"),
+}
+
+
+@pytest.mark.parametrize("strategy_name", ["disjoint", "odd", "triangle"])
+@pytest.mark.parametrize("name", benchmark_names())
+def test_restricted_strategy_cost(benchmark, qx4, minimal_costs, name, strategy_name):
+    """Mapping cost and |G'| under one Section-4.2 strategy."""
+    record = get_record(name)
+    circuit = benchmark_circuit(name)
+    strategy = get_strategy(strategy_name)
+    mapper = DPMapper(qx4, strategy=strategy)
+
+    result = benchmark.pedantic(mapper.map, args=(circuit,), rounds=1, iterations=1)
+
+    assert verify_result(result, qx4).compliant
+    # Restricting the permutation spots can never beat the true minimum.
+    assert result.added_cost >= minimal_costs[name]
+
+    cost_column, spots_column = _STRATEGY_TO_PAPER_COLUMN[strategy_name]
+    record_table1_info(benchmark, name, result, getattr(record, cost_column))
+    benchmark.extra_info["strategy"] = strategy_name
+    benchmark.extra_info["measured_spots"] = result.num_permutation_spots
+    benchmark.extra_info["paper_spots"] = getattr(record, spots_column)
+    benchmark.extra_info["delta_min"] = result.added_cost - minimal_costs[name]

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark file regenerates one column group of the paper's Table 1.
+Each benchmark run maps one Table-1 circuit with one engine/strategy, reports
+the measured total cost next to the paper's reported value through
+pytest-benchmark's ``extra_info`` mechanism, and asserts the structural
+invariants that must hold regardless of the concrete stand-in circuits
+(e.g. restricted strategies never beat the minimum, heuristics never beat the
+exact engine).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Use ``--benchmark-columns=min,mean`` or ``--benchmark-json`` for
+machine-readable output; ``examples/reproduce_table1.py`` prints the
+full paper-vs-measured table in one go.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.arch import ibm_qx4
+from repro.benchlib import benchmark_circuit, benchmark_names
+
+
+@pytest.fixture(scope="session")
+def qx4():
+    """The IBM QX4 coupling map used throughout the paper's evaluation."""
+    return ibm_qx4()
+
+
+@pytest.fixture(scope="session")
+def minimal_costs(qx4):
+    """Minimal added cost per benchmark, computed once by the DP exact engine.
+
+    Used by the strategy and heuristic benchmarks to report the measured
+    Delta-min exactly like Table 1 does.
+    """
+    from repro.exact import DPMapper
+
+    mapper = DPMapper(qx4)
+    costs = {}
+    for name in benchmark_names():
+        result = mapper.map(benchmark_circuit(name))
+        costs[name] = result.added_cost
+    return costs

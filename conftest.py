@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. on fully offline machines where ``pip install -e .`` cannot
+download build dependencies).  When the package is installed normally this
+file has no effect beyond putting the same sources first on ``sys.path``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

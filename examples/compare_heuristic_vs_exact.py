@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""How far are heuristics from the optimum?  (The paper's motivating question.)
+
+Sweeps random circuits of growing CNOT count on IBM QX4 and reports, for each
+size, the exact minimal added cost next to the added cost of two heuristic
+generations: the Qiskit-0.4-style stochastic mapper (the paper's baseline)
+and a SABRE-style look-ahead mapper (reference [13] of the paper).
+
+Run with::
+
+    python examples/compare_heuristic_vs_exact.py
+    python examples/compare_heuristic_vs_exact.py --qubits 4 --sizes 5 10 20 --per-size 5
+"""
+
+import argparse
+import statistics
+
+from repro import DPMapper, SabreLiteMapper, StochasticSwapMapper, ibm_qx4
+from repro.benchlib.generators import random_clifford_t_circuit
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=5, help="logical qubits")
+    parser.add_argument("--sizes", type=int, nargs="+", default=[5, 10, 15, 20, 30],
+                        help="CNOT counts to sweep")
+    parser.add_argument("--per-size", type=int, default=5,
+                        help="random circuits per size")
+    args = parser.parse_args()
+
+    qx4 = ibm_qx4()
+    print(f"{'CNOTs':>6s} {'min F':>8s} {'stochastic':>11s} {'sabre':>8s} "
+          f"{'stoch +%':>9s} {'sabre +%':>9s}")
+
+    for num_cnots in args.sizes:
+        minima, stochastic_costs, sabre_costs = [], [], []
+        for seed in range(args.per_size):
+            circuit = random_clifford_t_circuit(
+                args.qubits, num_cnots // 2, num_cnots, seed=1000 * num_cnots + seed
+            )
+            minima.append(DPMapper(qx4).map(circuit).added_cost)
+            stochastic_costs.append(
+                StochasticSwapMapper(qx4, trials=5, seed=seed).map(circuit).added_cost
+            )
+            sabre_costs.append(SabreLiteMapper(qx4, seed=seed).map(circuit).added_cost)
+
+        mean_min = statistics.mean(minima)
+        mean_stochastic = statistics.mean(stochastic_costs)
+        mean_sabre = statistics.mean(sabre_costs)
+
+        def overhead(value):
+            return 100.0 * (value - mean_min) / mean_min if mean_min else 0.0
+
+        print(
+            f"{num_cnots:6d} {mean_min:8.1f} {mean_stochastic:11.1f} "
+            f"{mean_sabre:8.1f} {overhead(mean_stochastic):8.0f}% "
+            f"{overhead(mean_sabre):8.0f}%"
+        )
+
+    print(
+        "\nThe gap between the heuristics and the exact minimum is exactly what "
+        "the paper quantifies: knowing the minimum makes the quality of "
+        "heuristic mappers measurable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in editable mode on machines whose setuptools
+predates PEP-660 editable wheels (and in fully offline environments via
+``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

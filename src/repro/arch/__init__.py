@@ -1,0 +1,48 @@
+"""Architectures: coupling maps, device descriptions and permutation utilities."""
+
+from repro.arch.coupling import CouplingMap
+from repro.arch.devices import (
+    ibm_qx2,
+    ibm_qx4,
+    ibm_qx5,
+    ibm_tokyo,
+    linear_architecture,
+    ring_architecture,
+    grid_architecture,
+    fully_connected_architecture,
+    get_architecture,
+    available_architectures,
+)
+from repro.arch.permutations import (
+    PermutationTable,
+    all_permutations,
+    apply_permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    minimal_swap_sequences,
+)
+from repro.arch.subsets import connected_subsets, subsets_containing_cut_vertices
+
+__all__ = [
+    "CouplingMap",
+    "ibm_qx2",
+    "ibm_qx4",
+    "ibm_qx5",
+    "ibm_tokyo",
+    "linear_architecture",
+    "ring_architecture",
+    "grid_architecture",
+    "fully_connected_architecture",
+    "get_architecture",
+    "available_architectures",
+    "PermutationTable",
+    "all_permutations",
+    "apply_permutation",
+    "compose_permutations",
+    "identity_permutation",
+    "invert_permutation",
+    "minimal_swap_sequences",
+    "connected_subsets",
+    "subsets_containing_cut_vertices",
+]

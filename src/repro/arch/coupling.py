@@ -1,0 +1,203 @@
+"""Coupling maps of quantum architectures.
+
+A coupling map (Definition 2 of the paper) is a set of *directed* pairs
+``(control, target)`` of physical qubits on which a CNOT may be applied
+natively.  A CNOT on a coupled pair in the *wrong* direction can be fixed by
+surrounding it with four Hadamard gates (cost 4); a CNOT on an uncoupled pair
+requires SWAP insertion (cost 7 per SWAP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+class CouplingError(ValueError):
+    """Raised on invalid coupling-map construction or queries."""
+
+
+class CouplingMap:
+    """A directed coupling map over ``num_qubits`` physical qubits.
+
+    Args:
+        num_qubits: Number of physical qubits ``m`` of the device.
+        edges: Iterable of directed pairs ``(control, target)``.
+        name: Human-readable architecture name.
+
+    Example:
+        >>> qx4 = CouplingMap(5, [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)], "qx4")
+        >>> qx4.allows_cnot(1, 0)
+        True
+        >>> qx4.allows_cnot(0, 1)
+        False
+        >>> qx4.connected(0, 1)
+        True
+    """
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]],
+                 name: str = "custom"):
+        if num_qubits <= 0:
+            raise CouplingError("a coupling map needs at least one physical qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._edges: Set[Tuple[int, int]] = set()
+        for control, target in edges:
+            self.add_edge(control, target)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, control: int, target: int) -> None:
+        """Add the directed pair ``(control, target)`` to the map."""
+        if control == target:
+            raise CouplingError("a qubit cannot be coupled to itself")
+        for qubit in (control, target):
+            if not 0 <= qubit < self.num_qubits:
+                raise CouplingError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit device"
+                )
+        self._edges.add((control, target))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> FrozenSet[Tuple[int, int]]:
+        """The directed edges of the coupling map."""
+        return frozenset(self._edges)
+
+    @property
+    def undirected_edges(self) -> FrozenSet[Tuple[int, int]]:
+        """The undirected edges (each as a sorted pair)."""
+        return frozenset(tuple(sorted(edge)) for edge in self._edges)
+
+    def allows_cnot(self, control: int, target: int) -> bool:
+        """True when a CNOT with this control/target is natively allowed."""
+        return (control, target) in self._edges
+
+    def connected(self, qubit_a: int, qubit_b: int) -> bool:
+        """True when the two qubits are coupled in either direction."""
+        return (qubit_a, qubit_b) in self._edges or (qubit_b, qubit_a) in self._edges
+
+    def neighbours(self, qubit: int) -> List[int]:
+        """All qubits coupled to *qubit* (in either direction), sorted."""
+        result = set()
+        for control, target in self._edges:
+            if control == qubit:
+                result.add(target)
+            elif target == qubit:
+                result.add(control)
+        return sorted(result)
+
+    def degree(self, qubit: int) -> int:
+        """Number of distinct neighbours of *qubit*."""
+        return len(self.neighbours(qubit))
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def to_directed_graph(self) -> nx.DiGraph:
+        """Return the coupling map as a directed networkx graph."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self._edges)
+        return graph
+
+    def to_undirected_graph(self) -> nx.Graph:
+        """Return the connectivity graph ignoring edge directions."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.undirected_edges)
+        return graph
+
+    def is_connected(self, qubits: Optional[Sequence[int]] = None) -> bool:
+        """True when the (sub)graph induced by *qubits* is connected.
+
+        Args:
+            qubits: Physical qubits to restrict to; all qubits when omitted.
+        """
+        graph = self.to_undirected_graph()
+        if qubits is not None:
+            graph = graph.subgraph(qubits).copy()
+        if graph.number_of_nodes() == 0:
+            return False
+        return nx.is_connected(graph)
+
+    def distance_matrix(self) -> Dict[int, Dict[int, int]]:
+        """All-pairs shortest-path distances on the undirected connectivity graph."""
+        graph = self.to_undirected_graph()
+        return {
+            source: dict(lengths)
+            for source, lengths in nx.all_pairs_shortest_path_length(graph)
+        }
+
+    def distance(self, qubit_a: int, qubit_b: int) -> int:
+        """Shortest undirected path length between two physical qubits."""
+        graph = self.to_undirected_graph()
+        try:
+            return nx.shortest_path_length(graph, qubit_a, qubit_b)
+        except nx.NetworkXNoPath as exc:
+            raise CouplingError(
+                f"qubits {qubit_a} and {qubit_b} are not connected"
+            ) from exc
+
+    def shortest_path(self, qubit_a: int, qubit_b: int) -> List[int]:
+        """A shortest undirected path between two physical qubits."""
+        graph = self.to_undirected_graph()
+        try:
+            return nx.shortest_path(graph, qubit_a, qubit_b)
+        except nx.NetworkXNoPath as exc:
+            raise CouplingError(
+                f"qubits {qubit_a} and {qubit_b} are not connected"
+            ) from exc
+
+    def subgraph(self, qubits: Sequence[int], name: Optional[str] = None) -> "CouplingMap":
+        """Return a coupling map restricted to *qubits*, re-indexed from zero.
+
+        The i-th entry of *qubits* becomes physical qubit ``i`` of the new map.
+        """
+        index = {qubit: position for position, qubit in enumerate(qubits)}
+        edges = [
+            (index[control], index[target])
+            for control, target in self._edges
+            if control in index and target in index
+        ]
+        return CouplingMap(
+            len(qubits), edges, name or f"{self.name}[{','.join(map(str, qubits))}]"
+        )
+
+    def triangles(self) -> List[Tuple[int, int, int]]:
+        """All triangles (3-cliques) of the undirected connectivity graph.
+
+        The *qubit triangle* strategy (Section 4.2) exploits the fact that a
+        block of gates acting on at most three qubits can be mapped to such a
+        triangle without further permutations.
+        """
+        graph = self.to_undirected_graph()
+        found = set()
+        for a, b in graph.edges:
+            for c in sorted(set(graph[a]) & set(graph[b])):
+                found.add(tuple(sorted((a, b, c))))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CouplingMap):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self.num_qubits, frozenset(self._edges)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CouplingMap(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"edges={sorted(self._edges)})"
+        )
+
+
+__all__ = ["CouplingMap", "CouplingError"]

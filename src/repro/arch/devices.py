@@ -1,0 +1,178 @@
+"""Concrete device coupling maps.
+
+The paper evaluates on IBM QX4 (Tenerife).  For completeness we also ship the
+other QX-era devices and a few synthetic families (line, ring, grid, fully
+connected) that are useful for testing and for the custom-architecture
+example.
+
+Qubit indices are zero-based: the paper's physical qubit ``p_i`` is index
+``i - 1`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.arch.coupling import CouplingMap
+
+
+def ibm_qx2() -> CouplingMap:
+    """IBM QX2 (Yorktown) — 5 qubits, bow-tie connectivity."""
+    edges = [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 2)]
+    return CouplingMap(5, edges, name="ibm_qx2")
+
+
+def ibm_qx4() -> CouplingMap:
+    """IBM QX4 (Tenerife) — 5 qubits; the architecture evaluated in the paper.
+
+    The paper's coupling map (Example 2) is
+    ``CM = {(p2,p1), (p3,p1), (p3,p2), (p4,p3), (p4,p5), (p5,p3)}``; with
+    zero-based indices this becomes
+    ``{(1,0), (2,0), (2,1), (3,2), (3,4), (4,2)}``.
+    """
+    edges = [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)]
+    return CouplingMap(5, edges, name="ibm_qx4")
+
+
+def ibm_qx5() -> CouplingMap:
+    """IBM QX5 (Rueschlikon) — 16 qubits arranged on a 2x8 ladder."""
+    edges = [
+        (1, 0), (1, 2), (2, 3), (3, 4), (3, 14), (5, 4), (6, 5), (6, 7),
+        (6, 11), (7, 10), (8, 7), (9, 8), (9, 10), (11, 10), (12, 5),
+        (12, 11), (12, 13), (13, 4), (13, 14), (15, 0), (15, 2), (15, 14),
+    ]
+    return CouplingMap(16, edges, name="ibm_qx5")
+
+
+def ibm_tokyo() -> CouplingMap:
+    """IBM Q20 Tokyo — 20 qubits on a 4x5 grid with diagonal couplings.
+
+    Tokyo's couplings are bidirectional; both directions are included.
+    """
+    undirected = [
+        (0, 1), (1, 2), (2, 3), (3, 4),
+        (5, 6), (6, 7), (7, 8), (8, 9),
+        (10, 11), (11, 12), (12, 13), (13, 14),
+        (15, 16), (16, 17), (17, 18), (18, 19),
+        (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+        (5, 10), (6, 11), (7, 12), (8, 13), (9, 14),
+        (10, 15), (11, 16), (12, 17), (13, 18), (14, 19),
+        (1, 7), (2, 6), (3, 9), (4, 8),
+        (5, 11), (6, 10), (7, 13), (8, 12),
+        (11, 17), (12, 16), (13, 19), (14, 18),
+    ]
+    edges: List[Tuple[int, int]] = []
+    for a, b in undirected:
+        edges.append((a, b))
+        edges.append((b, a))
+    return CouplingMap(20, edges, name="ibm_tokyo")
+
+
+def linear_architecture(num_qubits: int, bidirectional: bool = False) -> CouplingMap:
+    """A 1-D chain ``0 - 1 - ... - (n-1)`` with CNOTs directed towards higher indices.
+
+    Args:
+        num_qubits: Number of physical qubits.
+        bidirectional: When True, both CNOT directions are natively allowed.
+    """
+    edges: List[Tuple[int, int]] = []
+    for i in range(num_qubits - 1):
+        edges.append((i, i + 1))
+        if bidirectional:
+            edges.append((i + 1, i))
+    return CouplingMap(num_qubits, edges, name=f"linear_{num_qubits}")
+
+
+def ring_architecture(num_qubits: int, bidirectional: bool = False) -> CouplingMap:
+    """A ring of *num_qubits* qubits."""
+    if num_qubits < 3:
+        raise ValueError("a ring needs at least three qubits")
+    edges: List[Tuple[int, int]] = []
+    for i in range(num_qubits):
+        j = (i + 1) % num_qubits
+        edges.append((i, j))
+        if bidirectional:
+            edges.append((j, i))
+    return CouplingMap(num_qubits, edges, name=f"ring_{num_qubits}")
+
+
+def grid_architecture(rows: int, columns: int, bidirectional: bool = True) -> CouplingMap:
+    """A ``rows x columns`` nearest-neighbour grid."""
+    if rows <= 0 or columns <= 0:
+        raise ValueError("grid dimensions must be positive")
+    num_qubits = rows * columns
+    edges: List[Tuple[int, int]] = []
+
+    def index(r: int, c: int) -> int:
+        return r * columns + c
+
+    for r in range(rows):
+        for c in range(columns):
+            here = index(r, c)
+            if c + 1 < columns:
+                edges.append((here, index(r, c + 1)))
+                if bidirectional:
+                    edges.append((index(r, c + 1), here))
+            if r + 1 < rows:
+                edges.append((here, index(r + 1, c)))
+                if bidirectional:
+                    edges.append((index(r + 1, c), here))
+    return CouplingMap(num_qubits, edges, name=f"grid_{rows}x{columns}")
+
+
+def fully_connected_architecture(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity (both directions) — no mapping overhead needed."""
+    edges = [
+        (a, b)
+        for a in range(num_qubits)
+        for b in range(num_qubits)
+        if a != b
+    ]
+    return CouplingMap(num_qubits, edges, name=f"full_{num_qubits}")
+
+
+_REGISTRY: Dict[str, Callable[[], CouplingMap]] = {
+    "ibm_qx2": ibm_qx2,
+    "qx2": ibm_qx2,
+    "ibm_qx4": ibm_qx4,
+    "qx4": ibm_qx4,
+    "tenerife": ibm_qx4,
+    "ibm_qx5": ibm_qx5,
+    "qx5": ibm_qx5,
+    "rueschlikon": ibm_qx5,
+    "ibm_tokyo": ibm_tokyo,
+    "tokyo": ibm_tokyo,
+}
+
+
+def available_architectures() -> List[str]:
+    """Names accepted by :func:`get_architecture` (canonical names only)."""
+    return sorted({"ibm_qx2", "ibm_qx4", "ibm_qx5", "ibm_tokyo"})
+
+
+def get_architecture(name: str) -> CouplingMap:
+    """Look up a named architecture (case-insensitive).
+
+    Raises:
+        KeyError: If the name is not registered.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown architecture {name!r}; available: {available_architectures()}"
+        )
+    return _REGISTRY[key]()
+
+
+__all__ = [
+    "ibm_qx2",
+    "ibm_qx4",
+    "ibm_qx5",
+    "ibm_tokyo",
+    "linear_architecture",
+    "ring_architecture",
+    "grid_architecture",
+    "fully_connected_architecture",
+    "available_architectures",
+    "get_architecture",
+]

@@ -1,0 +1,256 @@
+"""Permutations of physical-qubit states and their SWAP costs.
+
+The cost function of the paper (Eq. 5) charges ``7 * swaps(pi)`` for applying
+a permutation ``pi`` to the physical-qubit states before a gate, where
+``swaps(pi)`` is the minimal number of SWAP operations — each acting on an
+edge of the coupling map — that realises ``pi``.  The paper computes this
+table once per architecture by exhaustive search; :class:`PermutationTable`
+does the same via breadth-first search over the permutation group generated
+by the coupling edges.
+
+Conventions
+-----------
+A permutation is a tuple ``pi`` of length ``m`` with ``pi[i] = j`` meaning
+"the state located at physical qubit ``i`` moves to physical qubit ``j``".
+A mapping of ``n`` logical qubits is a tuple ``mapping`` of length ``n`` with
+``mapping[j] = i`` meaning "logical qubit ``j`` sits on physical qubit ``i``"
+(``-1`` marks an unmapped logical qubit; mappings used here are always total).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.arch.coupling import CouplingMap
+
+Permutation = Tuple[int, ...]
+Mapping = Tuple[int, ...]
+SwapEdge = Tuple[int, int]
+
+
+def identity_permutation(size: int) -> Permutation:
+    """The identity permutation on *size* elements."""
+    return tuple(range(size))
+
+
+def all_permutations(size: int) -> Iterator[Permutation]:
+    """Iterate over all permutations of ``range(size)``."""
+    return iter(itertools.permutations(range(size)))
+
+
+def compose_permutations(first: Permutation, second: Permutation) -> Permutation:
+    """Return the permutation "apply *first*, then *second*"."""
+    if len(first) != len(second):
+        raise ValueError("cannot compose permutations of different sizes")
+    return tuple(second[first[i]] for i in range(len(first)))
+
+
+def invert_permutation(perm: Permutation) -> Permutation:
+    """Return the inverse permutation."""
+    inverse = [0] * len(perm)
+    for source, destination in enumerate(perm):
+        inverse[destination] = source
+    return tuple(inverse)
+
+
+def apply_permutation(perm: Permutation, mapping: Mapping) -> Mapping:
+    """Apply *perm* to the physical positions of a logical-to-physical *mapping*.
+
+    If logical qubit ``j`` sat on physical qubit ``mapping[j]``, it ends up on
+    ``perm[mapping[j]]`` after the permutation.
+    """
+    return tuple(perm[position] for position in mapping)
+
+
+def permutation_between(old: Mapping, new: Mapping, size: int) -> Permutation:
+    """The unique full permutation turning *old* into *new* when ``n == m``.
+
+    Raises:
+        ValueError: If the mappings are not total (``n < m``); use
+            :meth:`PermutationTable.transition_cost` in that case.
+    """
+    if len(old) != len(new):
+        raise ValueError("mappings must have the same length")
+    if len(old) != size:
+        raise ValueError(
+            "permutation_between requires total mappings (n == m); "
+            "use PermutationTable.transition_cost for partial mappings"
+        )
+    perm = [-1] * size
+    for logical in range(len(old)):
+        perm[old[logical]] = new[logical]
+    if -1 in perm:
+        raise ValueError("mappings are not injective")
+    return tuple(perm)
+
+
+def swap_transposition(size: int, edge: SwapEdge) -> Permutation:
+    """The transposition exchanging the two endpoints of *edge*."""
+    a, b = edge
+    perm = list(range(size))
+    perm[a], perm[b] = perm[b], perm[a]
+    return tuple(perm)
+
+
+def minimal_swap_sequences(
+    coupling: CouplingMap,
+    max_permutations: Optional[int] = None,
+) -> Dict[Permutation, List[SwapEdge]]:
+    """Breadth-first search of minimal SWAP sequences for every reachable permutation.
+
+    Args:
+        coupling: The architecture whose undirected edges generate the group.
+        max_permutations: Optional safety limit on the number of permutations
+            enumerated (useful for large devices); ``None`` means no limit.
+
+    Returns:
+        A dictionary mapping each reachable permutation to one minimal-length
+        sequence of SWAP edges realising it.  The identity maps to ``[]``.
+    """
+    size = coupling.num_qubits
+    edges = sorted(coupling.undirected_edges)
+    identity = identity_permutation(size)
+    sequences: Dict[Permutation, List[SwapEdge]] = {identity: []}
+    frontier: List[Permutation] = [identity]
+    while frontier:
+        next_frontier: List[Permutation] = []
+        for perm in frontier:
+            base_sequence = sequences[perm]
+            for edge in edges:
+                transposition = swap_transposition(size, edge)
+                successor = compose_permutations(perm, transposition)
+                if successor in sequences:
+                    continue
+                sequences[successor] = base_sequence + [edge]
+                next_frontier.append(successor)
+                if max_permutations is not None and len(sequences) >= max_permutations:
+                    return sequences
+        frontier = next_frontier
+    return sequences
+
+
+class PermutationTable:
+    """Pre-computed ``swaps(pi)`` table for one coupling map.
+
+    The table is built once (exhaustively, as in the paper) and then queried
+    by the exact mappers both for full permutations and for transitions
+    between (possibly partial) logical-to-physical mappings.
+
+    Args:
+        coupling: The architecture.
+        max_qubits_exhaustive: Guard against accidentally enumerating the
+            permutation group of a large device (``m!`` elements).
+    """
+
+    def __init__(self, coupling: CouplingMap, max_qubits_exhaustive: int = 8):
+        if coupling.num_qubits > max_qubits_exhaustive:
+            raise ValueError(
+                f"refusing to enumerate {coupling.num_qubits}! permutations; "
+                "restrict the architecture to a subset of physical qubits first"
+            )
+        self.coupling = coupling
+        self.size = coupling.num_qubits
+        self._sequences = minimal_swap_sequences(coupling)
+
+    # ------------------------------------------------------------------
+    # Full permutations
+    # ------------------------------------------------------------------
+    def reachable(self, perm: Permutation) -> bool:
+        """True when *perm* can be realised by SWAPs on the coupling edges."""
+        return tuple(perm) in self._sequences
+
+    def swaps(self, perm: Permutation) -> int:
+        """Minimal number of SWAPs realising *perm* (the paper's ``swaps(pi)``).
+
+        Raises:
+            KeyError: If the permutation is not reachable (disconnected device).
+        """
+        return len(self._sequences[tuple(perm)])
+
+    def swap_sequence(self, perm: Permutation) -> List[SwapEdge]:
+        """One minimal sequence of SWAP edges realising *perm*."""
+        return list(self._sequences[tuple(perm)])
+
+    def permutations(self) -> Iterator[Permutation]:
+        """Iterate over all reachable permutations."""
+        return iter(self._sequences.keys())
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    # ------------------------------------------------------------------
+    # Mapping transitions
+    # ------------------------------------------------------------------
+    def consistent_permutations(self, old: Mapping, new: Mapping) -> Iterator[Permutation]:
+        """All full permutations ``pi`` with ``pi[old[j]] == new[j]`` for every ``j``.
+
+        For total mappings there is exactly one; for partial mappings the
+        unmapped physical qubits may be permuted freely among themselves.
+        """
+        if len(old) != len(new):
+            raise ValueError("mappings must have the same length")
+        fixed: Dict[int, int] = {}
+        for logical in range(len(old)):
+            source, destination = old[logical], new[logical]
+            if source in fixed and fixed[source] != destination:
+                raise ValueError("old mapping is not injective")
+            fixed[source] = destination
+        free_sources = [i for i in range(self.size) if i not in fixed]
+        used_destinations = set(fixed.values())
+        free_destinations = [i for i in range(self.size) if i not in used_destinations]
+        for completion in itertools.permutations(free_destinations):
+            perm = [0] * self.size
+            for source, destination in fixed.items():
+                perm[source] = destination
+            for source, destination in zip(free_sources, completion):
+                perm[source] = destination
+            yield tuple(perm)
+
+    def transition_cost(self, old: Mapping, new: Mapping) -> int:
+        """Minimal number of SWAPs turning mapping *old* into mapping *new*."""
+        best = None
+        for perm in self.consistent_permutations(old, new):
+            if perm not in self._sequences:
+                continue
+            count = len(self._sequences[perm])
+            if best is None or count < best:
+                best = count
+                if best == 0:
+                    break
+        if best is None:
+            raise ValueError("no permutation realises the requested transition")
+        return best
+
+    def transition_sequence(self, old: Mapping, new: Mapping) -> List[SwapEdge]:
+        """A minimal SWAP-edge sequence turning mapping *old* into mapping *new*."""
+        best_perm = None
+        best_count = None
+        for perm in self.consistent_permutations(old, new):
+            if perm not in self._sequences:
+                continue
+            count = len(self._sequences[perm])
+            if best_count is None or count < best_count:
+                best_count = count
+                best_perm = perm
+                if best_count == 0:
+                    break
+        if best_perm is None:
+            raise ValueError("no permutation realises the requested transition")
+        return list(self._sequences[best_perm])
+
+
+__all__ = [
+    "Permutation",
+    "Mapping",
+    "SwapEdge",
+    "identity_permutation",
+    "all_permutations",
+    "compose_permutations",
+    "invert_permutation",
+    "apply_permutation",
+    "permutation_between",
+    "swap_transposition",
+    "minimal_swap_sequences",
+    "PermutationTable",
+]

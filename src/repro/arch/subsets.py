@@ -1,0 +1,83 @@
+"""Enumeration of connected subsets of physical qubits.
+
+Section 4.1 of the paper restricts the mapping to a subset of ``n`` of the
+``m`` physical qubits.  Only *connected* subsets need to be considered: a
+subset whose induced connectivity subgraph is disconnected can never host a
+valid mapping of a connected interaction pattern (the paper's Example 9
+prunes such subsets in O(n) time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Set, Tuple
+
+import networkx as nx
+
+from repro.arch.coupling import CouplingMap
+
+
+def all_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]:
+    """All size-*size* subsets of physical qubits (connected or not).
+
+    Raises:
+        ValueError: If *size* is not between 1 and the device size.
+    """
+    if not 1 <= size <= coupling.num_qubits:
+        raise ValueError(
+            f"subset size {size} out of range for a {coupling.num_qubits}-qubit device"
+        )
+    return [
+        tuple(combo)
+        for combo in itertools.combinations(range(coupling.num_qubits), size)
+    ]
+
+
+def connected_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]:
+    """All connected subsets of exactly *size* physical qubits, sorted.
+
+    The subsets are found by filtering all :math:`\\binom{m}{n}` combinations
+    by connectivity of the induced undirected subgraph.  For the devices this
+    library targets (tens of qubits, subsets of at most a handful of qubits)
+    this exhaustive filter is more than fast enough and obviously correct.
+
+    Args:
+        coupling: The device coupling map.
+        size: Number of physical qubits per subset (the circuit's ``n``).
+
+    Returns:
+        Sorted list of sorted tuples of physical qubit indices whose induced
+        undirected subgraph is connected.
+    """
+    graph = coupling.to_undirected_graph()
+    result = []
+    for subset in all_subsets(coupling, size):
+        induced = graph.subgraph(subset)
+        if induced.number_of_nodes() > 0 and nx.is_connected(induced):
+            result.append(subset)
+    return result
+
+
+def subsets_containing_cut_vertices(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]:
+    """Connected subsets filtered by the paper's cut-vertex observation.
+
+    Example 9 of the paper observes that on QX4 every connected 4-qubit
+    subset must contain ``p3`` (the articulation point).  This helper returns
+    the connected subsets of *size* qubits; it is equivalent to
+    :func:`connected_subsets` but makes the pruning argument explicit and
+    testable: every returned subset contains all articulation points whose
+    removal would split the device into components smaller than *size*.
+    """
+    graph = coupling.to_undirected_graph()
+    required: Set[int] = set()
+    for vertex in nx.articulation_points(graph):
+        pruned = graph.copy()
+        pruned.remove_node(vertex)
+        largest = max((len(c) for c in nx.connected_components(pruned)), default=0)
+        if largest < size:
+            required.add(vertex)
+    subsets = connected_subsets(coupling, size)
+    return [subset for subset in subsets if required <= set(subset)]
+
+
+__all__ = ["connected_subsets", "all_subsets", "subsets_containing_cut_vertices"]

@@ -1,0 +1,40 @@
+"""Benchmark circuits and the paper's reported evaluation data.
+
+The paper evaluates on 25 small RevLib / IBM-challenge circuits (Table 1).
+The original ``.qasm`` files cannot be redistributed here, so
+:mod:`repro.benchlib.generators` synthesises, for every Table-1 entry, a
+deterministic circuit with the same name, qubit count, single-qubit-gate
+count and CNOT count (see DESIGN.md for the substitution argument), and
+:mod:`repro.benchlib.table1` records the paper's reported numbers so the
+benchmark harness can print paper-vs-measured comparisons.
+"""
+
+from repro.benchlib.table1 import (
+    BenchmarkRecord,
+    TABLE1_RECORDS,
+    get_record,
+    benchmark_names,
+)
+from repro.benchlib.generators import (
+    benchmark_circuit,
+    random_cnot_circuit,
+    random_clifford_t_circuit,
+    layered_cnot_circuit,
+)
+from repro.benchlib.paper_example import (
+    paper_example_circuit,
+    paper_example_cnot_skeleton,
+)
+
+__all__ = [
+    "BenchmarkRecord",
+    "TABLE1_RECORDS",
+    "get_record",
+    "benchmark_names",
+    "benchmark_circuit",
+    "random_cnot_circuit",
+    "random_clifford_t_circuit",
+    "layered_cnot_circuit",
+    "paper_example_circuit",
+    "paper_example_cnot_skeleton",
+]

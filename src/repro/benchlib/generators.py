@@ -1,0 +1,167 @@
+"""Benchmark circuit generators.
+
+The RevLib ``.qasm`` files used in the paper are not redistributable in this
+environment, so :func:`benchmark_circuit` synthesises, for every Table-1
+entry, a deterministic stand-in circuit with the same number of logical
+qubits, single-qubit gates and CNOT gates.  The CNOT skeleton is generated
+with locality statistics typical of reversible netlists (a small working set
+of frequently interacting qubit pairs rather than uniformly random pairs),
+which is the property the mapping overhead actually depends on.
+
+General-purpose random generators (:func:`random_cnot_circuit`,
+:func:`random_clifford_t_circuit`, :func:`layered_cnot_circuit`) are also
+provided for tests and extension experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.benchlib.table1 import BenchmarkRecord, get_record
+from repro.circuit.circuit import QuantumCircuit
+
+_SINGLE_QUBIT_POOL = ("t", "tdg", "h", "s", "sdg", "x", "z")
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic seed derived from a benchmark name (independent of PYTHONHASHSEED)."""
+    value = 0
+    for character in name:
+        value = (value * 131 + ord(character)) % (2 ** 31 - 1)
+    return value
+
+
+def random_cnot_circuit(
+    num_qubits: int,
+    num_cnots: int,
+    seed: Optional[int] = None,
+    locality: float = 0.7,
+) -> QuantumCircuit:
+    """A random circuit consisting only of CNOT gates.
+
+    Args:
+        num_qubits: Number of logical qubits (at least 2).
+        num_cnots: Number of CNOT gates.
+        seed: Random seed.
+        locality: Probability of reusing one qubit of the previous CNOT,
+            which mimics the chained structure of reversible netlists.
+
+    Returns:
+        The generated circuit.
+    """
+    if num_qubits < 2:
+        raise ValueError("a CNOT circuit needs at least two qubits")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_cnot_{num_qubits}x{num_cnots}")
+    previous: Optional[Tuple[int, int]] = None
+    for _ in range(num_cnots):
+        if previous is not None and rng.random() < locality:
+            shared = rng.choice(previous)
+            other = rng.randrange(num_qubits)
+            while other == shared:
+                other = rng.randrange(num_qubits)
+            control, target = (shared, other) if rng.random() < 0.5 else (other, shared)
+        else:
+            control = rng.randrange(num_qubits)
+            target = rng.randrange(num_qubits)
+            while target == control:
+                target = rng.randrange(num_qubits)
+        circuit.cx(control, target)
+        previous = (control, target)
+    return circuit
+
+
+def random_clifford_t_circuit(
+    num_qubits: int,
+    num_single: int,
+    num_cnots: int,
+    seed: Optional[int] = None,
+    locality: float = 0.7,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """A random circuit with the requested single-qubit and CNOT gate counts.
+
+    The CNOT skeleton is produced by :func:`random_cnot_circuit`; the
+    single-qubit gates (drawn from the Clifford+T pool used by reversible
+    benchmarks) are interleaved at random positions.
+    """
+    skeleton = random_cnot_circuit(num_qubits, num_cnots, seed=seed, locality=locality)
+    rng = random.Random(None if seed is None else seed + 1)
+    circuit = QuantumCircuit(
+        num_qubits, name=name or f"random_{num_qubits}q_{num_single}s_{num_cnots}c"
+    )
+    # Decide after which CNOT index each single-qubit gate is placed
+    # (index -1 places it before the first CNOT).
+    placements = sorted(rng.randrange(-1, num_cnots) for _ in range(num_single))
+    placement_index = 0
+    cnot_gates = list(skeleton.gates)
+
+    def emit_singles(after_cnot: int) -> None:
+        nonlocal placement_index
+        while placement_index < len(placements) and placements[placement_index] <= after_cnot:
+            gate_name = rng.choice(_SINGLE_QUBIT_POOL)
+            qubit = rng.randrange(num_qubits)
+            getattr(circuit, gate_name)(qubit)
+            placement_index += 1
+
+    emit_singles(-1)
+    for index, gate in enumerate(cnot_gates):
+        circuit.cx(gate.control, gate.target)
+        emit_singles(index)
+    return circuit
+
+
+def layered_cnot_circuit(
+    num_qubits: int,
+    num_layers: int,
+    seed: Optional[int] = None,
+) -> QuantumCircuit:
+    """A circuit of *num_layers* layers of disjoint random CNOTs.
+
+    Useful for exercising the disjoint-qubits strategy: each layer pairs up
+    as many qubits as possible, so consecutive gates inside a layer act on
+    disjoint qubit sets.
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least two qubits")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"layered_{num_qubits}x{num_layers}")
+    for _ in range(num_layers):
+        qubits = list(range(num_qubits))
+        rng.shuffle(qubits)
+        for first, second in zip(qubits[0::2], qubits[1::2]):
+            circuit.cx(first, second)
+    return circuit
+
+
+def benchmark_circuit(name: str) -> QuantumCircuit:
+    """Deterministic stand-in circuit for the Table-1 benchmark *name*.
+
+    The returned circuit has exactly the qubit count, single-qubit-gate count
+    and CNOT count the paper reports for that benchmark; its random seed is
+    derived from the name so repeated calls return identical circuits.
+    """
+    record = get_record(name)
+    return circuit_for_record(record)
+
+
+def circuit_for_record(record: BenchmarkRecord) -> QuantumCircuit:
+    """Stand-in circuit for an arbitrary :class:`BenchmarkRecord`."""
+    circuit = random_clifford_t_circuit(
+        record.num_qubits,
+        record.single_qubit_gates,
+        record.cnot_gates,
+        seed=_stable_seed(record.name),
+        name=record.name,
+    )
+    return circuit
+
+
+__all__ = [
+    "random_cnot_circuit",
+    "random_clifford_t_circuit",
+    "layered_cnot_circuit",
+    "benchmark_circuit",
+    "circuit_for_record",
+]

@@ -1,0 +1,73 @@
+"""Quantum circuit intermediate representation.
+
+This subpackage provides the circuit data structures used throughout the
+library: gate objects (:mod:`repro.circuit.gates`), the
+:class:`~repro.circuit.circuit.QuantumCircuit` container, unitary matrices for
+all supported gates (:mod:`repro.circuit.matrices`), layering utilities
+(:mod:`repro.circuit.layers`) and an OpenQASM 2.0 front end
+(:mod:`repro.circuit.qasm`).
+"""
+
+from repro.circuit.gates import (
+    Gate,
+    SingleQubitGate,
+    TwoQubitGate,
+    CNOTGate,
+    SwapGate,
+    Barrier,
+    Measure,
+    UGate,
+    XGate,
+    YGate,
+    ZGate,
+    HGate,
+    SGate,
+    SdgGate,
+    TGate,
+    TdgGate,
+    RXGate,
+    RYGate,
+    RZGate,
+    IdGate,
+    CZGate,
+)
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.layers import (
+    disjoint_qubit_layers,
+    front_layers,
+    interaction_graph,
+    two_qubit_blocks,
+)
+from repro.circuit.qasm import parse_qasm, parse_qasm_file, to_qasm
+
+__all__ = [
+    "Gate",
+    "SingleQubitGate",
+    "TwoQubitGate",
+    "CNOTGate",
+    "SwapGate",
+    "Barrier",
+    "Measure",
+    "UGate",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "SGate",
+    "SdgGate",
+    "TGate",
+    "TdgGate",
+    "RXGate",
+    "RYGate",
+    "RZGate",
+    "IdGate",
+    "CZGate",
+    "QuantumCircuit",
+    "disjoint_qubit_layers",
+    "front_layers",
+    "interaction_graph",
+    "two_qubit_blocks",
+    "parse_qasm",
+    "parse_qasm_file",
+    "to_qasm",
+]

@@ -1,0 +1,339 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of gates over ``num_qubits`` logical qubits
+(cf. Definition 1 of the paper).  The class offers convenience constructors
+for the common gates, bookkeeping queries used by the mappers (CNOT
+extraction, gate counting, qubit usage) and structural transformations
+(remapping qubits, composing circuits, stripping single-qubit gates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.gates import (
+    Barrier,
+    CNOTGate,
+    CZGate,
+    Gate,
+    GateError,
+    Measure,
+    SwapGate,
+    UGate,
+    single_qubit_gate,
+)
+
+
+class CircuitError(ValueError):
+    """Raised on invalid circuit construction or manipulation."""
+
+
+class QuantumCircuit:
+    """An ordered sequence of quantum gates over a fixed set of qubits.
+
+    Args:
+        num_qubits: Number of logical qubits (circuit lines).
+        name: Optional human-readable circuit name.
+        num_clbits: Number of classical bits (for measurement results).
+
+    Example:
+        >>> qc = QuantumCircuit(2, name="bell")
+        >>> qc.h(0)
+        >>> qc.cx(0, 1)
+        >>> qc.num_gates
+        2
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit", num_clbits: int = 0):
+        if num_qubits <= 0:
+            raise CircuitError("a circuit needs at least one qubit")
+        if num_clbits < 0:
+            raise CircuitError("number of classical bits cannot be negative")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.name = name
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gates of the circuit as an immutable tuple."""
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of operations (including directives)."""
+        return len(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self._gates == list(other._gates)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_gates={self.num_gates})"
+        )
+
+    # ------------------------------------------------------------------
+    # Gate appending
+    # ------------------------------------------------------------------
+    def _check_qubits(self, gate: Gate) -> None:
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"gate {gate.name!r} addresses qubit {q} but the circuit has "
+                    f"only {self.num_qubits} qubits"
+                )
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append *gate* to the circuit and return the circuit (chainable)."""
+        self._check_qubits(gate)
+        if isinstance(gate, Measure) and gate.clbit >= self.num_clbits:
+            self.num_clbits = gate.clbit + 1
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append every gate of *gates* in order."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # Convenience constructors --------------------------------------------------
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Append a Hadamard gate."""
+        return self.append(single_qubit_gate("h", qubit))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-X gate."""
+        return self.append(single_qubit_gate("x", qubit))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Y gate."""
+        return self.append(single_qubit_gate("y", qubit))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-Z gate."""
+        return self.append(single_qubit_gate("z", qubit))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """Append an S gate."""
+        return self.append(single_qubit_gate("s", qubit))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Append an S-dagger gate."""
+        return self.append(single_qubit_gate("sdg", qubit))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """Append a T gate."""
+        return self.append(single_qubit_gate("t", qubit))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        """Append a T-dagger gate."""
+        return self.append(single_qubit_gate("tdg", qubit))
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append an X-rotation."""
+        return self.append(single_qubit_gate("rx", qubit, (theta,)))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a Y-rotation."""
+        return self.append(single_qubit_gate("ry", qubit, (theta,)))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append a Z-rotation."""
+        return self.append(single_qubit_gate("rz", qubit, (theta,)))
+
+    def u3(self, theta: float, phi: float, lam: float, qubit: int) -> "QuantumCircuit":
+        """Append the IBM universal single-qubit gate."""
+        return self.append(UGate(theta, phi, lam, qubit))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a CNOT gate."""
+        return self.append(CNOTGate(control, target))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a controlled-Z gate."""
+        return self.append(CZGate(control, target))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Append a SWAP gate."""
+        return self.append(SwapGate(qubit_a, qubit_b))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Append a barrier over the given qubits (all qubits when empty)."""
+        targets = qubits if qubits else tuple(range(self.num_qubits))
+        return self.append(Barrier(targets))
+
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        """Append a measurement of *qubit* into classical bit *clbit*."""
+        return self.append(Measure(qubit, clbit))
+
+    # ------------------------------------------------------------------
+    # Queries used by the mappers
+    # ------------------------------------------------------------------
+    def cnot_gates(self) -> List[CNOTGate]:
+        """Return all CNOT gates in circuit order."""
+        return [g for g in self._gates if g.is_cnot]
+
+    def cnot_pairs(self) -> List[Tuple[int, int]]:
+        """Return the (control, target) pairs of all CNOTs in order."""
+        return [(g.control, g.target) for g in self.cnot_gates()]
+
+    def count_cnot(self) -> int:
+        """Number of CNOT gates."""
+        return sum(1 for g in self._gates if g.is_cnot)
+
+    def count_single_qubit(self) -> int:
+        """Number of single-qubit (unitary) gates."""
+        return sum(1 for g in self._gates if g.is_single_qubit)
+
+    def count_swap(self) -> int:
+        """Number of explicit SWAP gates."""
+        return sum(1 for g in self._gates if g.name == "swap")
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate mnemonics."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def gate_cost(self) -> int:
+        """Cost of the circuit as the paper counts it: number of operations.
+
+        Directives (barriers, measurements) are not counted; an explicit SWAP
+        counts as 7 elementary operations (its decomposition into 3 CNOTs and
+        4 H gates on the QX architectures, cf. Fig. 3 of the paper).
+        """
+        cost = 0
+        for gate in self._gates:
+            if gate.is_directive:
+                continue
+            if gate.name == "swap":
+                cost += 7
+            else:
+                cost += 1
+        return cost
+
+    def used_qubits(self) -> List[int]:
+        """Sorted list of qubit indices that appear in at least one gate."""
+        used = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return sorted(used)
+
+    def depth(self) -> int:
+        """Circuit depth counting unitary gates only."""
+        level: Dict[int, int] = {q: 0 for q in range(self.num_qubits)}
+        depth = 0
+        for gate in self._gates:
+            if gate.is_directive:
+                continue
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Structural transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a shallow copy (gates are immutable, so this is safe)."""
+        new = QuantumCircuit(self.num_qubits, name or self.name, self.num_clbits)
+        new._gates = list(self._gates)
+        return new
+
+    def without_single_qubit_gates(self) -> "QuantumCircuit":
+        """Return a copy containing only the CNOT gates (cf. Fig. 1b).
+
+        Only CNOT gates can violate the coupling constraints, hence the
+        symbolic formulation of the paper ignores single-qubit gates.
+        """
+        new = QuantumCircuit(self.num_qubits, f"{self.name}_cnot_only")
+        new._gates = [g for g in self._gates if g.is_cnot]
+        return new
+
+    def remap_qubits(self, mapping: Sequence[int] | Dict[int, int],
+                     num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a copy with every qubit index translated through *mapping*.
+
+        Args:
+            mapping: Old-index to new-index translation (sequence or dict).
+            num_qubits: Qubit count of the new circuit; defaults to the
+                current count (or the maximum mapped index + 1 if larger).
+
+        Returns:
+            The remapped circuit.
+        """
+        if isinstance(mapping, dict):
+            lookup = dict(mapping)
+        else:
+            lookup = {old: new for old, new in enumerate(mapping)}
+        new_indices = list(lookup.values())
+        required = (max(new_indices) + 1) if new_indices else self.num_qubits
+        total = num_qubits if num_qubits is not None else max(self.num_qubits, required)
+        new = QuantumCircuit(total, f"{self.name}_remapped", self.num_clbits)
+        for gate in self._gates:
+            new.append(gate.remap(lookup))
+        return new
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return the concatenation ``self`` followed by ``other``.
+
+        Both circuits must have the same number of qubits.
+        """
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError(
+                "cannot compose circuits with different qubit counts "
+                f"({self.num_qubits} vs {other.num_qubits})"
+            )
+        new = self.copy()
+        new._gates.extend(other._gates)
+        new.num_clbits = max(self.num_clbits, other.num_clbits)
+        return new
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (gates reversed and individually inverted).
+
+        Only gates whose inverse is expressible in the IR are supported:
+        self-inverse gates, S/T (mapped to their daggers), rotations and U3.
+        """
+        new = QuantumCircuit(self.num_qubits, f"{self.name}_inv", self.num_clbits)
+        inverse_names = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        for gate in reversed(self._gates):
+            if gate.is_directive:
+                raise CircuitError("cannot invert a circuit containing directives")
+            name = gate.name
+            if name in ("x", "y", "z", "h", "id", "i", "cx", "cz", "swap"):
+                new.append(gate)
+            elif name in inverse_names:
+                new.append(single_qubit_gate(inverse_names[name], gate.qubits[0]))
+            elif name in ("rx", "ry", "rz"):
+                new.append(single_qubit_gate(name, gate.qubits[0], (-gate.params[0],)))
+            elif name in ("u3", "u"):
+                theta, phi, lam = gate.params
+                new.append(UGate(-theta, -lam, -phi, gate.qubits[0]))
+            else:
+                raise CircuitError(f"do not know how to invert gate {name!r}")
+        return new
+
+
+__all__ = ["QuantumCircuit", "CircuitError"]

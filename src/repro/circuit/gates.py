@@ -1,0 +1,398 @@
+"""Gate objects for the quantum circuit IR.
+
+Gates are lightweight, immutable value objects.  Each gate knows its name, the
+qubits it acts on and (for parameterised gates) its parameters.  The unitary
+matrices of the gates live in :mod:`repro.circuit.matrices` so that the IR can
+be used without importing numpy-heavy code.
+
+The mapping algorithms of this library only distinguish between single-qubit
+gates and CNOT gates (cf. Definition 1 of the paper); everything else exists
+so that realistic OpenQASM circuits can be parsed, simulated and re-emitted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+
+class GateError(ValueError):
+    """Raised when a gate is constructed with invalid arguments."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """Base class for all circuit operations.
+
+    Attributes:
+        name: Lower-case mnemonic of the operation (``"cx"``, ``"h"``, ...).
+        qubits: Tuple of qubit indices the operation acts on, in order.
+        params: Tuple of real parameters (rotation angles).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GateError("gate name must be a non-empty string")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise GateError(
+                f"gate {self.name!r} acts on duplicate qubits {self.qubits!r}"
+            )
+        for q in self.qubits:
+            if q < 0:
+                raise GateError(f"negative qubit index {q} in gate {self.name!r}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_cnot(self) -> bool:
+        """True when the gate is a controlled-NOT."""
+        return False
+
+    @property
+    def is_single_qubit(self) -> bool:
+        """True when the gate acts on exactly one qubit (and is unitary)."""
+        return False
+
+    @property
+    def is_directive(self) -> bool:
+        """True for non-unitary bookkeeping operations (barrier, measure)."""
+        return False
+
+    def remap(self, mapping: Sequence[int] | dict) -> "Gate":
+        """Return a copy of this gate with qubits translated through *mapping*.
+
+        Args:
+            mapping: Either a sequence indexed by the old qubit index or a
+                dictionary from old to new indices.
+
+        Returns:
+            A gate of the same type acting on the translated qubits.
+        """
+        if isinstance(mapping, dict):
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        else:
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        return type(self)._rebuild(self, new_qubits)
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return Gate(original.name, qubits, original.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            pstr = "(" + ", ".join(f"{p:g}" for p in self.params) + ")"
+        else:
+            pstr = ""
+        qstr = ", ".join(f"q[{q}]" for q in self.qubits)
+        return f"{self.name}{pstr} {qstr}"
+
+
+@dataclass(frozen=True)
+class SingleQubitGate(Gate):
+    """A unitary operation acting on a single qubit."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.qubits) != 1:
+            raise GateError(
+                f"single-qubit gate {self.name!r} given {len(self.qubits)} qubits"
+            )
+
+    @property
+    def qubit(self) -> int:
+        """The qubit the gate acts on."""
+        return self.qubits[0]
+
+    @property
+    def is_single_qubit(self) -> bool:
+        return True
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(original.name, qubits, original.params)
+
+
+@dataclass(frozen=True)
+class TwoQubitGate(Gate):
+    """A unitary operation acting on exactly two qubits."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.qubits) != 2:
+            raise GateError(
+                f"two-qubit gate {self.name!r} given {len(self.qubits)} qubits"
+            )
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(original.name, qubits, original.params)
+
+
+@dataclass(frozen=True)
+class CNOTGate(TwoQubitGate):
+    """Controlled-NOT gate: ``control`` flips ``target`` when set."""
+
+    def __init__(self, control: int, target: int):
+        super().__init__(name="cx", qubits=(control, target), params=())
+
+    @property
+    def control(self) -> int:
+        """Index of the control qubit."""
+        return self.qubits[0]
+
+    @property
+    def target(self) -> int:
+        """Index of the target qubit."""
+        return self.qubits[1]
+
+    @property
+    def is_cnot(self) -> bool:
+        return True
+
+    def reversed(self) -> "CNOTGate":
+        """Return the CNOT with control and target exchanged."""
+        return CNOTGate(self.target, self.control)
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(qubits[0], qubits[1])
+
+
+@dataclass(frozen=True)
+class CZGate(TwoQubitGate):
+    """Controlled-Z gate (symmetric in its qubits)."""
+
+    def __init__(self, control: int, target: int):
+        super().__init__(name="cz", qubits=(control, target), params=())
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(qubits[0], qubits[1])
+
+
+@dataclass(frozen=True)
+class SwapGate(TwoQubitGate):
+    """SWAP gate exchanging the states of its two qubits."""
+
+    def __init__(self, qubit_a: int, qubit_b: int):
+        super().__init__(name="swap", qubits=(qubit_a, qubit_b), params=())
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(qubits[0], qubits[1])
+
+
+@dataclass(frozen=True)
+class Barrier(Gate):
+    """Barrier directive; not a unitary operation."""
+
+    def __init__(self, qubits: Iterable[int]):
+        super().__init__(name="barrier", qubits=tuple(qubits), params=())
+
+    @property
+    def is_directive(self) -> bool:
+        return True
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(qubits)
+
+
+@dataclass(frozen=True)
+class Measure(Gate):
+    """Measurement of one qubit into one classical bit."""
+
+    clbit: int = 0
+
+    def __init__(self, qubit: int, clbit: int):
+        object.__setattr__(self, "clbit", clbit)
+        super().__init__(name="measure", qubits=(qubit,), params=())
+
+    @property
+    def is_directive(self) -> bool:
+        return True
+
+    @property
+    def qubit(self) -> int:
+        """The measured qubit."""
+        return self.qubits[0]
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        return cls(qubits[0], getattr(original, "clbit", 0))
+
+
+def _simple_single(name: str):
+    """Create a parameterless single-qubit gate class named *name*."""
+
+    @dataclass(frozen=True)
+    class _Simple(SingleQubitGate):
+        def __init__(self, qubit: int):
+            super().__init__(name=name, qubits=(qubit,), params=())
+
+        @classmethod
+        def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+            return cls(qubits[0])
+
+    _Simple.__name__ = name.upper() + "Gate"
+    _Simple.__qualname__ = _Simple.__name__
+    return _Simple
+
+
+XGate = _simple_single("x")
+YGate = _simple_single("y")
+ZGate = _simple_single("z")
+HGate = _simple_single("h")
+SGate = _simple_single("s")
+SdgGate = _simple_single("sdg")
+TGate = _simple_single("t")
+TdgGate = _simple_single("tdg")
+IdGate = _simple_single("id")
+
+
+def _rotation_single(name: str):
+    """Create a one-parameter single-qubit rotation gate class."""
+
+    @dataclass(frozen=True)
+    class _Rotation(SingleQubitGate):
+        def __init__(self, theta: float, qubit: int):
+            super().__init__(name=name, qubits=(qubit,), params=(float(theta),))
+
+        @property
+        def theta(self) -> float:
+            return self.params[0]
+
+        @classmethod
+        def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+            return cls(original.params[0], qubits[0])
+
+    _Rotation.__name__ = name.upper() + "Gate"
+    _Rotation.__qualname__ = _Rotation.__name__
+    return _Rotation
+
+
+RXGate = _rotation_single("rx")
+RYGate = _rotation_single("ry")
+RZGate = _rotation_single("rz")
+
+
+@dataclass(frozen=True)
+class UGate(SingleQubitGate):
+    """IBM's universal single-qubit gate ``U(theta, phi, lambda)``.
+
+    ``U(theta, phi, lam) = Rz(phi) Ry(theta) Rz(lam)`` up to global phase,
+    the native single-qubit gate of the QX architectures.
+    """
+
+    def __init__(self, theta: float, phi: float, lam: float, qubit: int):
+        super().__init__(
+            name="u3",
+            qubits=(qubit,),
+            params=(float(theta), float(phi), float(lam)),
+        )
+
+    @property
+    def theta(self) -> float:
+        return self.params[0]
+
+    @property
+    def phi(self) -> float:
+        return self.params[1]
+
+    @property
+    def lam(self) -> float:
+        return self.params[2]
+
+    @classmethod
+    def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
+        t, p, l = original.params
+        return cls(t, p, l, qubits[0])
+
+
+_NAMED_SINGLE = {
+    "x": XGate,
+    "y": YGate,
+    "z": ZGate,
+    "h": HGate,
+    "s": SGate,
+    "sdg": SdgGate,
+    "t": TGate,
+    "tdg": TdgGate,
+    "id": IdGate,
+    "i": IdGate,
+}
+
+_NAMED_ROTATION = {"rx": RXGate, "ry": RYGate, "rz": RZGate}
+
+
+def single_qubit_gate(name: str, qubit: int, params: Sequence[float] = ()) -> SingleQubitGate:
+    """Build a single-qubit gate from its OpenQASM mnemonic.
+
+    Args:
+        name: Gate mnemonic, e.g. ``"h"``, ``"t"``, ``"rz"``, ``"u3"``.
+        qubit: Target qubit index.
+        params: Gate parameters (angles), when required.
+
+    Returns:
+        The corresponding :class:`SingleQubitGate` instance.
+
+    Raises:
+        GateError: If the mnemonic is unknown or the parameter count is wrong.
+    """
+    lname = name.lower()
+    if lname in _NAMED_SINGLE:
+        if params:
+            raise GateError(f"gate {name!r} takes no parameters")
+        return _NAMED_SINGLE[lname](qubit)
+    if lname in _NAMED_ROTATION:
+        if len(params) != 1:
+            raise GateError(f"gate {name!r} takes exactly one parameter")
+        return _NAMED_ROTATION[lname](params[0], qubit)
+    if lname in ("u3", "u"):
+        if len(params) != 3:
+            raise GateError(f"gate {name!r} takes exactly three parameters")
+        return UGate(params[0], params[1], params[2], qubit)
+    if lname == "u2":
+        if len(params) != 2:
+            raise GateError("gate 'u2' takes exactly two parameters")
+        return UGate(math.pi / 2.0, params[0], params[1], qubit)
+    if lname == "u1":
+        if len(params) != 1:
+            raise GateError("gate 'u1' takes exactly one parameter")
+        return UGate(0.0, 0.0, params[0], qubit)
+    raise GateError(f"unknown single-qubit gate {name!r}")
+
+
+__all__ = [
+    "GateError",
+    "Gate",
+    "SingleQubitGate",
+    "TwoQubitGate",
+    "CNOTGate",
+    "CZGate",
+    "SwapGate",
+    "Barrier",
+    "Measure",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "SGate",
+    "SdgGate",
+    "TGate",
+    "TdgGate",
+    "IdGate",
+    "RXGate",
+    "RYGate",
+    "RZGate",
+    "UGate",
+    "single_qubit_gate",
+]

@@ -1,0 +1,218 @@
+"""Unitary matrices of the supported gates.
+
+These matrices are used by the simulator (:mod:`repro.sim`) to check that a
+mapped circuit is functionally equivalent to the original one.  All matrices
+are returned as ``numpy.ndarray`` with ``complex`` dtype in the computational
+basis ordering ``|q_{n-1} ... q_1 q_0>`` (qubit 0 is the least significant
+bit, the usual little-endian convention).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.circuit.gates import Gate, GateError
+
+
+def identity() -> np.ndarray:
+    """2x2 identity matrix."""
+    return np.eye(2, dtype=complex)
+
+
+def pauli_x() -> np.ndarray:
+    """Pauli-X (NOT) matrix."""
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def pauli_y() -> np.ndarray:
+    """Pauli-Y matrix."""
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def pauli_z() -> np.ndarray:
+    """Pauli-Z matrix."""
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def hadamard() -> np.ndarray:
+    """Hadamard matrix."""
+    return np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2.0)
+
+
+def phase_s() -> np.ndarray:
+    """S (sqrt(Z)) matrix."""
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def phase_sdg() -> np.ndarray:
+    """S-dagger matrix."""
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def phase_t() -> np.ndarray:
+    """T (pi/8) matrix."""
+    return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def phase_tdg() -> np.ndarray:
+    """T-dagger matrix."""
+    return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by angle *theta*."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by angle *theta*."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by angle *theta*."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2.0), 0], [0, cmath.exp(1j * theta / 2.0)]],
+        dtype=complex,
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """IBM universal single-qubit gate ``U(theta, phi, lambda)``."""
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def cnot() -> np.ndarray:
+    """CNOT matrix with qubit order (control, target) = (q1, q0).
+
+    The returned matrix is expressed on two qubits where the *first* qubit of
+    the gate (the control) is the more significant bit.  The simulator embeds
+    gates by explicit index bookkeeping, so this convention is only local to
+    this helper.
+    """
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+        ],
+        dtype=complex,
+    )
+
+
+def cz() -> np.ndarray:
+    """Controlled-Z matrix."""
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def swap() -> np.ndarray:
+    """SWAP matrix."""
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, 0, 1, 0],
+            [0, 1, 0, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    )
+
+
+_FIXED_SINGLE: Dict[str, np.ndarray] = {}
+
+
+def _fixed_single_table() -> Dict[str, np.ndarray]:
+    if not _FIXED_SINGLE:
+        _FIXED_SINGLE.update(
+            {
+                "id": identity(),
+                "i": identity(),
+                "x": pauli_x(),
+                "y": pauli_y(),
+                "z": pauli_z(),
+                "h": hadamard(),
+                "s": phase_s(),
+                "sdg": phase_sdg(),
+                "t": phase_t(),
+                "tdg": phase_tdg(),
+            }
+        )
+    return _FIXED_SINGLE
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Return the unitary matrix of *gate*.
+
+    Args:
+        gate: Any unitary gate of the IR.  Directives (barrier, measure) are
+            rejected.
+
+    Returns:
+        A ``2x2`` matrix for single-qubit gates or a ``4x4`` matrix for
+        two-qubit gates, with the first gate qubit as the most significant
+        bit.
+
+    Raises:
+        GateError: If the gate has no defined unitary.
+    """
+    name = gate.name.lower()
+    table = _fixed_single_table()
+    if name in table:
+        return table[name].copy()
+    if name == "rx":
+        return rx(gate.params[0])
+    if name == "ry":
+        return ry(gate.params[0])
+    if name == "rz":
+        return rz(gate.params[0])
+    if name in ("u3", "u"):
+        return u3(*gate.params)
+    if name == "u2":
+        return u3(math.pi / 2.0, *gate.params)
+    if name == "u1":
+        return u3(0.0, 0.0, gate.params[0])
+    if name == "cx":
+        return cnot()
+    if name == "cz":
+        return cz()
+    if name == "swap":
+        return swap()
+    raise GateError(f"gate {gate.name!r} has no defined unitary matrix")
+
+
+__all__ = [
+    "identity",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "hadamard",
+    "phase_s",
+    "phase_sdg",
+    "phase_t",
+    "phase_tdg",
+    "rx",
+    "ry",
+    "rz",
+    "u3",
+    "cnot",
+    "cz",
+    "swap",
+    "gate_matrix",
+]

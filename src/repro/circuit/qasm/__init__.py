@@ -1,0 +1,26 @@
+"""OpenQASM 2.0 front end (lexer, parser, writer).
+
+The paper assumes circuits are already decomposed into elementary gates and
+provided in OpenQASM (the RevLib benchmarks are distributed as ``.qasm``
+files).  Since qiskit is not available in this environment, this subpackage
+provides a self-contained OpenQASM 2.0 reader/writer that covers the subset
+of the language used by the benchmark circuits: quantum/classical register
+declarations, the standard-library gates (``qelib1.inc``), ``cx``,
+``measure`` and ``barrier``.
+"""
+
+from repro.circuit.qasm.lexer import Lexer, Token, TokenType, QasmSyntaxError
+from repro.circuit.qasm.parser import QasmParser, parse_qasm, parse_qasm_file
+from repro.circuit.qasm.writer import to_qasm, write_qasm_file
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "QasmSyntaxError",
+    "QasmParser",
+    "parse_qasm",
+    "parse_qasm_file",
+    "to_qasm",
+    "write_qasm_file",
+]

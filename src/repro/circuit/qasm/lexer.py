@@ -1,0 +1,229 @@
+"""Tokenizer for OpenQASM 2.0 source text."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class QasmSyntaxError(SyntaxError):
+    """Raised when the OpenQASM source is malformed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TokenType(enum.Enum):
+    """Kinds of tokens produced by the lexer."""
+
+    IDENTIFIER = "identifier"
+    REAL = "real"
+    INTEGER = "integer"
+    STRING = "string"
+    KEYWORD = "keyword"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMICOLON = ";"
+    COMMA = ","
+    ARROW = "->"
+    EQUALS = "=="
+    PLUS = "+"
+    MINUS = "-"
+    TIMES = "*"
+    DIVIDE = "/"
+    POWER = "^"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "OPENQASM",
+    "include",
+    "qreg",
+    "creg",
+    "gate",
+    "opaque",
+    "measure",
+    "reset",
+    "barrier",
+    "if",
+    "pi",
+}
+
+_SINGLE_CHAR_TOKENS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ";": TokenType.SEMICOLON,
+    ",": TokenType.COMMA,
+    "+": TokenType.PLUS,
+    "*": TokenType.TIMES,
+    "^": TokenType.POWER,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: Token kind.
+        value: Source text of the token (string form).
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts OpenQASM 2.0 source text into a stream of tokens."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> QasmSyntaxError:
+        return QasmSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> Optional[str]:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return None
+
+    def _advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in (" ", "\t", "\r", "\n"):
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        text = []
+        has_dot = False
+        has_exp = False
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char is not None and char.isdigit():
+                text.append(self._advance())
+            elif char == "." and not has_dot and not has_exp:
+                has_dot = True
+                text.append(self._advance())
+            elif char in ("e", "E") and not has_exp and text:
+                has_exp = True
+                text.append(self._advance())
+                if self._peek() in ("+", "-"):
+                    text.append(self._advance())
+            else:
+                break
+        value = "".join(text)
+        if has_dot or has_exp:
+            return Token(TokenType.REAL, value, line, column)
+        return Token(TokenType.INTEGER, value, line, column)
+
+    def _lex_identifier(self) -> Token:
+        line, column = self.line, self.column
+        text = []
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char is not None and (char.isalnum() or char == "_"):
+                text.append(self._advance())
+            else:
+                break
+        value = "".join(text)
+        token_type = TokenType.KEYWORD if value in KEYWORDS else TokenType.IDENTIFIER
+        return Token(token_type, value, line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        text = []
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated string literal")
+            if char == '"':
+                self._advance()
+                break
+            text.append(self._advance())
+        return Token(TokenType.STRING, "".join(text), line, column)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until (and including) the EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token(TokenType.EOF, "", self.line, self.column)
+                return
+            char = self._peek()
+            assert char is not None
+            if char.isdigit() or (char == "." and (self._peek(1) or "").isdigit()):
+                yield self._lex_number()
+            elif char.isalpha() or char == "_":
+                yield self._lex_identifier()
+            elif char == '"':
+                yield self._lex_string()
+            elif char == "-" and self._peek(1) == ">":
+                line, column = self.line, self.column
+                self._advance()
+                self._advance()
+                yield Token(TokenType.ARROW, "->", line, column)
+            elif char == "=" and self._peek(1) == "=":
+                line, column = self.line, self.column
+                self._advance()
+                self._advance()
+                yield Token(TokenType.EQUALS, "==", line, column)
+            elif char == "-":
+                line, column = self.line, self.column
+                self._advance()
+                yield Token(TokenType.MINUS, "-", line, column)
+            elif char == "/":
+                line, column = self.line, self.column
+                self._advance()
+                yield Token(TokenType.DIVIDE, "/", line, column)
+            elif char in _SINGLE_CHAR_TOKENS:
+                line, column = self.line, self.column
+                self._advance()
+                yield Token(_SINGLE_CHAR_TOKENS[char], char, line, column)
+            else:
+                raise self._error(f"unexpected character {char!r}")
+
+    def tokenize(self) -> List[Token]:
+        """Return the full token list (including the trailing EOF token)."""
+        return list(self.tokens())
+
+
+__all__ = ["Lexer", "Token", "TokenType", "QasmSyntaxError", "KEYWORDS"]

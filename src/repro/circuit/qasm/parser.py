@@ -1,0 +1,604 @@
+"""Recursive-descent parser for OpenQASM 2.0.
+
+The parser supports the subset of OpenQASM 2.0 needed by the benchmark
+circuits of the paper:
+
+* ``OPENQASM 2.0;`` header and ``include "qelib1.inc";``
+* ``qreg`` / ``creg`` declarations (multiple registers are flattened into a
+  single qubit index space, in declaration order),
+* applications of the built-in ``CX``/``cx`` and ``U`` gates and of the
+  standard-library gates (``x``, ``y``, ``z``, ``h``, ``s``, ``sdg``, ``t``,
+  ``tdg``, ``rx``, ``ry``, ``rz``, ``u1``, ``u2``, ``u3``, ``cz``, ``swap``,
+  ``ccx``, ``id``),
+* ``measure`` and ``barrier`` statements,
+* parameter expressions with ``pi``, the four arithmetic operators, unary
+  minus and parentheses,
+* user-defined ``gate`` declarations are parsed and *inlined* (macro
+  expansion), ``opaque`` declarations and ``if``/``reset`` statements are
+  rejected with a clear error message.
+
+Register-wide gate application (``h q;`` meaning "apply to every qubit of
+``q``") is supported, matching OpenQASM broadcast semantics for single-qubit
+gates and measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import CNOTGate, CZGate, SwapGate, single_qubit_gate
+from repro.circuit.qasm.lexer import Lexer, QasmSyntaxError, Token, TokenType
+
+# Gates from qelib1.inc that we implement natively.
+_SINGLE_QUBIT_GATES = {
+    "x": 0,
+    "y": 0,
+    "z": 0,
+    "h": 0,
+    "s": 0,
+    "sdg": 0,
+    "t": 0,
+    "tdg": 0,
+    "id": 0,
+    "u1": 1,
+    "u2": 2,
+    "u3": 3,
+    "u": 3,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+}
+
+_TWO_QUBIT_GATES = {"cx": 0, "cz": 0, "swap": 0}
+
+
+@dataclass
+class _Register:
+    """A declared quantum or classical register."""
+
+    name: str
+    size: int
+    offset: int
+
+
+@dataclass
+class _GateDefinition:
+    """A user-defined gate body, kept for macro expansion."""
+
+    name: str
+    params: List[str]
+    qubits: List[str]
+    body: List["_GateCall"] = field(default_factory=list)
+
+
+@dataclass
+class _GateCall:
+    """A gate application inside a user-defined gate body."""
+
+    name: str
+    param_exprs: List[List[Token]]
+    qubit_names: List[str]
+
+
+class QasmParser:
+    """Parses OpenQASM 2.0 source into a :class:`QuantumCircuit`."""
+
+    def __init__(self, source: str, name: str = "qasm_circuit"):
+        self._tokens = Lexer(source).tokenize()
+        self._pos = 0
+        self._name = name
+        self._qregs: Dict[str, _Register] = {}
+        self._cregs: Dict[str, _Register] = {}
+        self._gate_defs: Dict[str, _GateDefinition] = {}
+        self._pending_gates: List = []
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.type is not token_type or (value is not None and token.value != value):
+            expected = value if value is not None else token_type.value
+            raise QasmSyntaxError(
+                f"expected {expected!r} but found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> QasmSyntaxError:
+        token = self._peek()
+        return QasmSyntaxError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> QuantumCircuit:
+        """Parse the source and return the resulting circuit."""
+        self._parse_header()
+        while self._peek().type is not TokenType.EOF:
+            self._parse_statement()
+        total_qubits = sum(reg.size for reg in self._qregs.values())
+        total_clbits = sum(reg.size for reg in self._cregs.values())
+        if total_qubits == 0:
+            raise QasmSyntaxError("no quantum register declared", 0, 0)
+        circuit = QuantumCircuit(total_qubits, self._name, total_clbits)
+        for gate in self._pending_gates:
+            circuit.append(gate)
+        return circuit
+
+    # ------------------------------------------------------------------
+    # Grammar rules
+    # ------------------------------------------------------------------
+    def _parse_header(self) -> None:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value == "OPENQASM":
+            self._advance()
+            version = self._advance()
+            if version.value not in ("2.0", "2"):
+                raise QasmSyntaxError(
+                    f"unsupported OpenQASM version {version.value!r}",
+                    version.line,
+                    version.column,
+                )
+            self._expect(TokenType.SEMICOLON)
+
+    def _parse_statement(self) -> None:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD:
+            if token.value == "include":
+                self._parse_include()
+            elif token.value == "qreg":
+                self._parse_register(quantum=True)
+            elif token.value == "creg":
+                self._parse_register(quantum=False)
+            elif token.value == "gate":
+                self._parse_gate_definition()
+            elif token.value == "measure":
+                self._parse_measure()
+            elif token.value == "barrier":
+                self._parse_barrier()
+            elif token.value == "opaque":
+                raise self._error("opaque gate declarations are not supported")
+            elif token.value == "if":
+                raise self._error("classically controlled gates are not supported")
+            elif token.value == "reset":
+                raise self._error("reset statements are not supported")
+            else:
+                raise self._error(f"unexpected keyword {token.value!r}")
+        elif token.type is TokenType.IDENTIFIER:
+            self._parse_gate_application()
+        else:
+            raise self._error(f"unexpected token {token.value!r}")
+
+    def _parse_include(self) -> None:
+        self._expect(TokenType.KEYWORD, "include")
+        filename = self._expect(TokenType.STRING)
+        if filename.value not in ("qelib1.inc",):
+            raise QasmSyntaxError(
+                f"cannot include {filename.value!r}: only 'qelib1.inc' is built in",
+                filename.line,
+                filename.column,
+            )
+        self._expect(TokenType.SEMICOLON)
+
+    def _parse_register(self, quantum: bool) -> None:
+        self._expect(TokenType.KEYWORD, "qreg" if quantum else "creg")
+        name = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.LBRACKET)
+        size = int(self._expect(TokenType.INTEGER).value)
+        self._expect(TokenType.RBRACKET)
+        self._expect(TokenType.SEMICOLON)
+        if size <= 0:
+            raise self._error(f"register {name!r} must have positive size")
+        registers = self._qregs if quantum else self._cregs
+        if name in self._qregs or name in self._cregs:
+            raise self._error(f"register {name!r} already declared")
+        offset = sum(reg.size for reg in registers.values())
+        registers[name] = _Register(name, size, offset)
+
+    # -- gate definitions ------------------------------------------------
+    def _parse_gate_definition(self) -> None:
+        self._expect(TokenType.KEYWORD, "gate")
+        name = self._expect(TokenType.IDENTIFIER).value
+        params: List[str] = []
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            if self._peek().type is not TokenType.RPAREN:
+                params.append(self._expect(TokenType.IDENTIFIER).value)
+                while self._peek().type is TokenType.COMMA:
+                    self._advance()
+                    params.append(self._expect(TokenType.IDENTIFIER).value)
+            self._expect(TokenType.RPAREN)
+        qubits = [self._expect(TokenType.IDENTIFIER).value]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            qubits.append(self._expect(TokenType.IDENTIFIER).value)
+        definition = _GateDefinition(name, params, qubits)
+        self._expect(TokenType.LBRACE)
+        while self._peek().type is not TokenType.RBRACE:
+            definition.body.append(self._parse_gate_call_in_body())
+        self._expect(TokenType.RBRACE)
+        self._gate_defs[name] = definition
+
+    def _parse_gate_call_in_body(self) -> _GateCall:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value == "barrier":
+            # Barriers inside gate bodies have no effect on mapping; skip them.
+            self._advance()
+            while self._peek().type is not TokenType.SEMICOLON:
+                self._advance()
+            self._expect(TokenType.SEMICOLON)
+            return _GateCall("barrier", [], [])
+        name = self._expect(TokenType.IDENTIFIER).value
+        param_exprs: List[List[Token]] = []
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            param_exprs = self._collect_expression_list()
+            self._expect(TokenType.RPAREN)
+        qubit_names = [self._expect(TokenType.IDENTIFIER).value]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            qubit_names.append(self._expect(TokenType.IDENTIFIER).value)
+        self._expect(TokenType.SEMICOLON)
+        return _GateCall(name, param_exprs, qubit_names)
+
+    def _collect_expression_list(self) -> List[List[Token]]:
+        """Collect comma-separated expression token lists up to the closing ')'."""
+        expressions: List[List[Token]] = []
+        current: List[Token] = []
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.type is TokenType.EOF:
+                raise self._error("unterminated parameter list")
+            if token.type is TokenType.LPAREN:
+                depth += 1
+            elif token.type is TokenType.RPAREN:
+                if depth == 0:
+                    if current:
+                        expressions.append(current)
+                    return expressions
+                depth -= 1
+            elif token.type is TokenType.COMMA and depth == 0:
+                expressions.append(current)
+                current = []
+                self._advance()
+                continue
+            current.append(self._advance())
+
+    # -- measure / barrier ------------------------------------------------
+    def _parse_measure(self) -> None:
+        self._expect(TokenType.KEYWORD, "measure")
+        qubits = self._parse_argument(self._qregs)
+        self._expect(TokenType.ARROW)
+        clbits = self._parse_argument(self._cregs)
+        self._expect(TokenType.SEMICOLON)
+        if len(qubits) != len(clbits):
+            if len(clbits) == 1:
+                clbits = clbits * len(qubits)
+            else:
+                raise self._error("measure operands have mismatched sizes")
+        from repro.circuit.gates import Measure
+
+        for qubit, clbit in zip(qubits, clbits):
+            self._pending_gates.append(Measure(qubit, clbit))
+
+    def _parse_barrier(self) -> None:
+        self._expect(TokenType.KEYWORD, "barrier")
+        qubits: List[int] = []
+        qubits.extend(self._parse_argument(self._qregs))
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            qubits.extend(self._parse_argument(self._qregs))
+        self._expect(TokenType.SEMICOLON)
+        from repro.circuit.gates import Barrier
+
+        self._pending_gates.append(Barrier(qubits))
+
+    # -- gate applications -------------------------------------------------
+    def _parse_gate_application(self) -> None:
+        name = self._expect(TokenType.IDENTIFIER).value
+        param_exprs: List[List[Token]] = []
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            param_exprs = self._collect_expression_list()
+            self._expect(TokenType.RPAREN)
+        arguments = [self._parse_argument(self._qregs)]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            arguments.append(self._parse_argument(self._qregs))
+        self._expect(TokenType.SEMICOLON)
+        params = [self._evaluate_expression(expr, {}) for expr in param_exprs]
+        self._emit_gate(name, params, arguments)
+
+    def _parse_argument(self, registers: Dict[str, _Register]) -> List[int]:
+        """Parse ``name`` or ``name[i]`` and return the flat indices addressed."""
+        name_token = self._expect(TokenType.IDENTIFIER)
+        name = name_token.value
+        if name not in registers:
+            raise QasmSyntaxError(
+                f"unknown register {name!r}", name_token.line, name_token.column
+            )
+        register = registers[name]
+        if self._peek().type is TokenType.LBRACKET:
+            self._advance()
+            index = int(self._expect(TokenType.INTEGER).value)
+            self._expect(TokenType.RBRACKET)
+            if index >= register.size:
+                raise QasmSyntaxError(
+                    f"index {index} out of range for register {name!r}",
+                    name_token.line,
+                    name_token.column,
+                )
+            return [register.offset + index]
+        return [register.offset + i for i in range(register.size)]
+
+    def _emit_gate(self, name: str, params: List[float],
+                   arguments: List[List[int]]) -> None:
+        """Emit one named gate over broadcast arguments to the pending list."""
+        lname = name.lower() if name != "U" else "u3"
+        if name == "CX":
+            lname = "cx"
+        broadcast = self._broadcast(arguments)
+        for qubits in broadcast:
+            self._emit_single_application(lname, params, qubits)
+
+    def _broadcast(self, arguments: List[List[int]]) -> List[Tuple[int, ...]]:
+        """Apply OpenQASM broadcast rules to mixed register/bit arguments."""
+        sizes = {len(arg) for arg in arguments if len(arg) > 1}
+        if len(sizes) > 1:
+            raise self._error("mismatched register sizes in gate application")
+        length = sizes.pop() if sizes else 1
+        expanded = []
+        for arg in arguments:
+            if len(arg) == 1:
+                expanded.append(arg * length)
+            else:
+                expanded.append(arg)
+        return [tuple(arg[i] for arg in expanded) for i in range(length)]
+
+    def _emit_single_application(self, name: str, params: Sequence[float],
+                                 qubits: Tuple[int, ...]) -> None:
+        if name in _SINGLE_QUBIT_GATES:
+            expected = _SINGLE_QUBIT_GATES[name]
+            if len(params) != expected:
+                raise self._error(
+                    f"gate {name!r} expects {expected} parameters, got {len(params)}"
+                )
+            if len(qubits) != 1:
+                raise self._error(f"gate {name!r} expects one qubit operand")
+            self._pending_gates.append(single_qubit_gate(name, qubits[0], tuple(params)))
+            return
+        if name in _TWO_QUBIT_GATES:
+            if len(qubits) != 2:
+                raise self._error(f"gate {name!r} expects two qubit operands")
+            if name == "cx":
+                self._pending_gates.append(CNOTGate(qubits[0], qubits[1]))
+            elif name == "cz":
+                self._pending_gates.append(CZGate(qubits[0], qubits[1]))
+            else:
+                self._pending_gates.append(SwapGate(qubits[0], qubits[1]))
+            return
+        if name == "ccx":
+            if len(qubits) != 3:
+                raise self._error("gate 'ccx' expects three qubit operands")
+            self._pending_gates.extend(_decompose_toffoli(*qubits))
+            return
+        if name in self._gate_defs:
+            self._expand_macro(self._gate_defs[name], list(params), list(qubits))
+            return
+        raise self._error(f"unknown gate {name!r}")
+
+    def _expand_macro(self, definition: _GateDefinition, params: List[float],
+                      qubits: List[int]) -> None:
+        if len(params) != len(definition.params):
+            raise self._error(
+                f"gate {definition.name!r} expects {len(definition.params)} parameters"
+            )
+        if len(qubits) != len(definition.qubits):
+            raise self._error(
+                f"gate {definition.name!r} expects {len(definition.qubits)} qubits"
+            )
+        param_env = dict(zip(definition.params, params))
+        qubit_env = dict(zip(definition.qubits, qubits))
+        for call in definition.body:
+            if call.name == "barrier":
+                continue
+            call_params = [
+                self._evaluate_expression(expr, param_env) for expr in call.param_exprs
+            ]
+            call_qubits = tuple(qubit_env[q] for q in call.qubit_names)
+            self._emit_single_application(call.name.lower(), call_params, call_qubits)
+
+    # -- expression evaluation ----------------------------------------------
+    def _evaluate_expression(self, tokens: List[Token],
+                             env: Dict[str, float]) -> float:
+        """Evaluate a parameter expression (shunting-yard-free recursive parse)."""
+        evaluator = _ExpressionEvaluator(tokens, env)
+        return evaluator.evaluate()
+
+
+class _ExpressionEvaluator:
+    """Tiny recursive-descent evaluator for QASM parameter expressions."""
+
+    def __init__(self, tokens: List[Token], env: Dict[str, float]):
+        self._tokens = tokens
+        self._pos = 0
+        self._env = env
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def evaluate(self) -> float:
+        value = self._expr()
+        token = self._peek()
+        if token is not None:
+            raise QasmSyntaxError(
+                f"unexpected token {token.value!r} in expression",
+                token.line,
+                token.column,
+            )
+        return value
+
+    def _expr(self) -> float:
+        value = self._term()
+        while True:
+            token = self._peek()
+            if token is None or token.type not in (TokenType.PLUS, TokenType.MINUS):
+                return value
+            self._advance()
+            right = self._term()
+            value = value + right if token.type is TokenType.PLUS else value - right
+
+    def _term(self) -> float:
+        value = self._factor()
+        while True:
+            token = self._peek()
+            if token is None or token.type not in (TokenType.TIMES, TokenType.DIVIDE):
+                return value
+            self._advance()
+            right = self._factor()
+            value = value * right if token.type is TokenType.TIMES else value / right
+
+    def _factor(self) -> float:
+        value = self._unary()
+        token = self._peek()
+        if token is not None and token.type is TokenType.POWER:
+            self._advance()
+            exponent = self._factor()
+            return value ** exponent
+        return value
+
+    def _unary(self) -> float:
+        token = self._peek()
+        if token is not None and token.type is TokenType.MINUS:
+            self._advance()
+            return -self._unary()
+        if token is not None and token.type is TokenType.PLUS:
+            self._advance()
+            return self._unary()
+        return self._atom()
+
+    def _atom(self) -> float:
+        token = self._peek()
+        if token is None:
+            raise QasmSyntaxError("unexpected end of expression", 0, 0)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            value = self._expr()
+            closing = self._peek()
+            if closing is None or closing.type is not TokenType.RPAREN:
+                raise QasmSyntaxError("missing ')' in expression", token.line, token.column)
+            self._advance()
+            return value
+        if token.type in (TokenType.REAL, TokenType.INTEGER):
+            self._advance()
+            return float(token.value)
+        if token.type is TokenType.KEYWORD and token.value == "pi":
+            self._advance()
+            return math.pi
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            name = token.value
+            if name == "sqrt":
+                return math.sqrt(self._parenthesised())
+            if name == "sin":
+                return math.sin(self._parenthesised())
+            if name == "cos":
+                return math.cos(self._parenthesised())
+            if name == "tan":
+                return math.tan(self._parenthesised())
+            if name == "exp":
+                return math.exp(self._parenthesised())
+            if name == "ln":
+                return math.log(self._parenthesised())
+            if name in self._env:
+                return float(self._env[name])
+            raise QasmSyntaxError(
+                f"unknown identifier {name!r} in expression", token.line, token.column
+            )
+        raise QasmSyntaxError(
+            f"unexpected token {token.value!r} in expression", token.line, token.column
+        )
+
+    def _parenthesised(self) -> float:
+        token = self._peek()
+        if token is None or token.type is not TokenType.LPAREN:
+            raise QasmSyntaxError("expected '(' after function name", 0, 0)
+        self._advance()
+        value = self._expr()
+        closing = self._peek()
+        if closing is None or closing.type is not TokenType.RPAREN:
+            raise QasmSyntaxError("missing ')' after function argument", 0, 0)
+        self._advance()
+        return value
+
+
+def _decompose_toffoli(control_a: int, control_b: int, target: int) -> List:
+    """Standard Clifford+T decomposition of the Toffoli (CCX) gate."""
+    gates = [
+        single_qubit_gate("h", target),
+        CNOTGate(control_b, target),
+        single_qubit_gate("tdg", target),
+        CNOTGate(control_a, target),
+        single_qubit_gate("t", target),
+        CNOTGate(control_b, target),
+        single_qubit_gate("tdg", target),
+        CNOTGate(control_a, target),
+        single_qubit_gate("t", control_b),
+        single_qubit_gate("t", target),
+        CNOTGate(control_a, control_b),
+        single_qubit_gate("h", target),
+        single_qubit_gate("t", control_a),
+        single_qubit_gate("tdg", control_b),
+        CNOTGate(control_a, control_b),
+    ]
+    return gates
+
+
+def parse_qasm(source: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`.
+
+    Args:
+        source: OpenQASM 2.0 program text.
+        name: Name assigned to the resulting circuit.
+
+    Returns:
+        The parsed circuit with all registers flattened into one index space.
+
+    Raises:
+        QasmSyntaxError: If the source is malformed or uses unsupported
+            features.
+    """
+    return QasmParser(source, name).parse()
+
+
+def parse_qasm_file(path, name: Optional[str] = None) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    circuit_name = name if name is not None else str(path)
+    return parse_qasm(source, circuit_name)
+
+
+__all__ = ["QasmParser", "parse_qasm", "parse_qasm_file"]

@@ -1,0 +1,56 @@
+"""OpenQASM 2.0 emitter for :class:`~repro.circuit.circuit.QuantumCircuit`."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, Measure
+
+
+def _format_param(value: float) -> str:
+    """Format a gate parameter compactly but losslessly enough for round trips."""
+    return repr(float(value))
+
+
+def _gate_line(gate: Gate) -> str:
+    """Render a single gate as one OpenQASM statement."""
+    if isinstance(gate, Measure):
+        return f"measure q[{gate.qubit}] -> c[{gate.clbit}];"
+    if gate.name == "barrier":
+        operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+        return f"barrier {operands};"
+    name = gate.name
+    params = ""
+    if gate.params:
+        params = "(" + ", ".join(_format_param(p) for p in gate.params) + ")"
+    operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+    return f"{name}{params} {operands};"
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise *circuit* as an OpenQASM 2.0 program.
+
+    All qubits are emitted into a single register ``q`` and all classical
+    bits into a single register ``c`` (this mirrors how the parser flattens
+    registers, so ``parse_qasm(to_qasm(c))`` round-trips).
+    """
+    lines: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits > 0:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for gate in circuit.gates:
+        lines.append(_gate_line(gate))
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm_file(circuit: QuantumCircuit, path) -> None:
+    """Write *circuit* to *path* as OpenQASM 2.0."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_qasm(circuit))
+
+
+__all__ = ["to_qasm", "write_qasm_file"]

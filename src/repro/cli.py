@@ -1,0 +1,122 @@
+"""Command-line interface: map an OpenQASM circuit to an architecture.
+
+Examples::
+
+    repro-map circuit.qasm --arch qx4 --engine dp
+    repro-map circuit.qasm --arch qx4 --engine sat --strategy odd --subsets
+    repro-map circuit.qasm --arch qx4 --engine stochastic --output mapped.qasm
+    python -m repro.cli circuit.qasm --arch qx4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.arch import get_architecture
+from repro.circuit import parse_qasm_file
+from repro.circuit.qasm import write_qasm_file
+from repro.exact import DPMapper, SATMapper, get_strategy
+from repro.heuristic import SabreLiteMapper, StochasticSwapMapper
+from repro.sim.equivalence import result_is_equivalent
+from repro.verify import verify_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``repro-map`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Map an OpenQASM 2.0 circuit to an IBM QX architecture "
+        "with a minimal (or close-to-minimal) number of SWAP and H operations.",
+    )
+    parser.add_argument("qasm", help="input OpenQASM 2.0 file")
+    parser.add_argument(
+        "--arch", default="ibm_qx4",
+        help="target architecture (ibm_qx2, ibm_qx4, ibm_qx5, ibm_tokyo)",
+    )
+    parser.add_argument(
+        "--engine", default="dp",
+        choices=["sat", "dp", "stochastic", "sabre"],
+        help="mapping engine (default: dp, the fast exact engine)",
+    )
+    parser.add_argument(
+        "--strategy", default="all",
+        help="permutation-restriction strategy for the exact engines "
+        "(all, disjoint, odd, triangle)",
+    )
+    parser.add_argument(
+        "--subsets", action="store_true",
+        help="restrict the SAT engine to connected subsets of physical qubits "
+        "(Section 4.1 of the paper)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None,
+        help="wall-clock budget in seconds for the SAT engine",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=5,
+        help="number of trials for the stochastic heuristic (default 5)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the mapped circuit to this QASM file"
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="additionally check functional equivalence by simulation",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-map`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        coupling = get_architecture(args.arch)
+    except KeyError as error:
+        parser.error(str(error))
+        return 2
+    circuit = parse_qasm_file(args.qasm)
+
+    if args.engine == "dp":
+        mapper = DPMapper(coupling, strategy=get_strategy(args.strategy))
+    elif args.engine == "sat":
+        mapper = SATMapper(
+            coupling,
+            strategy=get_strategy(args.strategy),
+            use_subsets=args.subsets,
+            time_limit=args.time_limit,
+        )
+    elif args.engine == "stochastic":
+        mapper = StochasticSwapMapper(coupling, trials=args.trials)
+    else:
+        mapper = SabreLiteMapper(coupling)
+
+    result = mapper.map(circuit)
+    report = verify_result(result, coupling)
+
+    print(f"circuit           : {circuit.name}")
+    print(f"logical qubits    : {circuit.num_qubits}")
+    print(f"original gates    : {circuit.count_single_qubit() + circuit.count_cnot()}")
+    print(f"engine            : {result.engine} (strategy {result.strategy})")
+    print(f"mapped gates      : {result.total_cost}")
+    print(f"added operations  : {result.added_cost} "
+          f"({result.cost.swaps} SWAPs, {result.cost.reversals} reversals)")
+    print(f"proven minimal    : {result.optimal}")
+    print(f"coupling compliant: {report.compliant}")
+    print(f"runtime           : {result.runtime_seconds:.3f} s")
+    if args.verify:
+        equivalent = result_is_equivalent(result)
+        print(f"equivalence check : {'passed' if equivalent else 'FAILED'}")
+        if not equivalent:
+            return 1
+    if args.output:
+        write_qasm_file(result.mapped_circuit, args.output)
+        print(f"mapped circuit written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

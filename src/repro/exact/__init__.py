@@ -1,0 +1,57 @@
+"""Exact mapping of quantum circuits to coupling-constrained architectures.
+
+This package implements the paper's primary contribution: formulating the
+qubit-mapping problem symbolically and solving it with a reasoning engine so
+that the number of added SWAP and H operations is minimal (Section 3), plus
+the performance improvements of Section 4 (physical-qubit subsets and
+restricted permutation spots).
+
+Two exact engines are provided:
+
+* :class:`~repro.exact.sat_mapper.SATMapper` — the paper's method: the
+  symbolic formulation (constraints (1)-(4), objective (5)) handed to the
+  SAT-based optimiser of :mod:`repro.sat`.
+* :class:`~repro.exact.dp_mapper.DPMapper` — an independent exact engine that
+  performs dynamic programming over complete logical-to-physical mappings per
+  CNOT gate.  For the small QX-era devices its state space is tiny, so it
+  serves both as a fast oracle for large gate counts and as a cross-check of
+  the SAT formulation in the test suite.
+"""
+
+from repro.exact.cost import SWAP_COST, REVERSAL_COST, CostBreakdown
+from repro.exact.result import MappingResult, MappingSchedule
+from repro.exact.strategies import (
+    PermutationStrategy,
+    AllGatesStrategy,
+    DisjointQubitsStrategy,
+    OddGatesStrategy,
+    QubitTriangleStrategy,
+    WindowStrategy,
+    get_strategy,
+    available_strategies,
+)
+from repro.exact.encoding import MappingEncoding, build_encoding
+from repro.exact.dp_mapper import DPMapper
+from repro.exact.sat_mapper import SATMapper
+from repro.exact.reconstruction import reconstruct_circuit
+
+__all__ = [
+    "SWAP_COST",
+    "REVERSAL_COST",
+    "CostBreakdown",
+    "MappingResult",
+    "MappingSchedule",
+    "PermutationStrategy",
+    "AllGatesStrategy",
+    "DisjointQubitsStrategy",
+    "OddGatesStrategy",
+    "QubitTriangleStrategy",
+    "WindowStrategy",
+    "get_strategy",
+    "available_strategies",
+    "MappingEncoding",
+    "build_encoding",
+    "DPMapper",
+    "SATMapper",
+    "reconstruct_circuit",
+]

@@ -1,0 +1,75 @@
+"""Cost model of the mapping problem.
+
+The paper counts elementary operations (Section 2.2): inserting one SWAP
+costs 7 operations (its decomposition into 3 CNOTs and 4 Hadamards, Fig. 3),
+and reversing the direction of a CNOT costs 4 operations (4 Hadamards).
+The overall objective ``F`` (Eq. 5) is the total number of *added*
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of elementary operations added per SWAP (3 CNOTs + 4 H, Fig. 3).
+SWAP_COST = 7
+
+#: Number of elementary operations added per CNOT direction reversal (4 H).
+REVERSAL_COST = 4
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Breakdown of the cost of a mapped circuit.
+
+    Attributes:
+        original_gates: Number of elementary gates before mapping
+            (single-qubit gates plus CNOTs).
+        swaps: Number of SWAP operations inserted.
+        reversals: Number of CNOT gates whose direction was reversed.
+    """
+
+    original_gates: int
+    swaps: int
+    reversals: int
+
+    @property
+    def added_cost(self) -> int:
+        """The paper's objective ``F``: number of added elementary operations."""
+        return SWAP_COST * self.swaps + REVERSAL_COST * self.reversals
+
+    @property
+    def total_cost(self) -> int:
+        """Total number of elementary operations of the mapped circuit
+        (the ``c`` columns of Table 1)."""
+        return self.original_gates + self.added_cost
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostBreakdown(original={self.original_gates}, swaps={self.swaps}, "
+            f"reversals={self.reversals}, added={self.added_cost}, "
+            f"total={self.total_cost})"
+        )
+
+
+def swap_cost(num_swaps: int) -> int:
+    """Cost in elementary operations of *num_swaps* SWAP insertions."""
+    if num_swaps < 0:
+        raise ValueError("number of SWAPs cannot be negative")
+    return SWAP_COST * num_swaps
+
+
+def reversal_cost(num_reversals: int) -> int:
+    """Cost in elementary operations of *num_reversals* CNOT reversals."""
+    if num_reversals < 0:
+        raise ValueError("number of reversals cannot be negative")
+    return REVERSAL_COST * num_reversals
+
+
+__all__ = [
+    "SWAP_COST",
+    "REVERSAL_COST",
+    "CostBreakdown",
+    "swap_cost",
+    "reversal_cost",
+]

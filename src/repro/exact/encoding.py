@@ -1,0 +1,285 @@
+"""Symbolic (Boolean) formulation of the mapping problem (Section 3.2).
+
+Given the CNOT skeleton of a circuit, a coupling map and a set of permutation
+spots, :func:`build_encoding` produces a CNF formula together with a weighted
+objective, exactly following the paper's formulation:
+
+* mapping variables ``x^k_ij`` — logical qubit ``j`` sits on physical qubit
+  ``i`` right before CNOT gate ``k`` (Definition 4),
+* constraint (1): each mapping is a valid injective assignment,
+* constraint (2): each CNOT acts on a coupled pair, in either orientation,
+* permutation variables ``y^k_pi`` and constraint (3): ``y^k_pi`` tracks the
+  permutation applied between gate ``k-1`` and ``k`` (with the "left-handed
+  implication" variant of footnote 5 whenever ``n < m``),
+* switching variables ``z^k`` and constraint (4): ``z^k`` tracks whether the
+  CNOT direction must be reversed,
+* objective (5): ``F = sum_k sum_pi 7*swaps(pi)*y^k_pi + sum_k 4*z^k``.
+
+Gates that are not permutation spots keep the mapping unchanged (their
+``x`` variables are equated with the previous gate's), which is how the
+Section 4.2 strategies shrink the search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.coupling import CouplingMap
+from repro.arch.permutations import Permutation, PermutationTable
+from repro.exact.cost import REVERSAL_COST, SWAP_COST
+from repro.sat.cardinality import at_most_one_pairwise, exactly_one
+from repro.sat.cnf import CNF
+from repro.sat.optimize import ObjectiveTerm
+from repro.sat.tseitin import TseitinEncoder
+
+
+class EncodingError(ValueError):
+    """Raised when the mapping problem cannot be encoded."""
+
+
+@dataclass
+class MappingEncoding:
+    """The symbolic instance handed to the reasoning engine.
+
+    Attributes:
+        cnf: Hard constraints (constraints (1)-(4) of the paper).
+        objective: Weighted terms of the cost function ``F`` (Eq. 5).
+        x_vars: ``x_vars[k][(i, j)]`` is the SAT variable of ``x^k_ij``
+            (physical ``i`` hosts logical ``j`` before CNOT ``k``).
+        y_vars: ``y_vars[k][pi]`` is the variable of ``y^k_pi`` for every
+            permutation spot ``k > 0``.
+        z_vars: ``z_vars[k]`` is the variable of ``z^k``.
+        gates: The encoded (control, target) logical pairs.
+        num_logical: Number of logical qubits ``n``.
+        num_physical: Number of physical qubits ``m`` used in the encoding.
+        permutation_spots: Gate indices before which the mapping may change
+            (always includes 0, the free initial mapping).
+        permutation_table: The ``swaps(pi)`` table used for the objective.
+    """
+
+    cnf: CNF
+    objective: List[ObjectiveTerm]
+    x_vars: List[Dict[Tuple[int, int], int]]
+    y_vars: Dict[int, Dict[Permutation, int]]
+    z_vars: Dict[int, int]
+    gates: List[Tuple[int, int]]
+    num_logical: int
+    num_physical: int
+    permutation_spots: List[int]
+    permutation_table: PermutationTable
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of SAT variables in the instance."""
+        return self.cnf.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Total number of clauses in the instance."""
+        return self.cnf.num_clauses
+
+    def extract_schedule(self, model: Dict[int, bool]) -> List[Tuple[int, ...]]:
+        """Read the per-gate logical-to-physical mappings from a SAT model.
+
+        Returns:
+            One tuple per CNOT gate; entry ``j`` of tuple ``k`` is the
+            physical qubit hosting logical qubit ``j`` before gate ``k``.
+        """
+        mappings: List[Tuple[int, ...]] = []
+        for k in range(len(self.gates)):
+            placement = [-1] * self.num_logical
+            for (physical, logical), variable in self.x_vars[k].items():
+                if model.get(variable, False):
+                    if placement[logical] != -1:
+                        raise EncodingError(
+                            f"model places logical qubit {logical} on two physical "
+                            f"qubits before gate {k}"
+                        )
+                    placement[logical] = physical
+            if -1 in placement:
+                raise EncodingError(
+                    f"model leaves a logical qubit unplaced before gate {k}"
+                )
+            mappings.append(tuple(placement))
+        return mappings
+
+    def objective_value(self, model: Dict[int, bool]) -> int:
+        """Evaluate the cost function ``F`` under a SAT model."""
+        total = 0
+        for term in self.objective:
+            variable = abs(term.literal)
+            value = model.get(variable, False)
+            if term.literal < 0:
+                value = not value
+            if value:
+                total += term.weight
+        return total
+
+
+def build_encoding(
+    gates: Sequence[Tuple[int, int]],
+    num_logical: int,
+    coupling: CouplingMap,
+    permutation_spots: Optional[Sequence[int]] = None,
+    permutation_table: Optional[PermutationTable] = None,
+) -> MappingEncoding:
+    """Build the symbolic formulation for a CNOT sequence.
+
+    Args:
+        gates: The circuit's CNOT skeleton as (control, target) logical pairs.
+        num_logical: Number of logical qubits ``n`` of the circuit.
+        coupling: Target architecture (``m`` physical qubits).
+        permutation_spots: Gate indices before which the mapping may change.
+            Defaults to every gate (the minimal formulation).  Index 0 (the
+            initial mapping) is always treated as free.
+        permutation_table: Pre-computed ``swaps(pi)`` table for *coupling*;
+            built on demand when omitted.
+
+    Returns:
+        The :class:`MappingEncoding`.
+
+    Raises:
+        EncodingError: If the circuit needs more logical qubits than the
+            device has physical qubits, or a gate index is out of range.
+    """
+    gates = [tuple(gate) for gate in gates]
+    num_physical = coupling.num_qubits
+    if num_logical > num_physical:
+        raise EncodingError(
+            f"cannot map {num_logical} logical qubits onto {num_physical} physical qubits"
+        )
+    if not gates:
+        raise EncodingError("the CNOT skeleton is empty; nothing to encode")
+    for control, target in gates:
+        for qubit in (control, target):
+            if not 0 <= qubit < num_logical:
+                raise EncodingError(f"gate qubit {qubit} out of range")
+
+    if permutation_spots is None:
+        spots = list(range(len(gates)))
+    else:
+        spots = sorted(set(permutation_spots) | {0})
+        for spot in spots:
+            if not 0 <= spot < len(gates):
+                raise EncodingError(f"permutation spot {spot} out of range")
+    spot_set = set(spots)
+
+    if permutation_table is None:
+        permutation_table = PermutationTable(coupling)
+
+    cnf = CNF()
+    encoder = TseitinEncoder(cnf)
+
+    # ------------------------------------------------------------------
+    # Mapping variables x^k_ij and constraint (1).
+    # ------------------------------------------------------------------
+    x_vars: List[Dict[Tuple[int, int], int]] = []
+    for k in range(len(gates)):
+        layer: Dict[Tuple[int, int], int] = {}
+        for i in range(num_physical):
+            for j in range(num_logical):
+                layer[(i, j)] = cnf.new_var(f"x_{k}_{i}_{j}")
+        x_vars.append(layer)
+        # Every logical qubit sits on exactly one physical qubit.
+        for j in range(num_logical):
+            exactly_one(cnf, [layer[(i, j)] for i in range(num_physical)])
+        # Every physical qubit hosts at most one logical qubit.
+        for i in range(num_physical):
+            at_most_one_pairwise(cnf, [layer[(i, j)] for j in range(num_logical)])
+
+    # ------------------------------------------------------------------
+    # Constraint (2) and (4): CNOT placement and direction switching.
+    # ------------------------------------------------------------------
+    z_vars: Dict[int, int] = {}
+    objective: List[ObjectiveTerm] = []
+    for k, (control, target) in enumerate(gates):
+        layer = x_vars[k]
+        aligned_literals: List[int] = []
+        reversed_literals: List[int] = []
+        for (pi, pj) in sorted(coupling.edges):
+            aligned = encoder.encode_and(
+                [layer[(pi, control)], layer[(pj, target)]],
+                name=f"aligned_{k}_{pi}_{pj}",
+            )
+            aligned_literals.append(aligned)
+            flipped = encoder.encode_and(
+                [layer[(pi, target)], layer[(pj, control)]],
+                name=f"reversed_{k}_{pi}_{pj}",
+            )
+            reversed_literals.append(flipped)
+        # Constraint (2): the CNOT must sit on a coupled pair (either way).
+        encoder.add_at_least_one(aligned_literals + reversed_literals)
+        # Constraint (4): z^k is true iff the placement requires switching the
+        # control and target (i.e. only the reversed orientation is native).
+        z_var = cnf.new_var(f"z_{k}")
+        z_vars[k] = z_var
+        any_aligned = encoder.encode_or(aligned_literals, name=f"any_aligned_{k}")
+        any_reversed = encoder.encode_or(reversed_literals, name=f"any_reversed_{k}")
+        # z <-> (reversed placement possible and aligned placement not possible).
+        encoder.add_iff_and(z_var, [any_reversed, -any_aligned])
+        objective.append(ObjectiveTerm(REVERSAL_COST, z_var))
+
+    # ------------------------------------------------------------------
+    # Constraint (3): permutations between gates, and mapping stability for
+    # gates that are not permutation spots.
+    # ------------------------------------------------------------------
+    y_vars: Dict[int, Dict[Permutation, int]] = {}
+    total_mapping = num_logical == num_physical
+    for k in range(1, len(gates)):
+        previous, current = x_vars[k - 1], x_vars[k]
+        if k not in spot_set:
+            # The mapping must stay unchanged.
+            for key in previous:
+                encoder.add_iff(previous[key], current[key])
+            continue
+        # Shared equality variables eq_{i -> i2, j}: "logical j moved from
+        # physical i to physical i2" expressed as x^{k-1}_{ij} <-> x^k_{i2 j}.
+        equality: Dict[Tuple[int, int, int], int] = {}
+        for i in range(num_physical):
+            for i2 in range(num_physical):
+                for j in range(num_logical):
+                    equality[(i, i2, j)] = encoder.encode_iff(
+                        previous[(i, j)], current[(i2, j)],
+                        name=f"eq_{k}_{i}_{i2}_{j}",
+                    )
+        spot_vars: Dict[Permutation, int] = {}
+        for perm in permutation_table.permutations():
+            y_var = cnf.new_var(f"y_{k}_{'_'.join(map(str, perm))}")
+            spot_vars[perm] = y_var
+            conditions = [
+                equality[(i, perm[i], j)]
+                for i in range(num_physical)
+                for j in range(num_logical)
+            ]
+            if total_mapping:
+                # Equation (3): the conjunction of equalities iff y^k_pi.
+                encoder.add_iff_and(y_var, conditions)
+            else:
+                # Footnote 5: y^k_pi implies consistency with pi; exactly one
+                # permutation is selected per spot.
+                for condition in conditions:
+                    encoder.add_implication(y_var, condition)
+        exactly_one(cnf, list(spot_vars.values()), encoding="sequential",
+                    prefix=f"y_spot_{k}")
+        y_vars[k] = spot_vars
+        for perm, y_var in spot_vars.items():
+            weight = SWAP_COST * permutation_table.swaps(perm)
+            if weight > 0:
+                objective.append(ObjectiveTerm(weight, y_var))
+
+    return MappingEncoding(
+        cnf=cnf,
+        objective=objective,
+        x_vars=x_vars,
+        y_vars=y_vars,
+        z_vars=z_vars,
+        gates=list(gates),
+        num_logical=num_logical,
+        num_physical=num_physical,
+        permutation_spots=spots,
+        permutation_table=permutation_table,
+    )
+
+
+__all__ = ["MappingEncoding", "EncodingError", "build_encoding"]

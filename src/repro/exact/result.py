@@ -1,0 +1,128 @@
+"""Result objects shared by the exact and heuristic mappers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.cost import CostBreakdown
+
+
+@dataclass
+class MappingSchedule:
+    """The raw output of a mapping engine, before circuit reconstruction.
+
+    A schedule fixes, for every CNOT gate of the circuit's CNOT skeleton, the
+    complete logical-to-physical mapping that is active when the gate
+    executes.  The differences between consecutive mappings are realised by
+    SWAP insertions during reconstruction; CNOTs placed against the coupling
+    direction are realised with four extra Hadamards.
+
+    Attributes:
+        num_logical: Number of logical qubits ``n``.
+        num_physical: Number of physical qubits ``m`` of the target device.
+        mappings: One tuple per CNOT gate; ``mappings[k][j]`` is the physical
+            qubit hosting logical qubit ``j`` right before CNOT ``k``.  Empty
+            for circuits without CNOT gates.
+        initial_mapping: The mapping before the first CNOT (equals
+            ``mappings[0]`` when the circuit has CNOTs, otherwise a default
+            placement).
+    """
+
+    num_logical: int
+    num_physical: int
+    mappings: List[Tuple[int, ...]] = field(default_factory=list)
+    initial_mapping: Tuple[int, ...] = ()
+
+    def final_mapping(self) -> Tuple[int, ...]:
+        """The mapping active after the last CNOT gate."""
+        if self.mappings:
+            return self.mappings[-1]
+        return self.initial_mapping
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when the schedule is malformed."""
+        expected_length = self.num_logical
+        all_mappings = [self.initial_mapping] + list(self.mappings)
+        for mapping in all_mappings:
+            if len(mapping) != expected_length:
+                raise ValueError(
+                    f"mapping {mapping!r} does not cover all {expected_length} logical qubits"
+                )
+            if len(set(mapping)) != len(mapping):
+                raise ValueError(f"mapping {mapping!r} is not injective")
+            for physical in mapping:
+                if not 0 <= physical < self.num_physical:
+                    raise ValueError(
+                        f"physical qubit {physical} out of range in mapping {mapping!r}"
+                    )
+
+
+@dataclass
+class MappingResult:
+    """Complete outcome of mapping a circuit to an architecture.
+
+    Attributes:
+        mapped_circuit: The architecture-compliant circuit over the device's
+            physical qubits.
+        original_circuit: The input circuit.
+        schedule: The per-gate mapping schedule the circuit was built from.
+        cost: Gate-count breakdown (original gates, SWAPs, reversals).
+        objective: The engine's reported objective value ``F`` (added cost);
+            for exact engines this equals ``cost.added_cost``.
+        optimal: True when the engine proved the result minimal.
+        engine: Name of the engine that produced the result
+            (``"sat"``, ``"dp"``, ``"stochastic"``, ...).
+        strategy: Name of the permutation-restriction strategy used.
+        num_permutation_spots: The paper's ``|G'|`` (spots including the
+            initial mapping); ``None`` for heuristic engines.
+        runtime_seconds: Wall-clock mapping time.
+        statistics: Engine-specific counters (solver conflicts, DP states,
+            heuristic trials, ...).
+    """
+
+    mapped_circuit: QuantumCircuit
+    original_circuit: QuantumCircuit
+    schedule: MappingSchedule
+    cost: CostBreakdown
+    objective: Optional[int] = None
+    optimal: bool = False
+    engine: str = "unknown"
+    strategy: str = "all"
+    num_permutation_spots: Optional[int] = None
+    runtime_seconds: float = 0.0
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def added_cost(self) -> int:
+        """Number of elementary operations added by the mapping (``F``)."""
+        return self.cost.added_cost
+
+    @property
+    def total_cost(self) -> int:
+        """Total number of elementary operations of the mapped circuit."""
+        return self.cost.total_cost
+
+    @property
+    def initial_mapping(self) -> Tuple[int, ...]:
+        """Logical-to-physical mapping before the first gate."""
+        return self.schedule.initial_mapping
+
+    @property
+    def final_mapping(self) -> Tuple[int, ...]:
+        """Logical-to-physical mapping after the last gate."""
+        return self.schedule.final_mapping()
+
+    def summary(self) -> str:
+        """Short human-readable summary line."""
+        flag = "minimal" if self.optimal else "not proven minimal"
+        return (
+            f"{self.engine}/{self.strategy}: total={self.total_cost} gates "
+            f"(added {self.added_cost}: {self.cost.swaps} SWAPs, "
+            f"{self.cost.reversals} reversals) [{flag}] "
+            f"in {self.runtime_seconds:.2f}s"
+        )
+
+
+__all__ = ["MappingSchedule", "MappingResult"]

@@ -1,0 +1,192 @@
+"""Permutation-restriction strategies (Section 4.2 of the paper).
+
+A strategy decides before which CNOT gates the logical-to-physical mapping is
+allowed to change.  The unrestricted formulation allows a permutation before
+every gate (guaranteeing minimality); the restricted strategies trade
+optimality guarantees for much smaller search spaces.
+
+A strategy returns the sorted list of *permutation spots*: 0-based indices
+into the CNOT-gate sequence.  Index 0 is always a spot — it represents the
+freely chosen initial mapping, which carries no SWAP cost.  The paper's
+``|G'|`` column counts these spots (including the initial one), and so do we.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from repro.arch.coupling import CouplingMap
+from repro.circuit.gates import Gate
+from repro.circuit.layers import disjoint_qubit_layers, two_qubit_blocks
+
+
+class PermutationStrategy(ABC):
+    """Base class of permutation-restriction strategies."""
+
+    #: Short identifier used on the command line and in benchmark tables.
+    name: str = "base"
+
+    #: True when the strategy still guarantees a minimal result.
+    guarantees_minimality: bool = False
+
+    @abstractmethod
+    def spots(self, gates: Sequence[Gate], coupling: CouplingMap) -> List[int]:
+        """Return the sorted permutation spots for the CNOT sequence *gates*.
+
+        Args:
+            gates: The CNOT-only gate sequence (``circuit.cnot_gates()``).
+            coupling: The target architecture (some strategies inspect it).
+
+        Returns:
+            Sorted list of 0-based gate indices; always contains 0 when the
+            circuit has at least one gate.
+        """
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return self.__doc__.strip().splitlines()[0] if self.__doc__ else self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class AllGatesStrategy(PermutationStrategy):
+    """Allow a permutation before every gate (the minimal formulation of Sec. 3)."""
+
+    name = "all"
+    guarantees_minimality = True
+
+    def spots(self, gates: Sequence[Gate], coupling: CouplingMap) -> List[int]:
+        return list(range(len(gates)))
+
+
+class DisjointQubitsStrategy(PermutationStrategy):
+    """Allow permutations only before runs of gates acting on disjoint qubits.
+
+    Gates acting on pairwise disjoint qubit sets can always be mapped without
+    intermediate permutations, so the circuit is clustered into such runs and
+    the mapping may only change at run boundaries (Section 4.2, "disjoint
+    qubits").
+    """
+
+    name = "disjoint"
+    guarantees_minimality = False
+
+    def spots(self, gates: Sequence[Gate], coupling: CouplingMap) -> List[int]:
+        layers = disjoint_qubit_layers(gates)
+        return sorted(layer[0] for layer in layers)
+
+
+class OddGatesStrategy(PermutationStrategy):
+    """Allow permutations only before gates with an odd (1-based) index.
+
+    With 1-based gate indices ``g1, g2, ...`` as in the paper, permutations
+    are allowed before ``g1`` (the initial mapping), ``g3``, ``g5``, and so
+    on.  Any two consecutive gates either act on disjoint qubits, share both
+    qubits, or share one qubit; in all three cases a valid placement of the
+    pair exists, so a valid mapping can always be found (Section 4.2, "odd
+    gates").
+    """
+
+    name = "odd"
+    guarantees_minimality = False
+
+    def spots(self, gates: Sequence[Gate], coupling: CouplingMap) -> List[int]:
+        return list(range(0, len(gates), 2))
+
+
+class QubitTriangleStrategy(PermutationStrategy):
+    """Allow permutations only between blocks of gates on at most three qubits.
+
+    The circuit is clustered into maximal runs whose combined qubit support
+    has at most three qubits; each run can be mapped onto a "triangle" of the
+    coupling map (three mutually connected physical qubits) without any
+    intermediate permutation (Section 4.2, "qubit triangle").
+
+    When the architecture has no triangle the strategy falls back to blocks
+    of at most two qubits (a single coupled pair), which is always mappable.
+    """
+
+    name = "triangle"
+    guarantees_minimality = False
+
+    def spots(self, gates: Sequence[Gate], coupling: CouplingMap) -> List[int]:
+        max_qubits = 3 if coupling.triangles() else 2
+        blocks = two_qubit_blocks(gates, max_qubits=max_qubits)
+        return sorted(block[0] for block in blocks)
+
+
+class WindowStrategy(PermutationStrategy):
+    """Allow permutations every ``window`` gates.
+
+    This is not one of the paper's named strategies but a natural
+    generalisation of "odd gates" (which is ``window=2``); it is used by the
+    ablation benchmarks to study the runtime/quality trade-off as the number
+    of permutation spots shrinks.
+    """
+
+    name = "window"
+    guarantees_minimality = False
+
+    def __init__(self, window: int = 4):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+
+    def spots(self, gates: Sequence[Gate], coupling: CouplingMap) -> List[int]:
+        return list(range(0, len(gates), self.window))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WindowStrategy(window={self.window})"
+
+
+_STRATEGIES = {
+    "all": AllGatesStrategy,
+    "minimal": AllGatesStrategy,
+    "disjoint": DisjointQubitsStrategy,
+    "disjoint_qubits": DisjointQubitsStrategy,
+    "odd": OddGatesStrategy,
+    "odd_gates": OddGatesStrategy,
+    "triangle": QubitTriangleStrategy,
+    "qubit_triangle": QubitTriangleStrategy,
+}
+
+
+def available_strategies() -> List[str]:
+    """Canonical names accepted by :func:`get_strategy`."""
+    return ["all", "disjoint", "odd", "triangle", "window"]
+
+
+def get_strategy(name: str, **kwargs) -> PermutationStrategy:
+    """Instantiate a strategy by name (case-insensitive).
+
+    Args:
+        name: One of :func:`available_strategies` (plus aliases such as
+            ``"minimal"`` or ``"disjoint_qubits"``).
+        kwargs: Extra arguments for parameterised strategies
+            (``window=<int>`` for the window strategy).
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    key = name.lower()
+    if key == "window":
+        return WindowStrategy(**kwargs)
+    if key not in _STRATEGIES:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {available_strategies()}"
+        )
+    return _STRATEGIES[key]()
+
+
+__all__ = [
+    "PermutationStrategy",
+    "AllGatesStrategy",
+    "DisjointQubitsStrategy",
+    "OddGatesStrategy",
+    "QubitTriangleStrategy",
+    "WindowStrategy",
+    "available_strategies",
+    "get_strategy",
+]

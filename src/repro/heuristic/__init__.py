@@ -1,0 +1,27 @@
+"""Heuristic mapping baselines.
+
+The paper compares its exact results against the heuristic swap mapper
+shipped with IBM's Qiskit 0.4.15 (Table 1, last column).  Qiskit is not
+available in this environment, so :mod:`repro.heuristic.stochastic_swap`
+re-implements that generation of mapper (layer-by-layer randomised SWAP
+search, best of several trials).  A SABRE-style look-ahead mapper is provided
+as a second, stronger baseline for the extension benchmarks.
+"""
+
+from repro.heuristic.base import HeuristicMapper
+from repro.heuristic.initial_layout import (
+    trivial_layout,
+    random_layout,
+    greedy_interaction_layout,
+)
+from repro.heuristic.stochastic_swap import StochasticSwapMapper
+from repro.heuristic.sabre_lite import SabreLiteMapper
+
+__all__ = [
+    "HeuristicMapper",
+    "trivial_layout",
+    "random_layout",
+    "greedy_interaction_layout",
+    "StochasticSwapMapper",
+    "SabreLiteMapper",
+]

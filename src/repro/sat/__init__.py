@@ -1,0 +1,53 @@
+"""A self-contained Boolean reasoning engine.
+
+The paper hands its symbolic formulation to the Z3 solver.  Z3 is not
+available in this environment, so this subpackage provides a from-scratch
+replacement with the pieces the mapping formulation needs:
+
+* :mod:`repro.sat.cnf` — variables, literals, clauses and CNF formulas,
+* :mod:`repro.sat.solver` — a CDCL SAT solver (two-watched literals, VSIDS
+  branching, first-UIP clause learning, restarts, phase saving),
+* :mod:`repro.sat.dpll` — a tiny reference DPLL solver used to cross-check
+  the CDCL implementation in the test suite,
+* :mod:`repro.sat.tseitin` — Tseitin transformation of AND/OR/XOR/IFF
+  expressions into CNF,
+* :mod:`repro.sat.cardinality` — at-most-one / exactly-one / at-most-k
+  cardinality encodings,
+* :mod:`repro.sat.pb` — pseudo-Boolean ("weighted sum of literals <= bound")
+  constraints,
+* :mod:`repro.sat.optimize` — minimisation of a weighted linear objective on
+  top of the SAT solver (the "extended interpretation" of Definition 3 in the
+  paper).
+"""
+
+from repro.sat.cnf import CNF, Clause, Literal, VariablePool
+from repro.sat.solver import CDCLSolver, SolverResult
+from repro.sat.dpll import DPLLSolver
+from repro.sat.tseitin import TseitinEncoder
+from repro.sat.cardinality import (
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+    at_most_k_sequential,
+)
+from repro.sat.pb import encode_pb_leq
+from repro.sat.optimize import ObjectiveTerm, OptimizingSolver, OptimizationResult
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Literal",
+    "VariablePool",
+    "CDCLSolver",
+    "SolverResult",
+    "DPLLSolver",
+    "TseitinEncoder",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "exactly_one",
+    "at_most_k_sequential",
+    "encode_pb_leq",
+    "ObjectiveTerm",
+    "OptimizingSolver",
+    "OptimizationResult",
+]

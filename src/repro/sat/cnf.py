@@ -1,0 +1,193 @@
+"""Variables, literals, clauses and CNF formulas.
+
+Literals use the DIMACS convention: a positive integer ``v`` denotes the
+variable ``v`` asserted true, ``-v`` denotes it asserted false.  Variable
+indices start at 1.  The :class:`VariablePool` hands out fresh variable
+indices and remembers optional human-readable names, which makes debugging
+the mapping encodings much easier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Literal = int
+
+
+class CNFError(ValueError):
+    """Raised on malformed clauses or formulas."""
+
+
+class VariablePool:
+    """Allocates SAT variable indices and tracks their names.
+
+    Example:
+        >>> pool = VariablePool()
+        >>> x = pool.new_var("x")
+        >>> y = pool.new_var("y")
+        >>> (x, y)
+        (1, 2)
+        >>> pool.name(2)
+        'y'
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._names: Dict[int, str] = {}
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables allocated so far."""
+        return self._next - 1
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        var = self._next
+        self._next += 1
+        if name is not None:
+            self._names[var] = name
+        return var
+
+    def new_vars(self, count: int, prefix: str = "v") -> List[int]:
+        """Allocate *count* fresh variables named ``prefix_0 ... prefix_{count-1}``."""
+        return [self.new_var(f"{prefix}_{i}") for i in range(count)]
+
+    def name(self, var: int) -> str:
+        """The name of *var* (falls back to ``v<index>``)."""
+        return self._names.get(abs(var), f"v{abs(var)}")
+
+    def describe_literal(self, literal: Literal) -> str:
+        """Human-readable form of a literal, e.g. ``!x`` for ``-1``."""
+        prefix = "!" if literal < 0 else ""
+        return prefix + self.name(abs(literal))
+
+
+class Clause:
+    """A disjunction of literals."""
+
+    __slots__ = ("literals",)
+
+    def __init__(self, literals: Iterable[Literal]):
+        lits = tuple(literals)
+        for literal in lits:
+            if literal == 0:
+                raise CNFError("0 is not a valid literal")
+        self.literals = lits
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.literals == other.literals
+
+    def __hash__(self) -> int:
+        return hash(self.literals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clause({list(self.literals)})"
+
+    def variables(self) -> Tuple[int, ...]:
+        """The (positive) variable indices appearing in the clause."""
+        return tuple(abs(literal) for literal in self.literals)
+
+    def is_tautology(self) -> bool:
+        """True when the clause contains a literal and its negation."""
+        seen = set(self.literals)
+        return any(-literal in seen for literal in self.literals)
+
+    def satisfied_by(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the clause under a (possibly partial) assignment.
+
+        Unassigned variables count as not satisfying the clause.
+        """
+        for literal in self.literals:
+            value = assignment.get(abs(literal))
+            if value is None:
+                continue
+            if (literal > 0) == value:
+                return True
+        return False
+
+
+class CNF:
+    """A conjunction of clauses together with its variable pool."""
+
+    def __init__(self, pool: Optional[VariablePool] = None):
+        self.pool = pool if pool is not None else VariablePool()
+        self.clauses: List[Clause] = []
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables allocated in the pool."""
+        return self.pool.num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses added so far."""
+        return len(self.clauses)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh variable through the pool."""
+        return self.pool.new_var(name)
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add one clause given as an iterable of literals."""
+        clause = Clause(literals)
+        if len(clause) == 0:
+            raise CNFError("cannot add an empty clause (formula would be trivially UNSAT)")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clause_list: Iterable[Iterable[Literal]]) -> None:
+        """Add several clauses at once."""
+        for literals in clause_list:
+            self.add_clause(literals)
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the whole formula under a total assignment."""
+        return all(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Serialise the formula in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause.literals) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF string into a formula."""
+        cnf = cls()
+        declared_vars = 0
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise CNFError(f"malformed problem line: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            literals = [int(token) for token in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            if literals:
+                cnf.add_clause(literals)
+        while cnf.pool.num_vars < declared_vars:
+            cnf.pool.new_var()
+        for clause in cnf.clauses:
+            for var in clause.variables():
+                while cnf.pool.num_vars < var:
+                    cnf.pool.new_var()
+        return cnf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF(num_vars={self.num_vars}, num_clauses={self.num_clauses})"
+
+
+__all__ = ["Literal", "Clause", "CNF", "VariablePool", "CNFError"]

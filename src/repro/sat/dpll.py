@@ -1,0 +1,120 @@
+"""A small reference DPLL solver.
+
+This solver exists purely for validation: it is slow but simple enough to be
+obviously correct, and the test suite cross-checks the CDCL solver against it
+(and against brute-force enumeration) on randomly generated formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SolverResult
+
+
+class DPLLSolver:
+    """Recursive DPLL with unit propagation and pure-literal elimination."""
+
+    def __init__(self, cnf: Optional[CNF] = None):
+        self._clauses: List[List[int]] = []
+        self._num_vars = 0
+        self._model: Dict[int, bool] = {}
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add one clause (DIMACS literals)."""
+        clause = list(dict.fromkeys(literals))
+        if any(-lit in clause for lit in clause):
+            return
+        self._clauses.append(clause)
+        for literal in clause:
+            self._num_vars = max(self._num_vars, abs(literal))
+
+    def add_cnf(self, cnf: CNF) -> None:
+        """Add every clause of *cnf*."""
+        self._num_vars = max(self._num_vars, cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(list(clause.literals))
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SolverResult:
+        """Decide satisfiability and store a model if one exists."""
+        assignment: Dict[int, bool] = {}
+        result = self._search(self._clauses, assignment)
+        if result is None:
+            return SolverResult.UNSAT
+        self._model = result
+        return SolverResult.SAT
+
+    def model(self) -> Dict[int, bool]:
+        """Model of the last successful ``solve()`` call (unassigned -> False)."""
+        return {
+            var: self._model.get(var, False) for var in range(1, self._num_vars + 1)
+        }
+
+    # ------------------------------------------------------------------
+    def _simplify(self, clauses: List[List[int]], literal: int) -> Optional[List[List[int]]]:
+        """Assign *literal* true and simplify; None signals a conflict."""
+        result: List[List[int]] = []
+        for clause in clauses:
+            if literal in clause:
+                continue
+            if -literal in clause:
+                reduced = [l for l in clause if l != -literal]
+                if not reduced:
+                    return None
+                result.append(reduced)
+            else:
+                result.append(clause)
+        return result
+
+    def _search(self, clauses: List[List[int]],
+                assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+        clauses = [list(c) for c in clauses]
+        assignment = dict(assignment)
+        # Unit propagation.
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                if len(clause) == 1:
+                    literal = clause[0]
+                    assignment[abs(literal)] = literal > 0
+                    simplified = self._simplify(clauses, literal)
+                    if simplified is None:
+                        return None
+                    clauses = simplified
+                    changed = True
+                    break
+        if not clauses:
+            return assignment
+        # Pure literal elimination.
+        polarity: Dict[int, set] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(abs(literal), set()).add(literal > 0)
+        for var, signs in polarity.items():
+            if len(signs) == 1:
+                literal = var if True in signs else -var
+                assignment[var] = literal > 0
+                simplified = self._simplify(clauses, literal)
+                if simplified is None:
+                    return None
+                return self._search(simplified, assignment)
+        # Branch on the first unassigned variable appearing in the clauses.
+        literal = clauses[0][0]
+        for choice in (literal, -literal):
+            simplified = self._simplify(clauses, choice)
+            if simplified is None:
+                continue
+            branch_assignment = dict(assignment)
+            branch_assignment[abs(choice)] = choice > 0
+            result = self._search(simplified, branch_assignment)
+            if result is not None:
+                return result
+        return None
+
+
+__all__ = ["DPLLSolver"]

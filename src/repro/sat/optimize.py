@@ -1,0 +1,279 @@
+"""Minimisation of a weighted linear objective over a CNF formula.
+
+This implements the "extended interpretation" of the satisfiability problem
+from Definition 3 of the paper: besides a satisfying assignment of the hard
+constraints, an assignment minimising ``F = sum(w_i * literal_i)`` is sought.
+
+Two search strategies are provided:
+
+* ``"linear"`` (default) — solve once, read off the objective value of the
+  model, then repeatedly assert ``F <= best - 1`` on the *same* incremental
+  solver until the instance becomes unsatisfiable.  The last model found is
+  optimal.  This reuses learned clauses across iterations.
+* ``"binary"`` — bisect the objective range with a fresh solver per probe.
+
+Both return an :class:`OptimizationResult`; when a time or conflict budget is
+exhausted the best model found so far is returned with ``is_optimal=False``
+(this mirrors the paper's "close-to-minimal" discussion).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF, Literal
+from repro.sat.pb import encode_pb_leq, evaluate_pb
+from repro.sat.solver import CDCLSolver, SolverResult
+
+
+@dataclass(frozen=True)
+class ObjectiveTerm:
+    """One weighted term ``weight * [literal is true]`` of the objective."""
+
+    weight: int
+    literal: Literal
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("objective weights must be non-negative")
+        if self.literal == 0:
+            raise ValueError("0 is not a valid literal")
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of an optimisation run.
+
+    Attributes:
+        status: ``"optimal"``, ``"satisfiable"`` (feasible but optimality not
+            proven within the budget), ``"unsat"`` or ``"unknown"``.
+        model: Best model found (empty when none was found).
+        objective: Objective value of :attr:`model` (``None`` when no model).
+        iterations: Number of solver calls performed.
+        conflicts: Total number of conflicts across all solver calls.
+        elapsed_seconds: Wall-clock time spent.
+    """
+
+    status: str
+    model: Dict[int, bool] = field(default_factory=dict)
+    objective: Optional[int] = None
+    iterations: int = 0
+    conflicts: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the returned model is provably minimal."""
+        return self.status == "optimal"
+
+    @property
+    def is_satisfiable(self) -> bool:
+        """True when at least one model was found."""
+        return self.status in ("optimal", "satisfiable")
+
+
+class OptimizingSolver:
+    """Minimises a weighted objective subject to a CNF formula.
+
+    Args:
+        cnf: The hard constraints.  The formula's variable pool is reused for
+            the auxiliary variables of the objective-bound encodings.
+        objective: The terms of the objective function ``F``.
+
+    Example:
+        >>> cnf = CNF()
+        >>> a, b = cnf.new_var("a"), cnf.new_var("b")
+        >>> cnf.add_clause([a, b])
+        >>> opt = OptimizingSolver(cnf, [ObjectiveTerm(3, a), ObjectiveTerm(5, b)])
+        >>> result = opt.minimize()
+        >>> result.objective
+        3
+    """
+
+    def __init__(self, cnf: CNF, objective: Sequence[ObjectiveTerm]):
+        self.cnf = cnf
+        self.objective = list(objective)
+
+    # ------------------------------------------------------------------
+    def _objective_terms(self) -> List[Tuple[int, Literal]]:
+        return [(term.weight, term.literal) for term in self.objective]
+
+    def _objective_value(self, model: Dict[int, bool]) -> int:
+        return evaluate_pb(self._objective_terms(), model)
+
+    # ------------------------------------------------------------------
+    def minimize(
+        self,
+        strategy: str = "linear",
+        time_limit: Optional[float] = None,
+        conflict_limit: Optional[int] = None,
+    ) -> OptimizationResult:
+        """Find a model of minimal objective value.
+
+        Args:
+            strategy: ``"linear"`` (incremental descent) or ``"binary"``
+                (bisection with fresh solvers).
+            time_limit: Overall wall-clock budget in seconds.
+            conflict_limit: Per-solver-call conflict budget.
+
+        Returns:
+            The :class:`OptimizationResult`.
+        """
+        if strategy == "linear":
+            return self._minimize_linear(time_limit, conflict_limit)
+        if strategy == "binary":
+            return self._minimize_binary(time_limit, conflict_limit)
+        raise ValueError(f"unknown optimisation strategy {strategy!r}")
+
+    # ------------------------------------------------------------------
+    def _remaining(self, start: float, time_limit: Optional[float]) -> Optional[float]:
+        if time_limit is None:
+            return None
+        return max(0.001, time_limit - (time.monotonic() - start))
+
+    def _minimize_linear(
+        self,
+        time_limit: Optional[float],
+        conflict_limit: Optional[int],
+    ) -> OptimizationResult:
+        start = time.monotonic()
+        solver = CDCLSolver()
+        solver.add_cnf(self.cnf)
+        iterations = 0
+        best_model: Dict[int, bool] = {}
+        best_value: Optional[int] = None
+
+        while True:
+            iterations += 1
+            outcome = solver.solve(
+                conflict_limit=conflict_limit,
+                time_limit=self._remaining(start, time_limit),
+            )
+            elapsed = time.monotonic() - start
+            if outcome is SolverResult.UNKNOWN:
+                status = "satisfiable" if best_value is not None else "unknown"
+                return OptimizationResult(
+                    status=status,
+                    model=best_model,
+                    objective=best_value,
+                    iterations=iterations,
+                    conflicts=solver.statistics["conflicts"],
+                    elapsed_seconds=elapsed,
+                )
+            if outcome is SolverResult.UNSAT:
+                if best_value is None:
+                    return OptimizationResult(
+                        status="unsat",
+                        iterations=iterations,
+                        conflicts=solver.statistics["conflicts"],
+                        elapsed_seconds=elapsed,
+                    )
+                return OptimizationResult(
+                    status="optimal",
+                    model=best_model,
+                    objective=best_value,
+                    iterations=iterations,
+                    conflicts=solver.statistics["conflicts"],
+                    elapsed_seconds=elapsed,
+                )
+            model = solver.model()
+            value = self._objective_value(model)
+            if best_value is None or value < best_value:
+                best_value = value
+                best_model = model
+            if best_value == 0:
+                return OptimizationResult(
+                    status="optimal",
+                    model=best_model,
+                    objective=0,
+                    iterations=iterations,
+                    conflicts=solver.statistics["conflicts"],
+                    elapsed_seconds=time.monotonic() - start,
+                )
+            # Tighten: require an objective strictly below the incumbent.
+            before = self.cnf.num_clauses
+            encode_pb_leq(
+                self.cnf,
+                self._objective_terms(),
+                best_value - 1,
+                prefix=f"bound{iterations}",
+            )
+            for clause in self.cnf.clauses[before:]:
+                solver.add_clause(clause.literals)
+
+    def _minimize_binary(
+        self,
+        time_limit: Optional[float],
+        conflict_limit: Optional[int],
+    ) -> OptimizationResult:
+        start = time.monotonic()
+        iterations = 0
+        total_conflicts = 0
+
+        # Initial feasibility check without any bound.
+        solver = CDCLSolver()
+        solver.add_cnf(self.cnf)
+        iterations += 1
+        outcome = solver.solve(
+            conflict_limit=conflict_limit,
+            time_limit=self._remaining(start, time_limit),
+        )
+        total_conflicts += solver.statistics["conflicts"]
+        if outcome is SolverResult.UNKNOWN:
+            return OptimizationResult(
+                status="unknown",
+                iterations=iterations,
+                conflicts=total_conflicts,
+                elapsed_seconds=time.monotonic() - start,
+            )
+        if outcome is SolverResult.UNSAT:
+            return OptimizationResult(
+                status="unsat",
+                iterations=iterations,
+                conflicts=total_conflicts,
+                elapsed_seconds=time.monotonic() - start,
+            )
+        best_model = solver.model()
+        best_value = self._objective_value(best_model)
+
+        low = 0
+        high = best_value
+        proven_optimal = True
+        while low < high:
+            middle = (low + high) // 2
+            probe_cnf = CNF(self.cnf.pool)
+            probe_cnf.clauses = list(self.cnf.clauses)
+            encode_pb_leq(probe_cnf, self._objective_terms(), middle, prefix=f"bin{iterations}")
+            probe = CDCLSolver()
+            probe.add_cnf(probe_cnf)
+            iterations += 1
+            outcome = probe.solve(
+                conflict_limit=conflict_limit,
+                time_limit=self._remaining(start, time_limit),
+            )
+            total_conflicts += probe.statistics["conflicts"]
+            if outcome is SolverResult.UNKNOWN:
+                proven_optimal = False
+                break
+            if outcome is SolverResult.SAT:
+                model = probe.model()
+                value = self._objective_value(model)
+                best_model = model
+                best_value = value
+                high = value
+            else:
+                low = middle + 1
+        status = "optimal" if proven_optimal else "satisfiable"
+        return OptimizationResult(
+            status=status,
+            model=best_model,
+            objective=best_value,
+            iterations=iterations,
+            conflicts=total_conflicts,
+            elapsed_seconds=time.monotonic() - start,
+        )
+
+
+__all__ = ["ObjectiveTerm", "OptimizationResult", "OptimizingSolver"]

@@ -1,0 +1,117 @@
+"""Pseudo-Boolean constraints: ``sum(w_i * literal_i) <= bound``.
+
+The objective function of the paper (Eq. 5) is a weighted sum of the ``y``
+and ``z`` variables.  To minimise it with a plain SAT solver we repeatedly
+assert upper bounds on the objective; each bound is a pseudo-Boolean
+"less-or-equal" constraint, encoded here with a memoised BDD-style expansion
+(each node states "the weighted sum of the remaining terms is at most b").
+The encoding is polynomial in ``len(terms) * bound`` and produces only
+implication clauses, which propagate well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF, Literal
+
+
+class PBError(ValueError):
+    """Raised on malformed pseudo-Boolean constraints."""
+
+
+def encode_pb_leq(
+    cnf: CNF,
+    terms: Sequence[Tuple[int, Literal]],
+    bound: int,
+    prefix: str = "pb",
+) -> None:
+    """Assert ``sum(weight_i * [literal_i is true]) <= bound``.
+
+    Args:
+        cnf: Formula to extend.
+        terms: Sequence of ``(weight, literal)`` pairs; weights must be
+            non-negative integers.  Zero-weight terms are ignored.
+        bound: Non-negative upper bound.
+        prefix: Name prefix for auxiliary variables.
+
+    Raises:
+        PBError: On negative weights or a negative bound.
+    """
+    if bound < 0:
+        raise PBError("bound must be non-negative")
+    filtered: List[Tuple[int, Literal]] = []
+    for weight, literal in terms:
+        if weight < 0:
+            raise PBError("weights must be non-negative")
+        if weight == 0:
+            continue
+        filtered.append((int(weight), literal))
+    # Sort heaviest first: the BDD stays smaller and propagates earlier.
+    filtered.sort(key=lambda item: -item[0])
+
+    total = sum(weight for weight, _ in filtered)
+    if total <= bound:
+        return
+    # Terms whose weight alone exceeds the bound must be false.
+    remaining: List[Tuple[int, Literal]] = []
+    for weight, literal in filtered:
+        if weight > bound:
+            cnf.add_clause([-literal])
+        else:
+            remaining.append((weight, literal))
+    if not remaining:
+        return
+
+    suffix_totals = [0] * (len(remaining) + 1)
+    for index in range(len(remaining) - 1, -1, -1):
+        suffix_totals[index] = suffix_totals[index + 1] + remaining[index][0]
+
+    # node(index, budget) is a literal meaning "the weighted sum of
+    # remaining[index:] is at most budget".  TRUE and FALSE leaves are
+    # represented by None markers in the cache with special handling.
+    cache: Dict[Tuple[int, int], Optional[int]] = {}
+
+    def build(index: int, budget: int) -> Optional[int]:
+        """Return a literal for node(index, budget); None means trivially true."""
+        if budget < 0:
+            raise PBError("internal error: negative budget reached a build call")
+        if suffix_totals[index] <= budget:
+            return None  # trivially satisfiable: no constraint needed
+        key = (index, budget)
+        if key in cache:
+            return cache[key]
+        weight, literal = remaining[index]
+        node = cnf.new_var(f"{prefix}_n{index}_{budget}")
+        cache[key] = node
+        # Case literal false: remaining budget unchanged.
+        low = build(index + 1, budget)
+        if low is not None:
+            cnf.add_clause([-node, literal, low])
+        # Case literal true: budget shrinks by weight.
+        if weight > budget:
+            cnf.add_clause([-node, -literal])
+        else:
+            high = build(index + 1, budget - weight)
+            if high is not None:
+                cnf.add_clause([-node, -literal, high])
+        return node
+
+    root = build(0, bound)
+    if root is not None:
+        cnf.add_clause([root])
+
+
+def evaluate_pb(terms: Sequence[Tuple[int, Literal]], model: Dict[int, bool]) -> int:
+    """Evaluate ``sum(weight_i * [literal_i is true])`` under *model*."""
+    total = 0
+    for weight, literal in terms:
+        value = model.get(abs(literal), False)
+        if literal < 0:
+            value = not value
+        if value:
+            total += weight
+    return total
+
+
+__all__ = ["encode_pb_leq", "evaluate_pb", "PBError"]

@@ -1,0 +1,476 @@
+"""A CDCL (conflict-driven clause learning) SAT solver.
+
+This is the reasoning engine used in place of Z3.  It implements the standard
+modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style variable activities with exponential decay,
+* phase saving,
+* Luby-sequence restarts,
+* periodic deletion of inactive learned clauses,
+* incremental solving (clauses may be added between ``solve()`` calls;
+  learned clauses are kept since adding clauses only strengthens the
+  formula).
+
+The solver accepts and returns literals in DIMACS convention (positive /
+negative integers, variables numbered from 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.sat.cnf import CNF, Literal
+
+
+class SolverResult(enum.Enum):
+    """Outcome of a ``solve()`` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class _Clause:
+    """Internal clause representation (mutable literal list plus bookkeeping).
+
+    Invariant used by conflict analysis: while a clause is the *reason* of an
+    assignment, the implied literal sits at position 0 (propagation never
+    reorders a clause whose first literal is satisfied).
+    """
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning SAT solver.
+
+    Example:
+        >>> solver = CDCLSolver()
+        >>> solver.add_clause([1, 2])
+        >>> solver.add_clause([-1, 2])
+        >>> solver.solve()
+        <SolverResult.SAT: 'sat'>
+        >>> solver.model()[2]
+        True
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None):
+        self._num_vars = 0
+        # Indexed by variable (1-based): None / True / False.
+        self._assign: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # Watch lists indexed by encoded literal (2v for +v, 2v+1 for -v).
+        self._watches: List[List[_Clause]] = [[], []]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._propagation_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._unsat = False
+        self._pending_units: List[int] = []
+        self.statistics: Dict[str, int] = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned_deleted": 0,
+        }
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._assign.append(None)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._watches.append([])
+            self._watches.append([])
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add a clause (DIMACS literals).  May be called between solves."""
+        unique: List[int] = []
+        seen = set()
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if literal in seen:
+                continue
+            if -literal in seen:
+                return  # tautology, nothing to add
+            seen.add(literal)
+            unique.append(literal)
+            self._ensure_var(abs(literal))
+        if not unique:
+            self._unsat = True
+            return
+        if len(unique) == 1:
+            self._pending_units.append(unique[0])
+            return
+        clause = _Clause(unique, learned=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+
+    def add_cnf(self, cnf: CNF) -> None:
+        """Add every clause of *cnf*."""
+        self._ensure_var(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause.literals)
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index seen so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learned) clauses."""
+        return len(self._clauses)
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _enc(literal: int) -> int:
+        """Encode a DIMACS literal as a watch-list index."""
+        var = abs(literal)
+        return 2 * var if literal > 0 else 2 * var + 1
+
+    def _value(self, literal: int) -> Optional[bool]:
+        value = self._assign[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[self._enc(-clause.literals[0])].append(clause)
+        self._watches[self._enc(-clause.literals[1])].append(clause)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
+        """Assign *literal* true.  Returns False when it contradicts the trail."""
+        current = self._value(literal)
+        if current is not None:
+            return current
+        var = abs(literal)
+        self._assign[var] = literal > 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    # ------------------------------------------------------------------
+    # Unit propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[_Clause]:
+        """Propagate all enqueued assignments.  Returns a conflicting clause or None."""
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            self.statistics["propagations"] += 1
+            watch_index = self._enc(literal)
+            watchers = self._watches[watch_index]
+            new_watchers: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                lits = clause.literals
+                # Make sure the falsified watched literal sits at position 1.
+                if lits[0] == -literal:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) is True:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._enc(-lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting; keep watching the false literal.
+                new_watchers.append(clause)
+                if self._value(first) is False:
+                    new_watchers.extend(watchers[i:])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause)
+            self._watches[watch_index] = new_watchers
+            if conflict is not None:
+                self._propagation_head = len(self._trail)
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self._cla_decay
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """First-UIP conflict analysis (MiniSat style).
+
+        Returns:
+            The learned clause with the asserting literal first, and the
+            decision level to backjump to.
+        """
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        path_count = 0
+        popped_literal: Optional[int] = None
+        reason: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            if reason.learned:
+                self._bump_clause(reason)
+            # Skip the implied literal (position 0) for reason clauses; the
+            # conflict clause (first iteration) is scanned in full.
+            start = 0 if popped_literal is None else 1
+            for clause_literal in reason.literals[start:]:
+                var = abs(clause_literal)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        path_count += 1
+                    else:
+                        learned.append(clause_literal)
+            # Select the next current-level literal to resolve on.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            popped_literal = self._trail[index]
+            index -= 1
+            var = abs(popped_literal)
+            seen[var] = False
+            reason = self._reason[var]
+            path_count -= 1
+            if path_count == 0:
+                break
+        learned[0] = -popped_literal
+
+        # Backjump level: highest level among the non-asserting literals.
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            backjump = max(self._level[abs(l)] for l in learned[1:])
+        return learned, backjump
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        target = self._trail_lim[level]
+        for literal in reversed(self._trail[target:]):
+            var = abs(literal)
+            self._assign[var] = None
+            self._reason[var] = None
+        del self._trail[target:]
+        del self._trail_lim[level:]
+        self._propagation_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Decisions and restarts
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        assign = self._assign
+        activity = self._activity
+        for var in range(1, self._num_vars + 1):
+            if assign[var] is None and activity[var] > best_activity:
+                best_activity = activity[var]
+                best_var = var
+        return best_var
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (1-based index)."""
+        i = max(1, index)
+        while True:
+            k = i.bit_length()
+            if i == (1 << k) - 1:
+                return 1 << (k - 1)
+            i = i - (1 << (k - 1)) + 1
+
+    def _reduce_learned(self) -> None:
+        """Delete the less active half of the long learned clauses."""
+        if len(self._learned) < 2000:
+            return
+        locked = {
+            id(self._reason[abs(lit)])
+            for lit in self._trail
+            if self._reason[abs(lit)] is not None
+        }
+        self._learned.sort(key=lambda clause: clause.activity)
+        keep: List[_Clause] = []
+        to_delete = set()
+        half = len(self._learned) // 2
+        for position, clause in enumerate(self._learned):
+            if position < half and len(clause.literals) > 2 and id(clause) not in locked:
+                to_delete.add(id(clause))
+                self.statistics["learned_deleted"] += 1
+            else:
+                keep.append(clause)
+        if not to_delete:
+            return
+        self._learned = keep
+        for index, watch_list in enumerate(self._watches):
+            self._watches[index] = [
+                clause for clause in watch_list if id(clause) not in to_delete
+            ]
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolverResult:
+        """Run the CDCL search.
+
+        Args:
+            conflict_limit: Abort with :attr:`SolverResult.UNKNOWN` after this
+                many conflicts (``None`` = unlimited).
+            time_limit: Abort with :attr:`SolverResult.UNKNOWN` after this many
+                seconds (``None`` = unlimited).
+
+        Returns:
+            :attr:`SolverResult.SAT`, :attr:`SolverResult.UNSAT` or
+            :attr:`SolverResult.UNKNOWN`.
+        """
+        if self._unsat:
+            return SolverResult.UNSAT
+        start_time = time.monotonic()
+        self._backtrack(0)
+        # Re-propagate the whole level-0 trail so that clauses added since the
+        # previous call are taken into account.
+        self._propagation_head = 0
+        while self._pending_units:
+            literal = self._pending_units.pop()
+            self._ensure_var(abs(literal))
+            if not self._enqueue(literal, None):
+                self._unsat = True
+                return SolverResult.UNSAT
+        if self._propagate() is not None:
+            self._unsat = True
+            return SolverResult.UNSAT
+
+        total_conflicts = 0
+        restart_count = 0
+        restart_limit = 100 * self._luby(restart_count + 1)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics["conflicts"] += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return SolverResult.UNSAT
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    clause = _Clause(list(learned), learned=True)
+                    self._learned.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                if conflict_limit is not None and total_conflicts >= conflict_limit:
+                    return SolverResult.UNKNOWN
+                if time_limit is not None and time.monotonic() - start_time > time_limit:
+                    return SolverResult.UNKNOWN
+                if total_conflicts % 1024 == 0:
+                    self._reduce_learned()
+            else:
+                if conflicts_since_restart >= restart_limit:
+                    restart_count += 1
+                    self.statistics["restarts"] += 1
+                    restart_limit = 100 * self._luby(restart_count + 1)
+                    conflicts_since_restart = 0
+                    self._backtrack(0)
+                    continue
+                variable = self._pick_branch_variable()
+                if variable is None:
+                    return SolverResult.SAT
+                self.statistics["decisions"] += 1
+                self._trail_lim.append(len(self._trail))
+                literal = variable if self._phase[variable] else -variable
+                self._enqueue(literal, None)
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+    def model(self) -> Dict[int, bool]:
+        """Return the satisfying assignment found by the last ``solve()`` call.
+
+        Unconstrained variables default to False.
+        """
+        return {
+            var: bool(self._assign[var]) if self._assign[var] is not None else False
+            for var in range(1, self._num_vars + 1)
+        }
+
+    def value(self, literal: int) -> bool:
+        """Truth value of *literal* in the current model."""
+        value = self._value(literal)
+        return bool(value) if value is not None else literal < 0
+
+
+__all__ = ["CDCLSolver", "SolverResult"]

@@ -1,0 +1,118 @@
+"""Tseitin transformation of Boolean circuits into CNF.
+
+The symbolic formulation of the mapping problem (Section 3.2 of the paper)
+uses conjunctions, disjunctions, equivalences and implications over the
+``x``, ``y`` and ``z`` variables.  The :class:`TseitinEncoder` introduces one
+fresh variable per sub-expression so that the whole constraint system stays in
+CNF with only a linear blow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sat.cnf import CNF, Literal
+
+
+class TseitinEncoder:
+    """Adds definitional clauses for composite Boolean expressions to a CNF.
+
+    Every ``encode_*`` method returns a literal that is constrained to be
+    logically equivalent to the encoded expression.  ``add_*`` methods assert
+    an expression directly (no output literal).
+    """
+
+    def __init__(self, cnf: CNF):
+        self.cnf = cnf
+
+    # ------------------------------------------------------------------
+    # Definitional encodings (return a literal equivalent to the expression)
+    # ------------------------------------------------------------------
+    def encode_and(self, literals: Sequence[Literal], name: Optional[str] = None) -> Literal:
+        """Return a literal ``g`` with ``g <-> AND(literals)``."""
+        literals = list(literals)
+        if not literals:
+            true_var = self.cnf.new_var(name or "const_true")
+            self.cnf.add_clause([true_var])
+            return true_var
+        if len(literals) == 1:
+            return literals[0]
+        gate = self.cnf.new_var(name or "and")
+        for literal in literals:
+            self.cnf.add_clause([-gate, literal])
+        self.cnf.add_clause([gate] + [-literal for literal in literals])
+        return gate
+
+    def encode_or(self, literals: Sequence[Literal], name: Optional[str] = None) -> Literal:
+        """Return a literal ``g`` with ``g <-> OR(literals)``."""
+        literals = list(literals)
+        if not literals:
+            false_var = self.cnf.new_var(name or "const_false")
+            self.cnf.add_clause([-false_var])
+            return false_var
+        if len(literals) == 1:
+            return literals[0]
+        gate = self.cnf.new_var(name or "or")
+        for literal in literals:
+            self.cnf.add_clause([gate, -literal])
+        self.cnf.add_clause([-gate] + list(literals))
+        return gate
+
+    def encode_xor(self, lhs: Literal, rhs: Literal, name: Optional[str] = None) -> Literal:
+        """Return a literal ``g`` with ``g <-> (lhs XOR rhs)``."""
+        gate = self.cnf.new_var(name or "xor")
+        self.cnf.add_clause([-gate, lhs, rhs])
+        self.cnf.add_clause([-gate, -lhs, -rhs])
+        self.cnf.add_clause([gate, -lhs, rhs])
+        self.cnf.add_clause([gate, lhs, -rhs])
+        return gate
+
+    def encode_iff(self, lhs: Literal, rhs: Literal, name: Optional[str] = None) -> Literal:
+        """Return a literal ``g`` with ``g <-> (lhs <-> rhs)``."""
+        gate = self.cnf.new_var(name or "iff")
+        self.cnf.add_clause([-gate, -lhs, rhs])
+        self.cnf.add_clause([-gate, lhs, -rhs])
+        self.cnf.add_clause([gate, lhs, rhs])
+        self.cnf.add_clause([gate, -lhs, -rhs])
+        return gate
+
+    def encode_implies(self, lhs: Literal, rhs: Literal, name: Optional[str] = None) -> Literal:
+        """Return a literal ``g`` with ``g <-> (lhs -> rhs)``."""
+        return self.encode_or([-lhs, rhs], name=name or "implies")
+
+    # ------------------------------------------------------------------
+    # Assertions (no output literal)
+    # ------------------------------------------------------------------
+    def add_implication(self, antecedent: Literal, consequent: Literal) -> None:
+        """Assert ``antecedent -> consequent``."""
+        self.cnf.add_clause([-antecedent, consequent])
+
+    def add_iff(self, lhs: Literal, rhs: Literal) -> None:
+        """Assert ``lhs <-> rhs``."""
+        self.cnf.add_clause([-lhs, rhs])
+        self.cnf.add_clause([lhs, -rhs])
+
+    def add_iff_and(self, gate: Literal, literals: Iterable[Literal]) -> None:
+        """Assert ``gate <-> AND(literals)``."""
+        literals = list(literals)
+        for literal in literals:
+            self.cnf.add_clause([-gate, literal])
+        self.cnf.add_clause([gate] + [-literal for literal in literals])
+
+    def add_iff_or(self, gate: Literal, literals: Iterable[Literal]) -> None:
+        """Assert ``gate <-> OR(literals)``."""
+        literals = list(literals)
+        for literal in literals:
+            self.cnf.add_clause([gate, -literal])
+        self.cnf.add_clause([-gate] + literals)
+
+    def add_implied_by_and(self, gate: Literal, literals: Iterable[Literal]) -> None:
+        """Assert ``AND(literals) -> gate`` (the "left-handed implication")."""
+        self.cnf.add_clause([gate] + [-literal for literal in literals])
+
+    def add_at_least_one(self, literals: Iterable[Literal]) -> None:
+        """Assert ``OR(literals)``."""
+        self.cnf.add_clause(list(literals))
+
+
+__all__ = ["TseitinEncoder"]

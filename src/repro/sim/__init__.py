@@ -1,0 +1,23 @@
+"""Simulation and functional-equivalence checking.
+
+The mapping algorithms must not change the functionality of a circuit (up to
+the known relocation of the logical qubits).  This subpackage provides a
+dense statevector simulator, a unitary builder and an equivalence checker
+used throughout the test suite to validate every mapper end to end.
+"""
+
+from repro.sim.statevector import StatevectorSimulator, apply_gate, zero_state
+from repro.sim.unitary import circuit_unitary
+from repro.sim.equivalence import (
+    mapped_circuit_equivalent,
+    states_equal_up_to_global_phase,
+)
+
+__all__ = [
+    "StatevectorSimulator",
+    "apply_gate",
+    "zero_state",
+    "circuit_unitary",
+    "mapped_circuit_equivalent",
+    "states_equal_up_to_global_phase",
+]

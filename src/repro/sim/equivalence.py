@@ -1,0 +1,142 @@
+"""Functional equivalence of a mapped circuit and its original.
+
+A mapped circuit acts on the ``m`` physical qubits of a device; the original
+acts on ``n`` logical qubits.  The two are equivalent when, for every input
+state of the logical qubits placed according to the *initial mapping* (with
+all unused physical qubits in ``|0>``), the mapped circuit produces the
+original circuit's output placed according to the *final mapping* (unused
+physical qubits back in ``|0>``, since SWAPs merely permute them).
+
+The check is performed on a configurable number of random input states plus
+a few computational basis states, which makes it both fast and (for the
+circuit sizes of this library) extremely unlikely to accept a wrong circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.result import MappingResult
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    basis_state,
+    random_state,
+    zero_state,
+)
+
+
+def states_equal_up_to_global_phase(first: np.ndarray, second: np.ndarray,
+                                    tolerance: float = 1e-7) -> bool:
+    """True when two state vectors differ only by a global phase."""
+    if first.shape != second.shape:
+        return False
+    norm_first = np.linalg.norm(first)
+    norm_second = np.linalg.norm(second)
+    if abs(norm_first - norm_second) > tolerance:
+        return False
+    overlap = np.vdot(first, second)
+    return bool(abs(abs(overlap) - norm_first * norm_second) < tolerance)
+
+
+def _embed_state(logical_state: np.ndarray, num_logical: int, num_physical: int,
+                 mapping: Sequence[int]) -> np.ndarray:
+    """Place a logical state onto physical qubits according to *mapping*.
+
+    Physical qubit ``mapping[j]`` receives logical qubit ``j``; all other
+    physical qubits are ``|0>``.
+    """
+    embedded = np.zeros(2 ** num_physical, dtype=complex)
+    for logical_index in range(2 ** num_logical):
+        amplitude = logical_state[logical_index]
+        if amplitude == 0:
+            continue
+        physical_index = 0
+        for logical_qubit in range(num_logical):
+            if (logical_index >> logical_qubit) & 1:
+                physical_index |= 1 << mapping[logical_qubit]
+        embedded[physical_index] += amplitude
+    return embedded
+
+
+def mapped_circuit_equivalent(
+    original: QuantumCircuit,
+    mapped: QuantumCircuit,
+    initial_mapping: Sequence[int],
+    final_mapping: Sequence[int],
+    num_random_states: int = 3,
+    seed: Optional[int] = 1234,
+) -> bool:
+    """Check that *mapped* realises *original* under the given mappings.
+
+    Args:
+        original: The original circuit on ``n`` logical qubits.
+        mapped: The mapped circuit on ``m >= n`` physical qubits.
+        initial_mapping: ``initial_mapping[j]`` is the physical qubit holding
+            logical qubit ``j`` at the start.
+        final_mapping: The same at the end of the circuit.
+        num_random_states: Number of random logical input states to test in
+            addition to a few basis states.
+        seed: Seed for the random input states.
+
+    Returns:
+        True when all tested inputs produce matching outputs (up to global
+        phase).
+    """
+    num_logical = original.num_qubits
+    num_physical = mapped.num_qubits
+    simulator = StatevectorSimulator()
+
+    test_states = [zero_state(num_logical)]
+    for index in range(min(2 ** num_logical, 3)):
+        test_states.append(basis_state(num_logical, (index * 3 + 1) % 2 ** num_logical))
+    for offset in range(num_random_states):
+        test_states.append(random_state(num_logical, seed=None if seed is None else seed + offset))
+
+    for logical_input in test_states:
+        expected_logical = simulator.run(original, initial_state=logical_input)
+        expected_physical = _embed_state(
+            expected_logical, num_logical, num_physical, final_mapping
+        )
+        physical_input = _embed_state(
+            logical_input, num_logical, num_physical, initial_mapping
+        )
+        actual = simulator.run(mapped, initial_state=physical_input)
+        if not states_equal_up_to_global_phase(expected_physical, actual):
+            return False
+    return True
+
+
+def result_is_equivalent(result: MappingResult, **kwargs) -> bool:
+    """Equivalence check directly on a :class:`MappingResult`."""
+    original = result.original_circuit
+    stripped = QuantumCircuit(original.num_qubits, original.name, original.num_clbits)
+    for gate in original.gates:
+        if gate.name == "measure":
+            continue
+        stripped.append(gate)
+    mapped = QuantumCircuit(
+        result.mapped_circuit.num_qubits,
+        result.mapped_circuit.name,
+        result.mapped_circuit.num_clbits,
+    )
+    for gate in result.mapped_circuit.gates:
+        if gate.name == "measure":
+            continue
+        mapped.append(gate)
+    return mapped_circuit_equivalent(
+        stripped,
+        mapped,
+        result.initial_mapping,
+        result.final_mapping,
+        **kwargs,
+    )
+
+
+__all__ = [
+    "states_equal_up_to_global_phase",
+    "mapped_circuit_equivalent",
+    "result_is_equivalent",
+]

@@ -1,0 +1,139 @@
+"""Dense statevector simulation of the circuit IR.
+
+The convention is little-endian: qubit 0 is the least significant bit of the
+basis-state index.  The simulator supports all unitary gates of the IR;
+barriers are ignored and measurements are rejected (the equivalence checks in
+this library operate on pure states).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate
+from repro.circuit.matrices import gate_matrix
+
+
+class SimulationError(ValueError):
+    """Raised when a circuit cannot be simulated."""
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros computational basis state on *num_qubits* qubits."""
+    if num_qubits <= 0:
+        raise SimulationError("need at least one qubit")
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, index: int) -> np.ndarray:
+    """The computational basis state ``|index>`` on *num_qubits* qubits."""
+    if not 0 <= index < 2 ** num_qubits:
+        raise SimulationError(f"basis index {index} out of range")
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def random_state(num_qubits: int, seed: Optional[int] = None) -> np.ndarray:
+    """A Haar-ish random normalised state (Gaussian amplitudes)."""
+    rng = np.random.default_rng(seed)
+    amplitudes = rng.normal(size=2 ** num_qubits) + 1j * rng.normal(size=2 ** num_qubits)
+    return amplitudes / np.linalg.norm(amplitudes)
+
+
+def _apply_single(state: np.ndarray, matrix: np.ndarray, qubit: int,
+                  num_qubits: int) -> np.ndarray:
+    """Apply a 2x2 matrix to *qubit* of *state*."""
+    tensor = state.reshape([2] * num_qubits)
+    axis = num_qubits - 1 - qubit
+    tensor = np.moveaxis(tensor, axis, 0)
+    shaped = tensor.reshape(2, -1)
+    shaped = matrix @ shaped
+    tensor = shaped.reshape([2] + [2] * (num_qubits - 1))
+    tensor = np.moveaxis(tensor, 0, axis)
+    return tensor.reshape(-1)
+
+
+def _apply_two(state: np.ndarray, matrix: np.ndarray, qubit_a: int, qubit_b: int,
+               num_qubits: int) -> np.ndarray:
+    """Apply a 4x4 matrix to (*qubit_a*, *qubit_b*) of *state*.
+
+    The matrix convention follows :mod:`repro.circuit.matrices`: the first
+    gate qubit (``qubit_a``) is the more significant bit of the 2-qubit space.
+    """
+    tensor = state.reshape([2] * num_qubits)
+    axis_a = num_qubits - 1 - qubit_a
+    axis_b = num_qubits - 1 - qubit_b
+    tensor = np.moveaxis(tensor, (axis_a, axis_b), (0, 1))
+    shaped = tensor.reshape(4, -1)
+    shaped = matrix @ shaped
+    tensor = shaped.reshape([2, 2] + [2] * (num_qubits - 2))
+    tensor = np.moveaxis(tensor, (0, 1), (axis_a, axis_b))
+    return tensor.reshape(-1)
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one IR gate to *state* and return the new state."""
+    if gate.name == "barrier":
+        return state
+    if gate.name == "measure":
+        raise SimulationError("measurements are not supported by the statevector simulator")
+    matrix = gate_matrix(gate)
+    if gate.num_qubits == 1:
+        return _apply_single(state, matrix, gate.qubits[0], num_qubits)
+    if gate.num_qubits == 2:
+        return _apply_two(state, matrix, gate.qubits[0], gate.qubits[1], num_qubits)
+    raise SimulationError(f"cannot simulate {gate.num_qubits}-qubit gate {gate.name!r}")
+
+
+class StatevectorSimulator:
+    """Simulates circuits on dense statevectors.
+
+    Example:
+        >>> from repro.circuit import QuantumCircuit
+        >>> bell = QuantumCircuit(2)
+        >>> bell.h(0).cx(0, 1)
+        >>> sim = StatevectorSimulator()
+        >>> abs(sim.run(bell)[0]) ** 2  # doctest: +ELLIPSIS
+        0.4999...
+    """
+
+    def run(self, circuit: QuantumCircuit,
+            initial_state: Optional[np.ndarray] = None) -> np.ndarray:
+        """Simulate *circuit* starting from *initial_state* (default ``|0...0>``)."""
+        num_qubits = circuit.num_qubits
+        if initial_state is None:
+            state = zero_state(num_qubits)
+        else:
+            state = np.asarray(initial_state, dtype=complex)
+            if state.shape != (2 ** num_qubits,):
+                raise SimulationError(
+                    f"initial state has wrong dimension {state.shape} for "
+                    f"{num_qubits} qubits"
+                )
+            state = state.copy()
+        for gate in circuit.gates:
+            if gate.name == "measure":
+                continue
+            state = apply_gate(state, gate, num_qubits)
+        return state
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Measurement probabilities of the final state in the computational basis."""
+        state = self.run(circuit)
+        return np.abs(state) ** 2
+
+
+__all__ = [
+    "SimulationError",
+    "zero_state",
+    "basis_state",
+    "random_state",
+    "apply_gate",
+    "StatevectorSimulator",
+]

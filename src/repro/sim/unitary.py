@@ -1,0 +1,53 @@
+"""Construction of the full unitary matrix of a circuit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.sim.statevector import SimulationError, apply_gate, basis_state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Return the ``2^n x 2^n`` unitary implemented by *circuit*.
+
+    Measurements are rejected; barriers are ignored.  Intended for small
+    circuits (the matrix is dense).
+    """
+    num_qubits = circuit.num_qubits
+    dimension = 2 ** num_qubits
+    if num_qubits > 12:
+        raise SimulationError(
+            f"refusing to build a dense unitary on {num_qubits} qubits"
+        )
+    columns = []
+    for index in range(dimension):
+        state = basis_state(num_qubits, index)
+        for gate in circuit.gates:
+            if gate.name == "measure":
+                raise SimulationError("cannot build the unitary of a circuit with measurements")
+            state = apply_gate(state, gate, num_qubits)
+        columns.append(state)
+    return np.stack(columns, axis=1)
+
+
+def unitaries_equal_up_to_global_phase(first: np.ndarray, second: np.ndarray,
+                                       tolerance: float = 1e-9) -> bool:
+    """True when the two unitaries differ only by a global phase."""
+    if first.shape != second.shape:
+        return False
+    # Find the first entry with significant magnitude to estimate the phase.
+    flat_first = first.reshape(-1)
+    flat_second = second.reshape(-1)
+    index = int(np.argmax(np.abs(flat_first)))
+    if abs(flat_first[index]) < tolerance:
+        return bool(np.allclose(first, second, atol=tolerance))
+    if abs(flat_second[index]) < tolerance:
+        return False
+    phase = flat_second[index] / flat_first[index]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(first * phase, second, atol=1e-7))
+
+
+__all__ = ["circuit_unitary", "unitaries_equal_up_to_global_phase"]

@@ -1,0 +1,15 @@
+"""Verification utilities: coupling compliance and cost accounting."""
+
+from repro.verify.compliance import (
+    ComplianceReport,
+    check_coupling_compliance,
+    count_added_operations,
+    verify_result,
+)
+
+__all__ = [
+    "ComplianceReport",
+    "check_coupling_compliance",
+    "count_added_operations",
+    "verify_result",
+]

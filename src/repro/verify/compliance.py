@@ -1,0 +1,114 @@
+"""Checks that a mapped circuit respects the architecture's constraints.
+
+A mapped circuit is *compliant* when every CNOT acts on a pair ``(control,
+target)`` that appears in the coupling map with exactly this orientation
+(reversed CNOTs must already have been rewritten with Hadamards by the
+mapper).  The report also recomputes the cost accounting so results can be
+validated independently of the mapper that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.arch.coupling import CouplingMap
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.cost import REVERSAL_COST, SWAP_COST
+from repro.exact.result import MappingResult
+
+
+@dataclass
+class ComplianceReport:
+    """Result of a compliance check.
+
+    Attributes:
+        compliant: True when every CNOT respects the coupling map.
+        violations: List of (gate index, control, target) triples of CNOTs
+            placed on pairs the architecture does not support.
+        total_operations: Elementary operation count of the circuit
+            (SWAP gates counted as 7).
+        cnot_count: Number of CNOT gates.
+        single_qubit_count: Number of single-qubit gates.
+    """
+
+    compliant: bool
+    violations: List[Tuple[int, int, int]] = field(default_factory=list)
+    total_operations: int = 0
+    cnot_count: int = 0
+    single_qubit_count: int = 0
+
+
+def check_coupling_compliance(circuit: QuantumCircuit,
+                              coupling: CouplingMap) -> ComplianceReport:
+    """Check every CNOT of *circuit* against *coupling*.
+
+    Explicit ``swap`` gates are accepted when the two qubits are coupled in
+    either direction (their decomposition can always be oriented correctly).
+    """
+    violations: List[Tuple[int, int, int]] = []
+    for index, gate in enumerate(circuit.gates):
+        if gate.is_cnot:
+            if not coupling.allows_cnot(gate.control, gate.target):
+                violations.append((index, gate.control, gate.target))
+        elif gate.name == "swap":
+            if not coupling.connected(gate.qubits[0], gate.qubits[1]):
+                violations.append((index, gate.qubits[0], gate.qubits[1]))
+    return ComplianceReport(
+        compliant=not violations,
+        violations=violations,
+        total_operations=circuit.gate_cost(),
+        cnot_count=circuit.count_cnot(),
+        single_qubit_count=circuit.count_single_qubit(),
+    )
+
+
+def count_added_operations(original: QuantumCircuit,
+                           mapped: QuantumCircuit) -> int:
+    """Number of elementary operations added by a mapping.
+
+    Computed directly from the gate counts of the two circuits (explicit
+    ``swap`` gates in the mapped circuit count as 7 operations).
+    """
+    return mapped.gate_cost() - original.gate_cost()
+
+
+def verify_result(result: MappingResult, coupling: CouplingMap,
+                  check_cost: bool = True) -> ComplianceReport:
+    """Validate a :class:`MappingResult`: compliance and cost bookkeeping.
+
+    Args:
+        result: The mapping result to validate.
+        coupling: The architecture the result claims to target.
+        check_cost: Also recompute the added cost from the gate counts and
+            compare it with the result's :class:`CostBreakdown`.
+
+    Returns:
+        The compliance report of the mapped circuit.
+
+    Raises:
+        AssertionError: If ``check_cost`` is set and the recomputed cost does
+            not match the reported breakdown.
+    """
+    report = check_coupling_compliance(result.mapped_circuit, coupling)
+    if check_cost:
+        recomputed_added = count_added_operations(
+            result.original_circuit, result.mapped_circuit
+        )
+        expected_added = (
+            SWAP_COST * result.cost.swaps + REVERSAL_COST * result.cost.reversals
+        )
+        if recomputed_added != expected_added:
+            raise AssertionError(
+                f"cost mismatch: gate counts imply {recomputed_added} added "
+                f"operations but the breakdown reports {expected_added}"
+            )
+    return report
+
+
+__all__ = [
+    "ComplianceReport",
+    "check_coupling_compliance",
+    "count_added_operations",
+    "verify_result",
+]

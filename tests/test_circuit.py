@@ -1,0 +1,150 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuit.circuit import CircuitError, QuantumCircuit
+from repro.circuit.gates import CNOTGate, HGate
+
+
+class TestConstruction:
+    def test_requires_positive_qubits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_and_len(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        assert len(circuit) == 2
+        assert circuit.num_gates == 2
+        assert list(circuit)[0] == HGate(0)
+
+    def test_append_rejects_out_of_range_qubits(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(0, 2)
+
+    def test_measure_grows_clbits(self):
+        circuit = QuantumCircuit(2)
+        circuit.measure(0, 3)
+        assert circuit.num_clbits == 4
+
+    def test_extend(self):
+        circuit = QuantumCircuit(2)
+        circuit.extend([HGate(0), CNOTGate(0, 1)])
+        assert circuit.num_gates == 2
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.h(0).cx(0, 1)
+        b = QuantumCircuit(2)
+        b.h(0).cx(0, 1)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+
+class TestQueries:
+    def make(self):
+        circuit = QuantumCircuit(3, name="demo")
+        circuit.h(0)
+        circuit.t(1)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.x(2)
+        return circuit
+
+    def test_counts(self):
+        circuit = self.make()
+        assert circuit.count_cnot() == 2
+        assert circuit.count_single_qubit() == 3
+        assert circuit.count_swap() == 0
+        assert circuit.count_ops() == {"h": 1, "t": 1, "cx": 2, "x": 1}
+
+    def test_cnot_pairs(self):
+        assert self.make().cnot_pairs() == [(0, 1), (1, 2)]
+
+    def test_gate_cost_counts_swap_as_seven(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.swap(0, 1)
+        assert circuit.gate_cost() == 8
+
+    def test_gate_cost_ignores_directives(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        assert circuit.gate_cost() == 1
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(1, 3)
+        assert circuit.used_qubits() == [1, 3]
+
+    def test_depth(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        assert circuit.depth() == 3
+
+    def test_depth_ignores_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(0)
+        assert circuit.depth() == 2
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert circuit.num_gates == 1
+        assert clone.num_gates == 2
+
+    def test_without_single_qubit_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).t(1).cx(1, 0)
+        skeleton = circuit.without_single_qubit_gates()
+        assert skeleton.num_gates == 2
+        assert all(gate.is_cnot for gate in skeleton)
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        remapped = circuit.remap_qubits({0: 2, 1: 0}, num_qubits=3)
+        assert remapped.num_qubits == 3
+        assert remapped.gates[1] == CNOTGate(2, 0)
+
+    def test_compose_requires_same_width(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            a.compose(b)
+
+    def test_compose_concatenates(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b)
+        assert combined.num_gates == 2
+        assert a.num_gates == 1
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).t(0).cx(0, 1).rz(0.3, 1)
+        inverse = circuit.inverse()
+        names = [gate.name for gate in inverse]
+        assert names == ["rz", "cx", "tdg", "h"]
+        assert inverse.gates[0].params == (-0.3,)
+
+    def test_inverse_rejects_directives(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circuit.inverse()

@@ -1,0 +1,104 @@
+"""Unit tests for the cost model and result containers."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.cost import (
+    REVERSAL_COST,
+    SWAP_COST,
+    CostBreakdown,
+    reversal_cost,
+    swap_cost,
+)
+from repro.exact.result import MappingResult, MappingSchedule
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        assert SWAP_COST == 7
+        assert REVERSAL_COST == 4
+
+    def test_breakdown_arithmetic(self):
+        breakdown = CostBreakdown(original_gates=36, swaps=2, reversals=3)
+        assert breakdown.added_cost == 2 * 7 + 3 * 4
+        assert breakdown.total_cost == 36 + 26
+
+    def test_helpers(self):
+        assert swap_cost(3) == 21
+        assert reversal_cost(2) == 8
+        with pytest.raises(ValueError):
+            swap_cost(-1)
+        with pytest.raises(ValueError):
+            reversal_cost(-1)
+
+
+class TestMappingSchedule:
+    def test_validate_accepts_valid_schedule(self):
+        schedule = MappingSchedule(
+            num_logical=2,
+            num_physical=5,
+            mappings=[(0, 1), (1, 0)],
+            initial_mapping=(0, 1),
+        )
+        schedule.validate()
+        assert schedule.final_mapping() == (1, 0)
+
+    def test_validate_rejects_non_injective(self):
+        schedule = MappingSchedule(
+            num_logical=2, num_physical=5, mappings=[(0, 0)], initial_mapping=(0, 0)
+        )
+        with pytest.raises(ValueError):
+            schedule.validate()
+
+    def test_validate_rejects_out_of_range(self):
+        schedule = MappingSchedule(
+            num_logical=2, num_physical=3, mappings=[(0, 5)], initial_mapping=(0, 5)
+        )
+        with pytest.raises(ValueError):
+            schedule.validate()
+
+    def test_validate_rejects_wrong_length(self):
+        schedule = MappingSchedule(
+            num_logical=3, num_physical=5, mappings=[(0, 1)], initial_mapping=(0, 1)
+        )
+        with pytest.raises(ValueError):
+            schedule.validate()
+
+    def test_final_mapping_without_gates(self):
+        schedule = MappingSchedule(
+            num_logical=2, num_physical=5, mappings=[], initial_mapping=(3, 4)
+        )
+        assert schedule.final_mapping() == (3, 4)
+
+
+class TestMappingResult:
+    def _result(self):
+        original = QuantumCircuit(2)
+        original.cx(0, 1)
+        mapped = QuantumCircuit(5)
+        mapped.cx(1, 0)
+        schedule = MappingSchedule(
+            num_logical=2, num_physical=5, mappings=[(1, 0)], initial_mapping=(1, 0)
+        )
+        return MappingResult(
+            mapped_circuit=mapped,
+            original_circuit=original,
+            schedule=schedule,
+            cost=CostBreakdown(original_gates=1, swaps=0, reversals=0),
+            objective=0,
+            optimal=True,
+            engine="dp",
+            strategy="all",
+        )
+
+    def test_properties(self):
+        result = self._result()
+        assert result.added_cost == 0
+        assert result.total_cost == 1
+        assert result.initial_mapping == (1, 0)
+        assert result.final_mapping == (1, 0)
+
+    def test_summary_mentions_engine_and_minimality(self):
+        summary = self._result().summary()
+        assert "dp/all" in summary
+        assert "minimal" in summary

@@ -1,0 +1,136 @@
+"""Unit tests for the gate objects."""
+
+import pytest
+
+from repro.circuit.gates import (
+    Barrier,
+    CNOTGate,
+    CZGate,
+    Gate,
+    GateError,
+    HGate,
+    Measure,
+    RXGate,
+    RZGate,
+    SwapGate,
+    TGate,
+    UGate,
+    XGate,
+    single_qubit_gate,
+)
+
+
+class TestGateBasics:
+    def test_gate_rejects_empty_name(self):
+        with pytest.raises(GateError):
+            Gate("", (0,))
+
+    def test_gate_rejects_duplicate_qubits(self):
+        with pytest.raises(GateError):
+            Gate("cx", (1, 1))
+
+    def test_gate_rejects_negative_qubits(self):
+        with pytest.raises(GateError):
+            Gate("x", (-1,))
+
+    def test_num_qubits(self):
+        assert Gate("foo", (0, 3, 5)).num_qubits == 3
+
+    def test_gates_are_hashable_and_equal_by_value(self):
+        assert CNOTGate(0, 1) == CNOTGate(0, 1)
+        assert CNOTGate(0, 1) != CNOTGate(1, 0)
+        assert len({CNOTGate(0, 1), CNOTGate(0, 1)}) == 1
+
+
+class TestSingleQubitGates:
+    def test_named_constructors(self):
+        assert HGate(2).name == "h"
+        assert HGate(2).qubit == 2
+        assert XGate(0).is_single_qubit
+        assert TGate(1).params == ()
+
+    def test_rotation_gate_parameters(self):
+        gate = RXGate(0.5, 1)
+        assert gate.theta == pytest.approx(0.5)
+        assert gate.qubit == 1
+        assert RZGate(1.25, 0).params == (1.25,)
+
+    def test_u_gate_parameters(self):
+        gate = UGate(0.1, 0.2, 0.3, 2)
+        assert gate.theta == pytest.approx(0.1)
+        assert gate.phi == pytest.approx(0.2)
+        assert gate.lam == pytest.approx(0.3)
+        assert gate.name == "u3"
+
+    def test_factory_by_name(self):
+        assert single_qubit_gate("h", 0) == HGate(0)
+        assert single_qubit_gate("rz", 1, (0.7,)).params == (0.7,)
+        assert single_qubit_gate("u3", 0, (1, 2, 3)).name == "u3"
+
+    def test_factory_u2_and_u1_normalise_to_u3(self):
+        u2 = single_qubit_gate("u2", 0, (0.1, 0.2))
+        assert u2.name == "u3"
+        assert len(u2.params) == 3
+        u1 = single_qubit_gate("u1", 0, (0.4,))
+        assert u1.params[0] == 0.0
+
+    def test_factory_rejects_unknown_and_bad_params(self):
+        with pytest.raises(GateError):
+            single_qubit_gate("nope", 0)
+        with pytest.raises(GateError):
+            single_qubit_gate("h", 0, (0.1,))
+        with pytest.raises(GateError):
+            single_qubit_gate("rz", 0)
+
+
+class TestTwoQubitGates:
+    def test_cnot_properties(self):
+        gate = CNOTGate(2, 0)
+        assert gate.control == 2
+        assert gate.target == 0
+        assert gate.is_cnot
+        assert not gate.is_single_qubit
+
+    def test_cnot_reversed(self):
+        assert CNOTGate(0, 1).reversed() == CNOTGate(1, 0)
+
+    def test_swap_and_cz(self):
+        assert SwapGate(0, 1).name == "swap"
+        assert CZGate(1, 2).name == "cz"
+        assert not SwapGate(0, 1).is_cnot
+
+
+class TestDirectives:
+    def test_barrier(self):
+        barrier = Barrier((0, 1, 2))
+        assert barrier.is_directive
+        assert barrier.qubits == (0, 1, 2)
+
+    def test_measure(self):
+        measure = Measure(1, 3)
+        assert measure.is_directive
+        assert measure.qubit == 1
+        assert measure.clbit == 3
+
+
+class TestRemap:
+    def test_remap_with_dict(self):
+        gate = CNOTGate(0, 1).remap({0: 3, 1: 4})
+        assert isinstance(gate, CNOTGate)
+        assert gate.control == 3
+        assert gate.target == 4
+
+    def test_remap_with_sequence(self):
+        gate = HGate(1).remap([5, 6, 7])
+        assert gate.qubit == 6
+        assert gate.name == "h"
+
+    def test_remap_preserves_params(self):
+        gate = UGate(0.1, 0.2, 0.3, 0).remap({0: 2})
+        assert gate.params == (0.1, 0.2, 0.3)
+        assert gate.qubits == (2,)
+
+    def test_remap_measure_keeps_clbit(self):
+        measure = Measure(0, 5).remap({0: 4})
+        assert measure.qubits == (4,)
+        assert measure.clbit == 5

@@ -1,0 +1,128 @@
+"""Unit tests for the heuristic mappers and initial layouts."""
+
+import pytest
+
+from repro.arch.devices import ibm_qx4, ibm_qx5, linear_architecture
+from repro.benchlib.generators import random_clifford_t_circuit
+from repro.benchlib.paper_example import paper_example_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.dp_mapper import DPMapper
+from repro.heuristic.initial_layout import (
+    greedy_interaction_layout,
+    random_layout,
+    trivial_layout,
+)
+from repro.heuristic.sabre_lite import SabreLiteMapper
+from repro.heuristic.stochastic_swap import StochasticSwapMapper
+from repro.sim.equivalence import result_is_equivalent
+from repro.verify import verify_result
+
+
+class TestInitialLayouts:
+    def test_trivial(self):
+        circuit = QuantumCircuit(3)
+        assert trivial_layout(circuit, ibm_qx4()) == (0, 1, 2)
+
+    def test_trivial_rejects_oversized_circuit(self):
+        with pytest.raises(ValueError):
+            trivial_layout(QuantumCircuit(6), ibm_qx4())
+
+    def test_random_is_injective_and_seeded(self):
+        import random
+
+        circuit = QuantumCircuit(4)
+        layout_a = random_layout(circuit, ibm_qx4(), random.Random(3))
+        layout_b = random_layout(circuit, ibm_qx4(), random.Random(3))
+        assert layout_a == layout_b
+        assert len(set(layout_a)) == 4
+        assert all(0 <= p < 5 for p in layout_a)
+
+    def test_greedy_layout_places_all_qubits_injectively(self):
+        circuit = random_clifford_t_circuit(5, 4, 12, seed=2)
+        layout = greedy_interaction_layout(circuit, ibm_qx4())
+        assert sorted(set(layout)) == sorted(layout)
+        assert len(layout) == 5
+
+    def test_greedy_layout_puts_busiest_qubit_on_best_connected(self):
+        circuit = QuantumCircuit(3)
+        # Qubit 1 interacts with everyone.
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 1)
+        layout = greedy_interaction_layout(circuit, ibm_qx4())
+        # Physical qubit 2 has the highest degree on QX4.
+        assert layout[1] == 2
+
+
+class TestStochasticSwapMapper:
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            StochasticSwapMapper(ibm_qx4(), trials=0)
+
+    def test_maps_paper_example(self):
+        result = StochasticSwapMapper(ibm_qx4(), trials=5, seed=1).map(
+            paper_example_circuit()
+        )
+        assert verify_result(result, ibm_qx4()).compliant
+        assert result_is_equivalent(result)
+        assert not result.optimal
+        assert result.engine == "stochastic"
+
+    def test_deterministic_given_seed(self):
+        circuit = random_clifford_t_circuit(4, 3, 8, seed=5)
+        first = StochasticSwapMapper(ibm_qx4(), trials=3, seed=9).map(circuit)
+        second = StochasticSwapMapper(ibm_qx4(), trials=3, seed=9).map(circuit)
+        assert first.total_cost == second.total_cost
+
+    def test_never_below_exact_minimum(self):
+        circuit = random_clifford_t_circuit(4, 4, 8, seed=11)
+        exact = DPMapper(ibm_qx4()).map(circuit)
+        heuristic = StochasticSwapMapper(ibm_qx4(), trials=3, seed=0).map(circuit)
+        assert heuristic.added_cost >= exact.added_cost
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuits_stay_equivalent(self, seed):
+        circuit = random_clifford_t_circuit(5, 5, 10, seed=seed)
+        result = StochasticSwapMapper(ibm_qx4(), trials=2, seed=seed).map(circuit)
+        assert verify_result(result, ibm_qx4()).compliant
+        assert result_is_equivalent(result)
+
+    def test_works_on_larger_device(self):
+        circuit = random_clifford_t_circuit(8, 5, 15, seed=4)
+        result = StochasticSwapMapper(ibm_qx5(), trials=2, seed=0).map(circuit)
+        assert verify_result(result, ibm_qx5()).compliant
+
+    def test_circuit_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticSwapMapper(ibm_qx4()).map(QuantumCircuit(6))
+
+
+class TestSabreLiteMapper:
+    def test_maps_paper_example(self):
+        result = SabreLiteMapper(ibm_qx4()).map(paper_example_circuit())
+        assert verify_result(result, ibm_qx4()).compliant
+        assert result_is_equivalent(result)
+        assert result.engine == "sabre_lite"
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_circuits_stay_equivalent(self, seed):
+        circuit = random_clifford_t_circuit(4, 4, 10, seed=seed)
+        result = SabreLiteMapper(ibm_qx4(), seed=seed).map(circuit)
+        assert verify_result(result, ibm_qx4()).compliant
+        assert result_is_equivalent(result)
+
+    def test_never_below_exact_minimum(self):
+        circuit = random_clifford_t_circuit(4, 2, 9, seed=17)
+        exact = DPMapper(ibm_qx4()).map(circuit)
+        heuristic = SabreLiteMapper(ibm_qx4()).map(circuit)
+        assert heuristic.added_cost >= exact.added_cost
+
+    def test_directed_line_architecture(self):
+        line = linear_architecture(4)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 0)
+        result = SabreLiteMapper(line).map(circuit)
+        assert verify_result(result, line).compliant
+        assert result_is_equivalent(result)

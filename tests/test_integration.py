@@ -1,0 +1,106 @@
+"""Integration tests across the whole tool flow (parse -> map -> verify -> emit)."""
+
+import pytest
+
+from repro import (
+    DPMapper,
+    QuantumCircuit,
+    SATMapper,
+    StochasticSwapMapper,
+    benchmark_circuit,
+    get_strategy,
+    ibm_qx4,
+    parse_qasm,
+    to_qasm,
+    verify_result,
+)
+from repro.benchlib.table1 import get_record
+from repro.sim.equivalence import result_is_equivalent
+
+
+class TestQasmToMappedQasm:
+    QASM = """
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[4];
+    creg c[4];
+    h q[0];
+    cx q[0], q[1];
+    cx q[1], q[2];
+    t q[2];
+    cx q[2], q[3];
+    cx q[0], q[3];
+    measure q -> c;
+    """
+
+    def test_full_flow_with_dp_engine(self):
+        circuit = parse_qasm(self.QASM)
+        result = DPMapper(ibm_qx4()).map(circuit)
+        assert verify_result(result, ibm_qx4()).compliant
+        assert result_is_equivalent(result)
+        # The mapped circuit re-parses cleanly.
+        round_trip = parse_qasm(to_qasm(result.mapped_circuit))
+        assert round_trip.count_cnot() == result.mapped_circuit.count_cnot()
+        # Measurements are preserved and remapped to physical qubits.
+        assert sum(1 for g in result.mapped_circuit if g.name == "measure") == 4
+
+    def test_all_engines_agree_on_compliance(self):
+        circuit = parse_qasm(self.QASM)
+        engines = [
+            DPMapper(ibm_qx4()),
+            DPMapper(ibm_qx4(), strategy=get_strategy("odd")),
+            StochasticSwapMapper(ibm_qx4(), trials=2, seed=0),
+        ]
+        costs = []
+        for engine in engines:
+            result = engine.map(circuit)
+            assert verify_result(result, ibm_qx4()).compliant
+            assert result_is_equivalent(result)
+            costs.append(result.added_cost)
+        # The unrestricted exact engine is never worse than the others.
+        assert costs[0] == min(costs)
+
+
+class TestBenchmarkFlow:
+    @pytest.mark.parametrize("name", ["ex-1_166", "4gt11_84", "4mod5-v0_20"])
+    def test_exact_mapping_of_small_benchmarks(self, name):
+        record = get_record(name)
+        circuit = benchmark_circuit(name)
+        result = DPMapper(ibm_qx4()).map(circuit)
+        assert verify_result(result, ibm_qx4()).compliant
+        # Total cost = original cost + added cost, as in Table 1.
+        assert result.total_cost == record.original_cost + result.added_cost
+
+    def test_heuristic_overhead_is_nonnegative_on_benchmark(self):
+        circuit = benchmark_circuit("4mod5-v0_20")
+        exact = DPMapper(ibm_qx4()).map(circuit)
+        heuristic = StochasticSwapMapper(ibm_qx4(), trials=3, seed=0).map(circuit)
+        assert heuristic.added_cost >= exact.added_cost
+
+    def test_strategy_chain_on_benchmark(self):
+        circuit = benchmark_circuit("ex-1_166")
+        qx4 = ibm_qx4()
+        minimal = DPMapper(qx4).map(circuit).added_cost
+        for strategy_name in ("disjoint", "odd", "triangle"):
+            restricted = DPMapper(qx4, strategy=get_strategy(strategy_name)).map(circuit)
+            assert restricted.added_cost >= minimal
+            assert verify_result(restricted, qx4).compliant
+
+
+class TestSATEngineIntegration:
+    def test_sat_and_dp_agree_on_tiny_benchmark_prefix(self):
+        # Build a short prefix of a benchmark so the pure-Python SAT engine
+        # stays fast, then check both exact engines agree on the minimum.
+        full = benchmark_circuit("ex-1_166")
+        prefix = QuantumCircuit(full.num_qubits)
+        cnots = 0
+        for gate in full.gates:
+            if gate.is_cnot:
+                cnots += 1
+                if cnots > 4:
+                    break
+            prefix.append(gate)
+        sat_result = SATMapper(ibm_qx4(), use_subsets=True).map(prefix)
+        dp_result = DPMapper(ibm_qx4()).map(prefix)
+        assert sat_result.added_cost == dp_result.added_cost
+        assert result_is_equivalent(sat_result)

@@ -1,0 +1,137 @@
+"""Unit tests for permutation utilities and the swaps(pi) table."""
+
+import itertools
+
+import pytest
+
+from repro.arch.devices import ibm_qx4, linear_architecture
+from repro.arch.permutations import (
+    PermutationTable,
+    apply_permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    minimal_swap_sequences,
+    permutation_between,
+    swap_transposition,
+)
+
+
+class TestPermutationAlgebra:
+    def test_identity(self):
+        assert identity_permutation(4) == (0, 1, 2, 3)
+
+    def test_compose(self):
+        first = (1, 0, 2)
+        second = (2, 1, 0)
+        composed = compose_permutations(first, second)
+        # Element at 0 goes to 1 (first), then 1 goes to 1 (second) -> 1.
+        assert composed == (1, 2, 0)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            compose_permutations((0, 1), (0, 1, 2))
+
+    def test_invert(self):
+        perm = (2, 0, 1)
+        assert compose_permutations(perm, invert_permutation(perm)) == (0, 1, 2)
+
+    def test_apply_to_mapping(self):
+        mapping = (0, 2)  # logical 0 -> physical 0, logical 1 -> physical 2
+        perm = (1, 0, 2)
+        assert apply_permutation(perm, mapping) == (1, 2)
+
+    def test_permutation_between_total_mappings(self):
+        old = (0, 1, 2)
+        new = (2, 0, 1)
+        perm = permutation_between(old, new, 3)
+        assert apply_permutation(perm, old) == new
+
+    def test_permutation_between_requires_total(self):
+        with pytest.raises(ValueError):
+            permutation_between((0, 1), (1, 0), 3)
+
+    def test_swap_transposition(self):
+        assert swap_transposition(4, (1, 3)) == (0, 3, 2, 1)
+
+
+class TestMinimalSwapSequences:
+    def test_all_permutations_reachable_on_connected_graph(self):
+        sequences = minimal_swap_sequences(ibm_qx4())
+        assert len(sequences) == 120
+
+    def test_sequences_realise_their_permutation(self):
+        coupling = linear_architecture(4)
+        sequences = minimal_swap_sequences(coupling)
+        for perm, edges in sequences.items():
+            realised = identity_permutation(4)
+            for edge in edges:
+                realised = compose_permutations(realised, swap_transposition(4, edge))
+            assert realised == perm
+
+    def test_sequences_are_minimal_on_line3(self):
+        # On a 3-qubit line the cyclic shift needs 2 swaps; the full reversal
+        # (0 2) needs 3 (the middle qubit must pass through).
+        coupling = linear_architecture(3)
+        sequences = minimal_swap_sequences(coupling)
+        assert len(sequences[(1, 0, 2)]) == 1
+        assert len(sequences[(2, 0, 1)]) == 2
+        assert len(sequences[(2, 1, 0)]) == 3
+
+    def test_identity_has_empty_sequence(self):
+        sequences = minimal_swap_sequences(ibm_qx4())
+        assert sequences[identity_permutation(5)] == []
+
+
+class TestPermutationTable:
+    def test_refuses_large_devices(self):
+        with pytest.raises(ValueError):
+            PermutationTable(linear_architecture(9))
+
+    def test_swaps_counts(self):
+        table = PermutationTable(ibm_qx4())
+        assert table.swaps(identity_permutation(5)) == 0
+        # A single transposition along a coupled edge costs one SWAP.
+        assert table.swaps(swap_transposition(5, (0, 1))) == 1
+        # A transposition of two uncoupled qubits costs at least three.
+        assert table.swaps(swap_transposition(5, (0, 4))) >= 3
+
+    def test_every_permutation_is_reachable(self):
+        table = PermutationTable(ibm_qx4())
+        for perm in itertools.permutations(range(5)):
+            assert table.reachable(perm)
+
+    def test_transition_cost_total_mapping(self):
+        table = PermutationTable(ibm_qx4())
+        old = (0, 1, 2, 3, 4)
+        new = (1, 0, 2, 3, 4)
+        assert table.transition_cost(old, new) == 1
+
+    def test_transition_cost_partial_mapping_uses_cheapest_completion(self):
+        table = PermutationTable(ibm_qx4())
+        # Only two logical qubits: move logical 0 from 0 to 1 and logical 1
+        # from 1 to 0 -- one SWAP on edge (0, 1).
+        assert table.transition_cost((0, 1), (1, 0)) == 1
+        # Keeping everything in place costs nothing.
+        assert table.transition_cost((0, 1), (0, 1)) == 0
+
+    def test_transition_sequence_realises_transition(self):
+        table = PermutationTable(ibm_qx4())
+        old = (0, 1, 2, 4, 3)
+        new = (2, 1, 0, 3, 4)
+        edges = table.transition_sequence(old, new)
+        mapping = list(old)
+        for a, b in edges:
+            for logical, physical in enumerate(mapping):
+                if physical == a:
+                    mapping[logical] = b
+                elif physical == b:
+                    mapping[logical] = a
+        assert tuple(mapping) == new
+        assert len(edges) == table.transition_cost(old, new)
+
+    def test_consistent_permutations_partial(self):
+        table = PermutationTable(ibm_qx4())
+        consistent = list(table.consistent_permutations((0, 1, 2), (0, 1, 2)))
+        # The two unused physical qubits (3, 4) may stay or swap: 2 completions.
+        assert len(consistent) == 2

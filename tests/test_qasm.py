@@ -1,0 +1,162 @@
+"""Unit tests for the OpenQASM 2.0 parser and writer."""
+
+import math
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import CNOTGate
+from repro.circuit.qasm import QasmSyntaxError, parse_qasm, to_qasm
+from repro.circuit.qasm.lexer import Lexer, TokenType
+
+
+class TestLexer:
+    def test_tokenises_simple_program(self):
+        tokens = Lexer('qreg q[3];').tokenize()
+        kinds = [token.type for token in tokens]
+        assert kinds == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.LBRACKET,
+            TokenType.INTEGER,
+            TokenType.RBRACKET,
+            TokenType.SEMICOLON,
+            TokenType.EOF,
+        ]
+
+    def test_comments_are_skipped(self):
+        tokens = Lexer("// a comment\nqreg q[1];").tokenize()
+        assert tokens[0].value == "qreg"
+
+    def test_real_numbers(self):
+        tokens = Lexer("rz(0.5e-1)").tokenize()
+        values = [t.value for t in tokens if t.type is TokenType.REAL]
+        assert values == ["0.5e-1"]
+
+    def test_arrow_and_string(self):
+        tokens = Lexer('measure q -> c; include "qelib1.inc";').tokenize()
+        assert any(t.type is TokenType.ARROW for t in tokens)
+        assert any(t.type is TokenType.STRING and t.value == "qelib1.inc" for t in tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QasmSyntaxError):
+            Lexer("qreg q[1]; @").tokenize()
+
+
+SIMPLE_PROGRAM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+t q[1];
+cx q[0], q[1];
+cx q[1], q[2];
+rz(pi/2) q[2];
+measure q[0] -> c[0];
+"""
+
+
+class TestParser:
+    def test_parses_simple_program(self):
+        circuit = parse_qasm(SIMPLE_PROGRAM)
+        assert circuit.num_qubits == 3
+        assert circuit.num_clbits == 3
+        assert circuit.count_cnot() == 2
+        assert circuit.count_single_qubit() == 3
+        assert circuit.gates[2] == CNOTGate(0, 1)
+
+    def test_parameter_expressions(self):
+        circuit = parse_qasm(
+            "qreg q[1]; rz(pi/4) q[0]; rx(-pi) q[0]; ry(2*pi/3) q[0]; u1(0.25+0.5) q[0];"
+        )
+        assert circuit.gates[0].params[0] == pytest.approx(math.pi / 4)
+        assert circuit.gates[1].params[0] == pytest.approx(-math.pi)
+        assert circuit.gates[2].params[0] == pytest.approx(2 * math.pi / 3)
+        assert circuit.gates[3].params[2] == pytest.approx(0.75)
+
+    def test_register_broadcast(self):
+        circuit = parse_qasm("qreg q[3]; h q;")
+        assert circuit.count_single_qubit() == 3
+
+    def test_measure_broadcast(self):
+        circuit = parse_qasm("qreg q[2]; creg c[2]; measure q -> c;")
+        assert circuit.num_clbits == 2
+        assert sum(1 for g in circuit if g.name == "measure") == 2
+
+    def test_multiple_quantum_registers_are_flattened(self):
+        circuit = parse_qasm("qreg a[2]; qreg b[2]; cx a[1], b[0];")
+        assert circuit.num_qubits == 4
+        assert circuit.gates[0] == CNOTGate(1, 2)
+
+    def test_user_defined_gate_is_inlined(self):
+        program = """
+        OPENQASM 2.0;
+        qreg q[2];
+        gate mygate a, b { h a; cx a, b; }
+        mygate q[0], q[1];
+        """
+        circuit = parse_qasm(program)
+        assert [g.name for g in circuit] == ["h", "cx"]
+
+    def test_parameterised_user_gate(self):
+        program = """
+        qreg q[1];
+        gate phase(theta) a { rz(theta) a; }
+        phase(pi/8) q[0];
+        """
+        circuit = parse_qasm(program)
+        assert circuit.gates[0].params[0] == pytest.approx(math.pi / 8)
+
+    def test_ccx_is_decomposed(self):
+        circuit = parse_qasm("qreg q[3]; ccx q[0], q[1], q[2];")
+        assert circuit.count_cnot() == 6
+        assert circuit.count_single_qubit() == 9
+
+    def test_barrier(self):
+        circuit = parse_qasm("qreg q[2]; barrier q;")
+        assert circuit.gates[0].name == "barrier"
+        assert circuit.gates[0].qubits == (0, 1)
+
+    def test_builtin_cx_uppercase(self):
+        circuit = parse_qasm("qreg q[2]; CX q[0], q[1];")
+        assert circuit.gates[0] == CNOTGate(0, 1)
+
+    def test_errors(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("qreg q[2]; unknown q[0];")
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("qreg q[2]; cx q[0], q[5];")
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("cx q[0], q[1];")
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("qreg q[1]; if (c == 1) x q[0];")
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm('include "other.inc"; qreg q[1];')
+
+    def test_no_register_is_an_error(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("OPENQASM 2.0;")
+
+
+class TestWriter:
+    def test_round_trip(self):
+        circuit = QuantumCircuit(3, num_clbits=2)
+        circuit.h(0)
+        circuit.u3(0.1, 0.2, 0.3, 1)
+        circuit.cx(0, 2)
+        circuit.barrier(0, 1)
+        circuit.measure(2, 1)
+        text = to_qasm(circuit)
+        parsed = parse_qasm(text)
+        assert parsed.num_qubits == 3
+        assert [g.name for g in parsed] == [g.name for g in circuit]
+        assert parsed.gates[1].params == circuit.gates[1].params
+
+    def test_output_contains_header(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        text = to_qasm(circuit)
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "x q[0];" in text

@@ -1,0 +1,160 @@
+"""Unit and exhaustive tests for cardinality and pseudo-Boolean encodings."""
+
+import itertools
+
+import pytest
+
+from repro.sat.cardinality import (
+    at_most_k_sequential,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+)
+from repro.sat.cnf import CNF
+from repro.sat.pb import PBError, encode_pb_leq, evaluate_pb
+from repro.sat.solver import CDCLSolver, SolverResult
+
+
+def count_models_projected(cnf, projection_vars):
+    """Enumerate models of *cnf* projected onto *projection_vars* by brute force."""
+    solutions = set()
+    all_vars = list(range(1, cnf.num_vars + 1))
+    for bits in itertools.product([False, True], repeat=len(all_vars)):
+        assignment = dict(zip(all_vars, bits))
+        if cnf.evaluate(assignment):
+            solutions.add(tuple(assignment[v] for v in projection_vars))
+    return solutions
+
+
+class TestAtMostOne:
+    @pytest.mark.parametrize("encode", ["pairwise", "sequential"])
+    @pytest.mark.parametrize("count", [2, 3, 5, 6])
+    def test_projected_models_match_semantics(self, encode, count):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(count)]
+        if encode == "pairwise":
+            at_most_one_pairwise(cnf, literals)
+        else:
+            at_most_one_sequential(cnf, literals)
+        models = count_models_projected(cnf, literals)
+        expected = {
+            bits
+            for bits in itertools.product([False, True], repeat=count)
+            if sum(bits) <= 1
+        }
+        assert models == expected
+
+    def test_exactly_one_semantics(self):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(4)]
+        exactly_one(cnf, literals)
+        models = count_models_projected(cnf, literals)
+        expected = {
+            bits
+            for bits in itertools.product([False, True], repeat=4)
+            if sum(bits) == 1
+        }
+        assert models == expected
+
+    def test_exactly_one_empty_raises(self):
+        with pytest.raises(ValueError):
+            exactly_one(CNF(), [])
+
+    def test_exactly_one_unknown_encoding(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            exactly_one(cnf, [cnf.new_var()], encoding="magic")
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("count,bound", [(4, 2), (5, 1), (5, 3), (3, 0)])
+    def test_projected_models_match_semantics(self, count, bound):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(count)]
+        at_most_k_sequential(cnf, literals, bound)
+        models = count_models_projected(cnf, literals)
+        expected = {
+            bits
+            for bits in itertools.product([False, True], repeat=count)
+            if sum(bits) <= bound
+        }
+        assert models == expected
+
+    def test_bound_larger_than_count_adds_nothing(self):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(3)]
+        at_most_k_sequential(cnf, literals, 5)
+        assert cnf.num_clauses == 0
+
+    def test_negative_bound_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            at_most_k_sequential(cnf, [cnf.new_var()], -1)
+
+
+class TestPseudoBoolean:
+    @pytest.mark.parametrize(
+        "weights,bound",
+        [
+            ([3, 5, 7], 7),
+            ([3, 5, 7], 8),
+            ([1, 1, 1, 1], 2),
+            ([4, 4, 4], 0),
+            ([2, 3, 4, 5], 6),
+        ],
+    )
+    def test_projected_models_match_semantics(self, weights, bound):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(len(weights))]
+        encode_pb_leq(cnf, list(zip(weights, literals)), bound)
+        models = count_models_projected(cnf, literals)
+        expected = {
+            bits
+            for bits in itertools.product([False, True], repeat=len(weights))
+            if sum(w for w, b in zip(weights, bits) if b) <= bound
+        }
+        assert models == expected
+
+    def test_trivially_satisfied_bound_adds_nothing(self):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(3)]
+        encode_pb_leq(cnf, [(1, lit) for lit in literals], 10)
+        assert cnf.num_clauses == 0
+
+    def test_negative_weight_rejected(self):
+        cnf = CNF()
+        with pytest.raises(PBError):
+            encode_pb_leq(cnf, [(-1, cnf.new_var())], 3)
+
+    def test_negative_bound_rejected(self):
+        cnf = CNF()
+        with pytest.raises(PBError):
+            encode_pb_leq(cnf, [(1, cnf.new_var())], -1)
+
+    def test_zero_weight_terms_ignored(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        encode_pb_leq(cnf, [(0, a), (5, b)], 3)
+        solver = CDCLSolver()
+        solver.add_cnf(cnf)
+        solver.add_clause([a])
+        assert solver.solve() is SolverResult.SAT
+
+    def test_evaluate_pb_handles_negative_literals(self):
+        assert evaluate_pb([(3, 1), (5, -2)], {1: True, 2: False}) == 8
+        assert evaluate_pb([(3, 1), (5, -2)], {1: False, 2: True}) == 0
+
+    def test_with_solver_enforces_bound(self):
+        cnf = CNF()
+        literals = [cnf.new_var() for _ in range(4)]
+        weights = [7, 7, 4, 4]
+        # Force the two cheap literals true, then bound the sum below 11+7.
+        encode_pb_leq(cnf, list(zip(weights, literals)), 15)
+        solver = CDCLSolver()
+        solver.add_cnf(cnf)
+        solver.add_clause([literals[2]])
+        solver.add_clause([literals[3]])
+        assert solver.solve() is SolverResult.SAT
+        model = solver.model()
+        total = sum(w for w, lit in zip(weights, literals) if model[lit])
+        assert total <= 15

@@ -1,0 +1,90 @@
+"""Unit tests for CNF data structures."""
+
+import pytest
+
+from repro.sat.cnf import CNF, Clause, CNFError, VariablePool
+
+
+class TestVariablePool:
+    def test_allocation_is_sequential(self):
+        pool = VariablePool()
+        assert pool.new_var() == 1
+        assert pool.new_var("named") == 2
+        assert pool.num_vars == 2
+
+    def test_names(self):
+        pool = VariablePool()
+        x = pool.new_var("x")
+        assert pool.name(x) == "x"
+        assert pool.name(-x) == "x"
+        assert pool.name(99) == "v99"
+        assert pool.describe_literal(-x) == "!x"
+
+    def test_new_vars_bulk(self):
+        pool = VariablePool()
+        variables = pool.new_vars(3, prefix="q")
+        assert variables == [1, 2, 3]
+        assert pool.name(2) == "q_1"
+
+
+class TestClause:
+    def test_rejects_zero_literal(self):
+        with pytest.raises(CNFError):
+            Clause([1, 0, 2])
+
+    def test_variables_and_len(self):
+        clause = Clause([1, -3, 2])
+        assert clause.variables() == (1, 3, 2)
+        assert len(clause) == 3
+
+    def test_tautology_detection(self):
+        assert Clause([1, -1]).is_tautology()
+        assert not Clause([1, 2]).is_tautology()
+
+    def test_satisfied_by(self):
+        clause = Clause([1, -2])
+        assert clause.satisfied_by({1: True})
+        assert clause.satisfied_by({2: False})
+        assert not clause.satisfied_by({1: False, 2: True})
+        assert not clause.satisfied_by({})
+
+
+class TestCNF:
+    def test_add_clause_and_counts(self):
+        cnf = CNF()
+        a, b = cnf.new_var("a"), cnf.new_var("b")
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a])
+        assert cnf.num_clauses == 2
+        assert cnf.num_vars == 2
+
+    def test_empty_clause_rejected(self):
+        cnf = CNF()
+        with pytest.raises(CNFError):
+            cnf.add_clause([])
+
+    def test_evaluate(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clauses([[a, b], [-a, b]])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: False})
+
+    def test_dimacs_round_trip(self):
+        cnf = CNF()
+        a, b, c = cnf.new_var(), cnf.new_var(), cnf.new_var()
+        cnf.add_clauses([[a, -b], [b, c], [-a, -c]])
+        text = cnf.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 3 3"
+        parsed = CNF.from_dimacs(text)
+        assert parsed.num_vars == 3
+        assert parsed.num_clauses == 3
+        assert [list(cl.literals) for cl in parsed.clauses] == [
+            [1, -2], [2, 3], [-1, -3]
+        ]
+
+    def test_from_dimacs_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_clauses == 1
+        assert cnf.num_vars == 2

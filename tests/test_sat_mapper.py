@@ -1,0 +1,91 @@
+"""Tests for the SAT-based exact mapper (kept small: the engine is pure Python)."""
+
+import pytest
+
+from repro.arch.devices import ibm_qx4, linear_architecture
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.dp_mapper import DPMapper
+from repro.exact.sat_mapper import SATMapper
+from repro.exact.strategies import QubitTriangleStrategy
+from repro.sim.equivalence import result_is_equivalent
+from repro.verify import verify_result
+
+
+def triangle_circuit():
+    circuit = QuantumCircuit(3)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.cx(0, 2)
+    return circuit
+
+
+class TestSATMapper:
+    def test_matches_dp_on_small_circuit(self):
+        circuit = triangle_circuit()
+        sat_result = SATMapper(ibm_qx4(), use_subsets=True).map(circuit)
+        dp_result = DPMapper(ibm_qx4()).map(circuit)
+        assert sat_result.added_cost == dp_result.added_cost
+        assert verify_result(sat_result, ibm_qx4()).compliant
+        assert result_is_equivalent(sat_result)
+
+    def test_full_device_proves_minimality(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        result = SATMapper(ibm_qx4(), use_subsets=False).map(circuit)
+        assert result.optimal
+        assert result.added_cost == DPMapper(ibm_qx4()).map(circuit).added_cost
+
+    def test_subsets_do_not_claim_minimality(self):
+        circuit = triangle_circuit()
+        result = SATMapper(ibm_qx4(), use_subsets=True).map(circuit)
+        assert not result.optimal
+
+    def test_restricted_strategy_never_beats_minimum(self):
+        circuit = triangle_circuit()
+        minimal = DPMapper(ibm_qx4()).map(circuit)
+        restricted = SATMapper(
+            ibm_qx4(), strategy=QubitTriangleStrategy(), use_subsets=True
+        ).map(circuit)
+        assert restricted.added_cost >= minimal.added_cost
+        assert result_is_equivalent(restricted)
+
+    def test_circuit_without_cnots(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).t(1)
+        result = SATMapper(ibm_qx4()).map(circuit)
+        assert result.added_cost == 0
+        assert result.optimal
+
+    def test_oversized_circuit_rejected(self):
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 5)
+        with pytest.raises(ValueError):
+            SATMapper(ibm_qx4()).map(circuit)
+
+    def test_binary_optimizer_strategy(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        result = SATMapper(
+            ibm_qx4(), use_subsets=True, optimizer_strategy="binary"
+        ).map(circuit)
+        assert result.added_cost == DPMapper(ibm_qx4()).map(circuit).added_cost
+
+    def test_reversal_needed_on_directed_line(self):
+        line = linear_architecture(2)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        result = SATMapper(line).map(circuit)
+        assert result.added_cost == 4
+        assert result.cost.reversals == 1
+        assert result_is_equivalent(result)
+
+    def test_statistics_are_reported(self):
+        circuit = triangle_circuit()
+        result = SATMapper(ibm_qx4(), use_subsets=True).map(circuit)
+        assert result.statistics["subsets_tried"] >= 1
+        assert result.statistics["encoding_variables"] > 0
+        assert result.statistics["encoding_clauses"] > 0

@@ -1,0 +1,170 @@
+"""Unit tests for the CDCL solver (cross-checked against DPLL and brute force)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+from repro.sat.solver import CDCLSolver, SolverResult
+
+
+def brute_force_satisfiable(clauses, num_vars):
+    """Reference satisfiability check by enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        ok = True
+        for clause in clauses:
+            if not any(
+                assignment[abs(lit)] if lit > 0 else not assignment[abs(lit)]
+                for lit in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def model_satisfies(clauses, model):
+    return all(
+        any(model[abs(lit)] if lit > 0 else not model[abs(lit)] for lit in clause)
+        for clause in clauses
+    )
+
+
+class TestBasicCases:
+    def test_single_unit(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert solver.solve() is SolverResult.SAT
+        assert solver.model()[1] is True
+
+    def test_trivially_unsat(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is SolverResult.UNSAT
+
+    def test_simple_implication_chain(self):
+        solver = CDCLSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        solver.add_clause([1])
+        assert solver.solve() is SolverResult.SAT
+        model = solver.model()
+        assert model[1] and model[2] and model[3]
+
+    def test_pigeonhole_3_into_2_is_unsat(self):
+        # Variables p_{i,j}: pigeon i in hole j; i in 0..2, j in 0..1.
+        def var(i, j):
+            return i * 2 + j + 1
+
+        solver = CDCLSolver()
+        for i in range(3):
+            solver.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        assert solver.solve() is SolverResult.UNSAT
+
+    def test_tautological_clause_is_ignored(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, -1])
+        solver.add_clause([2])
+        assert solver.solve() is SolverResult.SAT
+
+    def test_zero_literal_rejected(self):
+        solver = CDCLSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_value_accessor(self):
+        solver = CDCLSolver()
+        solver.add_clause([-1])
+        solver.add_clause([2])
+        assert solver.solve() is SolverResult.SAT
+        assert solver.value(-1) is True
+        assert solver.value(2) is True
+
+    def test_conflict_limit_returns_unknown(self):
+        # A hard random instance with a conflict limit of 1 should give up.
+        rng = random.Random(7)
+        solver = CDCLSolver()
+        num_vars = 30
+        for _ in range(130):
+            clause = rng.sample(range(1, num_vars + 1), 3)
+            solver.add_clause([lit if rng.random() < 0.5 else -lit for lit in clause])
+        result = solver.solve(conflict_limit=1)
+        assert result in (SolverResult.SAT, SolverResult.UNSAT, SolverResult.UNKNOWN)
+
+
+class TestIncremental:
+    def test_adding_clauses_between_solves(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is SolverResult.SAT
+        solver.add_clause([-1])
+        assert solver.solve() is SolverResult.SAT
+        assert solver.model()[2] is True
+        solver.add_clause([-2])
+        assert solver.solve() is SolverResult.UNSAT
+
+    def test_unsat_is_sticky(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is SolverResult.UNSAT
+        solver.add_clause([2])
+        assert solver.solve() is SolverResult.UNSAT
+
+
+class TestAgainstReferences:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3sat_agrees_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 10)
+        num_clauses = rng.randint(5, 40)
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 3)
+            variables = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+            clauses.append(
+                [v if rng.random() < 0.5 else -v for v in variables]
+            )
+        solver = CDCLSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        expected = brute_force_satisfiable(clauses, num_vars)
+        assert (result is SolverResult.SAT) == expected
+        if result is SolverResult.SAT:
+            assert model_satisfies(clauses, solver.model())
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_cdcl_agrees_with_dpll(self, seed):
+        rng = random.Random(1000 + seed)
+        num_vars = rng.randint(5, 12)
+        cnf = CNF()
+        for _ in range(num_vars):
+            cnf.new_var()
+        for _ in range(rng.randint(10, 50)):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+        cdcl = CDCLSolver(cnf)
+        dpll = DPLLSolver(cnf)
+        assert cdcl.solve() == dpll.solve()
+
+    def test_larger_satisfiable_instance(self):
+        # A satisfiable structured instance: a chain of equivalences.
+        solver = CDCLSolver()
+        num_vars = 60
+        for i in range(1, num_vars):
+            solver.add_clause([-i, i + 1])
+            solver.add_clause([i, -(i + 1)])
+        solver.add_clause([1])
+        assert solver.solve() is SolverResult.SAT
+        model = solver.model()
+        assert all(model[i] for i in range(1, num_vars + 1))

@@ -1,0 +1,182 @@
+"""Unit tests for the statevector simulator, unitary builder and equivalence check."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.sim.equivalence import (
+    mapped_circuit_equivalent,
+    states_equal_up_to_global_phase,
+)
+from repro.sim.statevector import (
+    SimulationError,
+    StatevectorSimulator,
+    basis_state,
+    random_state,
+    zero_state,
+)
+from repro.sim.unitary import circuit_unitary, unitaries_equal_up_to_global_phase
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        state = zero_state(2)
+        assert state[0] == 1.0
+        assert np.allclose(np.linalg.norm(state), 1.0)
+
+    def test_basis_state_bounds(self):
+        with pytest.raises(SimulationError):
+            basis_state(2, 4)
+
+    def test_x_flips_qubit(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        state = StatevectorSimulator().run(circuit)
+        # Little-endian: qubit 1 set -> index 2.
+        assert abs(state[2]) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        probabilities = StatevectorSimulator().probabilities(circuit)
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[3] == pytest.approx(0.5)
+        assert probabilities[1] == pytest.approx(0.0)
+        assert probabilities[2] == pytest.approx(0.0)
+
+    def test_cnot_direction(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.cx(0, 1)  # control is qubit 0
+        state = StatevectorSimulator().run(circuit)
+        assert abs(state[3]) == pytest.approx(1.0)
+        circuit2 = QuantumCircuit(2)
+        circuit2.x(0)
+        circuit2.cx(1, 0)  # control is qubit 1 (still |0>), so nothing happens
+        state2 = StatevectorSimulator().run(circuit2)
+        assert abs(state2[1]) == pytest.approx(1.0)
+
+    def test_swap_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        circuit.swap(0, 1)
+        state = StatevectorSimulator().run(circuit)
+        assert abs(state[2]) == pytest.approx(1.0)
+
+    def test_hadamard_twice_is_identity(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).h(0)
+        state = StatevectorSimulator().run(circuit)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_t_and_rz_phases_match(self):
+        t_circuit = QuantumCircuit(1)
+        t_circuit.x(0).t(0)
+        rz_circuit = QuantumCircuit(1)
+        rz_circuit.x(0).rz(math.pi / 4, 0)
+        t_state = StatevectorSimulator().run(t_circuit)
+        rz_state = StatevectorSimulator().run(rz_circuit)
+        assert states_equal_up_to_global_phase(t_state, rz_state)
+
+    def test_measure_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0, 0)
+        # Measurements are skipped by run(); apply_gate rejects them.
+        state = StatevectorSimulator().run(circuit)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_initial_state_dimension_check(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(circuit, initial_state=np.ones(3))
+
+    def test_random_state_normalised(self):
+        state = random_state(3, seed=11)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestUnitary:
+    def test_cnot_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        unitary = circuit_unitary(circuit)
+        expected = np.zeros((4, 4))
+        # control = qubit 0 (LSB): |01> -> |11>, |11> -> |01>.
+        expected[0, 0] = expected[2, 2] = 1
+        expected[3, 1] = expected[1, 3] = 1
+        assert np.allclose(unitary, expected)
+
+    def test_unitarity(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).t(2).cx(1, 2).h(2)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-9)
+
+    def test_global_phase_comparison(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        unitary = circuit_unitary(circuit)
+        assert unitaries_equal_up_to_global_phase(unitary, unitary * np.exp(1j * 0.7))
+        assert not unitaries_equal_up_to_global_phase(unitary, np.eye(2))
+
+
+class TestSwapDecomposition:
+    def test_seven_gate_decomposition_equals_swap(self):
+        """The paper's Fig. 3: SWAP = CX, H, H, CX, H, H, CX (middle reversed)."""
+        decomposed = QuantumCircuit(2)
+        decomposed.cx(0, 1)
+        decomposed.h(0)
+        decomposed.h(1)
+        decomposed.cx(0, 1)
+        decomposed.h(0)
+        decomposed.h(1)
+        decomposed.cx(0, 1)
+        plain = QuantumCircuit(2)
+        plain.swap(0, 1)
+        assert unitaries_equal_up_to_global_phase(
+            circuit_unitary(decomposed), circuit_unitary(plain)
+        )
+
+    def test_four_hadamards_reverse_cnot(self):
+        """The paper's direction trick: H^2 CX H^2 equals the reversed CX."""
+        reversed_by_h = QuantumCircuit(2)
+        reversed_by_h.h(0)
+        reversed_by_h.h(1)
+        reversed_by_h.cx(1, 0)
+        reversed_by_h.h(0)
+        reversed_by_h.h(1)
+        direct = QuantumCircuit(2)
+        direct.cx(0, 1)
+        assert unitaries_equal_up_to_global_phase(
+            circuit_unitary(reversed_by_h), circuit_unitary(direct)
+        )
+
+
+class TestEquivalenceChecker:
+    def test_identical_circuit_is_equivalent(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        assert mapped_circuit_equivalent(circuit, circuit, (0, 1), (0, 1))
+
+    def test_relabelled_circuit_is_equivalent(self):
+        original = QuantumCircuit(2)
+        original.h(0).cx(0, 1)
+        mapped = QuantumCircuit(3)
+        mapped.h(2).cx(2, 0)
+        assert mapped_circuit_equivalent(original, mapped, (2, 0), (2, 0))
+
+    def test_wrong_circuit_is_detected(self):
+        original = QuantumCircuit(2)
+        original.h(0).cx(0, 1)
+        wrong = QuantumCircuit(2)
+        wrong.h(0).cx(1, 0)
+        assert not mapped_circuit_equivalent(original, wrong, (0, 1), (0, 1))
+
+    def test_wrong_final_mapping_is_detected(self):
+        original = QuantumCircuit(2)
+        original.x(0)
+        mapped = QuantumCircuit(2)
+        mapped.x(0)
+        assert not mapped_circuit_equivalent(original, mapped, (0, 1), (1, 0))

@@ -1,0 +1,94 @@
+"""Unit tests for the permutation-restriction strategies (Section 4.2)."""
+
+import pytest
+
+from repro.arch.devices import ibm_qx4, linear_architecture
+from repro.benchlib.paper_example import paper_example_cnot_skeleton
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.strategies import (
+    AllGatesStrategy,
+    DisjointQubitsStrategy,
+    OddGatesStrategy,
+    QubitTriangleStrategy,
+    WindowStrategy,
+    available_strategies,
+    get_strategy,
+)
+
+
+def chain_circuit(num_qubits, num_gates):
+    circuit = QuantumCircuit(num_qubits)
+    for index in range(num_gates):
+        circuit.cx(index % num_qubits, (index + 1) % num_qubits)
+    return circuit
+
+
+class TestSpots:
+    def test_all_gates(self):
+        gates = chain_circuit(4, 6).cnot_gates()
+        assert AllGatesStrategy().spots(gates, ibm_qx4()) == list(range(6))
+
+    def test_odd_gates_matches_paper_counting(self):
+        # 1-based odd indices g1, g3, g5, ... -> 0-based 0, 2, 4, ...
+        gates = chain_circuit(4, 7).cnot_gates()
+        assert OddGatesStrategy().spots(gates, ibm_qx4()) == [0, 2, 4, 6]
+        gates = chain_circuit(4, 8).cnot_gates()
+        assert len(OddGatesStrategy().spots(gates, ibm_qx4())) == 4
+
+    def test_disjoint_qubits_on_paper_example(self):
+        # Example 10: gates g1 and g2 act on disjoint qubits, so only four
+        # spots remain (the initial one plus g3, g4, g5).
+        gates = paper_example_cnot_skeleton().cnot_gates()
+        spots = DisjointQubitsStrategy().spots(gates, ibm_qx4())
+        assert spots == [0, 2, 3, 4]
+
+    def test_qubit_triangle_on_paper_example(self):
+        # Example 10: one permutation spot before g2 plus the initial mapping.
+        gates = paper_example_cnot_skeleton().cnot_gates()
+        spots = QubitTriangleStrategy().spots(gates, ibm_qx4())
+        assert spots[0] == 0
+        assert len(spots) == 2
+
+    def test_qubit_triangle_without_triangles_uses_pairs(self):
+        line = linear_architecture(4)
+        gates = chain_circuit(3, 4).cnot_gates()
+        spots = QubitTriangleStrategy().spots(gates, line)
+        # Blocks limited to 2-qubit support.
+        assert spots[0] == 0
+        assert len(spots) >= 2
+
+    def test_window_strategy(self):
+        gates = chain_circuit(4, 10).cnot_gates()
+        assert WindowStrategy(window=5).spots(gates, ibm_qx4()) == [0, 5]
+        with pytest.raises(ValueError):
+            WindowStrategy(window=0)
+
+    def test_spot_zero_always_included(self):
+        gates = chain_circuit(4, 5).cnot_gates()
+        for name in ("all", "disjoint", "odd", "triangle"):
+            strategy = get_strategy(name)
+            assert 0 in strategy.spots(gates, ibm_qx4()), name
+
+
+class TestRegistry:
+    def test_lookup_and_aliases(self):
+        assert isinstance(get_strategy("all"), AllGatesStrategy)
+        assert isinstance(get_strategy("minimal"), AllGatesStrategy)
+        assert isinstance(get_strategy("disjoint_qubits"), DisjointQubitsStrategy)
+        assert isinstance(get_strategy("ODD"), OddGatesStrategy)
+        assert isinstance(get_strategy("triangle"), QubitTriangleStrategy)
+        assert isinstance(get_strategy("window", window=3), WindowStrategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            get_strategy("quantum_annealing")
+
+    def test_available_strategies_all_resolvable(self):
+        for name in available_strategies():
+            assert get_strategy(name) is not None
+
+    def test_minimality_flags(self):
+        assert AllGatesStrategy().guarantees_minimality
+        assert not DisjointQubitsStrategy().guarantees_minimality
+        assert not OddGatesStrategy().guarantees_minimality
+        assert not QubitTriangleStrategy().guarantees_minimality

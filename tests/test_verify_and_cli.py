@@ -1,0 +1,117 @@
+"""Unit tests for the verification helpers and the command-line interface."""
+
+import pytest
+
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.generators import random_clifford_t_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.qasm import to_qasm
+from repro.cli import build_parser, main
+from repro.exact.dp_mapper import DPMapper
+from repro.verify import check_coupling_compliance, count_added_operations, verify_result
+
+
+class TestCompliance:
+    def test_compliant_circuit(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(1, 0)
+        circuit.cx(3, 4)
+        report = check_coupling_compliance(circuit, ibm_qx4())
+        assert report.compliant
+        assert report.cnot_count == 2
+
+    def test_violations_are_listed(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 1)  # wrong direction
+        circuit.cx(0, 4)  # not coupled at all
+        report = check_coupling_compliance(circuit, ibm_qx4())
+        assert not report.compliant
+        assert (0, 0, 1) in report.violations
+        assert (1, 0, 4) in report.violations
+
+    def test_swap_gates_accepted_on_coupled_pairs(self):
+        circuit = QuantumCircuit(5)
+        circuit.swap(0, 1)
+        assert check_coupling_compliance(circuit, ibm_qx4()).compliant
+        circuit.swap(0, 4)
+        assert not check_coupling_compliance(circuit, ibm_qx4()).compliant
+
+    def test_count_added_operations(self):
+        original = QuantumCircuit(2)
+        original.cx(0, 1)
+        mapped = QuantumCircuit(5)
+        mapped.cx(1, 0)
+        mapped.h(0)
+        mapped.h(1)
+        mapped.h(0)
+        mapped.h(1)
+        assert count_added_operations(original, mapped) == 4
+
+    def test_verify_result_checks_cost_bookkeeping(self):
+        circuit = random_clifford_t_circuit(4, 3, 6, seed=1)
+        result = DPMapper(ibm_qx4()).map(circuit)
+        report = verify_result(result, ibm_qx4())
+        assert report.compliant
+
+
+class TestCLI:
+    def _write_qasm(self, tmp_path, circuit):
+        path = tmp_path / "circuit.qasm"
+        path.write_text(to_qasm(circuit))
+        return str(path)
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["file.qasm"])
+        assert args.arch == "ibm_qx4"
+        assert args.engine == "dp"
+
+    def test_dp_engine_end_to_end(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main([path, "--arch", "qx4", "--engine", "dp", "--verify"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "added operations" in captured
+        assert "equivalence check : passed" in captured
+
+    def test_output_file_is_written(self, tmp_path, capsys):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        output = tmp_path / "mapped.qasm"
+        exit_code = main([path, "--engine", "stochastic", "--trials", "2",
+                          "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        text = output.read_text()
+        assert text.startswith("OPENQASM 2.0;")
+
+    def test_heuristic_engines(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        assert main([path, "--engine", "sabre"]) == 0
+        assert main([path, "--engine", "stochastic", "--trials", "1"]) == 0
+
+    def test_sat_engine_with_strategy(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main(
+            [path, "--engine", "sat", "--strategy", "triangle", "--subsets"]
+        )
+        assert exit_code == 0
+
+    def test_unknown_architecture_errors(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        with pytest.raises(SystemExit):
+            main([path, "--arch", "made_up_device"])
