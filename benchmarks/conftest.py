@@ -41,11 +41,12 @@ def minimal_costs(qx4):
     """Minimal added cost per benchmark, computed once by the DP exact engine.
 
     Used by the strategy and heuristic benchmarks to report the measured
-    Delta-min exactly like Table 1 does.
+    Delta-min exactly like Table 1 does.  The engine is resolved through the
+    mapper backend registry, like every other entry point.
     """
-    from repro.exact import DPMapper
+    from repro.pipeline import get_mapper
 
-    mapper = DPMapper(qx4)
+    mapper = get_mapper("dp", qx4)
     costs = {}
     for name in benchmark_names():
         result = mapper.map(benchmark_circuit(name))

@@ -49,6 +49,14 @@ from repro.exact import (
     available_strategies,
 )
 from repro.heuristic import StochasticSwapMapper, SabreLiteMapper
+from repro.pipeline import (
+    BatchItem,
+    MappingPipeline,
+    PortfolioMapper,
+    available_mappers,
+    get_mapper,
+    register_mapper,
+)
 from repro.sim import StatevectorSimulator, mapped_circuit_equivalent
 from repro.verify import check_coupling_compliance, verify_result
 from repro.benchlib import benchmark_circuit, benchmark_names, get_record
@@ -80,6 +88,12 @@ __all__ = [
     "available_strategies",
     "StochasticSwapMapper",
     "SabreLiteMapper",
+    "BatchItem",
+    "MappingPipeline",
+    "PortfolioMapper",
+    "available_mappers",
+    "get_mapper",
+    "register_mapper",
     "StatevectorSimulator",
     "mapped_circuit_equivalent",
     "check_coupling_compliance",

@@ -1,0 +1,141 @@
+"""Process-wide caches for per-architecture artefacts.
+
+The exact engines repeatedly rebuild two expensive, read-only artefacts:
+
+* the :class:`~repro.arch.permutations.PermutationTable` of a coupling map
+  (exhaustive BFS over the permutation group — ``SATMapper`` used to rebuild
+  it for *every* subset instance of every ``map`` call),
+* the list of connected physical-qubit subsets of a given size
+  (:func:`~repro.arch.subsets.connected_subsets`).
+
+Both depend only on the structure of the coupling map, so this module
+memoises them by :meth:`~repro.arch.coupling.CouplingMap.canonical_key`.
+Distinct subsets of a device that induce the same re-indexed edge set share
+one table, and every circuit of a batch reuses the artefacts of the first.
+
+The caches are process-wide, thread-safe and LRU-bounded (:data:`MAX_ENTRIES`
+per cache, far above what mapping a handful of devices needs), so a
+long-running service cannot grow them without limit.  Worker *processes* of a
+:class:`~repro.pipeline.pipeline.MappingPipeline` each populate their own
+copy (forked children inherit the parent's warm cache on platforms whose
+start method is ``fork``).
+
+This module lives in :mod:`repro.arch` because the cached artefacts depend
+only on the architecture layer; :mod:`repro.pipeline.cache` re-exports it as
+the service-facing entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from repro.arch.coupling import CouplingMap
+from repro.arch.permutations import PermutationTable
+from repro.arch.subsets import connected_subsets
+
+_CacheKey = Tuple[int, Tuple[Tuple[int, int], ...]]
+
+#: Per-cache LRU capacity.
+MAX_ENTRIES = 128
+
+_LOCK = threading.Lock()
+_TABLES: "OrderedDict[_CacheKey, PermutationTable]" = OrderedDict()
+_SUBSETS: "OrderedDict[Tuple[_CacheKey, int], Tuple[Tuple[int, ...], ...]]" = OrderedDict()
+_STATS = {
+    "permutation_table_hits": 0,
+    "permutation_table_misses": 0,
+    "connected_subsets_hits": 0,
+    "connected_subsets_misses": 0,
+}
+
+
+def shared_permutation_table(
+    coupling: CouplingMap, max_qubits_exhaustive: int = 8
+) -> PermutationTable:
+    """Return the (cached) :class:`PermutationTable` of *coupling*.
+
+    The returned table is shared between callers and must be treated as
+    read-only (it is, in normal use: :class:`PermutationTable` exposes no
+    mutating API).
+
+    Args:
+        coupling: The architecture.
+        max_qubits_exhaustive: Same guard as the :class:`PermutationTable`
+            constructor; checked before any cache lookup so that a permissive
+            earlier call cannot mask a stricter later one.
+    """
+    if coupling.num_qubits > max_qubits_exhaustive:
+        raise ValueError(
+            f"refusing to enumerate {coupling.num_qubits}! permutations; "
+            "restrict the architecture to a subset of physical qubits first"
+        )
+    key = coupling.canonical_key()
+    with _LOCK:
+        table = _TABLES.get(key)
+        if table is not None:
+            _STATS["permutation_table_hits"] += 1
+            _TABLES.move_to_end(key)
+            return table
+    # Build outside the lock: the BFS can take a while and concurrent misses
+    # for *different* architectures should not serialise.  A racing build of
+    # the same key is harmless; ``setdefault`` keeps exactly one winner.
+    table = PermutationTable(coupling, max_qubits_exhaustive=max_qubits_exhaustive)
+    with _LOCK:
+        _STATS["permutation_table_misses"] += 1
+        table = _TABLES.setdefault(key, table)
+        _TABLES.move_to_end(key)
+        while len(_TABLES) > MAX_ENTRIES:
+            _TABLES.popitem(last=False)
+        return table
+
+
+def shared_connected_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]:
+    """Memoised :func:`~repro.arch.subsets.connected_subsets`.
+
+    Returns a fresh list on every call (the cached tuples themselves are
+    immutable), so callers may sort or slice the result freely.
+    """
+    key = (coupling.canonical_key(), size)
+    with _LOCK:
+        cached = _SUBSETS.get(key)
+        if cached is not None:
+            _STATS["connected_subsets_hits"] += 1
+            _SUBSETS.move_to_end(key)
+            return list(cached)
+    subsets = tuple(connected_subsets(coupling, size))
+    with _LOCK:
+        _STATS["connected_subsets_misses"] += 1
+        subsets = _SUBSETS.setdefault(key, subsets)
+        _SUBSETS.move_to_end(key)
+        while len(_SUBSETS) > MAX_ENTRIES:
+            _SUBSETS.popitem(last=False)
+        return list(subsets)
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current cache sizes (a snapshot copy)."""
+    with _LOCK:
+        stats = dict(_STATS)
+        stats["permutation_tables_cached"] = len(_TABLES)
+        stats["connected_subset_lists_cached"] = len(_SUBSETS)
+    return stats
+
+
+def clear_caches() -> None:
+    """Drop all cached artefacts and reset the counters (mainly for tests)."""
+    with _LOCK:
+        _TABLES.clear()
+        _SUBSETS.clear()
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+__all__ = [
+    "MAX_ENTRIES",
+    "shared_permutation_table",
+    "shared_connected_subsets",
+    "cache_stats",
+    "clear_caches",
+]

@@ -182,6 +182,16 @@ class CouplingMap:
                 found.add(tuple(sorted((a, b, c))))
         return sorted(found)
 
+    def canonical_key(self) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+        """Hashable key identifying the map by qubit count and edge set.
+
+        The human-readable :attr:`name` is deliberately excluded so that two
+        structurally identical maps (for example the same subset of the same
+        device extracted twice) share one key.  Used by
+        :mod:`repro.pipeline.cache` to memoise per-architecture artefacts.
+        """
+        return (self.num_qubits, tuple(sorted(self._edges)))
+
     # ------------------------------------------------------------------
     # Dunder methods
     # ------------------------------------------------------------------

@@ -110,6 +110,12 @@ def minimal_swap_sequences(
     """
     size = coupling.num_qubits
     edges = sorted(coupling.undirected_edges)
+    # The transposition of an edge does not depend on the BFS state; building
+    # them once instead of once per (node, edge) pair makes the exhaustive
+    # enumeration noticeably cheaper on larger subsets.
+    generators: List[Tuple[SwapEdge, Permutation]] = [
+        (edge, swap_transposition(size, edge)) for edge in edges
+    ]
     identity = identity_permutation(size)
     sequences: Dict[Permutation, List[SwapEdge]] = {identity: []}
     frontier: List[Permutation] = [identity]
@@ -117,8 +123,7 @@ def minimal_swap_sequences(
         next_frontier: List[Permutation] = []
         for perm in frontier:
             base_sequence = sequences[perm]
-            for edge in edges:
-                transposition = swap_transposition(size, edge)
+            for edge, transposition in generators:
                 successor = compose_permutations(perm, transposition)
                 if successor in sequences:
                     continue

@@ -40,6 +40,10 @@ def connected_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]
     by connectivity of the induced undirected subgraph.  For the devices this
     library targets (tens of qubits, subsets of at most a handful of qubits)
     this exhaustive filter is more than fast enough and obviously correct.
+    Connectivity is checked with a plain set-based traversal instead of
+    building a networkx subgraph per combination; repeated enumerations for
+    the same architecture are additionally memoised by
+    :func:`repro.pipeline.cache.shared_connected_subsets`.
 
     Args:
         coupling: The device coupling map.
@@ -49,11 +53,21 @@ def connected_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]
         Sorted list of sorted tuples of physical qubit indices whose induced
         undirected subgraph is connected.
     """
-    graph = coupling.to_undirected_graph()
+    adjacency = {
+        qubit: set(coupling.neighbours(qubit))
+        for qubit in range(coupling.num_qubits)
+    }
     result = []
     for subset in all_subsets(coupling, size):
-        induced = graph.subgraph(subset)
-        if induced.number_of_nodes() > 0 and nx.is_connected(induced):
+        members = set(subset)
+        seen = {subset[0]}
+        stack = [subset[0]]
+        while stack:
+            for neighbour in adjacency[stack.pop()] & members:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        if len(seen) == size:
             result.append(subset)
     return result
 

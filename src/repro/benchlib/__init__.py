@@ -14,6 +14,7 @@ from repro.benchlib.table1 import (
     TABLE1_RECORDS,
     get_record,
     benchmark_names,
+    benchmark_records,
 )
 from repro.benchlib.generators import (
     benchmark_circuit,
@@ -31,6 +32,7 @@ __all__ = [
     "TABLE1_RECORDS",
     "get_record",
     "benchmark_names",
+    "benchmark_records",
     "benchmark_circuit",
     "random_cnot_circuit",
     "random_clifford_t_circuit",

@@ -112,9 +112,23 @@ TABLE1_RECORDS: List[BenchmarkRecord] = [
 _BY_NAME: Dict[str, BenchmarkRecord] = {record.name: record for record in TABLE1_RECORDS}
 
 
-def benchmark_names() -> List[str]:
-    """Names of all Table-1 benchmarks in paper order."""
-    return [record.name for record in TABLE1_RECORDS]
+def benchmark_names(max_qubits: Optional[int] = None) -> List[str]:
+    """Names of all Table-1 benchmarks in paper order.
+
+    Args:
+        max_qubits: When given, only benchmarks with at most this many
+            logical qubits are listed (useful for selecting the instances
+            that are tractable for the pure-Python SAT engine, e.g. in the
+            batch-pipeline benchmarks and the CI smoke jobs).
+    """
+    return [record.name for record in benchmark_records(max_qubits)]
+
+
+def benchmark_records(max_qubits: Optional[int] = None) -> List[BenchmarkRecord]:
+    """Table-1 records in paper order, optionally filtered by qubit count."""
+    if max_qubits is None:
+        return list(TABLE1_RECORDS)
+    return [record for record in TABLE1_RECORDS if record.num_qubits <= max_qubits]
 
 
 def get_record(name: str) -> BenchmarkRecord:
@@ -156,6 +170,7 @@ __all__ = [
     "BenchmarkRecord",
     "TABLE1_RECORDS",
     "benchmark_names",
+    "benchmark_records",
     "get_record",
     "paper_average_ibm_overhead_total",
     "paper_average_ibm_overhead_added",

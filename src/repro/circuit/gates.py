@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 
 class GateError(ValueError):
@@ -230,8 +230,14 @@ class Measure(Gate):
         return cls(qubits[0], getattr(original, "clbit", 0))
 
 
-def _simple_single(name: str):
-    """Create a parameterless single-qubit gate class named *name*."""
+def _simple_single(name: str, cls_name: Optional[str] = None):
+    """Create a parameterless single-qubit gate class named *name*.
+
+    ``cls_name`` must match the module-level binding of the returned class:
+    pickle resolves instances by ``__qualname__`` attribute lookup on this
+    module, which matters when circuits cross process boundaries (e.g. the
+    process-pool executor of :class:`repro.pipeline.pipeline.MappingPipeline`).
+    """
 
     @dataclass(frozen=True)
     class _Simple(SingleQubitGate):
@@ -242,7 +248,7 @@ def _simple_single(name: str):
         def _rebuild(cls, original: "Gate", qubits: Tuple[int, ...]) -> "Gate":
             return cls(qubits[0])
 
-    _Simple.__name__ = name.upper() + "Gate"
+    _Simple.__name__ = cls_name if cls_name else name.upper() + "Gate"
     _Simple.__qualname__ = _Simple.__name__
     return _Simple
 
@@ -252,10 +258,10 @@ YGate = _simple_single("y")
 ZGate = _simple_single("z")
 HGate = _simple_single("h")
 SGate = _simple_single("s")
-SdgGate = _simple_single("sdg")
+SdgGate = _simple_single("sdg", "SdgGate")
 TGate = _simple_single("t")
-TdgGate = _simple_single("tdg")
-IdGate = _simple_single("id")
+TdgGate = _simple_single("tdg", "TdgGate")
+IdGate = _simple_single("id", "IdGate")
 
 
 def _rotation_single(name: str):

@@ -1,10 +1,18 @@
 """Command-line interface: map an OpenQASM circuit to an architecture.
 
+Engines are resolved through the mapper backend registry
+(:mod:`repro.pipeline.registry`), so every registered name — built-in or
+added at runtime via :func:`repro.pipeline.register_mapper` — is a valid
+``--engine`` argument.
+
 Examples::
 
     repro-map circuit.qasm --arch qx4 --engine dp
     repro-map circuit.qasm --arch qx4 --engine sat --strategy odd --subsets
+    repro-map circuit.qasm --arch qx4 --engine sat --subsets --workers 4
+    repro-map circuit.qasm --arch qx4 --engine portfolio
     repro-map circuit.qasm --arch qx4 --engine stochastic --output mapped.qasm
+    repro-map --list-engines
     python -m repro.cli circuit.qasm --arch qx4
 """
 
@@ -12,13 +20,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.arch import get_architecture
 from repro.circuit import parse_qasm_file
 from repro.circuit.qasm import write_qasm_file
-from repro.exact import DPMapper, SATMapper, get_strategy
-from repro.heuristic import SabreLiteMapper, StochasticSwapMapper
+from repro.pipeline.pipeline import MappingPipeline
+from repro.pipeline.registry import available_mappers, resolve_mapper_name
 from repro.sim.equivalence import result_is_equivalent
 from repro.verify import verify_result
 
@@ -30,15 +38,21 @@ def build_parser() -> argparse.ArgumentParser:
         description="Map an OpenQASM 2.0 circuit to an IBM QX architecture "
         "with a minimal (or close-to-minimal) number of SWAP and H operations.",
     )
-    parser.add_argument("qasm", help="input OpenQASM 2.0 file")
+    parser.add_argument(
+        "qasm", nargs="?", default=None, help="input OpenQASM 2.0 file"
+    )
     parser.add_argument(
         "--arch", default="ibm_qx4",
         help="target architecture (ibm_qx2, ibm_qx4, ibm_qx5, ibm_tokyo)",
     )
     parser.add_argument(
         "--engine", default="dp",
-        choices=["sat", "dp", "stochastic", "sabre"],
-        help="mapping engine (default: dp, the fast exact engine)",
+        help="mapping engine from the backend registry "
+        f"({', '.join(available_mappers())}; default: dp, the fast exact engine)",
+    )
+    parser.add_argument(
+        "--list-engines", action="store_true",
+        help="list the registered mapping engines and exit",
     )
     parser.add_argument(
         "--strategy", default="all",
@@ -59,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of trials for the stochastic heuristic (default 5)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the parallel subset fan-out of the SAT engine "
+        "(default 1: sequential; combine with --executor process for real "
+        "speed-ups, the pure-Python solver holds the GIL)",
+    )
+    parser.add_argument(
+        "--executor", default="thread", choices=["thread", "process"],
+        help="worker pool type used with --workers > 1 (default: thread)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write the mapped circuit to this QASM file"
     )
     parser.add_argument(
@@ -68,33 +92,53 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_options(engine: str, args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate CLI flags into constructor options for *engine*.
+
+    Only the options an engine understands are forwarded, so registry names
+    without matching flags (custom engines, heuristics) keep working.
+    """
+    options: Dict[str, Any] = {}
+    if engine in ("sat", "dp", "portfolio"):
+        options["strategy"] = args.strategy
+    if engine in ("sat", "portfolio"):
+        options["use_subsets"] = args.subsets
+        options["time_limit"] = args.time_limit
+    if engine == "stochastic":
+        options["trials"] = args.trials
+    return options
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-map`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.list_engines:
+        for name in available_mappers():
+            print(name)
+        return 0
+    if args.qasm is None:
+        parser.error("the qasm input file is required (or use --list-engines)")
+
+    try:
+        engine = resolve_mapper_name(args.engine)
+    except KeyError as error:
+        parser.error(str(error))
     try:
         coupling = get_architecture(args.arch)
     except KeyError as error:
         parser.error(str(error))
-        return 2
     circuit = parse_qasm_file(args.qasm)
 
-    if args.engine == "dp":
-        mapper = DPMapper(coupling, strategy=get_strategy(args.strategy))
-    elif args.engine == "sat":
-        mapper = SATMapper(
-            coupling,
-            strategy=get_strategy(args.strategy),
-            use_subsets=args.subsets,
-            time_limit=args.time_limit,
-        )
-    elif args.engine == "stochastic":
-        mapper = StochasticSwapMapper(coupling, trials=args.trials)
-    else:
-        mapper = SabreLiteMapper(coupling)
-
-    result = mapper.map(circuit)
+    pipeline = MappingPipeline(
+        coupling,
+        engine=engine,
+        engine_options=_engine_options(engine, args),
+        workers=args.workers,
+        executor=args.executor,
+    )
+    result = pipeline.map(circuit)
     report = verify_result(result, coupling)
 
     print(f"circuit           : {circuit.name}")

@@ -30,12 +30,12 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.coupling import CouplingMap
-from repro.arch.permutations import PermutationTable
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.cost import REVERSAL_COST, SWAP_COST
 from repro.exact.reconstruction import build_result, default_schedule
 from repro.exact.result import MappingResult, MappingSchedule
 from repro.exact.strategies import AllGatesStrategy, PermutationStrategy
+from repro.arch.cache import shared_permutation_table
 
 State = Tuple[int, ...]
 
@@ -70,7 +70,7 @@ class DPMapper:
         self.coupling = coupling
         self.strategy = strategy if strategy is not None else AllGatesStrategy()
         self.decompose_swaps = decompose_swaps
-        self._table = PermutationTable(coupling)
+        self._table = shared_permutation_table(coupling)
         self._transition_cache: Dict[Tuple[State, State], Optional[int]] = {}
 
     # ------------------------------------------------------------------

@@ -9,26 +9,85 @@ circuit.  The performance improvements of Section 4 are available through
   qubits separately and keep the best result (Section 4.1),
 * ``strategy=...`` — restrict the gates before which the mapping may change
   (Section 4.2).
+
+The subset loop is factored into :meth:`SATMapper.solve_subset` so that the
+batch pipeline (:mod:`repro.pipeline.pipeline`) can fan the independent
+subset instances out over a worker pool; both the sequential loop here and
+the parallel one share :meth:`SATMapper.select_best_outcome` and
+:meth:`SATMapper.build_mapping_result`.  Per-architecture artefacts
+(permutation tables, connected subsets) come from the process-wide caches in
+:mod:`repro.arch.cache`.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.coupling import CouplingMap
-from repro.arch.permutations import PermutationTable
-from repro.arch.subsets import connected_subsets
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.encoding import build_encoding
 from repro.exact.reconstruction import build_result, default_schedule
 from repro.exact.result import MappingResult, MappingSchedule
 from repro.exact.strategies import AllGatesStrategy, PermutationStrategy
+from repro.arch.cache import shared_connected_subsets, shared_permutation_table
 from repro.sat.optimize import OptimizationResult, OptimizingSolver
 
 
 class SATMapperError(RuntimeError):
     """Raised when no valid mapping could be determined."""
+
+    @classmethod
+    def no_solution(cls, budget_exhausted: bool) -> "SATMapperError":
+        """The error for a search that ended without any solution.
+
+        Shared by the sequential subset loop and the parallel fan-out in
+        :mod:`repro.pipeline.pipeline` so the two paths cannot drift apart.
+        """
+        if budget_exhausted:
+            return cls("time budget exhausted before a first solution was found")
+        return cls(
+            "no valid mapping found (all subsets unsatisfiable within the "
+            "objective bound, or the search was inconclusive)"
+        )
+
+
+@dataclass
+class SubsetOutcome:
+    """Result of solving one physical-qubit subset instance.
+
+    Attributes:
+        subset: Device indices of the physical qubits of this instance.
+        status: Optimiser status (``"optimal"``, ``"satisfiable"``,
+            ``"unsat"``, ``"unknown"``).
+        objective: Best objective value found (``None`` when unsatisfiable).
+        mappings: Per-CNOT logical-to-physical mappings, translated back to
+            device indices (``None`` when unsatisfiable).
+        iterations: Solver calls spent on this instance.
+        conflicts: Solver conflicts spent on this instance.
+        variables: CNF variables of the instance encoding.
+        clauses: CNF clauses of the instance encoding.
+    """
+
+    subset: Tuple[int, ...]
+    status: str
+    objective: Optional[int] = None
+    mappings: Optional[List[Tuple[int, ...]]] = None
+    iterations: int = 0
+    conflicts: int = 0
+    variables: int = 0
+    clauses: int = 0
+
+    @property
+    def is_satisfiable(self) -> bool:
+        """True when the instance yielded at least one model."""
+        return self.status in ("optimal", "satisfiable")
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the instance was solved to (bounded) optimality."""
+        return self.status == "optimal"
 
 
 class SATMapper:
@@ -44,7 +103,8 @@ class SATMapper:
             (see :class:`~repro.sat.optimize.OptimizingSolver`).
         time_limit: Optional wall-clock budget in seconds for the whole
             mapping call; when exhausted the best solution found so far is
-            returned (not necessarily minimal).
+            returned (not necessarily minimal) and the remaining subset
+            instances are skipped.
         conflict_limit: Optional per-solver-call conflict budget.
         decompose_swaps: Emit SWAPs as their 7-gate decomposition (default).
 
@@ -77,25 +137,204 @@ class SATMapper:
         self.decompose_swaps = decompose_swaps
 
     # ------------------------------------------------------------------
-    def _candidate_subsets(self, num_logical: int) -> List[Tuple[int, ...]]:
+    # Instance preparation (shared with the batch pipeline)
+    # ------------------------------------------------------------------
+    def candidate_subsets(self, num_logical: int) -> List[Tuple[int, ...]]:
         """Physical-qubit subsets to try (Section 4.1)."""
         num_physical = self.coupling.num_qubits
         if not self.use_subsets or num_logical >= num_physical:
             return [tuple(range(num_physical))]
-        return connected_subsets(self.coupling, num_logical)
+        return shared_connected_subsets(self.coupling, num_logical)
+
+    def cnot_instance(
+        self, circuit: QuantumCircuit
+    ) -> Tuple[List[Tuple[int, int]], List[int]]:
+        """The CNOT pair sequence of *circuit* and its permutation spots."""
+        cnot_gates = circuit.cnot_gates()
+        gates = [(gate.control, gate.target) for gate in cnot_gates]
+        spots = self.strategy.spots(cnot_gates, self.coupling) if gates else []
+        return gates, spots
 
     def _remaining_time(self, start: float) -> Optional[float]:
+        """Seconds left of the overall budget; <= 0 means the budget is spent."""
         if self.time_limit is None:
             return None
-        return max(0.01, self.time_limit - (time.monotonic() - start))
+        return self.time_limit - (time.monotonic() - start)
 
     # ------------------------------------------------------------------
-    def map(self, circuit: QuantumCircuit) -> MappingResult:
+    # Per-subset solving
+    # ------------------------------------------------------------------
+    def solve_subset(
+        self,
+        gates: Sequence[Tuple[int, int]],
+        num_logical: int,
+        spots: Sequence[int],
+        subset: Tuple[int, ...],
+        time_limit: Optional[float] = None,
+        upper_bound: Optional[int] = None,
+    ) -> SubsetOutcome:
+        """Solve the mapping instance restricted to one physical-qubit subset.
+
+        Args:
+            gates: CNOT sequence as ``(control, target)`` logical pairs.
+            num_logical: Number of logical qubits of the circuit.
+            spots: Permutation spots (from :meth:`cnot_instance`).
+            subset: Device indices of the physical qubits to map onto.
+            time_limit: Wall-clock budget for this instance.
+            upper_bound: Inclusive objective bound asserted before the first
+                solve (heuristic seeding / incumbent tightening); a
+                ``"unsat"`` outcome then only means "nothing at most this
+                cheap in this subset".
+
+        Returns:
+            The :class:`SubsetOutcome` with mappings translated back to
+            device indices.
+        """
+        sub_coupling = self.coupling.subgraph(subset)
+        if not sub_coupling.is_connected():
+            return SubsetOutcome(subset=tuple(subset), status="unsat")
+        table = shared_permutation_table(sub_coupling)
+        encoding = build_encoding(
+            list(gates), num_logical, sub_coupling,
+            permutation_spots=list(spots),
+            permutation_table=table,
+        )
+        optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
+        outcome: OptimizationResult = optimizer.minimize(
+            strategy=self.optimizer_strategy,
+            time_limit=time_limit,
+            conflict_limit=self.conflict_limit,
+            upper_bound=upper_bound,
+        )
+        if not outcome.is_satisfiable:
+            return SubsetOutcome(
+                subset=tuple(subset),
+                status=outcome.status,
+                iterations=outcome.iterations,
+                conflicts=outcome.conflicts,
+                variables=encoding.num_variables,
+                clauses=encoding.num_clauses,
+            )
+        local_mappings = encoding.extract_schedule(outcome.model)
+        # Translate subset-relative physical indices back to device indices.
+        translated = [
+            tuple(subset[physical] for physical in mapping)
+            for mapping in local_mappings
+        ]
+        return SubsetOutcome(
+            subset=tuple(subset),
+            status=outcome.status,
+            objective=outcome.objective if outcome.objective is not None else 0,
+            mappings=translated,
+            iterations=outcome.iterations,
+            conflicts=outcome.conflicts,
+            variables=encoding.num_variables,
+            clauses=encoding.num_clauses,
+        )
+
+    # ------------------------------------------------------------------
+    # Result assembly (shared with the batch pipeline)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def select_best_outcome(
+        outcomes: Sequence[SubsetOutcome],
+    ) -> Optional[SubsetOutcome]:
+        """The first outcome (in the given order) with the lowest objective.
+
+        Keeping the *first* of equally cheap outcomes makes the parallel
+        subset fan-out deterministic and identical to the sequential loop,
+        which only replaces the incumbent on a strict improvement.
+        """
+        best: Optional[SubsetOutcome] = None
+        for outcome in outcomes:
+            if not outcome.is_satisfiable:
+                continue
+            if best is None or outcome.objective < best.objective:
+                best = outcome
+        return best
+
+    def build_mapping_result(
+        self,
+        circuit: QuantumCircuit,
+        best: SubsetOutcome,
+        outcomes: Sequence[SubsetOutcome],
+        spots: Sequence[int],
+        subsets_total: int,
+        runtime_seconds: float,
+        budget_exhausted: bool = False,
+        upper_bound: Optional[int] = None,
+    ) -> MappingResult:
+        """Assemble the :class:`MappingResult` from per-subset outcomes."""
+        num_logical = circuit.num_qubits
+        schedule = MappingSchedule(
+            num_logical=num_logical,
+            num_physical=self.coupling.num_qubits,
+            mappings=best.mappings,
+            initial_mapping=best.mappings[0],
+        )
+        # Minimality is only guaranteed for the unrestricted formulation over
+        # all physical qubits, with the optimiser having proven (bounded)
+        # optimality and the whole budget having sufficed.  A seeded upper
+        # bound does not void the claim: a solution at or below the seed was
+        # found, so the bounded minimum equals the true minimum.
+        proven_minimal = (
+            best.is_optimal
+            and self.strategy.guarantees_minimality
+            and not self.use_subsets
+            and not budget_exhausted
+        )
+        statistics = {
+            "subsets_total": subsets_total,
+            "subsets_tried": len(outcomes),
+            "subsets_skipped": subsets_total - len(outcomes),
+            "solver_conflicts": sum(o.conflicts for o in outcomes),
+            "solver_iterations": sum(o.iterations for o in outcomes),
+            "encoding_variables": sum(o.variables for o in outcomes),
+            "encoding_clauses": sum(o.clauses for o in outcomes),
+            "budget_exhausted": budget_exhausted,
+        }
+        if upper_bound is not None:
+            statistics["seeded_upper_bound"] = upper_bound
+        # Reconstruction needs SWAP sequences on the full device; reuse the
+        # process-wide table when the device is small enough to enumerate
+        # (build_result's lazy fallback applies the same size guard, and only
+        # when a swap sequence is actually required).
+        table = (
+            shared_permutation_table(self.coupling)
+            if self.coupling.num_qubits <= 8 else None
+        )
+        return build_result(
+            circuit,
+            schedule,
+            self.coupling,
+            engine="sat",
+            strategy=self.strategy.name,
+            objective=best.objective,
+            optimal=proven_minimal,
+            runtime_seconds=runtime_seconds,
+            num_permutation_spots=len(spots),
+            statistics=statistics,
+            decompose_swaps=self.decompose_swaps,
+            permutation_table=table,
+        )
+
+    # ------------------------------------------------------------------
+    def map(
+        self, circuit: QuantumCircuit, upper_bound: Optional[int] = None
+    ) -> MappingResult:
         """Map *circuit* to the architecture with minimal added cost.
 
+        Args:
+            circuit: The circuit to map.
+            upper_bound: Optional inclusive bound on the objective, e.g. the
+                added cost of a heuristic solution (portfolio seeding).  Only
+                mappings at most this expensive are searched for; when none
+                exists, :class:`SATMapperError` is raised even though the
+                unbounded problem may be satisfiable.
+
         Raises:
-            SATMapperError: If no valid mapping exists (or none was found
-                within the time budget).
+            SATMapperError: If no valid mapping exists within the bound (or
+                none was found within the time budget).
             ValueError: If the circuit does not fit on the device.
         """
         start = time.monotonic()
@@ -106,8 +345,9 @@ class SATMapper:
                 f"circuit has {num_logical} logical qubits but the device only "
                 f"has {num_physical}"
             )
-        cnot_gates = circuit.cnot_gates()
-        gates = [(gate.control, gate.target) for gate in cnot_gates]
+        if upper_bound is not None and upper_bound < 0:
+            raise ValueError("upper_bound must be non-negative")
+        gates, spots = self.cnot_instance(circuit)
 
         if not gates:
             schedule = default_schedule(num_logical, self.coupling)
@@ -121,91 +361,52 @@ class SATMapper:
                 decompose_swaps=self.decompose_swaps,
             )
 
-        spots = self.strategy.spots(cnot_gates, self.coupling)
-
-        best_mappings: Optional[List[Tuple[int, ...]]] = None
-        best_objective: Optional[int] = None
-        best_optimal = False
-        total_conflicts = 0
-        total_iterations = 0
-        total_variables = 0
-        total_clauses = 0
-        subsets = self._candidate_subsets(num_logical)
+        subsets = self.candidate_subsets(num_logical)
+        outcomes: List[SubsetOutcome] = []
+        best: Optional[SubsetOutcome] = None
+        bound = upper_bound
+        budget_exhausted = False
 
         for subset in subsets:
-            sub_coupling = self.coupling.subgraph(subset)
-            if not sub_coupling.is_connected():
-                continue
-            table = PermutationTable(sub_coupling)
-            encoding = build_encoding(
-                gates, num_logical, sub_coupling,
-                permutation_spots=spots,
-                permutation_table=table,
+            remaining = self._remaining_time(start)
+            if remaining is not None and remaining <= 0:
+                # Budget spent: do not launch further solver calls.  The best
+                # solution found so far (if any) is returned as non-optimal.
+                budget_exhausted = True
+                break
+            outcome = self.solve_subset(
+                gates, num_logical, spots, subset,
+                time_limit=remaining,
+                upper_bound=bound,
             )
-            total_variables += encoding.num_variables
-            total_clauses += encoding.num_clauses
-            optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
-            outcome: OptimizationResult = optimizer.minimize(
-                strategy=self.optimizer_strategy,
-                time_limit=self._remaining_time(start),
-                conflict_limit=self.conflict_limit,
-            )
-            total_conflicts += outcome.conflicts
-            total_iterations += outcome.iterations
+            outcomes.append(outcome)
             if not outcome.is_satisfiable:
                 continue
-            local_mappings = encoding.extract_schedule(outcome.model)
-            # Translate subset-relative physical indices back to device indices.
-            translated = [
-                tuple(subset[physical] for physical in mapping)
-                for mapping in local_mappings
-            ]
-            objective = outcome.objective if outcome.objective is not None else 0
-            if best_objective is None or objective < best_objective:
-                best_objective = objective
-                best_mappings = translated
-                best_optimal = outcome.is_optimal
+            if best is None or outcome.objective < best.objective:
+                best = outcome
+            if best.objective == 0:
+                # A zero-added-cost mapping cannot be beaten by any other
+                # subset — stop the loop early.
+                break
+            # Tighten: later subsets only interest us when strictly cheaper
+            # than the incumbent (and never above a seeded upper bound).
+            incumbent_bound = best.objective - 1
+            bound = incumbent_bound if bound is None else min(bound, incumbent_bound)
 
-        if best_mappings is None:
-            raise SATMapperError(
-                "no valid mapping found (all subsets unsatisfiable or the time "
-                "budget was exhausted before a first solution)"
-            )
+        if best is None:
+            raise SATMapperError.no_solution(budget_exhausted)
 
-        schedule = MappingSchedule(
-            num_logical=num_logical,
-            num_physical=num_physical,
-            mappings=best_mappings,
-            initial_mapping=best_mappings[0],
-        )
-        runtime = time.monotonic() - start
-        # Minimality is only guaranteed for the unrestricted formulation over
-        # all physical qubits, with the optimiser having proven optimality for
-        # every subset it solved.
-        proven_minimal = (
-            best_optimal
-            and self.strategy.guarantees_minimality
-            and not self.use_subsets
-        )
-        return build_result(
+        result = self.build_mapping_result(
             circuit,
-            schedule,
-            self.coupling,
-            engine="sat",
-            strategy=self.strategy.name,
-            objective=best_objective,
-            optimal=proven_minimal,
-            runtime_seconds=runtime,
-            num_permutation_spots=len(spots),
-            statistics={
-                "subsets_tried": len(subsets),
-                "solver_conflicts": total_conflicts,
-                "solver_iterations": total_iterations,
-                "encoding_variables": total_variables,
-                "encoding_clauses": total_clauses,
-            },
-            decompose_swaps=self.decompose_swaps,
+            best,
+            outcomes,
+            spots,
+            subsets_total=len(subsets),
+            runtime_seconds=time.monotonic() - start,
+            budget_exhausted=budget_exhausted,
+            upper_bound=upper_bound,
         )
+        return result
 
 
-__all__ = ["SATMapper", "SATMapperError"]
+__all__ = ["SATMapper", "SATMapperError", "SubsetOutcome"]

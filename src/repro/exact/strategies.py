@@ -152,32 +152,62 @@ _STRATEGIES = {
     "qubit_triangle": QubitTriangleStrategy,
 }
 
+#: Aliases of the built-in strategies, excluded from the canonical listing.
+_BUILTIN_ALIASES = frozenset({"minimal", "disjoint_qubits", "odd_gates", "qubit_triangle"})
+
 
 def available_strategies() -> List[str]:
     """Canonical names accepted by :func:`get_strategy`."""
-    return ["all", "disjoint", "odd", "triangle", "window"]
+    custom = sorted(
+        key for key in _STRATEGIES
+        if key not in _BUILTIN_ALIASES
+        and key not in ("all", "disjoint", "odd", "triangle")
+    )
+    return ["all", "disjoint", "odd", "triangle", "window"] + custom
 
 
-def get_strategy(name: str, **kwargs) -> PermutationStrategy:
+def register_strategy(name: str, factory, overwrite: bool = False) -> None:
+    """Register a custom strategy factory under *name* (case-insensitive).
+
+    The factory is called with the keyword arguments passed to
+    :func:`get_strategy` and must return a :class:`PermutationStrategy`.
+    Registered names become resolvable from everything that accepts a
+    strategy name — the CLI, the mapper registry and the pipeline.
+
+    Raises:
+        ValueError: When the name is taken and *overwrite* is off.
+    """
+    key = name.lower()
+    if not overwrite and (key in _STRATEGIES or key == "window"):
+        raise ValueError(f"strategy name {name!r} is already registered")
+    _STRATEGIES[key] = factory
+
+
+def get_strategy(name, **kwargs) -> PermutationStrategy:
     """Instantiate a strategy by name (case-insensitive).
 
     Args:
         name: One of :func:`available_strategies` (plus aliases such as
-            ``"minimal"`` or ``"disjoint_qubits"``).
+            ``"minimal"`` or ``"disjoint_qubits"``).  An already instantiated
+            :class:`PermutationStrategy` is passed through unchanged, so
+            callers resolving user-supplied configuration need no type
+            switch.
         kwargs: Extra arguments for parameterised strategies
             (``window=<int>`` for the window strategy).
 
     Raises:
         KeyError: If the name is unknown.
     """
+    if isinstance(name, PermutationStrategy):
+        return name
     key = name.lower()
+    if key in _STRATEGIES:
+        return _STRATEGIES[key](**kwargs)
     if key == "window":
         return WindowStrategy(**kwargs)
-    if key not in _STRATEGIES:
-        raise KeyError(
-            f"unknown strategy {name!r}; available: {available_strategies()}"
-        )
-    return _STRATEGIES[key]()
+    raise KeyError(
+        f"unknown strategy {name!r}; available: {available_strategies()}"
+    )
 
 
 __all__ = [
@@ -189,4 +219,5 @@ __all__ = [
     "WindowStrategy",
     "available_strategies",
     "get_strategy",
+    "register_strategy",
 ]

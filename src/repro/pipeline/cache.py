@@ -1,0 +1,26 @@
+"""Service-facing entry point for the per-architecture artefact caches.
+
+The implementation lives in :mod:`repro.arch.cache` — the cached artefacts
+(:class:`~repro.arch.permutations.PermutationTable`,
+:func:`~repro.arch.subsets.connected_subsets`) depend only on the
+architecture layer, and keeping the code there lets the exact engines use
+the caches without depending on this orchestration package.  This module
+re-exports the API under the pipeline namespace, where batch-mapping users
+look for it.
+"""
+
+from repro.arch.cache import (
+    MAX_ENTRIES,
+    cache_stats,
+    clear_caches,
+    shared_connected_subsets,
+    shared_permutation_table,
+)
+
+__all__ = [
+    "MAX_ENTRIES",
+    "shared_permutation_table",
+    "shared_connected_subsets",
+    "cache_stats",
+    "clear_caches",
+]

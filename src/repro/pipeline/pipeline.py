@@ -1,0 +1,357 @@
+"""Batch mapping over worker pools, with structured per-item results.
+
+:class:`MappingPipeline` is the service-shaped front end of the package: it
+resolves its engine through the :mod:`repro.pipeline.registry`, maps single
+circuits or whole batches, and exploits two levels of parallelism:
+
+* **circuit level** — :meth:`MappingPipeline.map_many` fans independent
+  circuits out over a :mod:`concurrent.futures` thread or process pool and
+  returns one :class:`BatchItem` per input (result *or* structured failure —
+  one bad circuit never poisons the batch),
+* **subset level** — for the SAT engine with ``use_subsets=True``,
+  :meth:`MappingPipeline.map` solves the independent connected-subset
+  instances concurrently, drops outstanding instances as soon as a
+  zero-added-cost mapping is found, and picks the winner in deterministic
+  subset order: the same subset wins with the same added cost as the
+  sequential loop in :meth:`repro.exact.sat_mapper.SATMapper.map` (the
+  concrete qubit assignment within the winning subset may differ, as the
+  sequential loop solves later subsets under a tightened incumbent bound).
+
+The pure-Python SAT solver holds the GIL, so ``executor="process"`` is the
+choice for real speed-ups; ``executor="thread"`` (the default) still
+overlaps I/O and keeps the API identical without any pickling requirements.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.coupling import CouplingMap
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.result import MappingResult
+from repro.exact.sat_mapper import SATMapper, SATMapperError, SubsetOutcome
+from repro.pipeline.registry import get_mapper, resolve_mapper_name
+
+
+@dataclass
+class BatchItem:
+    """Outcome of mapping one circuit of a batch.
+
+    Exactly one of :attr:`result` and :attr:`error` is set.
+
+    Attributes:
+        index: Position of the circuit in the input batch.
+        name: The circuit's name.
+        result: The mapping result on success.
+        error: Human-readable failure message on failure.
+        error_type: Exception class name on failure.
+        elapsed_seconds: Wall-clock time spent on this item.
+    """
+
+    index: int
+    name: str
+    result: Optional[MappingResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the circuit was mapped successfully."""
+        return self.result is not None
+
+
+def _map_circuit_task(
+    engine: str,
+    coupling: CouplingMap,
+    options: Dict[str, Any],
+    circuit: QuantumCircuit,
+) -> Tuple[str, Any, Optional[str], float]:
+    """Worker task: map one circuit with a freshly built engine.
+
+    Returns a plain tuple ``(status, payload, error_type, elapsed)`` instead
+    of raising, so process workers never have to pickle tracebacks.
+    """
+    start = time.monotonic()
+    try:
+        mapper = get_mapper(engine, coupling, **options)
+        result = mapper.map(circuit)
+        return ("ok", result, None, time.monotonic() - start)
+    except Exception as error:  # noqa: BLE001 - converted to a structured failure
+        return ("error", str(error), type(error).__name__, time.monotonic() - start)
+
+
+def _solve_subset_task(
+    mapper: SATMapper,
+    gates: Sequence[Tuple[int, int]],
+    num_logical: int,
+    spots: Sequence[int],
+    subset: Tuple[int, ...],
+    deadline: Optional[float],
+    upper_bound: Optional[int],
+) -> SubsetOutcome:
+    """Worker task: solve one SAT subset instance.
+
+    *deadline* is an absolute ``time.monotonic()`` timestamp so that a task
+    dequeued late in a crowded pool gets only the time that is actually left
+    of the overall budget, not the full budget again.  (``CLOCK_MONOTONIC``
+    is system-wide, so the comparison also holds in process-pool workers.)
+    """
+    if deadline is not None:
+        time_limit = deadline - time.monotonic()
+        if time_limit <= 0:
+            return SubsetOutcome(subset=tuple(subset), status="unknown")
+    else:
+        time_limit = None
+    return mapper.solve_subset(
+        gates, num_logical, spots, subset,
+        time_limit=time_limit, upper_bound=upper_bound,
+    )
+
+
+class MappingPipeline:
+    """Registry-backed mapping front end with batch and subset parallelism.
+
+    Args:
+        coupling: Target architecture shared by all mapped circuits.
+        engine: Registry name of the mapping engine (``"sat"``, ``"dp"``,
+            ``"stochastic"``, ``"sabre"``, ``"portfolio"``, or any name added
+            via :func:`repro.pipeline.registry.register_mapper`).
+        engine_options: Keyword options forwarded to the engine factory.
+        workers: Default worker count for :meth:`map_many` and for the SAT
+            subset fan-out of :meth:`map`; ``1`` means fully sequential.
+        executor: ``"thread"`` (default) or ``"process"``.  With
+            ``"process"``, worker processes re-resolve the engine from their
+            own copy of the registry: custom engines added at runtime via
+            :func:`~repro.pipeline.registry.register_mapper` are only visible
+            to workers on platforms whose start method is ``fork`` (Linux) or
+            when the registration runs at import time of a module the workers
+            also import; on spawn-start platforms (Windows, macOS default) a
+            runtime-registered name fails in the workers with ``KeyError``.
+
+    Example:
+        >>> from repro.arch import ibm_qx4
+        >>> pipeline = MappingPipeline(ibm_qx4(), engine="dp")
+        >>> items = pipeline.map_many([circuit_a, circuit_b], workers=2)
+        >>> [item.result.added_cost for item in items if item.ok]
+        [0, 4]
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        engine: str = "sat",
+        engine_options: Optional[Dict[str, Any]] = None,
+        workers: int = 1,
+        executor: str = "thread",
+    ):
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; use 'thread' or 'process'"
+            )
+        self.coupling = coupling
+        self.engine = resolve_mapper_name(engine)
+        self.engine_options = dict(engine_options or {})
+        self.workers = max(1, int(workers))
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def _make_executor(self, workers: int) -> Executor:
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def create_mapper(self):
+        """A fresh engine instance from the registry."""
+        return get_mapper(self.engine, self.coupling, **self.engine_options)
+
+    # ------------------------------------------------------------------
+    # Single circuit
+    # ------------------------------------------------------------------
+    def map(self, circuit: QuantumCircuit) -> MappingResult:
+        """Map one circuit, fanning SAT subset instances out when possible.
+
+        The parallel subset path is taken for the SAT engine with
+        ``use_subsets=True`` and more than one worker; every other
+        configuration simply delegates to the engine's own ``map``.
+        """
+        mapper = self.create_mapper()
+        if (
+            self.workers > 1
+            and isinstance(mapper, SATMapper)
+            and mapper.use_subsets
+        ):
+            return self._map_subsets_parallel(mapper, circuit)
+        return mapper.map(circuit)
+
+    def _map_subsets_parallel(
+        self,
+        mapper: SATMapper,
+        circuit: QuantumCircuit,
+    ) -> MappingResult:
+        start = time.monotonic()
+        gates, spots = mapper.cnot_instance(circuit)
+        if not gates:
+            return mapper.map(circuit)
+        subsets = mapper.candidate_subsets(circuit.num_qubits)
+        if len(subsets) <= 1:
+            return mapper.map(circuit)
+
+        budget = mapper.time_limit
+        deadline = None if budget is None else start + budget
+        outcomes_by_index: Dict[int, SubsetOutcome] = {}
+        budget_exhausted = False
+        with self._make_executor(min(self.workers, len(subsets))) as pool:
+            futures = {
+                pool.submit(
+                    _solve_subset_task,
+                    mapper, gates, circuit.num_qubits, spots, subset,
+                    deadline, None,
+                ): index
+                for index, subset in enumerate(subsets)
+            }
+            pending = set(futures)
+            zero_index: Optional[int] = None
+            while pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        budget_exhausted = True
+                        break
+                done, pending = wait(
+                    pending, timeout=remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index = futures[future]
+                    outcome = future.result()
+                    outcomes_by_index[index] = outcome
+                    if outcome.is_satisfiable and outcome.objective == 0:
+                        if zero_index is None or index < zero_index:
+                            zero_index = index
+                if zero_index is not None:
+                    # Zero added cost is globally minimal, so nothing can beat
+                    # it — but the sequential loop would have stopped at the
+                    # *first* subset reaching zero, so keep waiting for the
+                    # lower-indexed instances (one of them may also reach
+                    # zero) and cancel the rest.  This keeps the winner
+                    # deterministic regardless of completion order.
+                    keep = set()
+                    for future in pending:
+                        if futures[future] < zero_index:
+                            keep.add(future)
+                        else:
+                            future.cancel()
+                    pending = keep
+            for future in pending:
+                future.cancel()
+        # The executor shutdown above waited for in-flight tasks, so harvest
+        # outcomes that completed after a deadline break — a budget-limited
+        # run must still return the best solution found, like the sequential
+        # loop does.
+        for future, index in futures.items():
+            if index in outcomes_by_index or not future.done() or future.cancelled():
+                continue
+            outcomes_by_index[index] = future.result()
+        if (
+            deadline is not None
+            and not budget_exhausted
+            and time.monotonic() >= deadline
+        ):
+            # Tasks that self-expired at the deadline drain in one wait()
+            # round without the outer loop re-checking the clock; the run is
+            # still budget-limited and must be reported as such.
+            budget_exhausted = True
+
+        # Deterministic reduction in subset order — the same subset wins as
+        # in the sequential loop, which keeps the first strict improvement.
+        ordered = [
+            outcomes_by_index[index] for index in sorted(outcomes_by_index)
+        ]
+        best = SATMapper.select_best_outcome(ordered)
+        if best is None:
+            raise SATMapperError.no_solution(budget_exhausted)
+        return mapper.build_mapping_result(
+            circuit,
+            best,
+            ordered,
+            spots,
+            subsets_total=len(subsets),
+            runtime_seconds=time.monotonic() - start,
+            budget_exhausted=budget_exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    def map_many(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        workers: Optional[int] = None,
+    ) -> List[BatchItem]:
+        """Map a batch of circuits, one :class:`BatchItem` per input.
+
+        Items are returned in input order.  A circuit that fails to map
+        (for example because it has more logical qubits than the device)
+        yields an item with :attr:`BatchItem.error` set; the other circuits
+        are unaffected.
+
+        Args:
+            circuits: The circuits to map.
+            workers: Worker count for this call (defaults to the pipeline's
+                ``workers``); ``1`` maps sequentially in the calling thread.
+        """
+        batch = list(circuits)
+        pool_size = self.workers if workers is None else max(1, int(workers))
+        pool_size = min(pool_size, max(1, len(batch)))
+
+        if pool_size <= 1 or len(batch) <= 1:
+            return [
+                self._item_from_task(index, circuit, _map_circuit_task(
+                    self.engine, self.coupling, self.engine_options, circuit
+                ))
+                for index, circuit in enumerate(batch)
+            ]
+
+        items: List[Optional[BatchItem]] = [None] * len(batch)
+        with self._make_executor(pool_size) as pool:
+            futures = {
+                pool.submit(
+                    _map_circuit_task,
+                    self.engine, self.coupling, self.engine_options, circuit,
+                ): (index, circuit)
+                for index, circuit in enumerate(batch)
+            }
+            for future in futures:
+                index, circuit = futures[future]
+                items[index] = self._item_from_task(index, circuit, future.result())
+        return [item for item in items if item is not None]
+
+    @staticmethod
+    def _item_from_task(
+        index: int,
+        circuit: QuantumCircuit,
+        task_result: Tuple[str, Any, Optional[str], float],
+    ) -> BatchItem:
+        status, payload, error_type, elapsed = task_result
+        if status == "ok":
+            return BatchItem(
+                index=index, name=circuit.name,
+                result=payload, elapsed_seconds=elapsed,
+            )
+        return BatchItem(
+            index=index, name=circuit.name,
+            error=payload, error_type=error_type, elapsed_seconds=elapsed,
+        )
+
+
+__all__ = ["BatchItem", "MappingPipeline"]

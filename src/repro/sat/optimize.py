@@ -109,6 +109,7 @@ class OptimizingSolver:
         strategy: str = "linear",
         time_limit: Optional[float] = None,
         conflict_limit: Optional[int] = None,
+        upper_bound: Optional[int] = None,
     ) -> OptimizationResult:
         """Find a model of minimal objective value.
 
@@ -117,14 +118,24 @@ class OptimizingSolver:
                 (bisection with fresh solvers).
             time_limit: Overall wall-clock budget in seconds.
             conflict_limit: Per-solver-call conflict budget.
+            upper_bound: Known inclusive bound on the objective (for example
+                from a heuristic solution).  The constraint ``F <= upper_bound``
+                is asserted *before the first solve*, so the search starts from
+                the seeded bound instead of descending from an arbitrary first
+                model.  A result with status ``"unsat"`` then means "no model
+                with objective at most *upper_bound*" — the unseeded instance
+                may still be satisfiable.
 
         Returns:
-            The :class:`OptimizationResult`.
+            The :class:`OptimizationResult`; its objective never exceeds
+            *upper_bound* when one was given.
         """
+        if upper_bound is not None and upper_bound < 0:
+            raise ValueError("upper_bound must be non-negative")
         if strategy == "linear":
-            return self._minimize_linear(time_limit, conflict_limit)
+            return self._minimize_linear(time_limit, conflict_limit, upper_bound)
         if strategy == "binary":
-            return self._minimize_binary(time_limit, conflict_limit)
+            return self._minimize_binary(time_limit, conflict_limit, upper_bound)
         raise ValueError(f"unknown optimisation strategy {strategy!r}")
 
     # ------------------------------------------------------------------
@@ -133,14 +144,30 @@ class OptimizingSolver:
             return None
         return max(0.001, time_limit - (time.monotonic() - start))
 
+    def _bounded_copy(self, bound: Optional[int], prefix: str) -> CNF:
+        """A working copy of the hard constraints, with ``F <= bound`` when given.
+
+        Bound encodings are search state, not part of the caller's formula:
+        working on a copy keeps repeated ``minimize`` calls on the same
+        instance independent.  The variable pool is shared so auxiliary
+        variables stay unique across copies.
+        """
+        cnf = CNF(self.cnf.pool)
+        cnf.clauses = list(self.cnf.clauses)
+        if bound is not None:
+            encode_pb_leq(cnf, self._objective_terms(), bound, prefix=prefix)
+        return cnf
+
     def _minimize_linear(
         self,
         time_limit: Optional[float],
         conflict_limit: Optional[int],
+        upper_bound: Optional[int] = None,
     ) -> OptimizationResult:
         start = time.monotonic()
+        cnf = self._bounded_copy(upper_bound, prefix="seed")
         solver = CDCLSolver()
-        solver.add_cnf(self.cnf)
+        solver.add_cnf(cnf)
         iterations = 0
         best_model: Dict[int, bool] = {}
         best_value: Optional[int] = None
@@ -193,28 +220,30 @@ class OptimizingSolver:
                     elapsed_seconds=time.monotonic() - start,
                 )
             # Tighten: require an objective strictly below the incumbent.
-            before = self.cnf.num_clauses
+            before = cnf.num_clauses
             encode_pb_leq(
-                self.cnf,
+                cnf,
                 self._objective_terms(),
                 best_value - 1,
                 prefix=f"bound{iterations}",
             )
-            for clause in self.cnf.clauses[before:]:
+            for clause in cnf.clauses[before:]:
                 solver.add_clause(clause.literals)
 
     def _minimize_binary(
         self,
         time_limit: Optional[float],
         conflict_limit: Optional[int],
+        upper_bound: Optional[int] = None,
     ) -> OptimizationResult:
         start = time.monotonic()
         iterations = 0
         total_conflicts = 0
 
-        # Initial feasibility check without any bound.
+        # Initial feasibility check, seeded with the upper bound when given
+        # (this also caps ``high`` of the bisection at the seed).
         solver = CDCLSolver()
-        solver.add_cnf(self.cnf)
+        solver.add_cnf(self._bounded_copy(upper_bound, prefix="seed"))
         iterations += 1
         outcome = solver.solve(
             conflict_limit=conflict_limit,
@@ -243,11 +272,8 @@ class OptimizingSolver:
         proven_optimal = True
         while low < high:
             middle = (low + high) // 2
-            probe_cnf = CNF(self.cnf.pool)
-            probe_cnf.clauses = list(self.cnf.clauses)
-            encode_pb_leq(probe_cnf, self._objective_terms(), middle, prefix=f"bin{iterations}")
             probe = CDCLSolver()
-            probe.add_cnf(probe_cnf)
+            probe.add_cnf(self._bounded_copy(middle, prefix=f"bin{iterations}"))
             iterations += 1
             outcome = probe.solve(
                 conflict_limit=conflict_limit,

@@ -1,0 +1,181 @@
+"""Tests for heuristic bound seeding: ``minimize(upper_bound=...)`` and portfolio mode."""
+
+import pytest
+
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.paper_example import (
+    PAPER_EXAMPLE_MINIMAL_COST,
+    paper_example_cnot_skeleton,
+)
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.sat_mapper import SATMapper, SATMapperError
+from repro.heuristic.sabre_lite import SabreLiteMapper
+from repro.pipeline.portfolio import PortfolioMapper
+from repro.sat.cnf import CNF
+from repro.sat.optimize import ObjectiveTerm, OptimizingSolver
+
+
+def _weighted_instance():
+    """CNF ``(a | b)`` with objective ``3a + 5b`` — minimum 3."""
+    cnf = CNF()
+    a, b = cnf.new_var("a"), cnf.new_var("b")
+    cnf.add_clause([a, b])
+    return cnf, [ObjectiveTerm(3, a), ObjectiveTerm(5, b)]
+
+
+@pytest.fixture(scope="module")
+def plain_paper_result():
+    """Unseeded full-formulation SAT result of the paper example.
+
+    The unseeded solve is by far the most expensive step of this module
+    (the optimiser descends from an arbitrary first model), so it is shared
+    by every test that compares against it.
+    """
+    return SATMapper(ibm_qx4()).map(paper_example_cnot_skeleton())
+
+
+@pytest.fixture(scope="module")
+def paper_heuristic_bound():
+    """SabreLite's added cost on the paper example (a valid upper bound)."""
+    return SabreLiteMapper(ibm_qx4()).map(paper_example_cnot_skeleton()).added_cost
+
+
+class TestOptimizerUpperBound:
+    @pytest.mark.parametrize("strategy", ["linear", "binary"])
+    @pytest.mark.parametrize("bound", [3, 4, 10])
+    def test_objective_never_exceeds_bound(self, strategy, bound):
+        cnf, objective = _weighted_instance()
+        result = OptimizingSolver(cnf, objective).minimize(
+            strategy=strategy, upper_bound=bound
+        )
+        assert result.is_satisfiable
+        assert result.objective <= bound
+        assert result.objective == 3
+        assert result.is_optimal
+
+    @pytest.mark.parametrize("strategy", ["linear", "binary"])
+    def test_unreachable_bound_reports_unsat(self, strategy):
+        cnf, objective = _weighted_instance()
+        result = OptimizingSolver(cnf, objective).minimize(
+            strategy=strategy, upper_bound=2
+        )
+        assert result.status == "unsat"
+        assert not result.is_satisfiable
+
+    def test_negative_bound_rejected(self):
+        cnf, objective = _weighted_instance()
+        with pytest.raises(ValueError):
+            OptimizingSolver(cnf, objective).minimize(upper_bound=-1)
+
+    @pytest.mark.parametrize("strategy", ["linear", "binary"])
+    def test_minimize_does_not_mutate_caller_cnf(self, strategy):
+        # Seed clauses and descent bounds are search state: a later call on
+        # the same instance must not inherit an earlier call's F <= k.
+        cnf, objective = _weighted_instance()
+        clauses_before = cnf.num_clauses
+        solver = OptimizingSolver(cnf, objective)
+        assert solver.minimize(strategy=strategy, upper_bound=2).status == "unsat"
+        assert cnf.num_clauses == clauses_before
+        again = solver.minimize(strategy=strategy, upper_bound=10)
+        assert again.objective == 3
+        unbounded = solver.minimize(strategy=strategy)
+        assert unbounded.objective == 3
+
+    def test_seeding_reduces_linear_iterations(self):
+        unseeded_cnf, unseeded_objective = _weighted_instance()
+        unseeded = OptimizingSolver(unseeded_cnf, unseeded_objective).minimize()
+        seeded_cnf, seeded_objective = _weighted_instance()
+        seeded = OptimizingSolver(seeded_cnf, seeded_objective).minimize(upper_bound=3)
+        assert seeded.objective == unseeded.objective == 3
+        assert seeded.iterations <= unseeded.iterations
+
+
+class TestSATMapperUpperBound:
+    def test_seeded_map_matches_unseeded(self, plain_paper_result, paper_heuristic_bound):
+        circuit = paper_example_cnot_skeleton()
+        seeded = SATMapper(ibm_qx4()).map(circuit, upper_bound=paper_heuristic_bound)
+        assert plain_paper_result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert seeded.added_cost == plain_paper_result.added_cost
+        assert seeded.optimal
+        assert seeded.statistics["seeded_upper_bound"] == paper_heuristic_bound
+
+    def test_seeding_reduces_solver_iterations_on_paper_example(
+        self, plain_paper_result, paper_heuristic_bound
+    ):
+        circuit = paper_example_cnot_skeleton()
+        seeded = SATMapper(ibm_qx4()).map(circuit, upper_bound=paper_heuristic_bound)
+        assert (
+            seeded.statistics["solver_iterations"]
+            < plain_paper_result.statistics["solver_iterations"]
+        )
+
+    def test_too_tight_bound_raises(self):
+        circuit = paper_example_cnot_skeleton()
+        with pytest.raises(SATMapperError):
+            SATMapper(ibm_qx4()).map(
+                circuit, upper_bound=PAPER_EXAMPLE_MINIMAL_COST - 1
+            )
+
+    def test_bound_equal_to_minimum_still_proves_it(self):
+        circuit = paper_example_cnot_skeleton()
+        result = SATMapper(ibm_qx4()).map(
+            circuit, upper_bound=PAPER_EXAMPLE_MINIMAL_COST
+        )
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert result.optimal
+
+
+class TestPortfolioMapper:
+    def test_identical_objective_to_plain_sat_on_paper_example(self):
+        circuit = paper_example_cnot_skeleton()
+        plain = SATMapper(ibm_qx4()).map(circuit)
+        portfolio = PortfolioMapper(ibm_qx4()).map(circuit)
+        assert portfolio.objective == plain.objective == PAPER_EXAMPLE_MINIMAL_COST
+        assert portfolio.engine == "portfolio"
+        assert portfolio.statistics["portfolio_source"] == "sat"
+        assert portfolio.statistics["portfolio_bound"] >= portfolio.objective
+
+    def test_portfolio_never_needs_more_iterations(self):
+        circuit = paper_example_cnot_skeleton()
+        plain = SATMapper(ibm_qx4()).map(circuit)
+        portfolio = PortfolioMapper(ibm_qx4()).map(circuit)
+        assert (
+            portfolio.statistics["solver_iterations"]
+            <= plain.statistics["solver_iterations"]
+        )
+
+    def test_zero_cost_circuit_short_circuits_to_heuristic(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = PortfolioMapper(ibm_qx4()).map(circuit)
+        if result.statistics["portfolio_bound"] == 0:
+            assert result.statistics["portfolio_source"] == "heuristic"
+            assert result.optimal
+        assert result.added_cost == 0
+
+    def test_heuristic_fallback_when_bound_unreachable_for_sat(self):
+        # A restricted SAT stage may not be able to realise the heuristic's
+        # mapping; the portfolio must then return the heuristic result
+        # instead of failing.
+        from repro.exact.strategies import WindowStrategy
+
+        circuit = QuantumCircuit(4, name="dense")
+        for control in range(4):
+            for target in range(4):
+                if control != target:
+                    circuit.cx(control, target)
+        mapper = PortfolioMapper(
+            ibm_qx4(), strategy=WindowStrategy(window=10**6)
+        )
+        result = mapper.map(circuit)
+        assert result.added_cost >= 0
+        assert result.statistics["portfolio_source"] in ("sat", "heuristic")
+        if result.statistics["portfolio_source"] == "heuristic":
+            assert "portfolio_sat_error" in result.statistics
+
+    def test_portfolio_registered_in_registry(self):
+        from repro.pipeline.registry import get_mapper
+
+        mapper = get_mapper("portfolio", ibm_qx4(), heuristic="stochastic",
+                            heuristic_options={"trials": 2})
+        assert mapper.heuristic_name == "stochastic"

@@ -115,3 +115,88 @@ class TestCLI:
         path = self._write_qasm(tmp_path, circuit)
         with pytest.raises(SystemExit):
             main([path, "--arch", "made_up_device"])
+
+    def test_sat_engine_end_to_end(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main([path, "--engine", "sat", "--verify"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine            : sat" in captured
+        assert "equivalence check : passed" in captured
+
+    def test_registry_alias_engine(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main([path, "--engine", "sabre_lite"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine            : sabre_lite" in captured
+
+    def test_registry_portfolio_engine(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main([path, "--engine", "portfolio", "--verify"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine            : portfolio" in captured
+        assert "equivalence check : passed" in captured
+
+    def test_custom_registered_engine(self, tmp_path, capsys):
+        from repro.exact.dp_mapper import DPMapper
+        from repro.pipeline.registry import DEFAULT_REGISTRY
+
+        DEFAULT_REGISTRY.register(
+            "test_cli_engine", lambda coupling, **opts: DPMapper(coupling),
+            overwrite=True,
+        )
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        assert main([path, "--engine", "test_cli_engine"]) == 0
+
+    def test_sat_engine_parallel_workers(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main(
+            [path, "--engine", "sat", "--subsets", "--workers", "2"]
+        )
+        assert exit_code == 0
+
+    def test_sat_engine_process_executor(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main(
+            [path, "--engine", "sat", "--subsets",
+             "--workers", "2", "--executor", "process"]
+        )
+        assert exit_code == 0
+
+    def test_unknown_engine_errors(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        with pytest.raises(SystemExit):
+            main([path, "--engine", "made_up_engine"])
+
+    def test_list_engines(self, capsys):
+        assert main(["--list-engines"]) == 0
+        captured = capsys.readouterr().out
+        for name in ("sat", "dp", "portfolio"):
+            assert name in captured.splitlines()
+
+    def test_missing_qasm_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
