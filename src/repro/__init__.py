@@ -60,6 +60,12 @@ from repro.pipeline import (
 from repro.sim import StatevectorSimulator, mapped_circuit_equivalent
 from repro.verify import check_coupling_compliance, verify_result
 from repro.benchlib import benchmark_circuit, benchmark_names, get_record
+from repro.service import (
+    MappingService,
+    ResultStore,
+    ServiceError,
+    job_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -101,5 +107,9 @@ __all__ = [
     "benchmark_circuit",
     "benchmark_names",
     "get_record",
+    "MappingService",
+    "ResultStore",
+    "ServiceError",
+    "job_fingerprint",
     "__version__",
 ]

@@ -27,11 +27,13 @@ the service-facing entry point.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.coupling import CouplingMap
+from repro.arch.diskcache import PermutationDiskStore
 from repro.arch.permutations import PermutationTable
 from repro.arch.subsets import connected_subsets
 
@@ -40,15 +42,61 @@ _CacheKey = Tuple[int, Tuple[Tuple[int, int], ...]]
 #: Per-cache LRU capacity.
 MAX_ENTRIES = 128
 
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
 _LOCK = threading.Lock()
 _TABLES: "OrderedDict[_CacheKey, PermutationTable]" = OrderedDict()
 _SUBSETS: "OrderedDict[Tuple[_CacheKey, int], Tuple[Tuple[int, ...], ...]]" = OrderedDict()
 _STATS = {
     "permutation_table_hits": 0,
     "permutation_table_misses": 0,
+    "permutation_table_disk_hits": 0,
+    "permutation_table_disk_writes": 0,
     "connected_subsets_hits": 0,
     "connected_subsets_misses": 0,
 }
+
+# Explicitly configured cache directory; ``False`` means "not configured,
+# fall back to the environment variable" (``None`` disables the disk layer).
+_CACHE_DIR: object = False
+
+
+def set_cache_dir(path: Optional[str]) -> None:
+    """Configure the on-disk warm-start layer.
+
+    Args:
+        path: Cache directory for persisted permutation tables, or ``None``
+            to disable the disk layer (the in-memory caches keep working).
+            Overrides the ``REPRO_CACHE_DIR`` environment variable.
+    """
+    global _CACHE_DIR
+    with _LOCK:
+        _CACHE_DIR = None if path is None else str(path)
+
+
+def reset_cache_dir() -> None:
+    """Forget any explicit setting; ``REPRO_CACHE_DIR`` applies again."""
+    global _CACHE_DIR
+    with _LOCK:
+        _CACHE_DIR = False
+
+
+def get_cache_dir() -> Optional[str]:
+    """The active cache directory (explicit setting, else ``REPRO_CACHE_DIR``)."""
+    with _LOCK:
+        configured = _CACHE_DIR
+    if configured is not False:
+        return configured  # type: ignore[return-value]
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return env or None
+
+
+def _disk_store() -> Optional[PermutationDiskStore]:
+    cache_dir = get_cache_dir()
+    if cache_dir is None:
+        return None
+    return PermutationDiskStore(cache_dir)
 
 
 def shared_permutation_table(
@@ -81,14 +129,31 @@ def shared_permutation_table(
     # Build outside the lock: the BFS can take a while and concurrent misses
     # for *different* architectures should not serialise.  A racing build of
     # the same key is harmless; ``setdefault`` keeps exactly one winner.
-    table = PermutationTable(coupling, max_qubits_exhaustive=max_qubits_exhaustive)
+    # A configured disk layer is consulted first so that a restarted process
+    # warm-starts from the artefacts of its predecessors instead of
+    # re-running the BFS.
+    store = _disk_store()
+    table = store.load(coupling) if store is not None else None
+    disk_hit = table is not None
+    if table is None:
+        table = PermutationTable(coupling, max_qubits_exhaustive=max_qubits_exhaustive)
     with _LOCK:
         _STATS["permutation_table_misses"] += 1
-        table = _TABLES.setdefault(key, table)
+        if disk_hit:
+            _STATS["permutation_table_disk_hits"] += 1
+        winner = _TABLES.setdefault(key, table)
         _TABLES.move_to_end(key)
         while len(_TABLES) > MAX_ENTRIES:
             _TABLES.popitem(last=False)
-        return table
+    if store is not None and not disk_hit and winner is table:
+        try:
+            store.save(table)
+        except OSError:
+            pass  # a read-only cache directory must not fail the mapping
+        else:
+            with _LOCK:
+                _STATS["permutation_table_disk_writes"] += 1
+    return winner
 
 
 def shared_connected_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]:
@@ -120,6 +185,10 @@ def cache_stats() -> Dict[str, int]:
         stats = dict(_STATS)
         stats["permutation_tables_cached"] = len(_TABLES)
         stats["connected_subset_lists_cached"] = len(_SUBSETS)
+    store = _disk_store()
+    if store is not None:
+        stats["permutation_tables_on_disk"] = len(store.entries())
+        stats["disk_cache_bytes"] = store.size_bytes()
     return stats
 
 
@@ -134,6 +203,10 @@ def clear_caches() -> None:
 
 __all__ = [
     "MAX_ENTRIES",
+    "CACHE_DIR_ENV",
+    "set_cache_dir",
+    "reset_cache_dir",
+    "get_cache_dir",
     "shared_permutation_table",
     "shared_connected_subsets",
     "cache_stats",

@@ -9,6 +9,7 @@ extraction, gate counting, qubit usage) and structural transformations
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.circuit.gates import (
@@ -22,6 +23,11 @@ from repro.circuit.gates import (
     UGate,
     single_qubit_gate,
 )
+
+#: Version tag mixed into every circuit fingerprint.  Bump when the canonical
+#: gate-stream rendering below changes, so stale persisted caches keyed by an
+#: old scheme can never be confused with fresh ones.
+FINGERPRINT_VERSION = "cfp1"
 
 
 class CircuitError(ValueError):
@@ -232,6 +238,39 @@ class QuantumCircuit:
                 cost += 1
         return cost
 
+    def gate_stream(self) -> Iterator[str]:
+        """Yield one canonical text line per gate (the fingerprint's input).
+
+        Each line fixes the mnemonic, the qubit operands, the parameters
+        (rendered via ``repr(float(p))``, exactly like the QASM writer) and,
+        for measurements, the classical bit.  The stream is what
+        :meth:`fingerprint` hashes; it is also useful for diffing circuits.
+        """
+        for gate in self._gates:
+            qubits = ",".join(str(q) for q in gate.qubits)
+            params = ",".join(repr(float(p)) for p in gate.params)
+            clbit = getattr(gate, "clbit", "")
+            yield f"{gate.name}|{qubits}|{params}|{clbit}"
+
+    def fingerprint(self) -> str:
+        """Content-addressed SHA-256 hex digest of the circuit.
+
+        The digest covers the qubit and classical-bit counts plus the
+        canonical :meth:`gate_stream` — but deliberately *not* the circuit
+        :attr:`name`: two structurally identical circuits share one
+        fingerprint, and a QASM round trip (``parse_qasm(to_qasm(c))``,
+        which resets the name) preserves it.  Used by :mod:`repro.service`
+        to key the persistent result store.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"{FINGERPRINT_VERSION}|{self.num_qubits}|{self.num_clbits}\n".encode()
+        )
+        for line in self.gate_stream():
+            hasher.update(line.encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
     def used_qubits(self) -> List[int]:
         """Sorted list of qubit indices that appear in at least one gate."""
         used = set()
@@ -336,4 +375,4 @@ class QuantumCircuit:
         return new
 
 
-__all__ = ["QuantumCircuit", "CircuitError"]
+__all__ = ["QuantumCircuit", "CircuitError", "FINGERPRINT_VERSION"]

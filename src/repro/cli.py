@@ -1,42 +1,61 @@
-"""Command-line interface: map an OpenQASM circuit to an architecture.
+"""Command-line interface: map OpenQASM circuits, serve batches, manage caches.
 
 Engines are resolved through the mapper backend registry
 (:mod:`repro.pipeline.registry`), so every registered name — built-in or
 added at runtime via :func:`repro.pipeline.register_mapper` — is a valid
 ``--engine`` argument.
 
+The command has three entry points.  The classic mapping invocation (the
+default, kept flag-compatible with earlier releases) maps one circuit; the
+``serve`` subcommand drives a whole batch through the async
+:class:`~repro.service.service.MappingService` with result caching and
+multi-device routing; the ``cache`` subcommand inspects and clears the
+in-memory and on-disk caches.
+
 Examples::
 
     repro-map circuit.qasm --arch qx4 --engine dp
     repro-map circuit.qasm --arch qx4 --engine sat --strategy odd --subsets
-    repro-map circuit.qasm --arch qx4 --engine sat --subsets --workers 4
-    repro-map circuit.qasm --arch qx4 --engine portfolio
-    repro-map circuit.qasm --arch qx4 --engine stochastic --output mapped.qasm
+    repro-map circuit.qasm --engine sat --subsets --workers 4 --cache-dir ~/.repro
+    repro-map serve a.qasm b.qasm --arch qx4 --arch qx5 --engine dp --workers 4
+    repro-map cache stats --cache-dir ~/.repro
+    repro-map cache clear --cache-dir ~/.repro
     repro-map --list-engines
     python -m repro.cli circuit.qasm --arch qx4
+
+The mapping and ``serve`` paths honour ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable): permutation tables are
+warm-started from disk and mapping results are served from the persistent
+fingerprint-keyed result store instead of being re-solved.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.arch import get_architecture
 from repro.circuit import parse_qasm_file
 from repro.circuit.qasm import write_qasm_file
+from repro.pipeline.cache import cache_stats, clear_caches, get_cache_dir, set_cache_dir
 from repro.pipeline.pipeline import MappingPipeline
 from repro.pipeline.registry import available_mappers, resolve_mapper_name
 from repro.sim.equivalence import result_is_equivalent
 from repro.verify import verify_result
 
+#: Subcommand names dispatched away from the classic mapping invocation.
+_SUBCOMMANDS = ("cache", "serve")
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser of the ``repro-map`` command."""
+    """Build the argument parser of the classic mapping invocation."""
     parser = argparse.ArgumentParser(
         prog="repro-map",
         description="Map an OpenQASM 2.0 circuit to an IBM QX architecture "
-        "with a minimal (or close-to-minimal) number of SWAP and H operations.",
+        "with a minimal (or close-to-minimal) number of SWAP and H operations. "
+        "Subcommands: 'serve' (async batch service), 'cache' (cache admin).",
     )
     parser.add_argument(
         "qasm", nargs="?", default=None, help="input OpenQASM 2.0 file"
@@ -83,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool type used with --workers > 1 (default: thread)",
     )
     parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache directory: permutation tables are warm-started "
+        "from disk and results are served from the fingerprint-keyed store "
+        "(defaults to $REPRO_CACHE_DIR when set; omit both for no persistence)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write the mapped circuit to this QASM file"
     )
     parser.add_argument(
@@ -109,8 +134,17 @@ def _engine_options(engine: str, args: argparse.Namespace) -> Dict[str, Any]:
     return options
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro-map`` command."""
+def _activate_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
+    """Apply an explicit ``--cache-dir`` and return the active directory."""
+    if cache_dir is not None:
+        set_cache_dir(cache_dir)
+    return get_cache_dir()
+
+
+# ----------------------------------------------------------------------
+# Classic single-circuit mapping
+# ----------------------------------------------------------------------
+def _run_map(argv: Sequence[str]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -130,15 +164,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as error:
         parser.error(str(error))
     circuit = parse_qasm_file(args.qasm)
+    options = _engine_options(engine, args)
+    cache_dir = _activate_cache_dir(args.cache_dir)
 
-    pipeline = MappingPipeline(
-        coupling,
-        engine=engine,
-        engine_options=_engine_options(engine, args),
-        workers=args.workers,
-        executor=args.executor,
-    )
-    result = pipeline.map(circuit)
+    store = None
+    fingerprint = None
+    cache_hit = False
+    if cache_dir is not None:
+        from repro.service.fingerprint import job_fingerprint
+        from repro.service.store import ResultStore
+
+        store = ResultStore.at(cache_dir)
+        fingerprint = job_fingerprint(circuit, coupling, engine, options)
+        result = store.get(fingerprint)
+        cache_hit = result is not None
+    if not cache_hit:
+        pipeline = MappingPipeline(
+            coupling,
+            engine=engine,
+            engine_options=options,
+            workers=args.workers,
+            executor=args.executor,
+        )
+        result = pipeline.map(circuit)
+        if store is not None:
+            from repro.service.errors import ServiceError
+
+            try:
+                store.put(fingerprint, result)
+            except ServiceError as error:
+                # A failing cache directory must not fail a successful
+                # mapping run; mirror the permutation-table layer's policy.
+                print(f"warning: result not cached ({error})", file=sys.stderr)
     report = verify_result(result, coupling)
 
     print(f"circuit           : {circuit.name}")
@@ -151,6 +208,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"proven minimal    : {result.optimal}")
     print(f"coupling compliant: {report.compliant}")
     print(f"runtime           : {result.runtime_seconds:.3f} s")
+    if store is not None:
+        print(f"result cache      : {'hit' if cache_hit else 'miss'} ({cache_dir})")
     if args.verify:
         equivalent = result_is_equivalent(result)
         print(f"equivalence check : {'passed' if equivalent else 'FAILED'}")
@@ -160,6 +219,175 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         write_qasm_file(result.mapped_circuit, args.output)
         print(f"mapped circuit written to {args.output}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# cache subcommand
+# ----------------------------------------------------------------------
+def _build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map cache",
+        description="Inspect or clear the per-architecture artefact caches "
+        "and the persistent result store.",
+    )
+    parser.add_argument("action", choices=["stats", "clear"])
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (defaults to $REPRO_CACHE_DIR; without one "
+        "only the in-process caches are touched)",
+    )
+    return parser
+
+
+def _run_cache(argv: Sequence[str]) -> int:
+    args = _build_cache_parser().parse_args(argv)
+    cache_dir = _activate_cache_dir(args.cache_dir)
+
+    if args.action == "stats":
+        print("in-process caches:")
+        for key, value in sorted(cache_stats().items()):
+            print(f"  {key:32s}: {value}")
+        if cache_dir is not None:
+            from repro.service.store import ResultStore
+
+            print(f"result store ({cache_dir}):")
+            for key, value in sorted(ResultStore.at(cache_dir).stats().items()):
+                print(f"  {key:32s}: {value}")
+        else:
+            print("result store: no cache directory configured "
+                  "(use --cache-dir or REPRO_CACHE_DIR)")
+        return 0
+
+    clear_caches()
+    print("in-process caches cleared")
+    if cache_dir is not None:
+        from repro.arch.diskcache import PermutationDiskStore
+        from repro.service.store import ResultStore
+
+        removed_tables = PermutationDiskStore(cache_dir).clear()
+        removed_results = ResultStore.at(cache_dir).clear()
+        print(f"disk cache cleared ({cache_dir}): "
+              f"{removed_tables} permutation tables, {removed_results} results")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve subcommand
+# ----------------------------------------------------------------------
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map serve",
+        description="Drive a batch of OpenQASM circuits through the async "
+        "mapping service: fingerprint-keyed result caching, in-flight "
+        "deduplication and routing across one or more devices.",
+    )
+    parser.add_argument("qasm", nargs="+", help="input OpenQASM 2.0 files")
+    parser.add_argument(
+        "--arch", action="append", default=None,
+        help="target architecture; repeat the flag to register several "
+        "devices and let the service route each circuit to the smallest "
+        "one that fits (default: ibm_qx4)",
+    )
+    parser.add_argument(
+        "--engine", default="dp",
+        help=f"mapping engine ({', '.join(available_mappers())}; default: dp)",
+    )
+    parser.add_argument(
+        "--strategy", default="all",
+        help="permutation-restriction strategy for the exact engines",
+    )
+    parser.add_argument("--subsets", action="store_true",
+                        help="restrict the SAT engine to connected subsets")
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock budget in seconds for the SAT engine")
+    parser.add_argument("--trials", type=int, default=5,
+                        help="trials for the stochastic heuristic")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count per drained batch (default 2)")
+    parser.add_argument("--executor", default="thread",
+                        choices=["thread", "process"],
+                        help="worker pool type (default: thread)")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache directory (defaults to $REPRO_CACHE_DIR; "
+        "omit both for an in-memory result store)",
+    )
+    return parser
+
+
+async def _serve_batch(args: argparse.Namespace) -> int:
+    from repro.service.service import MappingService
+    from repro.service.store import ResultStore
+
+    arch_names = args.arch or ["ibm_qx4"]
+    couplings = {}
+    for name in arch_names:
+        coupling = get_architecture(name)
+        couplings[coupling.name] = coupling
+    engine = resolve_mapper_name(args.engine)
+    options = _engine_options(engine, args)
+    cache_dir = _activate_cache_dir(args.cache_dir)
+    store = ResultStore.at(cache_dir) if cache_dir is not None else ResultStore()
+
+    circuits = [parse_qasm_file(path) for path in args.qasm]
+    failures = 0
+    async with MappingService(
+        couplings,
+        engine=engine,
+        engine_options=options,
+        store=store,
+        workers=args.workers,
+        executor=args.executor,
+    ) as service:
+        job_ids = await service.submit_many(circuits)
+        for job_id in job_ids:
+            try:
+                result = await service.result(job_id)
+            except Exception as error:  # noqa: BLE001 - reported per job
+                failures += 1
+                status = service.status(job_id)
+                print(f"{status['circuit_name']:24s} FAILED   {error}")
+                continue
+            status = service.status(job_id)
+            provenance = status["provenance"]
+            if provenance.get("cache_hit"):
+                source = "cache"
+            elif provenance.get("coalesced"):
+                source = "coalesced"
+            else:
+                source = "solved"
+            print(
+                f"{status['circuit_name']:24s} {source:7s} "
+                f"arch={status['arch']:10s} engine={status['engine']:10s} "
+                f"added={result.added_cost:4d} optimal={result.optimal} "
+                f"elapsed={provenance.get('elapsed_seconds', 0.0):.3f}s"
+            )
+        stats = service.stats()
+    print(
+        f"jobs: {stats['submitted']} submitted, {stats['cache_hits']} cache "
+        f"hits, {stats['coalesced']} coalesced, {stats['solved']} solved, "
+        f"{stats['failed']} failed"
+    )
+    if cache_dir is not None:
+        print(f"persistent store: {cache_dir} "
+              f"({stats['store'].get('disk_entries', 0)} results)")
+    return 1 if failures else 0
+
+
+def _run_serve(argv: Sequence[str]) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    return asyncio.run(_serve_batch(args))
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-map`` command."""
+    arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] in _SUBCOMMANDS:
+        if arguments[0] == "cache":
+            return _run_cache(arguments[1:])
+        return _run_serve(arguments[1:])
+    return _run_map(arguments)
 
 
 if __name__ == "__main__":  # pragma: no cover

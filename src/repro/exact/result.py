@@ -1,12 +1,23 @@
-"""Result objects shared by the exact and heuristic mappers."""
+"""Result objects shared by the exact and heuristic mappers.
+
+Both result classes serialise losslessly to plain dictionaries
+(:meth:`MappingResult.to_dict` / :meth:`MappingResult.from_dict`): circuits
+travel as OpenQASM 2.0 text (the writer/parser round-trip preserves the
+canonical gate stream), everything else as JSON-ready primitives.  This is
+what the persistent :class:`~repro.service.store.ResultStore` writes to disk.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.cost import CostBreakdown
+
+#: Version of the ``to_dict`` payload layout.  Bump on incompatible changes;
+#: ``from_dict`` rejects payloads from other versions.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -57,6 +68,25 @@ class MappingSchedule:
                     raise ValueError(
                         f"physical qubit {physical} out of range in mapping {mapping!r}"
                     )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schedule as a JSON-ready dictionary."""
+        return {
+            "num_logical": self.num_logical,
+            "num_physical": self.num_physical,
+            "mappings": [list(mapping) for mapping in self.mappings],
+            "initial_mapping": list(self.initial_mapping),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MappingSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        return cls(
+            num_logical=int(payload["num_logical"]),
+            num_physical=int(payload["num_physical"]),
+            mappings=[tuple(mapping) for mapping in payload["mappings"]],
+            initial_mapping=tuple(payload["initial_mapping"]),
+        )
 
 
 @dataclass
@@ -124,5 +154,114 @@ class MappingResult:
             f"in {self.runtime_seconds:.2f}s"
         )
 
+    # ------------------------------------------------------------------
+    # Validation and serialization
+    # ------------------------------------------------------------------
+    def validate(self, coupling=None) -> None:
+        """Raise ``ValueError`` when the result is internally inconsistent.
 
-__all__ = ["MappingSchedule", "MappingResult"]
+        Checks the mapping schedule (coverage, injectivity, range), the cost
+        bookkeeping (the gate counts of the two circuits must imply exactly
+        the added cost the :class:`CostBreakdown` reports) and, when a
+        *coupling* is given, that every CNOT of the mapped circuit respects
+        the architecture.  The persistent result store calls this before
+        caching: a corrupt result must never be served to later callers.
+
+        Args:
+            coupling: Optional :class:`~repro.arch.coupling.CouplingMap` to
+                additionally check coupling compliance against.
+        """
+        self.schedule.validate()
+        if self.cost.swaps < 0 or self.cost.reversals < 0:
+            raise ValueError(f"negative cost components in {self.cost}")
+        recomputed_added = (
+            self.mapped_circuit.gate_cost() - self.original_circuit.gate_cost()
+        )
+        if recomputed_added != self.cost.added_cost:
+            raise ValueError(
+                f"cost mismatch: gate counts imply {recomputed_added} added "
+                f"operations but the breakdown reports {self.cost.added_cost}"
+            )
+        if coupling is not None:
+            from repro.verify.compliance import check_coupling_compliance
+
+            report = check_coupling_compliance(self.mapped_circuit, coupling)
+            if not report.compliant:
+                raise ValueError(
+                    f"mapped circuit violates the coupling map at "
+                    f"{report.violations[:5]}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the complete result as a JSON-ready dictionary.
+
+        The circuits travel as OpenQASM 2.0 text; their names (which QASM
+        does not carry) are stored alongside so :meth:`from_dict` restores
+        them.  The payload is versioned via ``RESULT_SCHEMA_VERSION``.
+        """
+        from repro.circuit.qasm.writer import to_qasm
+
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "mapped_circuit": to_qasm(self.mapped_circuit),
+            "mapped_circuit_name": self.mapped_circuit.name,
+            "original_circuit": to_qasm(self.original_circuit),
+            "original_circuit_name": self.original_circuit.name,
+            "schedule": self.schedule.to_dict(),
+            "cost": {
+                "original_gates": self.cost.original_gates,
+                "swaps": self.cost.swaps,
+                "reversals": self.cost.reversals,
+            },
+            "objective": self.objective,
+            "optimal": self.optimal,
+            "engine": self.engine,
+            "strategy": self.strategy,
+            "num_permutation_spots": self.num_permutation_spots,
+            "runtime_seconds": self.runtime_seconds,
+            "statistics": dict(self.statistics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MappingResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: When the payload's schema version is unsupported.
+        """
+        from repro.circuit.qasm.parser import parse_qasm
+
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported MappingResult payload version {version!r} "
+                f"(expected {RESULT_SCHEMA_VERSION})"
+            )
+        mapped = parse_qasm(
+            payload["mapped_circuit"], name=payload["mapped_circuit_name"]
+        )
+        original = parse_qasm(
+            payload["original_circuit"], name=payload["original_circuit_name"]
+        )
+        objective = payload["objective"]
+        spots = payload["num_permutation_spots"]
+        return cls(
+            mapped_circuit=mapped,
+            original_circuit=original,
+            schedule=MappingSchedule.from_dict(payload["schedule"]),
+            cost=CostBreakdown(
+                original_gates=int(payload["cost"]["original_gates"]),
+                swaps=int(payload["cost"]["swaps"]),
+                reversals=int(payload["cost"]["reversals"]),
+            ),
+            objective=None if objective is None else int(objective),
+            optimal=bool(payload["optimal"]),
+            engine=str(payload["engine"]),
+            strategy=str(payload["strategy"]),
+            num_permutation_spots=None if spots is None else int(spots),
+            runtime_seconds=float(payload["runtime_seconds"]),
+            statistics=dict(payload["statistics"]),
+        )
+
+
+__all__ = ["MappingSchedule", "MappingResult", "RESULT_SCHEMA_VERSION"]

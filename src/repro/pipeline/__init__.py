@@ -40,6 +40,8 @@ _EXPORTS = {
     "shared_connected_subsets": "repro.pipeline.cache",
     "cache_stats": "repro.pipeline.cache",
     "clear_caches": "repro.pipeline.cache",
+    "set_cache_dir": "repro.pipeline.cache",
+    "get_cache_dir": "repro.pipeline.cache",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -48,6 +50,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.pipeline.cache import (
         cache_stats,
         clear_caches,
+        get_cache_dir,
+        set_cache_dir,
         shared_connected_subsets,
         shared_permutation_table,
     )

@@ -7,18 +7,31 @@ architecture layer, and keeping the code there lets the exact engines use
 the caches without depending on this orchestration package.  This module
 re-exports the API under the pipeline namespace, where batch-mapping users
 look for it.
+
+The in-memory caches are backed by an optional on-disk warm-start layer
+(:mod:`repro.arch.diskcache`): point :func:`set_cache_dir` — or the
+``REPRO_CACHE_DIR`` environment variable — at a directory and permutation
+tables survive process restarts.
 """
 
 from repro.arch.cache import (
+    CACHE_DIR_ENV,
     MAX_ENTRIES,
     cache_stats,
     clear_caches,
+    get_cache_dir,
+    reset_cache_dir,
+    set_cache_dir,
     shared_connected_subsets,
     shared_permutation_table,
 )
 
 __all__ = [
     "MAX_ENTRIES",
+    "CACHE_DIR_ENV",
+    "set_cache_dir",
+    "reset_cache_dir",
+    "get_cache_dir",
     "shared_permutation_table",
     "shared_connected_subsets",
     "cache_stats",

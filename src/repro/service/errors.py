@@ -1,0 +1,90 @@
+"""Structured errors of the :mod:`repro.service` subsystem.
+
+Every failure the service layer can produce carries a stable machine-readable
+``code`` plus a free-form ``details`` mapping, so API front ends (the CLI's
+``serve`` command today, an HTTP gateway tomorrow) can translate failures
+without parsing exception messages.  The codes are part of the public
+contract; add new ones, never repurpose old ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ServiceError(Exception):
+    """Base class of all structured service-layer failures.
+
+    Attributes:
+        code: Stable machine-readable error identifier (``"invalid-result"``,
+            ``"job-not-found"``, ...).
+        message: Human-readable description.
+        details: Error-specific structured context (fingerprints, job ids,
+            validation messages, ...).
+    """
+
+    code = "service-error"
+
+    def __init__(self, message: str, details: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.message = message
+        self.details: Dict[str, Any] = dict(details or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The error as a JSON-ready mapping (for logs and API responses)."""
+        return {"code": self.code, "message": self.message, "details": self.details}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(code={self.code!r}, message={self.message!r})"
+
+
+class InvalidResultError(ServiceError):
+    """A :class:`~repro.exact.result.MappingResult` failed validation.
+
+    Raised by the :class:`~repro.service.store.ResultStore` when asked to
+    cache a result whose schedule or cost bookkeeping is inconsistent — a
+    corrupt result must never be persisted and served to later callers.
+    """
+
+    code = "invalid-result"
+
+
+class JobNotFoundError(ServiceError):
+    """A job id is unknown to the :class:`~repro.service.service.MappingService`."""
+
+    code = "job-not-found"
+
+
+class RoutingError(ServiceError):
+    """No registered coupling map can host the submitted circuit."""
+
+    code = "routing-failed"
+
+
+class MappingFailedError(ServiceError):
+    """A mapping engine failed to produce a result for a job."""
+
+    code = "mapping-failed"
+
+
+class StoreError(ServiceError):
+    """The persistent result store failed (corrupt payload, I/O error, ...)."""
+
+    code = "store-error"
+
+
+class ServiceStateError(ServiceError):
+    """The service was used in a state it does not support (not started, ...)."""
+
+    code = "service-state"
+
+
+__all__ = [
+    "ServiceError",
+    "InvalidResultError",
+    "JobNotFoundError",
+    "MappingFailedError",
+    "RoutingError",
+    "StoreError",
+    "ServiceStateError",
+]

@@ -1,0 +1,550 @@
+"""Asynchronous mapping service with job semantics and result caching.
+
+:class:`MappingService` is the front end a long-running deployment talks to:
+callers ``submit`` circuits and get a job id back immediately; a background
+dispatcher drains queued jobs in batches through
+:meth:`~repro.pipeline.pipeline.MappingPipeline.map_many` worker pools;
+``status``/``result`` expose per-job state and provenance.
+
+Three layers keep repeated work off the solvers:
+
+1. **Result store** — every submission is first looked up in the
+   :class:`~repro.service.store.ResultStore` by its content-addressed
+   :func:`~repro.service.fingerprint.job_fingerprint`; a hit completes the
+   job synchronously without touching any mapper.
+2. **In-flight coalescing** — a submission whose fingerprint is already
+   queued or solving attaches to the existing job instead of solving twice;
+   both jobs complete from the one result.
+3. **Batch draining** — the dispatcher empties the queue in one sweep,
+   groups jobs by (architecture, engine, options) and maps each group as one
+   ``map_many`` batch, so per-architecture artefacts are built once per
+   group rather than once per job.
+
+The service can front **multiple coupling maps** (the first step toward
+device sharding): register several devices and each submission is routed to
+the requested one, or — when no target is named — to the smallest registered
+device that fits the circuit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.arch.coupling import CouplingMap
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.result import MappingResult
+from repro.pipeline.pipeline import MappingPipeline
+from repro.pipeline.registry import resolve_mapper_name
+from repro.service.errors import (
+    InvalidResultError,
+    JobNotFoundError,
+    MappingFailedError,
+    RoutingError,
+    ServiceError,
+    ServiceStateError,
+)
+from repro.service.fingerprint import canonical_options, job_fingerprint
+from repro.service.store import ResultStore
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One mapping request tracked by the service.
+
+    Attributes:
+        job_id: Service-unique identifier returned by ``submit``.
+        fingerprint: Content-addressed key of the (circuit, arch, engine,
+            options) tuple; identical jobs share it.
+        circuit: The submitted circuit.
+        arch_name: Name the routed coupling map is registered under.
+        engine: Resolved engine name for this job.
+        options: Engine options for this job.
+        status: One of ``queued``, ``running``, ``done``, ``failed``.
+        result: The mapping result once ``done``.
+        error: The structured failure once ``failed``.
+        provenance: How the result came to be (cache hit/miss, coalescing,
+            batch size, elapsed seconds, ...).
+    """
+
+    job_id: str
+    fingerprint: str
+    circuit: QuantumCircuit
+    arch_name: str
+    engine: str
+    options: Dict[str, Any]
+    status: str = QUEUED
+    result: Optional[MappingResult] = None
+    error: Optional[ServiceError] = None
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    followers: List["Job"] = field(default_factory=list)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready status view of the job."""
+        view = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "circuit_name": self.circuit.name,
+            "arch": self.arch_name,
+            "engine": self.engine,
+            "provenance": dict(self.provenance),
+        }
+        if self.result is not None:
+            view["added_cost"] = self.result.added_cost
+            view["optimal"] = self.result.optimal
+        if self.error is not None:
+            view["error"] = self.error.to_dict()
+        return view
+
+
+class MappingService:
+    """Async submit/status/result front end over the mapping pipeline.
+
+    Args:
+        couplings: The device(s) the service maps onto: a single
+            :class:`CouplingMap`, a sequence of maps (registered under their
+            ``name`` attributes) or an explicit name-to-map dictionary.
+        engine: Default engine for submissions that do not name one.
+        engine_options: Default engine options (merged under per-job options).
+        store: Result store; a memory-only :class:`ResultStore` when omitted.
+        workers: Worker count handed to ``map_many`` for each drained batch.
+        executor: ``"thread"`` or ``"process"`` (see :class:`MappingPipeline`).
+
+    Example:
+        >>> async with MappingService(ibm_qx4(), engine="dp") as service:
+        ...     job_id = await service.submit(circuit)
+        ...     result = await service.result(job_id)
+    """
+
+    def __init__(
+        self,
+        couplings: Union[CouplingMap, Sequence[CouplingMap], Mapping[str, CouplingMap]],
+        engine: str = "sat",
+        engine_options: Optional[Dict[str, Any]] = None,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        executor: str = "thread",
+    ):
+        self.couplings = self._normalise_couplings(couplings)
+        self.engine = resolve_mapper_name(engine)
+        self.engine_options = dict(engine_options or {})
+        self.store = store if store is not None else ResultStore()
+        self.workers = max(1, int(workers))
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
+        self.executor = executor
+        self._jobs: Dict[str, Job] = {}
+        self._primary_by_fp: Dict[str, Job] = {}
+        self._queue: Optional["asyncio.Queue[Job]"] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._group_tasks: "set[asyncio.Task]" = set()
+        self._ids = itertools.count(1)
+        self._counters = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "solved": 0,
+            "failed": 0,
+        }
+
+    @staticmethod
+    def _normalise_couplings(couplings) -> "Dict[str, CouplingMap]":
+        if isinstance(couplings, CouplingMap):
+            couplings = [couplings]
+        if isinstance(couplings, Mapping):
+            items = list(couplings.items())
+        else:
+            items = [(coupling.name, coupling) for coupling in couplings]
+        if not items:
+            raise ValueError("the service needs at least one coupling map")
+        registry: Dict[str, CouplingMap] = {}
+        for name, coupling in items:
+            if name in registry:
+                raise ValueError(f"duplicate coupling map name {name!r}")
+            registry[name] = coupling
+        return registry
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "MappingService":
+        """Start the background dispatcher (idempotent)."""
+        if self._dispatcher is None or self._dispatcher.done():
+            self._queue = asyncio.Queue()
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the dispatcher.
+
+        Args:
+            drain: Wait for queued and running jobs to finish first; when
+                off, queued jobs stay ``queued`` forever and running batches
+                are still awaited (the pipeline offers no safe mid-solve
+                cancellation).
+        """
+        if self._dispatcher is None:
+            return
+        if drain:
+            while True:
+                tasks = list(self._group_tasks)
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                    continue
+                if self._queue is not None and not self._queue.empty():
+                    await asyncio.sleep(0.005)
+                    continue
+                # Let a dispatcher that just dequeued a batch create its
+                # group tasks (it does so without yielding), then re-check.
+                await asyncio.sleep(0)
+                if not self._group_tasks and (
+                    self._queue is None or self._queue.empty()
+                ):
+                    break
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        if self._group_tasks:
+            await asyncio.gather(*self._group_tasks, return_exceptions=True)
+        self._dispatcher = None
+        self._queue = None
+
+    async def __aenter__(self) -> "MappingService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, circuit: QuantumCircuit, arch: Optional[str] = None) -> Tuple[str, CouplingMap]:
+        """Choose the coupling map a circuit runs on.
+
+        An explicit *arch* name must be registered and large enough; without
+        one the smallest registered device that fits the circuit wins (ties
+        broken by registration order).
+
+        Raises:
+            RoutingError: When no registered device can host the circuit.
+        """
+        if arch is not None:
+            coupling = self.couplings.get(arch)
+            if coupling is None:
+                raise RoutingError(
+                    f"unknown architecture {arch!r}",
+                    details={"known": sorted(self.couplings)},
+                )
+            if coupling.num_qubits < circuit.num_qubits:
+                raise RoutingError(
+                    f"architecture {arch!r} has {coupling.num_qubits} qubits but "
+                    f"the circuit needs {circuit.num_qubits}",
+                    details={"arch": arch, "circuit": circuit.name},
+                )
+            return arch, coupling
+        fitting = [
+            (coupling.num_qubits, name)
+            for name, coupling in self.couplings.items()
+            if coupling.num_qubits >= circuit.num_qubits
+        ]
+        if not fitting:
+            raise RoutingError(
+                f"no registered architecture fits {circuit.num_qubits} qubits",
+                details={
+                    "circuit": circuit.name,
+                    "devices": {
+                        name: c.num_qubits for name, c in self.couplings.items()
+                    },
+                },
+            )
+        fitting.sort(key=lambda pair: pair[0])
+        name = fitting[0][1]
+        return name, self.couplings[name]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        arch: Optional[str] = None,
+        engine: Optional[str] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Submit one circuit; returns its job id immediately.
+
+        The job completes without any mapper running when the result store
+        already holds its fingerprint, or when an identical job is already
+        in flight (the two complete together from one solve).
+        """
+        if self._queue is None:
+            raise ServiceStateError("service not started; use 'async with' or start()")
+        job_engine = self.engine if engine is None else resolve_mapper_name(engine)
+        job_options = dict(self.engine_options)
+        job_options.update(options or {})
+        arch_name, coupling = self.route(circuit, arch)
+        fingerprint = job_fingerprint(circuit, coupling, job_engine, job_options)
+        job = Job(
+            job_id=f"job-{next(self._ids):06d}",
+            fingerprint=fingerprint,
+            circuit=circuit,
+            arch_name=arch_name,
+            engine=job_engine,
+            options=job_options,
+        )
+        job.provenance.update(
+            {
+                "arch": arch_name,
+                "engine": job_engine,
+                "options": canonical_options(job_options),
+                "executor": self.executor,
+            }
+        )
+        self._jobs[job.job_id] = job
+        self._counters["submitted"] += 1
+
+        # The store may do SQLite I/O (and wait on another writer's file
+        # lock), so keep it off the event loop.  The coalescing check below
+        # runs after this await without further suspension points, so two
+        # concurrent identical submits still resolve to one primary job.
+        cached = await asyncio.get_running_loop().run_in_executor(
+            None, self.store.get, fingerprint
+        )
+        if cached is not None:
+            self._counters["cache_hits"] += 1
+            self._complete(job, cached, cache_hit=True, elapsed=0.0)
+            return job.job_id
+
+        primary = self._primary_by_fp.get(fingerprint)
+        if primary is not None and primary.status in (QUEUED, RUNNING):
+            self._counters["coalesced"] += 1
+            job.provenance["coalesced_with"] = primary.job_id
+            primary.followers.append(job)
+            return job.job_id
+
+        self._primary_by_fp[fingerprint] = job
+        await self._queue.put(job)
+        return job.job_id
+
+    async def submit_many(
+        self,
+        circuits: Iterable[QuantumCircuit],
+        *,
+        arch: Optional[str] = None,
+        engine: Optional[str] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> List[str]:
+        """Submit a batch (routed per circuit when *arch* is omitted)."""
+        return [
+            await self.submit(circuit, arch=arch, engine=engine, options=options)
+            for circuit in circuits
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(
+                f"unknown job {job_id!r}", details={"job_id": job_id}
+            )
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """JSON-ready status snapshot of one job."""
+        return self._job(job_id).snapshot()
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Status snapshots of every job, in submission order."""
+        return [job.snapshot() for job in self._jobs.values()]
+
+    async def result(self, job_id: str, timeout: Optional[float] = None) -> MappingResult:
+        """Wait for a job and return its result.
+
+        Raises:
+            JobNotFoundError: Unknown job id.
+            ServiceError: The job's structured failure, re-raised.
+            asyncio.TimeoutError: *timeout* elapsed first.
+        """
+        job = self._job(job_id)
+        await asyncio.wait_for(job.done_event.wait(), timeout)
+        if job.error is not None:
+            raise job.error
+        assert job.result is not None
+        return job.result
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level counters plus the store's counters."""
+        stats: Dict[str, Any] = dict(self._counters)
+        stats["jobs_tracked"] = len(self._jobs)
+        stats["devices"] = sorted(self.couplings)
+        stats["store"] = self.store.stats()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for group in self._group(batch):
+                task = asyncio.create_task(self._run_group(*group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    def _group(self, batch: List[Job]):
+        """Group drained jobs by (architecture, engine, options)."""
+        groups: Dict[Tuple[Any, str, str], List[Job]] = {}
+        for job in batch:
+            coupling = self.couplings[job.arch_name]
+            key = (
+                coupling.canonical_key(),
+                job.engine,
+                canonical_options(job.options),
+            )
+            groups.setdefault(key, []).append(job)
+        return [
+            (self.couplings[jobs[0].arch_name], jobs) for jobs in groups.values()
+        ]
+
+    async def _run_group(self, coupling: CouplingMap, jobs: List[Job]) -> None:
+        """Safety wrapper: whatever happens, every job reaches a final state.
+
+        A job left ``running`` with its event unset would hang ``result()``
+        callers forever, and ``stop(drain=True)`` swallows task exceptions —
+        so any unexpected error is converted into per-job failures here.
+        """
+        try:
+            await self._map_group(coupling, jobs)
+        except Exception as error:  # noqa: BLE001 - converted to job failures
+            failure = MappingFailedError(
+                f"internal service error: {error}",
+                details={"error_type": type(error).__name__},
+            )
+            for job in jobs:
+                if job.status in (QUEUED, RUNNING):
+                    self._fail(job, failure)
+
+    async def _map_group(self, coupling: CouplingMap, jobs: List[Job]) -> None:
+        for job in jobs:
+            job.status = RUNNING
+            job.provenance["batch_size"] = len(jobs)
+        pipeline = MappingPipeline(
+            coupling,
+            engine=jobs[0].engine,
+            engine_options=jobs[0].options,
+            workers=self.workers,
+            executor=self.executor,
+        )
+        loop = asyncio.get_running_loop()
+        start = time.monotonic()
+        try:
+            items = await loop.run_in_executor(
+                None,
+                partial(
+                    pipeline.map_many,
+                    [job.circuit for job in jobs],
+                    workers=self.workers,
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced per job
+            failure = MappingFailedError(
+                f"batch mapping failed: {error}",
+                details={"error_type": type(error).__name__},
+            )
+            for job in jobs:
+                self._fail(job, failure)
+            return
+        elapsed = time.monotonic() - start
+        for job, item in zip(jobs, items):
+            if item.ok:
+                try:
+                    await loop.run_in_executor(
+                        None, self.store.put, job.fingerprint, item.result
+                    )
+                except InvalidResultError as error:
+                    self._fail(job, error)
+                    continue
+                except ServiceError as error:
+                    # A failing store (read-only disk, lock timeout) must not
+                    # fail a successfully solved job — the result is simply
+                    # not cached this time.
+                    job.provenance["store_error"] = error.to_dict()
+                self._counters["solved"] += 1
+                self._complete(
+                    job, item.result, cache_hit=False,
+                    elapsed=item.elapsed_seconds or elapsed,
+                )
+            else:
+                self._fail(
+                    job,
+                    MappingFailedError(
+                        item.error or "mapping failed",
+                        details={
+                            "error_type": item.error_type,
+                            "circuit": job.circuit.name,
+                        },
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Completion plumbing
+    # ------------------------------------------------------------------
+    def _complete(
+        self, job: Job, result: MappingResult, *, cache_hit: bool, elapsed: float
+    ) -> None:
+        job.result = result
+        job.status = DONE
+        job.provenance.update(
+            {"cache_hit": cache_hit, "elapsed_seconds": elapsed}
+        )
+        job.done_event.set()
+        self._release(job)
+        for follower in job.followers:
+            follower.provenance["batch_size"] = job.provenance.get("batch_size", 1)
+            # A follower was deduplicated in flight, not served from the
+            # store — keep the two categories distinguishable per job.
+            follower.provenance["coalesced"] = True
+            self._complete(follower, result, cache_hit=False, elapsed=elapsed)
+        job.followers = []
+
+    def _fail(self, job: Job, error: ServiceError) -> None:
+        job.error = error
+        job.status = FAILED
+        job.provenance["cache_hit"] = False
+        job.done_event.set()
+        self._counters["failed"] += 1
+        self._release(job)
+        for follower in job.followers:
+            self._fail(follower, error)
+        job.followers = []
+
+    def _release(self, job: Job) -> None:
+        if self._primary_by_fp.get(job.fingerprint) is job:
+            del self._primary_by_fp[job.fingerprint]
+
+
+__all__ = ["Job", "MappingService", "QUEUED", "RUNNING", "DONE", "FAILED"]

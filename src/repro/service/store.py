@@ -1,0 +1,290 @@
+"""Fingerprint-keyed persistent store for mapping results.
+
+:class:`ResultStore` is the "never solve the same instance twice" layer of
+the service subsystem: results are keyed by the content-addressed
+:func:`~repro.service.fingerprint.job_fingerprint` and survive process
+restarts in a SQLite file, with a small in-memory LRU in front so hot keys
+never touch the disk.
+
+Concurrency
+-----------
+Every SQLite operation opens its own short-lived connection, so the store
+object can be shared freely between threads, and multiple *processes*
+pointing at the same file coordinate through SQLite's file locking (writers
+retry for up to :data:`SQLITE_TIMEOUT_SECONDS` before giving up).  The
+in-memory LRU is guarded by a plain lock.
+
+Validation
+----------
+``put`` refuses to cache a result that fails
+:meth:`~repro.exact.result.MappingResult.validate` and raises the structured
+:class:`~repro.service.errors.InvalidResultError` — a corrupt result written
+once would otherwise be served forever.  Corrupt rows discovered on ``get``
+(schema drift, truncated payloads) are dropped and reported as misses, so a
+stale cache file degrades to extra solving work, never to an error.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.exact.result import MappingResult
+from repro.service.errors import InvalidResultError, StoreError
+
+#: How long concurrent writers wait on SQLite's file lock before failing.
+SQLITE_TIMEOUT_SECONDS = 30.0
+
+#: Default capacity of the in-memory LRU tier.
+DEFAULT_MEMORY_ENTRIES = 256
+
+#: File name of the result database inside a cache directory.
+RESULTS_DB_NAME = "results.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    payload     TEXT NOT NULL,
+    engine      TEXT NOT NULL,
+    added_cost  INTEGER NOT NULL,
+    optimal     INTEGER NOT NULL,
+    created_at  REAL NOT NULL
+)
+"""
+
+
+class ResultStore:
+    """Two-tier (memory LRU + SQLite) mapping-result cache.
+
+    Args:
+        path: SQLite database file, or ``None`` for a memory-only store
+            (useful in tests and for ephemeral workers).  Parent directories
+            are created on demand.
+        max_memory_entries: Capacity of the in-memory tier; ``0`` disables
+            it (every hit deserialises from disk).
+        validate: Validate results before caching (strongly recommended;
+            exposed so benchmarks can measure the validation overhead).
+
+    Example:
+        >>> store = ResultStore(tmp_path / "results.sqlite")
+        >>> store.put(fingerprint, result)
+        >>> store.get(fingerprint).added_cost == result.added_cost
+        True
+    """
+
+    def __init__(
+        self,
+        path=None,
+        *,
+        max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        validate: bool = True,
+    ):
+        self.path: Optional[Path] = None if path is None else Path(path)
+        self.max_memory_entries = max(0, int(max_memory_entries))
+        self.validate = validate
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, MappingResult]" = OrderedDict()
+        self._stats = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "invalid_rejected": 0,
+            "corrupt_dropped": 0,
+        }
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._connect() as conn:
+                conn.execute(_SCHEMA)
+
+    @classmethod
+    def at(cls, cache_dir, **kwargs) -> "ResultStore":
+        """The store for a cache *directory* (``<dir>/results.sqlite``)."""
+        return cls(Path(cache_dir) / RESULTS_DB_NAME, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        assert self.path is not None
+        return sqlite3.connect(str(self.path), timeout=SQLITE_TIMEOUT_SECONDS)
+
+    def _memory_put(self, fingerprint: str, result: MappingResult) -> None:
+        if self.max_memory_entries == 0:
+            return
+        with self._lock:
+            self._memory[fingerprint] = result
+            self._memory.move_to_end(fingerprint)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, result: MappingResult) -> None:
+        """Cache *result* under *fingerprint* (validated first).
+
+        Raises:
+            InvalidResultError: When the result fails validation; nothing
+                is written in that case.
+            StoreError: When the database write fails.
+        """
+        if self.validate:
+            try:
+                result.validate()
+            except ValueError as error:
+                with self._lock:
+                    self._stats["invalid_rejected"] += 1
+                raise InvalidResultError(
+                    f"refusing to cache invalid mapping result: {error}",
+                    details={"fingerprint": fingerprint, "engine": result.engine},
+                ) from error
+        payload = json.dumps(result.to_dict())
+        if self.path is not None:
+            try:
+                with self._connect() as conn:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO results "
+                        "(fingerprint, payload, engine, added_cost, optimal, created_at) "
+                        "VALUES (?, ?, ?, ?, ?, ?)",
+                        (
+                            fingerprint,
+                            payload,
+                            result.engine,
+                            result.added_cost,
+                            int(result.optimal),
+                            time.time(),
+                        ),
+                    )
+            except sqlite3.Error as error:
+                raise StoreError(
+                    f"failed to persist result: {error}",
+                    details={"fingerprint": fingerprint, "path": str(self.path)},
+                ) from error
+        self._memory_put(fingerprint, result)
+        with self._lock:
+            self._stats["puts"] += 1
+
+    def get(self, fingerprint: str) -> Optional[MappingResult]:
+        """The cached result for *fingerprint*, or ``None``.
+
+        The returned object may be shared with other callers (memory tier);
+        treat it as read-only.
+        """
+        if self.max_memory_entries > 0:
+            with self._lock:
+                cached = self._memory.get(fingerprint)
+                if cached is not None:
+                    self._stats["memory_hits"] += 1
+                    self._memory.move_to_end(fingerprint)
+                    return cached
+        if self.path is not None:
+            with self._connect() as conn:
+                row = conn.execute(
+                    "SELECT payload FROM results WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchone()
+            if row is not None:
+                try:
+                    result = MappingResult.from_dict(json.loads(row[0]))
+                except (ValueError, KeyError, TypeError):
+                    # Schema drift or a truncated payload: drop the row and
+                    # treat it as a miss — the caller re-solves and re-puts.
+                    with self._connect() as conn:
+                        conn.execute(
+                            "DELETE FROM results WHERE fingerprint = ?",
+                            (fingerprint,),
+                        )
+                    with self._lock:
+                        self._stats["corrupt_dropped"] += 1
+                        self._stats["misses"] += 1
+                    return None
+                self._memory_put(fingerprint, result)
+                with self._lock:
+                    self._stats["disk_hits"] += 1
+                return result
+        with self._lock:
+            self._stats["misses"] += 1
+        return None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
+        if self.path is None:
+            return False
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        if self.path is None:
+            with self._lock:
+                return len(self._memory)
+        with self._connect() as conn:
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate over all persisted fingerprints (memory-only when no path)."""
+        if self.path is None:
+            with self._lock:
+                keys = list(self._memory)
+            return iter(keys)
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT fingerprint FROM results ORDER BY created_at"
+            ).fetchall()
+        return iter(row[0] for row in rows)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Metadata rows of every persisted result (no payload parsing)."""
+        if self.path is None:
+            with self._lock:
+                return [
+                    {"fingerprint": key, "engine": result.engine,
+                     "added_cost": result.added_cost, "optimal": result.optimal}
+                    for key, result in self._memory.items()
+                ]
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT fingerprint, engine, added_cost, optimal, created_at "
+                "FROM results ORDER BY created_at"
+            ).fetchall()
+        return [
+            {"fingerprint": row[0], "engine": row[1], "added_cost": row[2],
+             "optimal": bool(row[3]), "created_at": row[4]}
+            for row in rows
+        ]
+
+    def clear(self) -> int:
+        """Drop every cached result (both tiers); returns rows removed."""
+        removed = 0
+        if self.path is not None:
+            with self._connect() as conn:
+                removed = conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+                conn.execute("DELETE FROM results")
+        with self._lock:
+            removed = max(removed, len(self._memory))
+            self._memory.clear()
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus tier sizes (a snapshot copy)."""
+        with self._lock:
+            stats = dict(self._stats)
+            stats["memory_entries"] = len(self._memory)
+        stats["persistent"] = self.path is not None
+        if self.path is not None:
+            stats["disk_entries"] = len(self)
+        return stats
+
+
+__all__ = [
+    "ResultStore",
+    "DEFAULT_MEMORY_ENTRIES",
+    "RESULTS_DB_NAME",
+    "SQLITE_TIMEOUT_SECONDS",
+]

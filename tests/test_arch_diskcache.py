@@ -1,0 +1,125 @@
+"""Tests for the on-disk permutation-table warm-start layer."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.arch.cache import (
+    cache_stats,
+    clear_caches,
+    get_cache_dir,
+    reset_cache_dir,
+    set_cache_dir,
+    shared_permutation_table,
+)
+from repro.arch.devices import ibm_qx4
+from repro.arch.diskcache import PermutationDiskStore
+from repro.arch.permutations import PermutationTable
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(monkeypatch):
+    """Each test starts with cold caches and an unconfigured disk layer."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    clear_caches()
+    reset_cache_dir()
+    yield
+    clear_caches()
+    reset_cache_dir()
+
+
+class TestPermutationDiskStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = PermutationDiskStore(tmp_path)
+        table = PermutationTable(ibm_qx4())
+        store.save(table)
+        loaded = store.load(ibm_qx4())
+        assert loaded is not None
+        assert len(loaded) == len(table)
+        for perm in table.permutations():
+            assert loaded.swaps(perm) == table.swaps(perm)
+            assert loaded.swap_sequence(perm) == table.swap_sequence(perm)
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert PermutationDiskStore(tmp_path).load(ibm_qx4()) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = PermutationDiskStore(tmp_path)
+        table = PermutationTable(ibm_qx4())
+        path = store.save(table)
+        path.write_text("{broken")
+        assert store.load(ibm_qx4()) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        store = PermutationDiskStore(tmp_path)
+        path = store.save(PermutationTable(ibm_qx4()))
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 999
+        path.write_text(json.dumps(payload))
+        assert store.load(ibm_qx4()) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = PermutationDiskStore(tmp_path)
+        store.save(PermutationTable(ibm_qx4()))
+        assert store.size_bytes() > 0
+        assert store.clear() == 1
+        assert store.entries() == []
+
+
+class TestWarmStartIntegration:
+    def test_disk_write_on_first_build(self, tmp_path):
+        set_cache_dir(str(tmp_path))
+        shared_permutation_table(ibm_qx4())
+        stats = cache_stats()
+        assert stats["permutation_table_disk_writes"] == 1
+        assert stats["permutation_tables_on_disk"] == 1
+
+    def test_fresh_memory_cache_warm_starts_from_disk(self, tmp_path):
+        set_cache_dir(str(tmp_path))
+        first = shared_permutation_table(ibm_qx4())
+        clear_caches()  # simulates a process restart (memory gone, disk kept)
+        second = shared_permutation_table(ibm_qx4())
+        assert second is not first
+        assert len(second) == len(first)
+        stats = cache_stats()
+        assert stats["permutation_table_disk_hits"] == 1
+        assert stats["permutation_table_disk_writes"] == 0  # no rebuild
+
+    def test_env_var_configures_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert get_cache_dir() == str(tmp_path)
+        shared_permutation_table(ibm_qx4())
+        assert cache_stats()["permutation_tables_on_disk"] == 1
+
+    def test_explicit_none_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        set_cache_dir(None)
+        assert get_cache_dir() is None
+        shared_permutation_table(ibm_qx4())
+        assert cache_stats().get("permutation_tables_on_disk", 0) == 0
+
+    def test_cross_process_warm_start(self, tmp_path):
+        """A table persisted by one process is loaded (not rebuilt) by the next."""
+        src = str(_REPO_ROOT / "src")
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.arch.cache import set_cache_dir, shared_permutation_table, cache_stats\n"
+            "from repro.arch.devices import ibm_qx4\n"
+            "set_cache_dir({cache!r})\n"
+            "shared_permutation_table(ibm_qx4())\n"
+            "stats = cache_stats()\n"
+            "print(stats['permutation_table_disk_hits'], stats['permutation_table_disk_writes'])\n"
+        ).format(src=src, cache=str(tmp_path))
+        first = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        assert first.stdout.split() == ["0", "1"]  # built and persisted
+        second = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        assert second.stdout.split() == ["1", "0"]  # warm-started from disk

@@ -1,0 +1,185 @@
+"""Tests for circuit and job fingerprints, including QASM round trips."""
+
+import math
+
+import pytest
+
+from repro.arch.devices import ibm_qx2, ibm_qx4
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.qasm import parse_qasm, to_qasm
+from repro.exact.strategies import get_strategy
+from repro.service.fingerprint import (
+    canonical_options,
+    coupling_fingerprint,
+    describe_job,
+    job_fingerprint,
+)
+
+
+def _rich_circuit():
+    """One of everything the serialization layer must carry."""
+    circuit = QuantumCircuit(3, name="rich")
+    circuit.h(0)
+    circuit.t(1)
+    circuit.sdg(2)
+    circuit.rx(0.1, 0)
+    circuit.ry(-math.pi / 3, 1)
+    circuit.rz(2.5, 2)
+    circuit.u3(0.1, 0.2, 0.3, 0)
+    circuit.cx(0, 1)
+    circuit.cz(1, 2)
+    circuit.swap(0, 2)
+    circuit.barrier()
+    circuit.barrier(0, 1)
+    circuit.measure(0, 0)
+    circuit.measure(2, 1)
+    return circuit
+
+
+class TestCircuitFingerprint:
+    def test_deterministic_and_name_independent(self):
+        a = QuantumCircuit(2, name="first")
+        a.h(0)
+        a.cx(0, 1)
+        b = QuantumCircuit(2, name="second")
+        b.h(0)
+        b.cx(0, 1)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_gate_order_and_operands_matter(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(1, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_qubit_count_matters(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(3)
+        b.cx(0, 1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_parameters_matter(self):
+        a = QuantumCircuit(1)
+        a.rx(0.5, 0)
+        b = QuantumCircuit(1)
+        b.rx(0.5000001, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_measure_clbit_matters(self):
+        a = QuantumCircuit(1)
+        a.measure(0, 0)
+        b = QuantumCircuit(1)
+        b.measure(0, 1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_gate_stream_is_one_line_per_gate(self):
+        circuit = _rich_circuit()
+        assert len(list(circuit.gate_stream())) == circuit.num_gates
+
+
+class TestQasmRoundTripFingerprints:
+    """``parse_qasm(to_qasm(c))`` must preserve the fingerprint exactly.
+
+    This is the property the persistent result store depends on: results are
+    stored as QASM text, and a lossy round trip would silently change what a
+    cached fingerprint points at.
+    """
+
+    def test_rich_circuit_round_trips(self):
+        circuit = _rich_circuit()
+        round_tripped = parse_qasm(to_qasm(circuit))
+        assert round_tripped.fingerprint() == circuit.fingerprint()
+
+    def test_parameterized_gates_round_trip(self):
+        circuit = QuantumCircuit(2)
+        circuit.rx(math.pi / 7, 0)
+        circuit.ry(1e-12, 1)
+        circuit.rz(-123.456789012345, 0)
+        circuit.u3(0.333333333333333, -0.1, math.pi, 1)
+        round_tripped = parse_qasm(to_qasm(circuit))
+        assert round_tripped.fingerprint() == circuit.fingerprint()
+
+    def test_barrier_round_trips(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.barrier(1, 2)
+        circuit.cx(0, 1)
+        round_tripped = parse_qasm(to_qasm(circuit))
+        assert round_tripped.fingerprint() == circuit.fingerprint()
+
+    def test_measure_round_trips(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.measure(0, 1)
+        circuit.measure(1, 0)
+        round_tripped = parse_qasm(to_qasm(circuit))
+        assert round_tripped.num_clbits == circuit.num_clbits
+        assert round_tripped.fingerprint() == circuit.fingerprint()
+
+    def test_double_round_trip_is_stable(self):
+        circuit = _rich_circuit()
+        once = parse_qasm(to_qasm(circuit))
+        twice = parse_qasm(to_qasm(once))
+        assert twice.fingerprint() == circuit.fingerprint()
+
+
+class TestJobFingerprint:
+    def _circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        return circuit
+
+    def test_same_inputs_same_fingerprint(self):
+        circuit = self._circuit()
+        assert job_fingerprint(circuit, ibm_qx4(), "dp", {}) == job_fingerprint(
+            circuit, ibm_qx4(), "dp", {}
+        )
+
+    def test_engine_and_arch_change_fingerprint(self):
+        circuit = self._circuit()
+        base = job_fingerprint(circuit, ibm_qx4(), "dp", {})
+        assert job_fingerprint(circuit, ibm_qx4(), "sat", {}) != base
+        assert job_fingerprint(circuit, ibm_qx2(), "dp", {}) != base
+
+    def test_options_change_fingerprint(self):
+        circuit = self._circuit()
+        assert job_fingerprint(
+            circuit, ibm_qx4(), "sat", {"use_subsets": True}
+        ) != job_fingerprint(circuit, ibm_qx4(), "sat", {"use_subsets": False})
+
+    def test_arch_name_is_excluded(self):
+        circuit = self._circuit()
+        qx4 = ibm_qx4()
+        renamed = type(qx4)(qx4.num_qubits, qx4.edges, name="totally_different")
+        assert job_fingerprint(circuit, qx4, "dp", {}) == job_fingerprint(
+            circuit, renamed, "dp", {}
+        )
+        assert coupling_fingerprint(qx4) == coupling_fingerprint(renamed)
+
+    def test_strategy_instances_reduce_deterministically(self):
+        # A strategy instance reduces to a stable "<Type>:<name>" token, so
+        # two runs configured with equivalent instances share one cache key.
+        first = canonical_options({"strategy": get_strategy("odd")})
+        second = canonical_options({"strategy": get_strategy("odd")})
+        assert first == second
+        assert "odd" in first
+        assert first != canonical_options({"strategy": get_strategy("triangle")})
+
+    def test_option_key_order_is_irrelevant(self):
+        circuit = self._circuit()
+        a = job_fingerprint(circuit, ibm_qx4(), "sat", {"a": 1, "b": 2})
+        b = job_fingerprint(circuit, ibm_qx4(), "sat", {"b": 2, "a": 1})
+        assert a == b
+
+    def test_describe_job_carries_provenance(self):
+        circuit = self._circuit()
+        record = describe_job(circuit, ibm_qx4(), "dp", {"strategy": "all"})
+        assert record["fingerprint"] == job_fingerprint(
+            circuit, ibm_qx4(), "dp", {"strategy": "all"}
+        )
+        assert record["engine"] == "dp"
+        assert record["num_qubits"] == 2
+        assert record["arch_name"] == "ibm_qx4"

@@ -1,0 +1,257 @@
+"""Tests for MappingResult serialization and the persistent ResultStore."""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.generators import random_clifford_t_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.dp_mapper import DPMapper
+from repro.exact.result import RESULT_SCHEMA_VERSION, MappingResult
+from repro.service.errors import InvalidResultError
+from repro.service.fingerprint import job_fingerprint
+from repro.service.store import ResultStore
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _result(seed=1):
+    circuit = random_clifford_t_circuit(3, 4, 6, seed=seed)
+    return DPMapper(ibm_qx4()).map(circuit)
+
+
+def _fingerprint(result):
+    return job_fingerprint(result.original_circuit, ibm_qx4(), "dp", {})
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_everything(self):
+        result = _result()
+        rebuilt = MappingResult.from_dict(result.to_dict())
+        assert rebuilt.added_cost == result.added_cost
+        assert rebuilt.total_cost == result.total_cost
+        assert rebuilt.objective == result.objective
+        assert rebuilt.optimal == result.optimal
+        assert rebuilt.engine == result.engine
+        assert rebuilt.strategy == result.strategy
+        assert rebuilt.num_permutation_spots == result.num_permutation_spots
+        assert rebuilt.runtime_seconds == result.runtime_seconds
+        assert rebuilt.statistics == result.statistics
+        assert rebuilt.schedule.mappings == result.schedule.mappings
+        assert rebuilt.schedule.initial_mapping == result.schedule.initial_mapping
+        assert (
+            rebuilt.mapped_circuit.fingerprint()
+            == result.mapped_circuit.fingerprint()
+        )
+        assert (
+            rebuilt.original_circuit.fingerprint()
+            == result.original_circuit.fingerprint()
+        )
+        assert rebuilt.mapped_circuit.name == result.mapped_circuit.name
+        assert rebuilt.original_circuit.name == result.original_circuit.name
+
+    def test_payload_is_json_ready(self):
+        json.dumps(_result().to_dict())
+
+    def test_version_mismatch_rejected(self):
+        payload = _result().to_dict()
+        payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            MappingResult.from_dict(payload)
+
+    def test_validate_passes_on_engine_output(self):
+        result = _result()
+        result.validate()
+        result.validate(ibm_qx4())
+
+    def test_validate_rejects_cost_mismatch(self):
+        result = _result()
+        result.mapped_circuit.swap(0, 1)  # corrupt: extra gate not in breakdown
+        with pytest.raises(ValueError, match="cost mismatch"):
+            result.validate()
+
+    def test_validate_rejects_bad_schedule(self):
+        result = _result()
+        result.schedule.initial_mapping = (0, 0, 1)  # not injective
+        with pytest.raises(ValueError, match="injective"):
+            result.validate()
+
+    def test_validate_rejects_noncompliant_circuit(self):
+        from repro.exact.cost import CostBreakdown
+        from repro.exact.result import MappingSchedule
+
+        original = QuantumCircuit(2)
+        original.cx(0, 1)
+        mapped = QuantumCircuit(5)
+        mapped.cx(0, 1)  # qx4 only allows 1 -> 0
+        result = MappingResult(
+            mapped_circuit=mapped,
+            original_circuit=original,
+            schedule=MappingSchedule(
+                num_logical=2, num_physical=5,
+                mappings=[(0, 1)], initial_mapping=(0, 1),
+            ),
+            cost=CostBreakdown(original_gates=1, swaps=0, reversals=0),
+        )
+        result.validate()  # internally consistent...
+        with pytest.raises(ValueError, match="violates"):
+            result.validate(ibm_qx4())  # ...but not architecture-compliant
+
+
+class TestResultStore:
+    def test_memory_only_round_trip(self):
+        store = ResultStore()
+        result = _result()
+        fingerprint = _fingerprint(result)
+        assert store.get(fingerprint) is None
+        store.put(fingerprint, result)
+        assert store.get(fingerprint) is result  # memory tier shares objects
+        assert fingerprint in store
+        assert len(store) == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite")
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        # A second store over the same file sees the entry (cold memory).
+        fresh = ResultStore(tmp_path / "results.sqlite")
+        loaded = fresh.get(fingerprint)
+        assert loaded is not None
+        assert loaded.added_cost == result.added_cost
+        assert (
+            loaded.mapped_circuit.fingerprint()
+            == result.mapped_circuit.fingerprint()
+        )
+        stats = fresh.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["memory_hits"] == 0
+
+    def test_memory_lru_bound(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite", max_memory_entries=2)
+        results = [_result(seed) for seed in (1, 2, 3)]
+        for result in results:
+            store.put(_fingerprint(result), result)
+        assert store.stats()["memory_entries"] == 2
+        # The evicted entry is still served from disk.
+        assert store.get(_fingerprint(results[0])) is not None
+
+    def test_invalid_result_refused(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite")
+        result = _result()
+        result.mapped_circuit.swap(0, 1)  # breaks the cost bookkeeping
+        with pytest.raises(InvalidResultError) as excinfo:
+            store.put("deadbeef", result)
+        assert excinfo.value.code == "invalid-result"
+        assert excinfo.value.to_dict()["details"]["fingerprint"] == "deadbeef"
+        assert "deadbeef" not in store
+        assert store.stats()["invalid_rejected"] == 1
+
+    def test_corrupt_row_dropped_as_miss(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        store = ResultStore(path)
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        import sqlite3
+
+        with sqlite3.connect(str(path)) as conn:
+            conn.execute(
+                "UPDATE results SET payload = ? WHERE fingerprint = ?",
+                ("{not json", fingerprint),
+            )
+        fresh = ResultStore(path)
+        assert fresh.get(fingerprint) is None
+        assert fresh.stats()["corrupt_dropped"] == 1
+        assert len(fresh) == 0  # self-healed
+
+    def test_entries_metadata(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite")
+        result = _result()
+        store.put(_fingerprint(result), result)
+        (entry,) = store.entries()
+        assert entry["engine"] == "dp"
+        assert entry["optimal"] is True
+        assert entry["added_cost"] == result.added_cost
+
+    def test_clear_drops_both_tiers(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite")
+        result = _result()
+        store.put(_fingerprint(result), result)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.get(_fingerprint(result)) is None
+
+    def test_concurrent_writers_same_file(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        results = [_result(seed) for seed in range(1, 6)]
+        errors = []
+
+        def writer(result):
+            try:
+                ResultStore(path).put(_fingerprint(result), result)
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(r,)) for r in results]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Identical circuits (same seed ordering) may collide on one
+        # fingerprint; every distinct fingerprint must be present.
+        expected = {_fingerprint(result) for result in results}
+        assert set(ResultStore(path).fingerprints()) == expected
+
+
+class TestCrossProcessPersistence:
+    """A store written by one process must serve a fresh process (PR gate)."""
+
+    _WRITE = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.generators import random_clifford_t_circuit
+from repro.exact.dp_mapper import DPMapper
+from repro.service.fingerprint import job_fingerprint
+from repro.service.store import ResultStore
+
+circuit = random_clifford_t_circuit(3, 4, 6, seed=42)
+result = DPMapper(ibm_qx4()).map(circuit)
+fingerprint = job_fingerprint(circuit, ibm_qx4(), "dp", {{}})
+ResultStore({path!r}).put(fingerprint, result)
+print(fingerprint, result.added_cost)
+"""
+
+    _READ = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.service.store import ResultStore
+
+store = ResultStore({path!r})
+result = store.get({fingerprint!r})
+assert result is not None, "fresh process missed the persisted result"
+result.validate()
+print(result.added_cost)
+"""
+
+    def test_fresh_process_reads_previous_store(self, tmp_path):
+        src = str(_REPO_ROOT / "src")
+        path = str(tmp_path / "results.sqlite")
+        write = subprocess.run(
+            [sys.executable, "-c", self._WRITE.format(src=src, path=path)],
+            capture_output=True, text=True, check=True,
+        )
+        fingerprint, added_cost = write.stdout.split()
+        read = subprocess.run(
+            [sys.executable, "-c",
+             self._READ.format(src=src, path=path, fingerprint=fingerprint)],
+            capture_output=True, text=True, check=True,
+        )
+        assert read.stdout.strip() == added_cost

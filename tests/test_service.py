@@ -1,0 +1,278 @@
+"""Tests for the async MappingService: job semantics, caching, routing.
+
+The executor the service drains batches through is selectable via the
+``REPRO_TEST_EXECUTOR`` environment variable (``thread``/``process``), so CI
+can run this module once per pool type without duplicating the tests.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.arch.devices import ibm_qx2, ibm_qx4, ibm_qx5
+from repro.benchlib.generators import random_clifford_t_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.dp_mapper import DPMapper
+from repro.pipeline.registry import DEFAULT_REGISTRY
+from repro.service.errors import (
+    JobNotFoundError,
+    MappingFailedError,
+    RoutingError,
+    ServiceStateError,
+)
+from repro.service.fingerprint import job_fingerprint
+from repro.service.service import DONE, FAILED, MappingService
+from repro.service.store import ResultStore
+
+EXECUTOR = os.environ.get("REPRO_TEST_EXECUTOR", "thread")
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _circuit(seed=7):
+    return random_clifford_t_circuit(3, 4, 6, seed=seed)
+
+
+def _service(**kwargs):
+    kwargs.setdefault("engine", "dp")
+    kwargs.setdefault("executor", EXECUTOR)
+    kwargs.setdefault("workers", 2)
+    couplings = kwargs.pop("couplings", ibm_qx4())
+    return MappingService(couplings, **kwargs)
+
+
+class _CountingMapper:
+    """Registry-compatible mapper that counts its map() invocations."""
+
+    calls = 0
+
+    def __init__(self, coupling):
+        self.coupling = coupling
+
+    def map(self, circuit):
+        type(self).calls += 1
+        return DPMapper(self.coupling).map(circuit)
+
+
+@pytest.fixture()
+def counting_engine():
+    _CountingMapper.calls = 0
+    DEFAULT_REGISTRY.register(
+        "counting_test_engine",
+        lambda coupling, **options: _CountingMapper(coupling),
+        overwrite=True,
+    )
+    return "counting_test_engine"
+
+
+class TestSubmitResult:
+    def test_submit_and_result(self):
+        async def scenario():
+            async with _service() as service:
+                job_id = await service.submit(_circuit())
+                result = await service.result(job_id, timeout=60)
+                status = service.status(job_id)
+                return result, status
+
+        result, status = run(scenario())
+        assert result.engine == "dp"
+        assert status["status"] == DONE
+        assert status["provenance"]["cache_hit"] is False
+        assert status["provenance"]["executor"] == EXECUTOR
+        assert "elapsed_seconds" in status["provenance"]
+
+    def test_unknown_job_raises_structured_error(self):
+        async def scenario():
+            async with _service() as service:
+                with pytest.raises(JobNotFoundError) as excinfo:
+                    service.status("job-999999")
+                return excinfo.value
+
+        error = run(scenario())
+        assert error.code == "job-not-found"
+
+    def test_submit_before_start_raises(self):
+        service = _service()
+        with pytest.raises(ServiceStateError):
+            run(service.submit(_circuit()))
+
+    def test_structured_failure_for_unmappable_circuit(self):
+        # The DP engine refuses exhaustive enumeration on the 16-qubit QX5;
+        # the service must surface that as a structured per-job failure.
+        async def failing():
+            async with _service(couplings=ibm_qx5()) as service:
+                wide = QuantumCircuit(16, name="wide")
+                wide.cx(0, 15)
+                job_id = await service.submit(wide)
+                with pytest.raises(MappingFailedError) as excinfo:
+                    await service.result(job_id, timeout=60)
+                return service.status(job_id), excinfo.value
+
+        status, error = run(failing())
+        assert status["status"] == FAILED
+        assert error.code == "mapping-failed"
+        assert status["error"]["code"] == "mapping-failed"
+
+
+class TestResultCaching:
+    def test_repeated_submit_served_from_store_without_mapper(self, counting_engine):
+        """PR acceptance gate: the second identical job never hits a mapper."""
+
+        async def scenario():
+            store = ResultStore()
+            async with _service(engine=counting_engine, store=store) as service:
+                first = await service.submit(_circuit())
+                result_one = await service.result(first, timeout=60)
+                calls_after_first = _CountingMapper.calls
+                second = await service.submit(_circuit())
+                result_two = await service.result(second, timeout=60)
+                return (
+                    calls_after_first,
+                    _CountingMapper.calls,
+                    result_one,
+                    result_two,
+                    service.status(second),
+                    service.stats(),
+                )
+
+        calls_one, calls_two, result_one, result_two, status, stats = run(scenario())
+        assert calls_one == 1
+        assert calls_two == 1  # no mapper invocation for the second submit
+        assert status["provenance"]["cache_hit"] is True
+        assert result_two.added_cost == result_one.added_cost
+        assert stats["cache_hits"] == 1
+        assert stats["solved"] == 1
+
+    def test_persistent_store_shared_across_service_instances(self, tmp_path,
+                                                              counting_engine):
+        async def scenario():
+            path = tmp_path / "results.sqlite"
+            async with _service(
+                engine=counting_engine, store=ResultStore(path)
+            ) as service:
+                job = await service.submit(_circuit())
+                await service.result(job, timeout=60)
+            # New service, new store object, same file: still a cache hit.
+            async with _service(
+                engine=counting_engine, store=ResultStore(path)
+            ) as service:
+                job = await service.submit(_circuit())
+                await service.result(job, timeout=60)
+                return _CountingMapper.calls, service.status(job)
+
+        calls, status = run(scenario())
+        assert calls == 1
+        assert status["provenance"]["cache_hit"] is True
+
+    def test_inflight_duplicates_coalesce(self, counting_engine):
+        async def scenario():
+            async with _service(engine=counting_engine) as service:
+                first = await service.submit(_circuit())
+                second = await service.submit(_circuit())
+                results = await asyncio.gather(
+                    service.result(first, timeout=60),
+                    service.result(second, timeout=60),
+                )
+                return (
+                    _CountingMapper.calls,
+                    results,
+                    service.status(second),
+                    service.stats(),
+                )
+
+        calls, results, status, stats = run(scenario())
+        assert calls == 1  # one solve fulfilled both jobs
+        assert results[0].added_cost == results[1].added_cost
+        assert stats["coalesced"] == 1
+        assert status["provenance"]["coalesced_with"].startswith("job-")
+        # Coalescing is reported distinctly from a store hit.
+        assert status["provenance"]["coalesced"] is True
+        assert status["provenance"]["cache_hit"] is False
+
+    def test_identical_jobs_share_fingerprint(self):
+        circuit = _circuit()
+        fp_one = job_fingerprint(circuit, ibm_qx4(), "dp", {})
+        fp_two = job_fingerprint(_circuit(), ibm_qx4(), "dp", {})
+        assert fp_one == fp_two
+
+
+class TestBatchAndRouting:
+    def test_submit_many_preserves_order_and_maps_all(self):
+        async def scenario():
+            circuits = [_circuit(seed) for seed in range(4)]
+            async with _service() as service:
+                job_ids = await service.submit_many(circuits)
+                results = [
+                    await service.result(job_id, timeout=120) for job_id in job_ids
+                ]
+                return circuits, job_ids, results
+
+        circuits, job_ids, results = run(scenario())
+        assert len(job_ids) == len(set(job_ids)) == 4
+        expected = [DPMapper(ibm_qx4()).map(c).added_cost for c in circuits]
+        assert [r.added_cost for r in results] == expected
+
+    def test_routing_picks_smallest_fitting_device(self):
+        async def scenario():
+            couplings = {"qx2": ibm_qx2(), "qx5": ibm_qx5()}
+            async with _service(couplings=couplings, engine="sabre") as service:
+                small = await service.submit(_circuit())
+                wide = QuantumCircuit(9, name="wide")
+                wide.cx(0, 8)
+                big = await service.submit(wide)
+                await service.result(small, timeout=60)
+                await service.result(big, timeout=60)
+                return service.status(small)["arch"], service.status(big)["arch"]
+
+        small_arch, big_arch = run(scenario())
+        assert small_arch == "qx2"  # 5 qubits suffice
+        assert big_arch == "qx5"  # only the 16-qubit device fits
+
+    def test_explicit_arch_is_honoured_and_checked(self):
+        async def scenario():
+            couplings = {"qx2": ibm_qx2(), "qx5": ibm_qx5()}
+            async with _service(couplings=couplings, engine="sabre") as service:
+                job = await service.submit(_circuit(), arch="qx5")
+                await service.result(job, timeout=60)
+                arch = service.status(job)["arch"]
+                wide = QuantumCircuit(9)
+                wide.cx(0, 8)
+                with pytest.raises(RoutingError):
+                    await service.submit(wide, arch="qx2")
+                with pytest.raises(RoutingError):
+                    await service.submit(_circuit(), arch="nonexistent")
+                return arch
+
+        assert run(scenario()) == "qx5"
+
+    def test_mixed_batch_failure_isolation(self):
+        async def scenario():
+            async with _service() as service:
+                good = await service.submit(_circuit())
+                too_big = QuantumCircuit(9, name="too_big")
+                too_big.cx(0, 8)
+                with pytest.raises(RoutingError):
+                    await service.submit(too_big)  # no fitting device
+                result = await service.result(good, timeout=60)
+                return result
+
+        assert run(scenario()).engine == "dp"
+
+    def test_jobs_listing_and_stats(self):
+        async def scenario():
+            async with _service() as service:
+                await service.submit(_circuit())
+                await service.submit(_circuit(seed=8))
+                for job in service.jobs():
+                    await service.result(job["job_id"], timeout=60)
+                return service.jobs(), service.stats()
+
+        jobs, stats = run(scenario())
+        assert len(jobs) == 2
+        assert all(job["status"] == DONE for job in jobs)
+        assert stats["submitted"] == 2
+        assert stats["devices"] == ["ibm_qx4"]
+        assert stats["store"]["puts"] >= 1

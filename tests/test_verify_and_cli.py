@@ -200,3 +200,108 @@ class TestCLI:
     def test_missing_qasm_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCLIServiceSubcommands:
+    """The cache admin and async serve front ends of the CLI."""
+
+    @pytest.fixture(autouse=True)
+    def _unconfigured_cache(self, monkeypatch):
+        from repro.arch.cache import clear_caches, reset_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        clear_caches()
+        reset_cache_dir()
+        yield
+        clear_caches()
+        reset_cache_dir()
+
+    def _write_qasm(self, tmp_path, circuit, name="circuit.qasm"):
+        from repro.circuit.qasm import to_qasm
+
+        path = tmp_path / name
+        path.write_text(to_qasm(circuit))
+        return str(path)
+
+    def test_cache_stats_without_directory(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "in-process caches" in out
+        assert "no cache directory configured" in out
+
+    def test_cache_stats_with_directory(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "result store" in out
+        assert "disk_entries" in out
+
+    def test_map_uses_persistent_result_cache(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        path = self._write_qasm(tmp_path, circuit)
+        cache_dir = str(tmp_path / "cache")
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "result cache      : miss" in first
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "result cache      : hit" in second
+
+    def test_cache_clear_reports_removals(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        cache_dir = str(tmp_path / "cache")
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "in-process caches cleared" in out
+        assert "1 results" in out
+        # After clearing, the same mapping is a miss again.
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        assert "result cache      : miss" in capsys.readouterr().out
+
+    def test_env_var_enables_result_cache(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        assert main([path, "--engine", "dp"]) == 0
+        assert "result cache      : miss" in capsys.readouterr().out
+        assert main([path, "--engine", "dp"]) == 0
+        assert "result cache      : hit" in capsys.readouterr().out
+
+    def test_serve_batch_with_caching_and_routing(self, tmp_path, capsys):
+        small = QuantumCircuit(3, name="small")
+        small.cx(0, 1)
+        small.cx(1, 2)
+        wide = QuantumCircuit(9, name="wide")
+        wide.cx(0, 8)
+        a = self._write_qasm(tmp_path, small, "a.qasm")
+        b = self._write_qasm(tmp_path, wide, "b.qasm")
+        cache_dir = str(tmp_path / "cache")
+        exit_code = main([
+            "serve", a, b, a,
+            "--arch", "ibm_qx4", "--arch", "ibm_qx5",
+            "--engine", "sabre", "--cache-dir", cache_dir,
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "3 submitted" in out
+        assert "arch=ibm_qx5" in out  # the wide circuit was routed up
+        # The duplicate submission was deduplicated (cache hit or coalesced).
+        assert ("cache" in out) or ("coalesced" in out)
+
+    def test_serve_reports_failures_per_job(self, tmp_path, capsys):
+        wide = QuantumCircuit(16, name="very_wide")
+        wide.cx(0, 15)
+        path = self._write_qasm(tmp_path, wide, "wide.qasm")
+        exit_code = main([
+            "serve", path, "--arch", "ibm_qx5", "--engine", "dp",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "FAILED" in out
