@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Perf smoke: solver iteration counts of the solving core must not regress.
+
+Runs the paper's worked example (Fig. 1, minimal added cost 4 on IBM QX4)
+through the SAT and portfolio engines and compares the per-config solver
+iteration counts against the committed baseline
+(``benchmarks/perf_smoke_baseline.json``):
+
+* the proven minimum objective must match the baseline exactly,
+* ``solver_iterations`` must not exceed the committed ceiling,
+* for the configs listed under ``strict_improvement_vs_pr2`` the count must
+  additionally stay strictly below the pre-incremental-core (PR 2) numbers
+  recorded in ``pr2_reference_iterations`` — the incremental ``SolveSession``
+  (no fresh solver per probe, no CNF clone per bound) is what bought the
+  improvement, and this guard keeps it bought.
+
+Iteration counts of the pure-Python CDCL solver are deterministic for a
+fixed formula, so the comparison is exact — no timing calibration needed.
+Wall-clock numbers are recorded in the output JSON for information only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --baseline benchmarks/perf_smoke_baseline.json \
+        --output perf-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.paper_example import paper_example_cnot_skeleton
+from repro.exact.sat_mapper import SATMapper
+from repro.pipeline.portfolio import PortfolioMapper
+
+
+def _configs():
+    """The measured engine configurations, deterministic order."""
+    return {
+        "sat": lambda: SATMapper(ibm_qx4()),
+        "portfolio": lambda: PortfolioMapper(ibm_qx4()),
+        "portfolio_subsets": lambda: PortfolioMapper(ibm_qx4(), use_subsets=True),
+        "sat_subsets": lambda: SATMapper(ibm_qx4(), use_subsets=True),
+    }
+
+
+def measure():
+    """Map the paper example with every config; returns per-config metrics."""
+    circuit = paper_example_cnot_skeleton()
+    measurements = {}
+    for name, factory in _configs().items():
+        start = time.monotonic()
+        result = factory().map(circuit)
+        elapsed = time.monotonic() - start
+        measurements[name] = {
+            "added_cost": result.added_cost,
+            "solver_iterations": result.statistics["solver_iterations"],
+            "solver_conflicts": result.statistics["solver_conflicts"],
+            "subsets_solved": result.statistics.get("subsets_solved"),
+            "family_reuses": result.statistics.get("family_reuses"),
+            "wall_seconds": round(elapsed, 4),
+        }
+    return measurements
+
+
+def check(measurements, baseline):
+    """Compare measurements against the baseline; returns failure messages."""
+    failures = []
+    pr2 = baseline.get("pr2_reference_iterations", {})
+    strict = set(baseline.get("strict_improvement_vs_pr2", []))
+    for name, expected in baseline["configs"].items():
+        measured = measurements.get(name)
+        if measured is None:
+            failures.append(f"{name}: configuration was not measured")
+            continue
+        if measured["added_cost"] != expected["added_cost"]:
+            failures.append(
+                f"{name}: proven minimum changed "
+                f"({measured['added_cost']} != {expected['added_cost']})"
+            )
+        iterations = measured["solver_iterations"]
+        if iterations > expected["max_iterations"]:
+            failures.append(
+                f"{name}: solver iterations regressed "
+                f"({iterations} > baseline {expected['max_iterations']})"
+            )
+        if name in strict and name in pr2 and iterations >= pr2[name]:
+            failures.append(
+                f"{name}: iterations no longer strictly below the PR 2 "
+                f"reference ({iterations} >= {pr2[name]})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "perf_smoke_baseline.json"),
+        help="committed baseline JSON to compare against",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the measured numbers to this JSON file (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    measurements = measure()
+    report = {
+        "benchmark": baseline.get("benchmark"),
+        "measurements": measurements,
+        "baseline_max_iterations": {
+            name: config["max_iterations"]
+            for name, config in baseline["configs"].items()
+        },
+        "pr2_reference_iterations": baseline.get("pr2_reference_iterations"),
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, metrics in measurements.items():
+        print(
+            f"{name:18s} cost={metrics['added_cost']} "
+            f"iterations={metrics['solver_iterations']:3d} "
+            f"conflicts={metrics['solver_conflicts']:5d} "
+            f"wall={metrics['wall_seconds']:.3f}s"
+        )
+    failures = check(measurements, baseline)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf smoke OK: no iteration regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(defaults to $REPRO_CACHE_DIR when set; omit both for no persistence)",
     )
     parser.add_argument(
+        "--result-ttl", type=float, default=None,
+        help="treat cached results older than this many seconds as misses "
+        "(requires --cache-dir; expired rows are purged lazily)",
+    )
+    parser.add_argument(
+        "--upper-bound", type=int, default=None,
+        help="known valid upper bound on the added cost, asserted before the "
+        "exact search starts (engines with restricted search spaces ignore it)",
+    )
+    parser.add_argument(
+        "--no-bound-seeding", action="store_true",
+        help="do not warm-start the exact search from cached results of the "
+        "same circuit (bound seeding is on whenever --cache-dir is active)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write the mapped circuit to this QASM file"
     )
     parser.add_argument(
@@ -154,6 +169,10 @@ def _run_map(argv: Sequence[str]) -> int:
         return 0
     if args.qasm is None:
         parser.error("the qasm input file is required (or use --list-engines)")
+    if args.upper_bound is not None and args.upper_bound < 0:
+        parser.error("--upper-bound must be non-negative")
+    if args.result_ttl is not None and args.result_ttl <= 0:
+        parser.error("--result-ttl must be positive")
 
     try:
         engine = resolve_mapper_name(args.engine)
@@ -166,6 +185,8 @@ def _run_map(argv: Sequence[str]) -> int:
     circuit = parse_qasm_file(args.qasm)
     options = _engine_options(engine, args)
     cache_dir = _activate_cache_dir(args.cache_dir)
+    if args.result_ttl is not None and cache_dir is None:
+        parser.error("--result-ttl requires --cache-dir (or REPRO_CACHE_DIR)")
 
     store = None
     fingerprint = None
@@ -174,24 +195,49 @@ def _run_map(argv: Sequence[str]) -> int:
         from repro.service.fingerprint import job_fingerprint
         from repro.service.store import ResultStore
 
-        store = ResultStore.at(cache_dir)
+        store = ResultStore.at(cache_dir, ttl_seconds=args.result_ttl)
         fingerprint = job_fingerprint(circuit, coupling, engine, options)
         result = store.get(fingerprint)
         cache_hit = result is not None
     if not cache_hit:
+        providers = []
+        if store is not None and not args.no_bound_seeding:
+            from repro.pipeline.bounds import StoreBoundProvider
+
+            providers.append(StoreBoundProvider(store, couplings=[coupling]))
+        if args.upper_bound is not None:
+            from repro.pipeline.bounds import StaticBoundProvider
+
+            providers.append(StaticBoundProvider(args.upper_bound))
         pipeline = MappingPipeline(
             coupling,
             engine=engine,
             engine_options=options,
             workers=args.workers,
             executor=args.executor,
+            bound_providers=providers or None,
         )
-        result = pipeline.map(circuit)
+        from repro.exact.sat_mapper import SATMapperError
+
+        try:
+            result = pipeline.map(circuit)
+        except SATMapperError as error:
+            hint = (
+                " (is --upper-bound really achievable?)"
+                if args.upper_bound is not None else ""
+            )
+            print(f"error: {error}{hint}", file=sys.stderr)
+            return 1
         if store is not None:
             from repro.service.errors import ServiceError
+            from repro.service.fingerprint import coupling_fingerprint
 
             try:
-                store.put(fingerprint, result)
+                store.put(
+                    fingerprint, result,
+                    circuit_fp=circuit.fingerprint(),
+                    arch_fp=coupling_fingerprint(coupling),
+                )
             except ServiceError as error:
                 # A failing cache directory must not fail a successful
                 # mapping run; mirror the permutation-table layer's policy.
@@ -210,6 +256,12 @@ def _run_map(argv: Sequence[str]) -> int:
     print(f"runtime           : {result.runtime_seconds:.3f} s")
     if store is not None:
         print(f"result cache      : {'hit' if cache_hit else 'miss'} ({cache_dir})")
+    # The annotation is persisted with the result, so only report it for
+    # the run that actually solved (a cache hit seeds nothing).
+    seeded_bound = result.statistics.get("external_bound")
+    if seeded_bound is not None and not cache_hit:
+        provider = result.statistics.get("bound_provider", "unknown")
+        print(f"bound seeded      : {seeded_bound} (provider: {provider})")
     if args.verify:
         equivalent = result_is_equivalent(result)
         print(f"equivalence check : {'passed' if equivalent else 'FAILED'}")
@@ -227,21 +279,41 @@ def _run_map(argv: Sequence[str]) -> int:
 def _build_cache_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-map cache",
-        description="Inspect or clear the per-architecture artefact caches "
-        "and the persistent result store.",
+        description="Inspect, clear or prune the per-architecture artefact "
+        "caches and the persistent result store.",
     )
-    parser.add_argument("action", choices=["stats", "clear"])
+    parser.add_argument("action", choices=["stats", "clear", "prune"])
     parser.add_argument(
         "--cache-dir", default=None,
         help="cache directory (defaults to $REPRO_CACHE_DIR; without one "
         "only the in-process caches are touched)",
     )
+    parser.add_argument(
+        "--ttl", type=float, default=None,
+        help="for 'prune': drop result-store rows older than this many "
+        "seconds (required)",
+    )
     return parser
 
 
 def _run_cache(argv: Sequence[str]) -> int:
-    args = _build_cache_parser().parse_args(argv)
+    parser = _build_cache_parser()
+    args = parser.parse_args(argv)
     cache_dir = _activate_cache_dir(args.cache_dir)
+
+    if args.action == "prune":
+        if args.ttl is None:
+            parser.error("cache prune requires --ttl SECONDS")
+        if cache_dir is None:
+            parser.error(
+                "cache prune needs a persistent store "
+                "(use --cache-dir or REPRO_CACHE_DIR)"
+            )
+        from repro.service.store import ResultStore
+
+        removed = ResultStore.at(cache_dir).prune(ttl_seconds=args.ttl)
+        print(f"result store pruned ({cache_dir}): {removed} expired results")
+        return 0
 
     if args.action == "stats":
         print("in-process caches:")
@@ -312,6 +384,16 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="persistent cache directory (defaults to $REPRO_CACHE_DIR; "
         "omit both for an in-memory result store)",
     )
+    parser.add_argument(
+        "--result-ttl", type=float, default=None,
+        help="treat cached results older than this many seconds as misses "
+        "(expired rows are purged lazily)",
+    )
+    parser.add_argument(
+        "--no-bound-seeding", action="store_true",
+        help="do not warm-start exact solves from cached results of the same "
+        "circuit on the same or a sub-architecture",
+    )
     return parser
 
 
@@ -327,7 +409,11 @@ async def _serve_batch(args: argparse.Namespace) -> int:
     engine = resolve_mapper_name(args.engine)
     options = _engine_options(engine, args)
     cache_dir = _activate_cache_dir(args.cache_dir)
-    store = ResultStore.at(cache_dir) if cache_dir is not None else ResultStore()
+    store = (
+        ResultStore.at(cache_dir, ttl_seconds=args.result_ttl)
+        if cache_dir is not None
+        else ResultStore(ttl_seconds=args.result_ttl)
+    )
 
     circuits = [parse_qasm_file(path) for path in args.qasm]
     failures = 0
@@ -338,6 +424,7 @@ async def _serve_batch(args: argparse.Namespace) -> int:
         store=store,
         workers=args.workers,
         executor=args.executor,
+        seed_bounds=not args.no_bound_seeding,
     ) as service:
         job_ids = await service.submit_many(circuits)
         for job_id in job_ids:
@@ -375,7 +462,10 @@ async def _serve_batch(args: argparse.Namespace) -> int:
 
 
 def _run_serve(argv: Sequence[str]) -> int:
-    args = _build_serve_parser().parse_args(argv)
+    parser = _build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.result_ttl is not None and args.result_ttl <= 0:
+        parser.error("--result-ttl must be positive")
     return asyncio.run(_serve_batch(args))
 
 

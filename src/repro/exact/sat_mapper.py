@@ -10,10 +10,23 @@ circuit.  The performance improvements of Section 4 are available through
 * ``strategy=...`` — restrict the gates before which the mapping may change
   (Section 4.2).
 
+The subset sweep is organised around two reuse layers:
+
+* **Subset families** — two subsets whose induced sub-couplings re-index to
+  the same directed edge set produce *identical* encodings, so they form one
+  family that is encoded and solved once; the other members mirror the
+  outcome (translated to their own device indices) without any solver call.
+* **Solve sessions** — each family keeps one persistent
+  :class:`~repro.sat.session.SolveSession`; objective bounds (the heuristic
+  seed and the cross-subset incumbent) are *assumed* on the live solver, so
+  learned clauses survive both the objective descent and any re-solve of the
+  family under a tightened incumbent.
+
 The subset loop is factored into :meth:`SATMapper.solve_subset` so that the
 batch pipeline (:mod:`repro.pipeline.pipeline`) can fan the independent
-subset instances out over a worker pool; both the sequential loop here and
-the parallel one share :meth:`SATMapper.select_best_outcome` and
+family representatives out over a worker pool; both the sequential loop here
+and the parallel one share :meth:`SATMapper.subset_family_groups`,
+:meth:`SATMapper.mirror_outcome`, :meth:`SATMapper.select_best_outcome` and
 :meth:`SATMapper.build_mapping_result`.  Per-architecture artefacts
 (permutation tables, connected subsets) come from the process-wide caches in
 :mod:`repro.arch.cache`.
@@ -22,17 +35,18 @@ the parallel one share :meth:`SATMapper.select_best_outcome` and
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
-from repro.exact.encoding import build_encoding
+from repro.exact.encoding import MappingEncoding, build_encoding
 from repro.exact.reconstruction import build_result, default_schedule
 from repro.exact.result import MappingResult, MappingSchedule
 from repro.exact.strategies import AllGatesStrategy, PermutationStrategy
 from repro.arch.cache import shared_connected_subsets, shared_permutation_table
 from repro.sat.optimize import OptimizationResult, OptimizingSolver
+from repro.sat.session import SolveSession
 
 
 class SATMapperError(RuntimeError):
@@ -68,6 +82,10 @@ class SubsetOutcome:
         conflicts: Solver conflicts spent on this instance.
         variables: CNF variables of the instance encoding.
         clauses: CNF clauses of the instance encoding.
+        reused: True when the outcome was mirrored from another subset of
+            the same family instead of being solved.
+        statistics: Incremental-session counters of the solve (empty for
+            mirrored outcomes).
     """
 
     subset: Tuple[int, ...]
@@ -78,6 +96,8 @@ class SubsetOutcome:
     conflicts: int = 0
     variables: int = 0
     clauses: int = 0
+    reused: bool = False
+    statistics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def is_satisfiable(self) -> bool:
@@ -88,6 +108,36 @@ class SubsetOutcome:
     def is_optimal(self) -> bool:
         """True when the instance was solved to (bounded) optimality."""
         return self.status == "optimal"
+
+
+@dataclass
+class _FamilyState:
+    """Live solving state of one subset family during a sweep.
+
+    The encoding (and therefore the session) belongs to the *family*, not to
+    a particular subset: outcomes carry subset-relative ("local") mappings
+    here and are translated per member.
+    """
+
+    encoding: Optional[MappingEncoding]
+    optimizer: Optional[OptimizingSolver]
+    session: Optional[SolveSession]
+    status: Optional[str] = None
+    objective: Optional[int] = None
+    local_mappings: Optional[List[Tuple[int, ...]]] = None
+    bound_used: Optional[int] = None
+
+    def release_solver(self) -> None:
+        """Drop the live solver once the family is conclusively decided.
+
+        A sweep can cover many families; keeping every CDCL solver (watch
+        lists, learned clauses) alive until the end would grow memory with
+        the family count, while a conclusive (``optimal``/``unsat``) family
+        only ever serves mirrored outcomes from the recorded fields.
+        """
+        self.encoding = None
+        self.optimizer = None
+        self.session = None
 
 
 class SATMapper:
@@ -139,12 +189,47 @@ class SATMapper:
     # ------------------------------------------------------------------
     # Instance preparation (shared with the batch pipeline)
     # ------------------------------------------------------------------
+    @property
+    def accepts_external_bound(self) -> bool:
+        """Whether an externally derived upper bound is safe to assert.
+
+        A bound taken from *any* valid mapping (a heuristic, a cached result
+        on the same or a sub-architecture) is an upper bound on the **true**
+        minimum.  Asserting it is only safe when this mapper's search space
+        contains the true minimum — i.e. the unrestricted formulation over
+        all physical qubits.  Restricted strategies and the subset sweep may
+        have a higher restricted minimum, where an external bound could turn
+        a solvable instance unsatisfiable.
+        """
+        return self.strategy.guarantees_minimality and not self.use_subsets
+
     def candidate_subsets(self, num_logical: int) -> List[Tuple[int, ...]]:
         """Physical-qubit subsets to try (Section 4.1)."""
         num_physical = self.coupling.num_qubits
         if not self.use_subsets or num_logical >= num_physical:
             return [tuple(range(num_physical))]
         return shared_connected_subsets(self.coupling, num_logical)
+
+    def subset_family_groups(
+        self, subsets: Sequence[Tuple[int, ...]]
+    ) -> List[List[int]]:
+        """Group subset indices by induced-subgraph structure.
+
+        Two subsets fall into one family when their re-indexed sub-couplings
+        have the same canonical key — their encodings are then identical, so
+        one solve covers the whole family.  Groups are ordered by their first
+        member and each group is ascending, which keeps the representative
+        (the first member) aligned with the sequential sweep order.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        order: List[Tuple] = []
+        for index, subset in enumerate(subsets):
+            key = self.coupling.subgraph(subset).canonical_key()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(index)
+        return [groups[key] for key in order]
 
     def cnot_instance(
         self, circuit: QuantumCircuit
@@ -162,7 +247,138 @@ class SATMapper:
         return self.time_limit - (time.monotonic() - start)
 
     # ------------------------------------------------------------------
-    # Per-subset solving
+    # Per-family solving
+    # ------------------------------------------------------------------
+    def _family_state(
+        self,
+        sub_coupling: CouplingMap,
+        gates: Sequence[Tuple[int, int]],
+        num_logical: int,
+        spots: Sequence[int],
+    ) -> _FamilyState:
+        """Encode one subset family and open its persistent session."""
+        table = shared_permutation_table(sub_coupling)
+        encoding = build_encoding(
+            list(gates), num_logical, sub_coupling,
+            permutation_spots=list(spots),
+            permutation_table=table,
+        )
+        optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
+        return _FamilyState(
+            encoding=encoding,
+            optimizer=optimizer,
+            session=optimizer.make_session(),
+        )
+
+    @staticmethod
+    def _translate(
+        local_mappings: Sequence[Tuple[int, ...]], subset: Sequence[int]
+    ) -> List[Tuple[int, ...]]:
+        """Subset-relative physical indices back to device indices."""
+        return [
+            tuple(subset[physical] for physical in mapping)
+            for mapping in local_mappings
+        ]
+
+    def _solve_family(
+        self,
+        state: _FamilyState,
+        subset: Tuple[int, ...],
+        time_limit: Optional[float],
+        upper_bound: Optional[int],
+    ) -> SubsetOutcome:
+        """Run the optimiser on the family's live session and record the outcome."""
+        assert state.optimizer is not None and state.encoding is not None
+        outcome: OptimizationResult = state.optimizer.minimize(
+            strategy=self.optimizer_strategy,
+            time_limit=time_limit,
+            conflict_limit=self.conflict_limit,
+            upper_bound=upper_bound,
+            session=state.session,
+        )
+        state.status = outcome.status
+        state.bound_used = upper_bound
+        if outcome.is_satisfiable:
+            state.objective = outcome.objective
+            state.local_mappings = state.encoding.extract_schedule(outcome.model)
+            mappings = self._translate(state.local_mappings, subset)
+        else:
+            state.objective = None
+            state.local_mappings = None
+            mappings = None
+        result = SubsetOutcome(
+            subset=tuple(subset),
+            status=outcome.status,
+            objective=outcome.objective if outcome.is_satisfiable else None,
+            mappings=mappings,
+            iterations=outcome.iterations,
+            conflicts=outcome.conflicts,
+            variables=state.encoding.num_variables,
+            clauses=state.encoding.num_clauses,
+            statistics=dict(outcome.statistics),
+        )
+        if outcome.status in ("optimal", "unsat"):
+            # Conclusive families are never re-solved, only mirrored.
+            state.release_solver()
+        return result
+
+    def _reuse_family_outcome(
+        self,
+        state: _FamilyState,
+        subset: Tuple[int, ...],
+        bound: Optional[int],
+    ) -> Optional[SubsetOutcome]:
+        """A mirrored outcome for *subset* when the family is already decided.
+
+        Returns ``None`` when the family's last outcome was inconclusive
+        (``"satisfiable"``/``"unknown"`` from an exhausted budget) — the
+        caller then re-solves on the family's live session.  Bounds only
+        tighten over a sweep, so a conclusive earlier outcome stays valid:
+        an optimum above the current bound (and any earlier ``"unsat"``)
+        reads as unsatisfiable-within-bound.
+        """
+        if state.status == "optimal":
+            assert state.objective is not None and state.local_mappings is not None
+            if bound is None or state.objective <= bound:
+                return SubsetOutcome(
+                    subset=tuple(subset),
+                    status="optimal",
+                    objective=state.objective,
+                    mappings=self._translate(state.local_mappings, subset),
+                    reused=True,
+                )
+            return SubsetOutcome(subset=tuple(subset), status="unsat", reused=True)
+        if state.status == "unsat":
+            return SubsetOutcome(subset=tuple(subset), status="unsat", reused=True)
+        return None
+
+    @staticmethod
+    def mirror_outcome(
+        outcome: SubsetOutcome, member: Sequence[int]
+    ) -> SubsetOutcome:
+        """Re-express a solved outcome for another subset of the same family.
+
+        The two encodings are identical, so the status and objective carry
+        over as-is; only the translation back to device indices differs.
+        """
+        mappings = None
+        if outcome.mappings is not None:
+            position = {qubit: i for i, qubit in enumerate(outcome.subset)}
+            member = tuple(member)
+            mappings = [
+                tuple(member[position[physical]] for physical in mapping)
+                for mapping in outcome.mappings
+            ]
+        return SubsetOutcome(
+            subset=tuple(member),
+            status=outcome.status,
+            objective=outcome.objective,
+            mappings=mappings,
+            reused=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-subset solving (shared with the batch pipeline)
     # ------------------------------------------------------------------
     def solve_subset(
         self,
@@ -181,10 +397,10 @@ class SATMapper:
             spots: Permutation spots (from :meth:`cnot_instance`).
             subset: Device indices of the physical qubits to map onto.
             time_limit: Wall-clock budget for this instance.
-            upper_bound: Inclusive objective bound asserted before the first
-                solve (heuristic seeding / incumbent tightening); a
-                ``"unsat"`` outcome then only means "nothing at most this
-                cheap in this subset".
+            upper_bound: Inclusive objective bound *assumed* on the session
+                before the first solve (heuristic seeding / incumbent
+                tightening); a ``"unsat"`` outcome then only means "nothing
+                at most this cheap in this subset".
 
         Returns:
             The :class:`SubsetOutcome` with mappings translated back to
@@ -193,44 +409,8 @@ class SATMapper:
         sub_coupling = self.coupling.subgraph(subset)
         if not sub_coupling.is_connected():
             return SubsetOutcome(subset=tuple(subset), status="unsat")
-        table = shared_permutation_table(sub_coupling)
-        encoding = build_encoding(
-            list(gates), num_logical, sub_coupling,
-            permutation_spots=list(spots),
-            permutation_table=table,
-        )
-        optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
-        outcome: OptimizationResult = optimizer.minimize(
-            strategy=self.optimizer_strategy,
-            time_limit=time_limit,
-            conflict_limit=self.conflict_limit,
-            upper_bound=upper_bound,
-        )
-        if not outcome.is_satisfiable:
-            return SubsetOutcome(
-                subset=tuple(subset),
-                status=outcome.status,
-                iterations=outcome.iterations,
-                conflicts=outcome.conflicts,
-                variables=encoding.num_variables,
-                clauses=encoding.num_clauses,
-            )
-        local_mappings = encoding.extract_schedule(outcome.model)
-        # Translate subset-relative physical indices back to device indices.
-        translated = [
-            tuple(subset[physical] for physical in mapping)
-            for mapping in local_mappings
-        ]
-        return SubsetOutcome(
-            subset=tuple(subset),
-            status=outcome.status,
-            objective=outcome.objective if outcome.objective is not None else 0,
-            mappings=translated,
-            iterations=outcome.iterations,
-            conflicts=outcome.conflicts,
-            variables=encoding.num_variables,
-            clauses=encoding.num_clauses,
-        )
+        state = self._family_state(sub_coupling, gates, num_logical, spots)
+        return self._solve_family(state, tuple(subset), time_limit, upper_bound)
 
     # ------------------------------------------------------------------
     # Result assembly (shared with the batch pipeline)
@@ -283,16 +463,30 @@ class SATMapper:
             and not self.use_subsets
             and not budget_exhausted
         )
+        session_keys = (
+            "solve_calls",
+            "assumption_solves",
+            "bound_nodes_created",
+            "bound_nodes_reused",
+            "bound_clauses_added",
+            "learned_clauses_retained",
+        )
         statistics = {
             "subsets_total": subsets_total,
             "subsets_tried": len(outcomes),
             "subsets_skipped": subsets_total - len(outcomes),
+            "subsets_solved": sum(1 for o in outcomes if not o.reused),
+            "family_reuses": sum(1 for o in outcomes if o.reused),
             "solver_conflicts": sum(o.conflicts for o in outcomes),
             "solver_iterations": sum(o.iterations for o in outcomes),
             "encoding_variables": sum(o.variables for o in outcomes),
             "encoding_clauses": sum(o.clauses for o in outcomes),
             "budget_exhausted": budget_exhausted,
         }
+        for key in session_keys:
+            statistics[f"session_{key}"] = sum(
+                o.statistics.get(key, 0) for o in outcomes
+            )
         if upper_bound is not None:
             statistics["seeded_upper_bound"] = upper_bound
         # Reconstruction needs SWAP sequences on the full device; reuse the
@@ -363,6 +557,7 @@ class SATMapper:
 
         subsets = self.candidate_subsets(num_logical)
         outcomes: List[SubsetOutcome] = []
+        families: Dict[Tuple, _FamilyState] = {}
         best: Optional[SubsetOutcome] = None
         bound = upper_bound
         budget_exhausted = False
@@ -374,11 +569,25 @@ class SATMapper:
                 # solution found so far (if any) is returned as non-optimal.
                 budget_exhausted = True
                 break
-            outcome = self.solve_subset(
-                gates, num_logical, spots, subset,
-                time_limit=remaining,
-                upper_bound=bound,
-            )
+            sub_coupling = self.coupling.subgraph(subset)
+            if not sub_coupling.is_connected():
+                outcomes.append(SubsetOutcome(subset=tuple(subset), status="unsat"))
+                continue
+            key = sub_coupling.canonical_key()
+            state = families.get(key)
+            if state is None:
+                state = self._family_state(sub_coupling, gates, num_logical, spots)
+                families[key] = state
+                outcome = self._solve_family(state, tuple(subset), remaining, bound)
+            else:
+                outcome = self._reuse_family_outcome(state, tuple(subset), bound)
+                if outcome is None:
+                    # Earlier attempt was budget-limited: re-minimise on the
+                    # family's live session (learned clauses retained) under
+                    # the current incumbent bound.
+                    outcome = self._solve_family(
+                        state, tuple(subset), remaining, bound
+                    )
             outcomes.append(outcome)
             if not outcome.is_satisfiable:
                 continue

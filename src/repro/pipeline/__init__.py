@@ -36,6 +36,11 @@ _EXPORTS = {
     "MappingPipeline": "repro.pipeline.pipeline",
     "BatchItem": "repro.pipeline.pipeline",
     "PortfolioMapper": "repro.pipeline.portfolio",
+    "BoundProvider": "repro.pipeline.bounds",
+    "BoundProviderChain": "repro.pipeline.bounds",
+    "HeuristicBoundProvider": "repro.pipeline.bounds",
+    "StaticBoundProvider": "repro.pipeline.bounds",
+    "StoreBoundProvider": "repro.pipeline.bounds",
     "shared_permutation_table": "repro.pipeline.cache",
     "shared_connected_subsets": "repro.pipeline.cache",
     "cache_stats": "repro.pipeline.cache",
@@ -47,6 +52,13 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.pipeline.bounds import (
+        BoundProvider,
+        BoundProviderChain,
+        HeuristicBoundProvider,
+        StaticBoundProvider,
+        StoreBoundProvider,
+    )
     from repro.pipeline.cache import (
         cache_stats,
         clear_caches,

@@ -1,0 +1,187 @@
+"""Upper-bound providers for seeding exact searches.
+
+The SAT optimiser descends much faster when it starts from a known valid
+objective bound (see ``OptimizingSolver.minimize(upper_bound=...)``).  A
+:class:`BoundProvider` is any source of such a bound:
+
+* :class:`HeuristicBoundProvider` — run a cheap heuristic engine and use its
+  added cost (the classic portfolio seed),
+* :class:`StoreBoundProvider` — look up previously solved results for the
+  same circuit in a :class:`~repro.service.store.ResultStore`, on the same
+  architecture **or on a known sub-architecture**: a mapping that complies
+  with a subset of the device's edges also complies with the device, so its
+  cost is a valid upper bound,
+* :class:`StaticBoundProvider` — a caller-supplied bound (CLI flag, API).
+
+A :class:`BoundProviderChain` queries every provider and keeps the tightest
+bound.  Every bound produced here is the cost of some *valid mapping on the
+full device*, so it is an upper bound on the true minimum — safe to assert
+exactly where ``mapper.accepts_external_bound`` is true (see
+:meth:`repro.exact.sat_mapper.SATMapper.accepts_external_bound` for why
+restricted search spaces opt out).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.arch.coupling import CouplingMap
+from repro.circuit.circuit import QuantumCircuit
+
+
+class BoundProvider(Protocol):
+    """Structural interface of one upper-bound source."""
+
+    name: str
+
+    def upper_bound(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Optional[int]:
+        """A valid inclusive objective bound, or ``None`` when unknown."""
+        ...
+
+
+class StaticBoundProvider:
+    """A fixed caller-supplied bound (e.g. from a ``--upper-bound`` flag)."""
+
+    name = "static"
+
+    def __init__(self, bound: int):
+        if bound < 0:
+            raise ValueError("upper bound must be non-negative")
+        self.bound = int(bound)
+
+    def upper_bound(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Optional[int]:
+        return self.bound
+
+
+class HeuristicBoundProvider:
+    """Bound from a cheap heuristic engine's added cost.
+
+    Args:
+        engine: Registry name of the heuristic engine (default ``"sabre"``).
+        options: Extra constructor options for the heuristic.
+    """
+
+    name = "heuristic"
+
+    def __init__(self, engine: str = "sabre", options: Optional[Dict[str, Any]] = None):
+        self.engine = engine
+        self.options = dict(options or {})
+
+    def upper_bound(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Optional[int]:
+        from repro.pipeline.registry import get_mapper
+
+        try:
+            result = get_mapper(self.engine, coupling, **self.options).map(circuit)
+        except Exception:  # noqa: BLE001 - a failing heuristic just yields no bound
+            return None
+        return result.added_cost
+
+
+def is_sub_architecture(candidate: CouplingMap, device: CouplingMap) -> bool:
+    """True when *candidate* is a sub-architecture of *device*.
+
+    Sub-architecture means: no more qubits, and every directed coupling of
+    *candidate* is also a coupling of *device* (under identity labelling).
+    A mapping solved on the candidate then runs unchanged on the device,
+    so its cost is a valid device-level upper bound.
+    """
+    return (
+        candidate.num_qubits <= device.num_qubits
+        and candidate.edges <= device.edges
+    )
+
+
+class StoreBoundProvider:
+    """Bound from previously solved results in a fingerprint-keyed store.
+
+    The store is queried by ``(circuit fingerprint, architecture
+    fingerprint)`` — engine and options deliberately excluded, so a result
+    solved by *any* engine (heuristic, DP, an earlier SAT run) warm-starts
+    the next exact solve of the same circuit.  Besides the target
+    architecture itself, every registered coupling map that is a
+    sub-architecture of the target is consulted.
+
+    Args:
+        store: A :class:`~repro.service.store.ResultStore` (anything with a
+            ``best_added_cost(circuit_fp, arch_fp)`` method works).
+        couplings: Known coupling maps to consider for sub-architecture
+            lookups (e.g. every device a service fronts).
+    """
+
+    name = "store"
+
+    def __init__(
+        self,
+        store,
+        couplings: Optional[Iterable[CouplingMap]] = None,
+    ):
+        self.store = store
+        self.couplings: List[CouplingMap] = list(couplings or [])
+
+    def upper_bound(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Optional[int]:
+        from repro.service.fingerprint import coupling_fingerprint
+
+        circuit_fp = circuit.fingerprint()
+        arch_fps = [coupling_fingerprint(coupling)]
+        seen = set(arch_fps)
+        for candidate in self.couplings:
+            if not is_sub_architecture(candidate, coupling):
+                continue
+            fingerprint = coupling_fingerprint(candidate)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                arch_fps.append(fingerprint)
+        best: Optional[int] = None
+        for arch_fp in arch_fps:
+            bound = self.store.best_added_cost(circuit_fp, arch_fp)
+            if bound is not None and (best is None or bound < best):
+                best = bound
+        return best
+
+
+class BoundProviderChain:
+    """Query several providers and keep the tightest valid bound.
+
+    Example:
+        >>> chain = BoundProviderChain([
+        ...     StoreBoundProvider(store, couplings=devices),
+        ...     HeuristicBoundProvider(),
+        ... ])
+        >>> bound, provider = chain.resolve(circuit, coupling)
+    """
+
+    def __init__(self, providers: Sequence[BoundProvider]):
+        self.providers: List[BoundProvider] = list(providers)
+
+    def resolve(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """The minimum over all providers and the winning provider's name."""
+        best: Optional[int] = None
+        source: Optional[str] = None
+        for provider in self.providers:
+            bound = provider.upper_bound(circuit, coupling)
+            if bound is None:
+                continue
+            if best is None or bound < best:
+                best = bound
+                source = getattr(provider, "name", type(provider).__name__)
+        return best, source
+
+
+__all__ = [
+    "BoundProvider",
+    "BoundProviderChain",
+    "HeuristicBoundProvider",
+    "StaticBoundProvider",
+    "StoreBoundProvider",
+    "is_sub_architecture",
+]

@@ -9,13 +9,22 @@ circuits or whole batches, and exploits two levels of parallelism:
   returns one :class:`BatchItem` per input (result *or* structured failure —
   one bad circuit never poisons the batch),
 * **subset level** — for the SAT engine with ``use_subsets=True``,
-  :meth:`MappingPipeline.map` solves the independent connected-subset
-  instances concurrently, drops outstanding instances as soon as a
-  zero-added-cost mapping is found, and picks the winner in deterministic
-  subset order: the same subset wins with the same added cost as the
-  sequential loop in :meth:`repro.exact.sat_mapper.SATMapper.map` (the
-  concrete qubit assignment within the winning subset may differ, as the
-  sequential loop solves later subsets under a tightened incumbent bound).
+  :meth:`MappingPipeline.map` solves one representative per *subset family*
+  (structurally identical induced sub-couplings share one encoding, see
+  :meth:`~repro.exact.sat_mapper.SATMapper.subset_family_groups`)
+  concurrently, mirrors each family outcome onto its other members for
+  free, drops outstanding instances as soon as a zero-added-cost mapping is
+  found, and picks the winner in deterministic subset order: the same
+  subset wins with the same added cost as the sequential loop in
+  :meth:`repro.exact.sat_mapper.SATMapper.map` (the concrete qubit
+  assignment within the winning subset may differ, as the sequential loop
+  solves later subsets under a tightened incumbent bound).
+
+Mapping engines that can exploit an externally known objective bound
+(``mapper.accepts_external_bound``) are seeded through an optional
+:class:`~repro.pipeline.bounds.BoundProviderChain` — cached incumbents from
+a result store, a caller-supplied bound, or a heuristic run — before any
+solver starts.
 
 The pure-Python SAT solver holds the GIL, so ``executor="process"`` is the
 choice for real speed-ups; ``executor="thread"`` (the default) still
@@ -39,7 +48,19 @@ from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
 from repro.exact.sat_mapper import SATMapper, SATMapperError, SubsetOutcome
+from repro.pipeline.bounds import BoundProvider, BoundProviderChain
 from repro.pipeline.registry import get_mapper, resolve_mapper_name
+
+
+def _map_with_bound(mapper, circuit: QuantumCircuit, upper_bound: Optional[int]):
+    """Map through *mapper*, seeding the bound only where it is safe.
+
+    Engines opt in via ``accepts_external_bound``; everything else is mapped
+    unseeded, so heuristics and restricted exact searches are unaffected.
+    """
+    if upper_bound is not None and getattr(mapper, "accepts_external_bound", False):
+        return mapper.map(circuit, upper_bound=upper_bound)
+    return mapper.map(circuit)
 
 
 @dataclass
@@ -75,8 +96,13 @@ def _map_circuit_task(
     coupling: CouplingMap,
     options: Dict[str, Any],
     circuit: QuantumCircuit,
+    upper_bound: Optional[int] = None,
 ) -> Tuple[str, Any, Optional[str], float]:
     """Worker task: map one circuit with a freshly built engine.
+
+    *upper_bound* is a plain integer resolved by the parent (bound providers
+    hold locks and store handles, so they never cross into workers); it is
+    only asserted on engines that declare ``accepts_external_bound``.
 
     Returns a plain tuple ``(status, payload, error_type, elapsed)`` instead
     of raising, so process workers never have to pickle tracebacks.
@@ -84,7 +110,7 @@ def _map_circuit_task(
     start = time.monotonic()
     try:
         mapper = get_mapper(engine, coupling, **options)
-        result = mapper.map(circuit)
+        result = _map_with_bound(mapper, circuit, upper_bound)
         return ("ok", result, None, time.monotonic() - start)
     except Exception as error:  # noqa: BLE001 - converted to a structured failure
         return ("error", str(error), type(error).__name__, time.monotonic() - start)
@@ -153,6 +179,7 @@ class MappingPipeline:
         engine_options: Optional[Dict[str, Any]] = None,
         workers: int = 1,
         executor: str = "thread",
+        bound_providers: Optional[Sequence[BoundProvider]] = None,
     ):
         if executor not in ("thread", "process"):
             raise ValueError(
@@ -163,6 +190,32 @@ class MappingPipeline:
         self.engine_options = dict(engine_options or {})
         self.workers = max(1, int(workers))
         self.executor = executor
+        self.bounds = (
+            BoundProviderChain(bound_providers) if bound_providers else None
+        )
+
+    # ------------------------------------------------------------------
+    def _seed_bound(
+        self, mapper, circuit: QuantumCircuit
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """Resolve the tightest provider bound for *circuit*, if applicable.
+
+        Providers run in the calling thread (they may touch a result store);
+        the resolved integer is what travels into worker tasks.
+        """
+        if self.bounds is None:
+            return None, None
+        if not getattr(mapper, "accepts_external_bound", False):
+            return None, None
+        return self.bounds.resolve(circuit, self.coupling)
+
+    @staticmethod
+    def _annotate_bound(
+        result: MappingResult, bound: Optional[int], provider: Optional[str]
+    ) -> None:
+        if bound is not None and provider is not None:
+            result.statistics.setdefault("bound_provider", provider)
+            result.statistics.setdefault("external_bound", bound)
 
     # ------------------------------------------------------------------
     def _make_executor(self, workers: int) -> Executor:
@@ -182,7 +235,8 @@ class MappingPipeline:
 
         The parallel subset path is taken for the SAT engine with
         ``use_subsets=True`` and more than one worker; every other
-        configuration simply delegates to the engine's own ``map``.
+        configuration simply delegates to the engine's own ``map`` (seeded
+        with a provider-resolved upper bound where the engine allows it).
         """
         mapper = self.create_mapper()
         if (
@@ -191,7 +245,10 @@ class MappingPipeline:
             and mapper.use_subsets
         ):
             return self._map_subsets_parallel(mapper, circuit)
-        return mapper.map(circuit)
+        bound, provider = self._seed_bound(mapper, circuit)
+        result = _map_with_bound(mapper, circuit, bound)
+        self._annotate_bound(result, bound, provider)
+        return result
 
     def _map_subsets_parallel(
         self,
@@ -210,14 +267,17 @@ class MappingPipeline:
         deadline = None if budget is None else start + budget
         outcomes_by_index: Dict[int, SubsetOutcome] = {}
         budget_exhausted = False
-        with self._make_executor(min(self.workers, len(subsets))) as pool:
+        # One task per subset *family*: structurally identical sub-couplings
+        # share an encoding, so solving the first member covers them all.
+        groups = mapper.subset_family_groups(subsets)
+        with self._make_executor(min(self.workers, len(groups))) as pool:
             futures = {
                 pool.submit(
                     _solve_subset_task,
-                    mapper, gates, circuit.num_qubits, spots, subset,
+                    mapper, gates, circuit.num_qubits, spots, subsets[group[0]],
                     deadline, None,
-                ): index
-                for index, subset in enumerate(subsets)
+                ): group[0]
+                for group in groups
             }
             pending = set(futures)
             zero_index: Optional[int] = None
@@ -272,6 +332,20 @@ class MappingPipeline:
             # still budget-limited and must be reported as such.
             budget_exhausted = True
 
+        # Mirror each solved family representative onto the family's other
+        # members — identical encodings, so only the device-index translation
+        # differs and no solver runs.  The representative keeps the lowest
+        # index of its family, so the reduction below still picks the same
+        # winner as the sequential sweep.
+        for group in groups:
+            solved = outcomes_by_index.get(group[0])
+            if solved is None:
+                continue
+            for member in group[1:]:
+                outcomes_by_index[member] = SATMapper.mirror_outcome(
+                    solved, subsets[member]
+                )
+
         # Deterministic reduction in subset order — the same subset wins as
         # in the sequential loop, which keeps the first strict improvement.
         ordered = [
@@ -314,27 +388,49 @@ class MappingPipeline:
         pool_size = self.workers if workers is None else max(1, int(workers))
         pool_size = min(pool_size, max(1, len(batch)))
 
+        # Resolve provider bounds in the calling thread: providers may hold
+        # store handles and locks that must not cross into process workers.
+        bounds: List[Optional[int]] = [None] * len(batch)
+        providers: List[Optional[str]] = [None] * len(batch)
+        if self.bounds is not None and batch:
+            probe = self.create_mapper()
+            if getattr(probe, "accepts_external_bound", False):
+                for index, circuit in enumerate(batch):
+                    bounds[index], providers[index] = self.bounds.resolve(
+                        circuit, self.coupling
+                    )
+
         if pool_size <= 1 or len(batch) <= 1:
-            return [
+            items = [
                 self._item_from_task(index, circuit, _map_circuit_task(
-                    self.engine, self.coupling, self.engine_options, circuit
+                    self.engine, self.coupling, self.engine_options, circuit,
+                    bounds[index],
                 ))
                 for index, circuit in enumerate(batch)
             ]
-
-        items: List[Optional[BatchItem]] = [None] * len(batch)
-        with self._make_executor(pool_size) as pool:
-            futures = {
-                pool.submit(
-                    _map_circuit_task,
-                    self.engine, self.coupling, self.engine_options, circuit,
-                ): (index, circuit)
-                for index, circuit in enumerate(batch)
-            }
-            for future in futures:
-                index, circuit = futures[future]
-                items[index] = self._item_from_task(index, circuit, future.result())
-        return [item for item in items if item is not None]
+        else:
+            slots: List[Optional[BatchItem]] = [None] * len(batch)
+            with self._make_executor(pool_size) as pool:
+                futures = {
+                    pool.submit(
+                        _map_circuit_task,
+                        self.engine, self.coupling, self.engine_options, circuit,
+                        bounds[index],
+                    ): (index, circuit)
+                    for index, circuit in enumerate(batch)
+                }
+                for future in futures:
+                    index, circuit = futures[future]
+                    slots[index] = self._item_from_task(
+                        index, circuit, future.result()
+                    )
+            items = [item for item in slots if item is not None]
+        for item in items:
+            if item.ok:
+                self._annotate_bound(
+                    item.result, bounds[item.index], providers[item.index]
+                )
+        return items
 
     @staticmethod
     def _item_from_task(

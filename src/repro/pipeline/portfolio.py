@@ -53,6 +53,10 @@ class PortfolioMapper:
 
     name = "portfolio"
 
+    #: An externally known bound is always safe here: the SAT stage failing
+    #: within the bound falls back to the heuristic result.
+    accepts_external_bound = True
+
     def __init__(
         self,
         coupling: CouplingMap,
@@ -81,15 +85,25 @@ class PortfolioMapper:
         )
 
     # ------------------------------------------------------------------
-    def map(self, circuit: QuantumCircuit) -> MappingResult:
+    def map(
+        self, circuit: QuantumCircuit, upper_bound: Optional[int] = None
+    ) -> MappingResult:
         """Map *circuit*: heuristic bound first, then bounded exact search.
 
+        Args:
+            circuit: The circuit to map.
+            upper_bound: Externally known valid bound (e.g. from a
+                :class:`~repro.pipeline.bounds.BoundProviderChain`); the SAT
+                stage is seeded with the tighter of this and the heuristic's
+                cost.
+
         The returned result carries portfolio bookkeeping in its
-        ``statistics``: ``portfolio_bound`` (the heuristic's added cost),
-        ``portfolio_heuristic`` (its engine name), and ``portfolio_source``
+        ``statistics``: ``portfolio_bound`` (the seeded bound),
+        ``portfolio_heuristic`` (its engine name), ``portfolio_source``
         (``"sat"`` when the exact stage produced the result, ``"heuristic"``
         when the heuristic was already provably minimal or the exact stage
-        found nothing within the bound).
+        found nothing within the bound), and ``portfolio_external_bound``
+        when a caller-supplied bound tightened the seed.
         """
         start = time.monotonic()
         heuristic_result = self._heuristic.map(circuit)
@@ -99,8 +113,12 @@ class PortfolioMapper:
             "portfolio_heuristic": self.heuristic_name,
             "portfolio_heuristic_runtime": heuristic_result.runtime_seconds,
         }
+        if upper_bound is not None and upper_bound < bound:
+            bound = upper_bound
+            bookkeeping["portfolio_bound"] = bound
+            bookkeeping["portfolio_external_bound"] = upper_bound
 
-        if bound == 0:
+        if heuristic_result.added_cost == 0:
             # Zero added cost is globally minimal; no exact search needed.
             heuristic_result.statistics.update(bookkeeping, portfolio_source="heuristic")
             heuristic_result.optimal = True

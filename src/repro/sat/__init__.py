@@ -15,12 +15,15 @@ replacement with the pieces the mapping formulation needs:
   cardinality encodings,
 * :mod:`repro.sat.pb` — pseudo-Boolean ("weighted sum of literals <= bound")
   constraints,
+* :mod:`repro.sat.session` — :class:`SolveSession`, a persistent incremental
+  solver on which objective bounds are *assumed* instead of re-encoded,
 * :mod:`repro.sat.optimize` — minimisation of a weighted linear objective on
   top of the SAT solver (the "extended interpretation" of Definition 3 in the
   paper).
 """
 
 from repro.sat.cnf import CNF, Clause, Literal, VariablePool
+from repro.sat.session import SolveSession
 from repro.sat.solver import CDCLSolver, SolverResult
 from repro.sat.dpll import DPLLSolver
 from repro.sat.tseitin import TseitinEncoder
@@ -40,6 +43,7 @@ __all__ = [
     "VariablePool",
     "CDCLSolver",
     "SolverResult",
+    "SolveSession",
     "DPLLSolver",
     "TseitinEncoder",
     "at_most_one_pairwise",

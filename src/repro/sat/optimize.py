@@ -4,13 +4,17 @@ This implements the "extended interpretation" of the satisfiability problem
 from Definition 3 of the paper: besides a satisfying assignment of the hard
 constraints, an assignment minimising ``F = sum(w_i * literal_i)`` is sought.
 
-Two search strategies are provided:
+Both search strategies run on one persistent
+:class:`~repro.sat.session.SolveSession` — a single incremental solver on
+which objective bounds are *assumed* rather than re-encoded, so learned
+clauses, variable activities and saved phases carry over from probe to
+probe:
 
 * ``"linear"`` (default) — solve once, read off the objective value of the
-  model, then repeatedly assert ``F <= best - 1`` on the *same* incremental
-  solver until the instance becomes unsatisfiable.  The last model found is
-  optimal.  This reuses learned clauses across iterations.
-* ``"binary"`` — bisect the objective range with a fresh solver per probe.
+  model, then repeatedly assume ``F <= best - 1`` until the instance becomes
+  unsatisfiable under the assumption.  The last model found is optimal.
+* ``"binary"`` — bisect the objective range; every probe is an assumption
+  on the same solver (an UNSAT probe does not poison later, looser probes).
 
 Both return an :class:`OptimizationResult`; when a time or conflict budget is
 exhausted the best model found so far is returned with ``is_optimal=False``
@@ -24,8 +28,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sat.cnf import CNF, Literal
-from repro.sat.pb import encode_pb_leq, evaluate_pb
-from repro.sat.solver import CDCLSolver, SolverResult
+from repro.sat.pb import evaluate_pb
+from repro.sat.session import SolveSession
+from repro.sat.solver import SolverResult
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,10 @@ class OptimizationResult:
         iterations: Number of solver calls performed.
         conflicts: Total number of conflicts across all solver calls.
         elapsed_seconds: Wall-clock time spent.
+        statistics: Incremental-session counters for this run: bound-ladder
+            nodes created/reused, bound clauses added, assumption solves,
+            learned clauses retained on the live solver afterwards, and
+            whether a fresh solver had to be built (``fresh_solver``).
     """
 
     status: str
@@ -62,6 +71,7 @@ class OptimizationResult:
     iterations: int = 0
     conflicts: int = 0
     elapsed_seconds: float = 0.0
+    statistics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def is_optimal(self) -> bool:
@@ -72,6 +82,29 @@ class OptimizationResult:
     def is_satisfiable(self) -> bool:
         """True when at least one model was found."""
         return self.status in ("optimal", "satisfiable")
+
+
+class _SessionRun:
+    """Bookkeeping for one ``minimize`` call on a (possibly reused) session."""
+
+    def __init__(self, session: SolveSession, fresh: bool):
+        self.session = session
+        self.fresh = fresh
+        self._start_conflicts = session.conflicts
+        self._start_stats = dict(session.statistics)
+
+    @property
+    def conflicts(self) -> int:
+        return self.session.conflicts - self._start_conflicts
+
+    def statistics(self) -> Dict[str, int]:
+        stats = {
+            key: self.session.statistics[key] - self._start_stats.get(key, 0)
+            for key in self.session.statistics
+        }
+        stats["learned_clauses_retained"] = self.session.learned_clauses
+        stats["fresh_solver"] = int(self.fresh)
+        return stats
 
 
 class OptimizingSolver:
@@ -103,6 +136,16 @@ class OptimizingSolver:
     def _objective_value(self, model: Dict[int, bool]) -> int:
         return evaluate_pb(self._objective_terms(), model)
 
+    def make_session(self) -> SolveSession:
+        """A fresh persistent solving session for this instance.
+
+        Sessions may be handed back to :meth:`minimize` (``session=...``) to
+        keep learned clauses and bound encodings alive across calls — for
+        example when the same instance is re-minimised under a tightened
+        incumbent bound.
+        """
+        return SolveSession(self.cnf, self._objective_terms())
+
     # ------------------------------------------------------------------
     def minimize(
         self,
@@ -110,21 +153,27 @@ class OptimizingSolver:
         time_limit: Optional[float] = None,
         conflict_limit: Optional[int] = None,
         upper_bound: Optional[int] = None,
+        session: Optional[SolveSession] = None,
     ) -> OptimizationResult:
         """Find a model of minimal objective value.
 
         Args:
             strategy: ``"linear"`` (incremental descent) or ``"binary"``
-                (bisection with fresh solvers).
+                (bisection); both run on one incremental session.
             time_limit: Overall wall-clock budget in seconds.
             conflict_limit: Per-solver-call conflict budget.
             upper_bound: Known inclusive bound on the objective (for example
-                from a heuristic solution).  The constraint ``F <= upper_bound``
-                is asserted *before the first solve*, so the search starts from
-                the seeded bound instead of descending from an arbitrary first
-                model.  A result with status ``"unsat"`` then means "no model
-                with objective at most *upper_bound*" — the unseeded instance
-                may still be satisfiable.
+                from a heuristic solution).  The bound is *assumed* for the
+                very first solve, so the search starts from the seeded bound
+                instead of descending from an arbitrary first model.  A
+                result with status ``"unsat"`` then means "no model with
+                objective at most *upper_bound*" — the unseeded instance may
+                still be satisfiable.
+            session: A live session from :meth:`make_session` to solve on;
+                learned clauses and bound encodings from earlier ``minimize``
+                calls on it are reused.  A fresh session is built (and
+                discarded) when omitted, which keeps repeated calls on the
+                same instance fully independent.
 
         Returns:
             The :class:`OptimizationResult`; its objective never exceeds
@@ -132,10 +181,14 @@ class OptimizingSolver:
         """
         if upper_bound is not None and upper_bound < 0:
             raise ValueError("upper_bound must be non-negative")
+        run = _SessionRun(
+            session if session is not None else self.make_session(),
+            fresh=session is None,
+        )
         if strategy == "linear":
-            return self._minimize_linear(time_limit, conflict_limit, upper_bound)
+            return self._minimize_linear(run, time_limit, conflict_limit, upper_bound)
         if strategy == "binary":
-            return self._minimize_binary(time_limit, conflict_limit, upper_bound)
+            return self._minimize_binary(run, time_limit, conflict_limit, upper_bound)
         raise ValueError(f"unknown optimisation strategy {strategy!r}")
 
     # ------------------------------------------------------------------
@@ -144,127 +197,96 @@ class OptimizingSolver:
             return None
         return max(0.001, time_limit - (time.monotonic() - start))
 
-    def _bounded_copy(self, bound: Optional[int], prefix: str) -> CNF:
-        """A working copy of the hard constraints, with ``F <= bound`` when given.
-
-        Bound encodings are search state, not part of the caller's formula:
-        working on a copy keeps repeated ``minimize`` calls on the same
-        instance independent.  The variable pool is shared so auxiliary
-        variables stay unique across copies.
-        """
-        cnf = CNF(self.cnf.pool)
-        cnf.clauses = list(self.cnf.clauses)
-        if bound is not None:
-            encode_pb_leq(cnf, self._objective_terms(), bound, prefix=prefix)
-        return cnf
+    def _result(
+        self,
+        run: _SessionRun,
+        start: float,
+        status: str,
+        model: Optional[Dict[int, bool]] = None,
+        objective: Optional[int] = None,
+        iterations: int = 0,
+    ) -> OptimizationResult:
+        return OptimizationResult(
+            status=status,
+            model=model if model is not None else {},
+            objective=objective,
+            iterations=iterations,
+            conflicts=run.conflicts,
+            elapsed_seconds=time.monotonic() - start,
+            statistics=run.statistics(),
+        )
 
     def _minimize_linear(
         self,
+        run: _SessionRun,
         time_limit: Optional[float],
         conflict_limit: Optional[int],
         upper_bound: Optional[int] = None,
     ) -> OptimizationResult:
         start = time.monotonic()
-        cnf = self._bounded_copy(upper_bound, prefix="seed")
-        solver = CDCLSolver()
-        solver.add_cnf(cnf)
+        session = run.session
         iterations = 0
         best_model: Dict[int, bool] = {}
         best_value: Optional[int] = None
+        bound = upper_bound
 
         while True:
             iterations += 1
-            outcome = solver.solve(
+            # The descent only ever tightens, so bounds are committed as
+            # permanent unit clauses: they propagate at level 0 (as strongly
+            # as a re-encoded formula) while the ladder is still shared.
+            outcome = session.solve_with_bound(
+                bound,
                 conflict_limit=conflict_limit,
                 time_limit=self._remaining(start, time_limit),
+                commit=True,
             )
-            elapsed = time.monotonic() - start
             if outcome is SolverResult.UNKNOWN:
                 status = "satisfiable" if best_value is not None else "unknown"
-                return OptimizationResult(
-                    status=status,
-                    model=best_model,
-                    objective=best_value,
-                    iterations=iterations,
-                    conflicts=solver.statistics["conflicts"],
-                    elapsed_seconds=elapsed,
+                return self._result(
+                    run, start, status, best_model, best_value, iterations
                 )
             if outcome is SolverResult.UNSAT:
                 if best_value is None:
-                    return OptimizationResult(
-                        status="unsat",
-                        iterations=iterations,
-                        conflicts=solver.statistics["conflicts"],
-                        elapsed_seconds=elapsed,
-                    )
-                return OptimizationResult(
-                    status="optimal",
-                    model=best_model,
-                    objective=best_value,
-                    iterations=iterations,
-                    conflicts=solver.statistics["conflicts"],
-                    elapsed_seconds=elapsed,
+                    return self._result(run, start, "unsat", iterations=iterations)
+                return self._result(
+                    run, start, "optimal", best_model, best_value, iterations
                 )
-            model = solver.model()
+            model = session.model()
             value = self._objective_value(model)
             if best_value is None or value < best_value:
                 best_value = value
                 best_model = model
             if best_value == 0:
-                return OptimizationResult(
-                    status="optimal",
-                    model=best_model,
-                    objective=0,
-                    iterations=iterations,
-                    conflicts=solver.statistics["conflicts"],
-                    elapsed_seconds=time.monotonic() - start,
+                return self._result(
+                    run, start, "optimal", best_model, 0, iterations
                 )
             # Tighten: require an objective strictly below the incumbent.
-            before = cnf.num_clauses
-            encode_pb_leq(
-                cnf,
-                self._objective_terms(),
-                best_value - 1,
-                prefix=f"bound{iterations}",
-            )
-            for clause in cnf.clauses[before:]:
-                solver.add_clause(clause.literals)
+            bound = best_value - 1
 
     def _minimize_binary(
         self,
+        run: _SessionRun,
         time_limit: Optional[float],
         conflict_limit: Optional[int],
         upper_bound: Optional[int] = None,
     ) -> OptimizationResult:
         start = time.monotonic()
-        iterations = 0
-        total_conflicts = 0
+        session = run.session
+        iterations = 1
 
         # Initial feasibility check, seeded with the upper bound when given
         # (this also caps ``high`` of the bisection at the seed).
-        solver = CDCLSolver()
-        solver.add_cnf(self._bounded_copy(upper_bound, prefix="seed"))
-        iterations += 1
-        outcome = solver.solve(
+        outcome = session.solve_with_bound(
+            upper_bound,
             conflict_limit=conflict_limit,
             time_limit=self._remaining(start, time_limit),
         )
-        total_conflicts += solver.statistics["conflicts"]
         if outcome is SolverResult.UNKNOWN:
-            return OptimizationResult(
-                status="unknown",
-                iterations=iterations,
-                conflicts=total_conflicts,
-                elapsed_seconds=time.monotonic() - start,
-            )
+            return self._result(run, start, "unknown", iterations=iterations)
         if outcome is SolverResult.UNSAT:
-            return OptimizationResult(
-                status="unsat",
-                iterations=iterations,
-                conflicts=total_conflicts,
-                elapsed_seconds=time.monotonic() - start,
-            )
-        best_model = solver.model()
+            return self._result(run, start, "unsat", iterations=iterations)
+        best_model = session.model()
         best_value = self._objective_value(best_model)
 
         low = 0
@@ -272,19 +294,17 @@ class OptimizingSolver:
         proven_optimal = True
         while low < high:
             middle = (low + high) // 2
-            probe = CDCLSolver()
-            probe.add_cnf(self._bounded_copy(middle, prefix=f"bin{iterations}"))
             iterations += 1
-            outcome = probe.solve(
+            outcome = session.solve_with_bound(
+                middle,
                 conflict_limit=conflict_limit,
                 time_limit=self._remaining(start, time_limit),
             )
-            total_conflicts += probe.statistics["conflicts"]
             if outcome is SolverResult.UNKNOWN:
                 proven_optimal = False
                 break
             if outcome is SolverResult.SAT:
-                model = probe.model()
+                model = session.model()
                 value = self._objective_value(model)
                 best_model = model
                 best_value = value
@@ -292,14 +312,7 @@ class OptimizingSolver:
             else:
                 low = middle + 1
         status = "optimal" if proven_optimal else "satisfiable"
-        return OptimizationResult(
-            status=status,
-            model=best_model,
-            objective=best_value,
-            iterations=iterations,
-            conflicts=total_conflicts,
-            elapsed_seconds=time.monotonic() - start,
-        )
+        return self._result(run, start, status, best_model, best_value, iterations)
 
 
 __all__ = ["ObjectiveTerm", "OptimizationResult", "OptimizingSolver"]

@@ -1,0 +1,217 @@
+"""Persistent, assumption-based solving sessions for objective descent.
+
+A :class:`SolveSession` owns one live :class:`~repro.sat.solver.CDCLSolver`
+loaded with a CNF formula and minimises a weighted objective over it by
+*assuming* objective bounds instead of cloning the formula:
+
+* The constraint ``F <= b`` is encoded once as a BDD-style ladder of
+  definitional implication clauses (the same shape as
+  :func:`repro.sat.pb.encode_pb_leq`), except that no unit clause asserts
+  the root.  The root literal is handed to the solver as an **assumption**,
+  so the bound holds for one ``solve`` call and evaporates afterwards —
+  bounds can tighten (objective descent) or move in both directions
+  (bisection) on the same solver.
+* Ladder nodes are cached per session and shared between bounds: tightening
+  from ``b`` to ``b - 1`` only adds the nodes that differ, everything
+  reachable from both roots is reused.
+* Learned clauses, variable activities and saved phases all survive across
+  calls because the solver itself survives; nothing learned while a bound
+  was assumed has to be thrown away (the assumption enters conflict
+  analysis as a pseudo-decision, never as an antecedent).
+
+This is the repository's replacement for the old ``_bounded_copy`` pattern
+in :mod:`repro.sat.optimize`, which re-encoded (and for the binary strategy
+re-solved from scratch) the whole instance for every bound probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF, Literal
+from repro.sat.pb import evaluate_pb
+from repro.sat.solver import CDCLSolver, SolverResult
+
+
+class SolveSession:
+    """One incremental solver plus a reusable objective-bound ladder.
+
+    Args:
+        cnf: Hard constraints; loaded into a fresh solver.  The formula's
+            variable pool is used for the ladder's auxiliary variables (the
+            formula object itself is never mutated).
+        objective: ``(weight, literal)`` terms of the objective ``F``.
+
+    Example:
+        >>> session = SolveSession(cnf, [(3, a), (5, b)])
+        >>> session.solve_with_bound(4)
+        <SolverResult.SAT: 'sat'>
+        >>> session.objective_value(session.model())
+        3
+        >>> session.solve_with_bound(2)  # same solver, tighter assumed bound
+        <SolverResult.UNSAT: 'unsat'>
+        >>> session.solve_with_bound(4)  # not poisoned; bound 4 still works
+        <SolverResult.SAT: 'sat'>
+    """
+
+    def __init__(self, cnf: CNF, objective: Sequence[Tuple[int, Literal]]):
+        self._pool = cnf.pool
+        self.solver = CDCLSolver()
+        self.solver.add_cnf(cnf)
+        self._terms: List[Tuple[int, Literal]] = []
+        for weight, literal in objective:
+            if weight < 0:
+                raise ValueError("objective weights must be non-negative")
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            self._terms.append((int(weight), literal))
+        # Heaviest first: the ladder stays small and propagates early.
+        # Zero-weight terms never influence the bound and are skipped.
+        ladder = [term for term in self._terms if term[0] > 0]
+        ladder.sort(key=lambda term: -term[0])
+        self._ladder_terms = ladder
+        suffix = [0] * (len(ladder) + 1)
+        for index in range(len(ladder) - 1, -1, -1):
+            suffix[index] = suffix[index + 1] + ladder[index][0]
+        self._suffix_totals = suffix
+        self._nodes: Dict[Tuple[int, int], int] = {}
+        self._committed_bound: Optional[int] = None
+        self.statistics: Dict[str, int] = {
+            "solve_calls": 0,
+            "assumption_solves": 0,
+            "committed_bounds": 0,
+            "bound_nodes_created": 0,
+            "bound_nodes_reused": 0,
+            "bound_clauses_added": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> int:
+        """Sum of all positive objective weights (the trivial upper bound)."""
+        return self._suffix_totals[0] if self._suffix_totals else 0
+
+    @property
+    def conflicts(self) -> int:
+        """Cumulative solver conflicts over the session's lifetime."""
+        return self.solver.statistics["conflicts"]
+
+    @property
+    def learned_clauses(self) -> int:
+        """Learned clauses currently retained by the live solver."""
+        return self.solver.num_learned
+
+    @property
+    def committed_bound(self) -> Optional[int]:
+        """The tightest permanently committed bound (``None`` when none)."""
+        return self._committed_bound
+
+    # ------------------------------------------------------------------
+    def _add(self, literals: List[int]) -> None:
+        self.solver.add_clause(literals)
+        self.statistics["bound_clauses_added"] += 1
+
+    def _build(self, index: int, budget: int) -> Optional[int]:
+        """Ladder node literal for "sum of terms[index:] <= budget".
+
+        Returns ``None`` when the node is trivially true.  Nodes are cached
+        for the session's lifetime, so overlapping bounds share clauses.
+        """
+        if self._suffix_totals[index] <= budget:
+            return None
+        key = (index, budget)
+        cached = self._nodes.get(key)
+        if cached is not None:
+            self.statistics["bound_nodes_reused"] += 1
+            return cached
+        weight, literal = self._ladder_terms[index]
+        node = self._pool.new_var(f"bound_n{index}_{budget}")
+        self._nodes[key] = node
+        self.statistics["bound_nodes_created"] += 1
+        # Literal false: the budget is unchanged for the remaining terms.
+        low = self._build(index + 1, budget)
+        if low is not None:
+            self._add([-node, literal, low])
+        # Literal true: the budget shrinks by the term's weight.
+        if weight > budget:
+            self._add([-node, -literal])
+        else:
+            high = self._build(index + 1, budget - weight)
+            if high is not None:
+                self._add([-node, -literal, high])
+        return node
+
+    def selector(self, bound: int) -> Optional[int]:
+        """The literal that, when assumed, asserts ``F <= bound``.
+
+        Returns ``None`` when the bound is trivially satisfied by every
+        assignment (no assumption needed).
+
+        Raises:
+            ValueError: On a negative bound.
+        """
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        return self._build(0, bound)
+
+    # ------------------------------------------------------------------
+    def solve_with_bound(
+        self,
+        bound: Optional[int] = None,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        commit: bool = False,
+    ) -> SolverResult:
+        """One solver call, optionally under the bound ``F <= bound``.
+
+        By default the bound is *assumed*: an
+        :attr:`~repro.sat.solver.SolverResult.UNSAT` outcome then means "no
+        model with objective at most *bound*" and the session remains usable
+        for other (even looser) bounds afterwards.
+
+        With ``commit=True`` the bound's selector is asserted as a permanent
+        unit clause instead.  That makes the bound propagate at decision
+        level 0 (as strongly as a re-encoded formula would) and is meant for
+        monotonically tightening descents: committed bounds are permanent,
+        so a later looser commit is a no-op (the tighter constraint already
+        implies it — the session's effective bound is the minimum ever
+        committed, see :attr:`committed_bound`) and an UNSAT answer under a
+        committed bound is final for the session.
+        """
+        assumptions: List[int] = []
+        if bound is not None:
+            if commit:
+                selector = self.selector(bound)
+                if self._committed_bound is None or bound < self._committed_bound:
+                    self._committed_bound = bound
+                    if selector is not None:
+                        self.solver.add_clause([selector])
+                        self.statistics["committed_bounds"] += 1
+            else:
+                selector = self.selector(bound)
+                if selector is not None:
+                    assumptions.append(selector)
+        self.statistics["solve_calls"] += 1
+        if assumptions:
+            self.statistics["assumption_solves"] += 1
+        return self.solver.solve(
+            conflict_limit=conflict_limit,
+            time_limit=time_limit,
+            assumptions=assumptions,
+        )
+
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Sequence[Literal]) -> None:
+        """Add a permanent clause to the live solver (between solves)."""
+        self.solver.add_clause(literals)
+
+    def model(self) -> Dict[int, bool]:
+        """The model of the last successful solve (see ``CDCLSolver.model``)."""
+        return self.solver.model()
+
+    def objective_value(self, model: Dict[int, bool]) -> int:
+        """Evaluate the objective ``F`` under *model*."""
+        return evaluate_pb(self._terms, model)
+
+
+__all__ = ["SolveSession", "SolverResult"]

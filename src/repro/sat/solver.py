@@ -12,7 +12,13 @@ modern architecture:
 * periodic deletion of inactive learned clauses,
 * incremental solving (clauses may be added between ``solve()`` calls;
   learned clauses are kept since adding clauses only strengthens the
-  formula).
+  formula),
+* solving under assumptions (``solve(assumptions=[...])``): the given
+  literals are enqueued as pseudo-decisions below the real search, hold in
+  any model returned, and are fully undone afterwards.  An UNSAT answer
+  under assumptions means "unsatisfiable together with these assumptions"
+  and does not poison later calls; learned clauses derived under
+  assumptions are consequences of the formula alone and are retained.
 
 The solver accepts and returns literals in DIMACS convention (positive /
 negative integers, variables numbered from 1).
@@ -148,6 +154,11 @@ class CDCLSolver:
     def num_clauses(self) -> int:
         """Number of problem (non-learned) clauses."""
         return len(self._clauses)
+
+    @property
+    def num_learned(self) -> int:
+        """Number of learned clauses currently kept (persist across solves)."""
+        return len(self._learned)
 
     # ------------------------------------------------------------------
     # Low-level helpers
@@ -376,6 +387,7 @@ class CDCLSolver:
         self,
         conflict_limit: Optional[int] = None,
         time_limit: Optional[float] = None,
+        assumptions: Optional[Iterable[int]] = None,
     ) -> SolverResult:
         """Run the CDCL search.
 
@@ -384,11 +396,24 @@ class CDCLSolver:
                 many conflicts (``None`` = unlimited).
             time_limit: Abort with :attr:`SolverResult.UNKNOWN` after this many
                 seconds (``None`` = unlimited).
+            assumptions: Literals assumed true for this call only.  They are
+                enqueued as pseudo-decisions before the free search, so a
+                :attr:`SolverResult.SAT` model satisfies all of them, and an
+                :attr:`SolverResult.UNSAT` answer means "unsatisfiable under
+                these assumptions" — the solver stays usable and a later call
+                without (or with other) assumptions is unaffected.
 
         Returns:
             :attr:`SolverResult.SAT`, :attr:`SolverResult.UNSAT` or
             :attr:`SolverResult.UNKNOWN`.
         """
+        assumption_list: List[int] = []
+        if assumptions is not None:
+            for literal in assumptions:
+                if literal == 0:
+                    raise ValueError("0 is not a valid literal")
+                assumption_list.append(literal)
+                self._ensure_var(abs(literal))
         if self._unsat:
             return SolverResult.UNSAT
         start_time = time.monotonic()
@@ -445,6 +470,25 @@ class CDCLSolver:
                     restart_limit = 100 * self._luby(restart_count + 1)
                     conflicts_since_restart = 0
                     self._backtrack(0)
+                    continue
+                # Re-establish assumptions (MiniSat style): assumption i is
+                # the decision of level i+1, so backjumps and restarts that
+                # pop assumption levels simply re-enter them here.
+                level = self._decision_level()
+                if level < len(assumption_list):
+                    literal = assumption_list[level]
+                    value = self._value(literal)
+                    if value is False:
+                        # The formula together with the earlier assumptions
+                        # forces the negation: UNSAT under assumptions only,
+                        # so the solver itself stays usable.
+                        self._backtrack(0)
+                        return SolverResult.UNSAT
+                    self._trail_lim.append(len(self._trail))
+                    if value is None:
+                        self._enqueue(literal, None)
+                    # Already-true assumptions still consume one (empty)
+                    # decision level to keep the level/index alignment.
                     continue
                 variable = self._pick_branch_variable()
                 if variable is None:

@@ -6,7 +6,7 @@ dispatcher drains queued jobs in batches through
 :meth:`~repro.pipeline.pipeline.MappingPipeline.map_many` worker pools;
 ``status``/``result`` expose per-job state and provenance.
 
-Three layers keep repeated work off the solvers:
+Four layers keep repeated work off the solvers:
 
 1. **Result store** — every submission is first looked up in the
    :class:`~repro.service.store.ResultStore` by its content-addressed
@@ -19,6 +19,12 @@ Three layers keep repeated work off the solvers:
    groups jobs by (architecture, engine, options) and maps each group as one
    ``map_many`` batch, so per-architecture artefacts are built once per
    group rather than once per job.
+4. **Bound seeding** — jobs that do have to solve are warm-started through a
+   :class:`~repro.pipeline.bounds.BoundProviderChain`: the cheapest stored
+   result for the same circuit on the same (or a registered sub-)
+   architecture — solved by *any* engine — is asserted as the exact
+   engine's initial upper bound, so even a cleared or differently-keyed
+   store entry still speeds up the solve instead of being useless.
 
 The service can front **multiple coupling maps** (the first step toward
 device sharding): register several devices and each submission is routed to
@@ -38,6 +44,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
+from repro.pipeline.bounds import BoundProvider, StoreBoundProvider
 from repro.pipeline.pipeline import MappingPipeline
 from repro.pipeline.registry import resolve_mapper_name
 from repro.service.errors import (
@@ -48,7 +55,11 @@ from repro.service.errors import (
     ServiceError,
     ServiceStateError,
 )
-from repro.service.fingerprint import canonical_options, job_fingerprint
+from repro.service.fingerprint import (
+    canonical_options,
+    coupling_fingerprint,
+    job_fingerprint,
+)
 from repro.service.store import ResultStore
 
 #: Job lifecycle states.
@@ -121,6 +132,10 @@ class MappingService:
         store: Result store; a memory-only :class:`ResultStore` when omitted.
         workers: Worker count handed to ``map_many`` for each drained batch.
         executor: ``"thread"`` or ``"process"`` (see :class:`MappingPipeline`).
+        bound_providers: Upper-bound sources used to warm-start exact solves
+            (see :mod:`repro.pipeline.bounds`).  Defaults to a store lookup
+            over the registered devices (``seed_bounds=False`` disables it).
+        seed_bounds: Whether to seed exact solves at all.
 
     Example:
         >>> async with MappingService(ibm_qx4(), engine="dp") as service:
@@ -136,6 +151,8 @@ class MappingService:
         store: Optional[ResultStore] = None,
         workers: int = 2,
         executor: str = "thread",
+        bound_providers: Optional[Sequence[BoundProvider]] = None,
+        seed_bounds: bool = True,
     ):
         self.couplings = self._normalise_couplings(couplings)
         self.engine = resolve_mapper_name(engine)
@@ -145,6 +162,16 @@ class MappingService:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
         self.executor = executor
+        if not seed_bounds:
+            self.bound_providers: List[BoundProvider] = []
+        elif bound_providers is not None:
+            self.bound_providers = list(bound_providers)
+        else:
+            self.bound_providers = [
+                StoreBoundProvider(
+                    self.store, couplings=list(self.couplings.values())
+                )
+            ]
         self._jobs: Dict[str, Job] = {}
         self._primary_by_fp: Dict[str, Job] = {}
         self._queue: Optional["asyncio.Queue[Job]"] = None
@@ -458,6 +485,7 @@ class MappingService:
             engine_options=jobs[0].options,
             workers=self.workers,
             executor=self.executor,
+            bound_providers=self.bound_providers or None,
         )
         loop = asyncio.get_running_loop()
         start = time.monotonic()
@@ -483,7 +511,14 @@ class MappingService:
             if item.ok:
                 try:
                     await loop.run_in_executor(
-                        None, self.store.put, job.fingerprint, item.result
+                        None,
+                        partial(
+                            self.store.put,
+                            job.fingerprint,
+                            item.result,
+                            circuit_fp=job.circuit.fingerprint(),
+                            arch_fp=coupling_fingerprint(coupling),
+                        ),
                     )
                 except InvalidResultError as error:
                     self._fail(job, error)
@@ -494,6 +529,12 @@ class MappingService:
                     # not cached this time.
                     job.provenance["store_error"] = error.to_dict()
                 self._counters["solved"] += 1
+                statistics = item.result.statistics
+                if "external_bound" in statistics:
+                    job.provenance["seeded_bound"] = statistics["external_bound"]
+                    job.provenance["bound_provider"] = statistics.get(
+                        "bound_provider"
+                    )
                 self._complete(
                     job, item.result, cache_hit=False,
                     elapsed=item.elapsed_seconds or elapsed,

@@ -6,6 +6,18 @@ the service subsystem: results are keyed by the content-addressed
 restarts in a SQLite file, with a small in-memory LRU in front so hot keys
 never touch the disk.
 
+Rows additionally carry the *circuit* and *architecture* fingerprints of
+their job, which makes the store queryable as a bound oracle: the cheapest
+known result for a circuit on an architecture — solved by any engine with
+any options — is a valid upper bound for a new exact solve of the same
+circuit (see :class:`repro.pipeline.bounds.StoreBoundProvider`).
+
+Expiry
+------
+With ``ttl_seconds`` set, rows older than the TTL read as misses and are
+purged lazily on access; :meth:`prune` sweeps them eagerly (also available
+as the ``repro-map cache prune`` CLI subcommand).
+
 Concurrency
 -----------
 Every SQLite operation opens its own short-lived connection, so the store
@@ -32,7 +44,7 @@ import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.exact.result import MappingResult
 from repro.service.errors import InvalidResultError, StoreError
@@ -53,9 +65,34 @@ CREATE TABLE IF NOT EXISTS results (
     engine      TEXT NOT NULL,
     added_cost  INTEGER NOT NULL,
     optimal     INTEGER NOT NULL,
-    created_at  REAL NOT NULL
+    created_at  REAL NOT NULL,
+    circuit_fp  TEXT,
+    arch_fp     TEXT
 )
 """
+
+#: Columns added after the first release; legacy database files are
+#: migrated in place on open (rows keep NULLs — they still serve exact
+#: fingerprint hits, just not bound lookups).
+_MIGRATED_COLUMNS = ("circuit_fp", "arch_fp")
+
+
+class _MemoryEntry:
+    """One in-memory tier entry: the result plus its row metadata."""
+
+    __slots__ = ("result", "created_at", "circuit_fp", "arch_fp")
+
+    def __init__(
+        self,
+        result: MappingResult,
+        created_at: float,
+        circuit_fp: Optional[str],
+        arch_fp: Optional[str],
+    ):
+        self.result = result
+        self.created_at = created_at
+        self.circuit_fp = circuit_fp
+        self.arch_fp = arch_fp
 
 
 class ResultStore:
@@ -69,6 +106,8 @@ class ResultStore:
             it (every hit deserialises from disk).
         validate: Validate results before caching (strongly recommended;
             exposed so benchmarks can measure the validation overhead).
+        ttl_seconds: Results older than this read as misses and are purged
+            lazily; ``None`` (default) disables expiry.
 
     Example:
         >>> store = ResultStore(tmp_path / "results.sqlite")
@@ -83,12 +122,16 @@ class ResultStore:
         *,
         max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
         validate: bool = True,
+        ttl_seconds: Optional[float] = None,
     ):
         self.path: Optional[Path] = None if path is None else Path(path)
         self.max_memory_entries = max(0, int(max_memory_entries))
         self.validate = validate
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None to disable)")
+        self.ttl_seconds = ttl_seconds
         self._lock = threading.Lock()
-        self._memory: "OrderedDict[str, MappingResult]" = OrderedDict()
+        self._memory: "OrderedDict[str, _MemoryEntry]" = OrderedDict()
         self._stats = {
             "memory_hits": 0,
             "disk_hits": 0,
@@ -96,11 +139,20 @@ class ResultStore:
             "puts": 0,
             "invalid_rejected": 0,
             "corrupt_dropped": 0,
+            "expired_dropped": 0,
         }
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self._connect() as conn:
                 conn.execute(_SCHEMA)
+                existing = {
+                    row[1] for row in conn.execute("PRAGMA table_info(results)")
+                }
+                for column in _MIGRATED_COLUMNS:
+                    if column not in existing:
+                        conn.execute(
+                            f"ALTER TABLE results ADD COLUMN {column} TEXT"
+                        )
 
     @classmethod
     def at(cls, cache_dir, **kwargs) -> "ResultStore":
@@ -112,18 +164,77 @@ class ResultStore:
         assert self.path is not None
         return sqlite3.connect(str(self.path), timeout=SQLITE_TIMEOUT_SECONDS)
 
-    def _memory_put(self, fingerprint: str, result: MappingResult) -> None:
+    def _expired(self, created_at: float, now: Optional[float] = None) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        return (now if now is not None else time.time()) - created_at > self.ttl_seconds
+
+    def _cutoff(self, ttl_seconds: Optional[float] = None) -> Optional[float]:
+        """The oldest non-expired creation time, or ``None`` without a TTL."""
+        ttl = self.ttl_seconds if ttl_seconds is None else ttl_seconds
+        if ttl is None:
+            return None
+        return time.time() - ttl
+
+    def _memory_put(
+        self,
+        fingerprint: str,
+        result: MappingResult,
+        created_at: float,
+        circuit_fp: Optional[str],
+        arch_fp: Optional[str],
+    ) -> None:
         if self.max_memory_entries == 0:
             return
         with self._lock:
-            self._memory[fingerprint] = result
+            self._memory[fingerprint] = _MemoryEntry(
+                result, created_at, circuit_fp, arch_fp
+            )
             self._memory.move_to_end(fingerprint)
             while len(self._memory) > self.max_memory_entries:
                 self._memory.popitem(last=False)
 
+    def _delete_row(self, fingerprint: str) -> None:
+        if self.path is not None:
+            with self._connect() as conn:
+                conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                )
+
+    def _delete_expired_row(self, fingerprint: str) -> None:
+        """Purge a row only while it is actually expired.
+
+        Concurrent writers are supported, so the DELETE must re-check the
+        age: another process may have re-put the fingerprint with a fresh
+        ``created_at`` between our read and this purge, and that fresh row
+        must survive.
+        """
+        cutoff = self._cutoff()
+        if cutoff is None or self.path is None:
+            return
+        with self._connect() as conn:
+            conn.execute(
+                "DELETE FROM results WHERE fingerprint = ? AND created_at <= ?",
+                (fingerprint, cutoff),
+            )
+
     # ------------------------------------------------------------------
-    def put(self, fingerprint: str, result: MappingResult) -> None:
+    def put(
+        self,
+        fingerprint: str,
+        result: MappingResult,
+        *,
+        circuit_fp: Optional[str] = None,
+        arch_fp: Optional[str] = None,
+    ) -> None:
         """Cache *result* under *fingerprint* (validated first).
+
+        Args:
+            fingerprint: The job fingerprint (exact-lookup key).
+            result: The mapping result to cache.
+            circuit_fp: Circuit fingerprint of the job; enables
+                :meth:`best_added_cost` bound lookups for this row.
+            arch_fp: Architecture fingerprint of the job (see *circuit_fp*).
 
         Raises:
             InvalidResultError: When the result fails validation; nothing
@@ -141,20 +252,24 @@ class ResultStore:
                     details={"fingerprint": fingerprint, "engine": result.engine},
                 ) from error
         payload = json.dumps(result.to_dict())
+        created_at = time.time()
         if self.path is not None:
             try:
                 with self._connect() as conn:
                     conn.execute(
                         "INSERT OR REPLACE INTO results "
-                        "(fingerprint, payload, engine, added_cost, optimal, created_at) "
-                        "VALUES (?, ?, ?, ?, ?, ?)",
+                        "(fingerprint, payload, engine, added_cost, optimal, "
+                        " created_at, circuit_fp, arch_fp) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                         (
                             fingerprint,
                             payload,
                             result.engine,
                             result.added_cost,
                             int(result.optimal),
-                            time.time(),
+                            created_at,
+                            circuit_fp,
+                            arch_fp,
                         ),
                     )
             except sqlite3.Error as error:
@@ -162,45 +277,61 @@ class ResultStore:
                     f"failed to persist result: {error}",
                     details={"fingerprint": fingerprint, "path": str(self.path)},
                 ) from error
-        self._memory_put(fingerprint, result)
+        self._memory_put(fingerprint, result, created_at, circuit_fp, arch_fp)
         with self._lock:
             self._stats["puts"] += 1
 
     def get(self, fingerprint: str) -> Optional[MappingResult]:
         """The cached result for *fingerprint*, or ``None``.
 
-        The returned object may be shared with other callers (memory tier);
-        treat it as read-only.
+        Rows older than ``ttl_seconds`` read as misses and are purged as a
+        side effect.  The returned object may be shared with other callers
+        (memory tier); treat it as read-only.
         """
         if self.max_memory_entries > 0:
+            expired_hit = False
             with self._lock:
-                cached = self._memory.get(fingerprint)
-                if cached is not None:
-                    self._stats["memory_hits"] += 1
-                    self._memory.move_to_end(fingerprint)
-                    return cached
+                entry = self._memory.get(fingerprint)
+                if entry is not None:
+                    if self._expired(entry.created_at):
+                        del self._memory[fingerprint]
+                        self._stats["expired_dropped"] += 1
+                        expired_hit = True
+                    else:
+                        self._stats["memory_hits"] += 1
+                        self._memory.move_to_end(fingerprint)
+                        return entry.result
+            if expired_hit:
+                # Purge the equally old disk row — guarded, because a
+                # concurrent writer may have re-put a fresh one meanwhile.
+                # Then fall through to the disk read below, which serves
+                # exactly such a refreshed row instead of reporting a miss.
+                self._delete_expired_row(fingerprint)
         if self.path is not None:
             with self._connect() as conn:
                 row = conn.execute(
-                    "SELECT payload FROM results WHERE fingerprint = ?",
+                    "SELECT payload, created_at, circuit_fp, arch_fp "
+                    "FROM results WHERE fingerprint = ?",
                     (fingerprint,),
                 ).fetchone()
             if row is not None:
+                if self._expired(row[1]):
+                    self._delete_expired_row(fingerprint)
+                    with self._lock:
+                        self._stats["expired_dropped"] += 1
+                        self._stats["misses"] += 1
+                    return None
                 try:
                     result = MappingResult.from_dict(json.loads(row[0]))
                 except (ValueError, KeyError, TypeError):
                     # Schema drift or a truncated payload: drop the row and
                     # treat it as a miss — the caller re-solves and re-puts.
-                    with self._connect() as conn:
-                        conn.execute(
-                            "DELETE FROM results WHERE fingerprint = ?",
-                            (fingerprint,),
-                        )
+                    self._delete_row(fingerprint)
                     with self._lock:
                         self._stats["corrupt_dropped"] += 1
                         self._stats["misses"] += 1
                     return None
-                self._memory_put(fingerprint, result)
+                self._memory_put(fingerprint, result, row[1], row[2], row[3])
                 with self._lock:
                     self._stats["disk_hits"] += 1
                 return result
@@ -208,56 +339,176 @@ class ResultStore:
             self._stats["misses"] += 1
         return None
 
+    def delete(self, fingerprint: str) -> bool:
+        """Remove one entry from both tiers; True when anything was removed."""
+        removed = False
+        with self._lock:
+            if self._memory.pop(fingerprint, None) is not None:
+                removed = True
+        if self.path is not None:
+            with self._connect() as conn:
+                cursor = conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                )
+                removed = removed or cursor.rowcount > 0
+        return removed
+
+    # ------------------------------------------------------------------
+    # Bound oracle
+    # ------------------------------------------------------------------
+    def best_added_cost(
+        self, circuit_fp: str, arch_fp: str
+    ) -> Optional[int]:
+        """Cheapest known added cost for a circuit on an architecture.
+
+        Considers every non-expired row whose circuit and architecture
+        fingerprints match, regardless of engine and options — any such
+        result is a valid mapping, so its cost is a valid upper bound for a
+        new exact solve.  Returns ``None`` when nothing is known (including
+        legacy rows written before fingerprint columns existed).
+        """
+        best: Optional[int] = None
+        now = time.time()
+        with self._lock:
+            for entry in self._memory.values():
+                if (
+                    entry.circuit_fp == circuit_fp
+                    and entry.arch_fp == arch_fp
+                    and not self._expired(entry.created_at, now)
+                ):
+                    cost = entry.result.added_cost
+                    if best is None or cost < best:
+                        best = cost
+        if self.path is not None:
+            query = (
+                "SELECT MIN(added_cost) FROM results "
+                "WHERE circuit_fp = ? AND arch_fp = ?"
+            )
+            params: Tuple[Any, ...] = (circuit_fp, arch_fp)
+            cutoff = self._cutoff()
+            if cutoff is not None:
+                query += " AND created_at > ?"
+                params += (cutoff,)
+            with self._connect() as conn:
+                row = conn.execute(query, params).fetchone()
+            if row is not None and row[0] is not None:
+                cost = int(row[0])
+                if best is None or cost < best:
+                    best = cost
+        return best
+
+    # ------------------------------------------------------------------
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
-            if fingerprint in self._memory:
+            entry = self._memory.get(fingerprint)
+            if entry is not None and not self._expired(entry.created_at):
                 return True
         if self.path is None:
             return False
+        query = "SELECT created_at FROM results WHERE fingerprint = ?"
         with self._connect() as conn:
-            row = conn.execute(
-                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
-            ).fetchone()
-        return row is not None
+            row = conn.execute(query, (fingerprint,)).fetchone()
+        return row is not None and not self._expired(row[0])
 
     def __len__(self) -> int:
+        """Number of non-expired results (expired rows read as absent)."""
+        cutoff = self._cutoff()
         if self.path is None:
             with self._lock:
-                return len(self._memory)
+                if cutoff is None:
+                    return len(self._memory)
+                return sum(
+                    1 for entry in self._memory.values()
+                    if entry.created_at > cutoff
+                )
+        query = "SELECT COUNT(*) FROM results"
+        params: Tuple[Any, ...] = ()
+        if cutoff is not None:
+            query += " WHERE created_at > ?"
+            params = (cutoff,)
         with self._connect() as conn:
-            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            return conn.execute(query, params).fetchone()[0]
 
     def fingerprints(self) -> Iterator[str]:
-        """Iterate over all persisted fingerprints (memory-only when no path)."""
+        """Iterate over non-expired fingerprints (memory-only when no path)."""
+        cutoff = self._cutoff()
         if self.path is None:
             with self._lock:
-                keys = list(self._memory)
+                keys = [
+                    key for key, entry in self._memory.items()
+                    if cutoff is None or entry.created_at > cutoff
+                ]
             return iter(keys)
+        query = "SELECT fingerprint FROM results"
+        params: Tuple[Any, ...] = ()
+        if cutoff is not None:
+            query += " WHERE created_at > ?"
+            params = (cutoff,)
         with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT fingerprint FROM results ORDER BY created_at"
-            ).fetchall()
+            rows = conn.execute(query + " ORDER BY created_at", params).fetchall()
         return iter(row[0] for row in rows)
 
     def entries(self) -> List[Dict[str, Any]]:
-        """Metadata rows of every persisted result (no payload parsing)."""
+        """Metadata rows of every non-expired result (no payload parsing)."""
+        cutoff = self._cutoff()
         if self.path is None:
             with self._lock:
                 return [
-                    {"fingerprint": key, "engine": result.engine,
-                     "added_cost": result.added_cost, "optimal": result.optimal}
-                    for key, result in self._memory.items()
+                    {"fingerprint": key, "engine": entry.result.engine,
+                     "added_cost": entry.result.added_cost,
+                     "optimal": entry.result.optimal,
+                     "created_at": entry.created_at,
+                     "circuit_fp": entry.circuit_fp, "arch_fp": entry.arch_fp}
+                    for key, entry in self._memory.items()
+                    if cutoff is None or entry.created_at > cutoff
                 ]
+        query = (
+            "SELECT fingerprint, engine, added_cost, optimal, created_at, "
+            "circuit_fp, arch_fp FROM results"
+        )
+        params: Tuple[Any, ...] = ()
+        if cutoff is not None:
+            query += " WHERE created_at > ?"
+            params = (cutoff,)
         with self._connect() as conn:
-            rows = conn.execute(
-                "SELECT fingerprint, engine, added_cost, optimal, created_at "
-                "FROM results ORDER BY created_at"
-            ).fetchall()
+            rows = conn.execute(query + " ORDER BY created_at", params).fetchall()
         return [
             {"fingerprint": row[0], "engine": row[1], "added_cost": row[2],
-             "optimal": bool(row[3]), "created_at": row[4]}
+             "optimal": bool(row[3]), "created_at": row[4],
+             "circuit_fp": row[5], "arch_fp": row[6]}
             for row in rows
         ]
+
+    def prune(self, ttl_seconds: Optional[float] = None) -> int:
+        """Eagerly remove expired rows; returns how many were dropped.
+
+        Args:
+            ttl_seconds: Override for this sweep (defaults to the store's
+                ``ttl_seconds``).  With neither set, nothing is pruned.
+        """
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        cutoff = self._cutoff(ttl_seconds)
+        if cutoff is None:
+            return 0
+        removed = 0
+        stale_keys: List[str] = []
+        with self._lock:
+            for key, entry in self._memory.items():
+                if entry.created_at <= cutoff:
+                    stale_keys.append(key)
+            for key in stale_keys:
+                del self._memory[key]
+        if self.path is not None:
+            with self._connect() as conn:
+                cursor = conn.execute(
+                    "DELETE FROM results WHERE created_at <= ?", (cutoff,)
+                )
+                removed = cursor.rowcount
+        removed = max(removed, len(stale_keys))
+        with self._lock:
+            self._stats["expired_dropped"] += removed
+        return removed
 
     def clear(self) -> int:
         """Drop every cached result (both tiers); returns rows removed."""
@@ -277,6 +528,7 @@ class ResultStore:
             stats = dict(self._stats)
             stats["memory_entries"] = len(self._memory)
         stats["persistent"] = self.path is not None
+        stats["ttl_seconds"] = self.ttl_seconds
         if self.path is not None:
             stats["disk_entries"] = len(self)
         return stats

@@ -1,0 +1,276 @@
+"""Tests for the BoundProvider chain and its pipeline/service wiring."""
+
+import asyncio
+
+import pytest
+
+from repro.arch.coupling import CouplingMap
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.paper_example import (
+    PAPER_EXAMPLE_MINIMAL_COST,
+    paper_example_cnot_skeleton,
+)
+from repro.circuit.circuit import QuantumCircuit
+from repro.exact.dp_mapper import DPMapper
+from repro.pipeline.bounds import (
+    BoundProviderChain,
+    HeuristicBoundProvider,
+    StaticBoundProvider,
+    StoreBoundProvider,
+    is_sub_architecture,
+)
+from repro.pipeline.pipeline import MappingPipeline
+from repro.service.fingerprint import coupling_fingerprint, job_fingerprint
+from repro.service.service import MappingService
+from repro.service.store import ResultStore
+
+
+def _paper_circuit():
+    return paper_example_cnot_skeleton()
+
+
+def _stored_dp_result(store, circuit, coupling, engine="dp"):
+    """Solve with DP and persist the result with full fingerprint metadata."""
+    result = DPMapper(coupling).map(circuit)
+    fingerprint = job_fingerprint(circuit, coupling, engine, {})
+    store.put(
+        fingerprint, result,
+        circuit_fp=circuit.fingerprint(),
+        arch_fp=coupling_fingerprint(coupling),
+    )
+    return result, fingerprint
+
+
+class TestProviders:
+    def test_static_provider(self):
+        provider = StaticBoundProvider(7)
+        assert provider.upper_bound(_paper_circuit(), ibm_qx4()) == 7
+
+    def test_static_provider_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StaticBoundProvider(-1)
+
+    def test_heuristic_provider_returns_valid_bound(self):
+        circuit = _paper_circuit()
+        bound = HeuristicBoundProvider().upper_bound(circuit, ibm_qx4())
+        assert bound is not None
+        assert bound >= PAPER_EXAMPLE_MINIMAL_COST
+
+    def test_heuristic_provider_swallows_failures(self):
+        # A circuit too large for the device must yield "no bound", not raise.
+        big = QuantumCircuit(9)
+        big.cx(0, 8)
+        assert HeuristicBoundProvider().upper_bound(big, ibm_qx4()) is None
+
+    def test_store_provider_same_architecture(self):
+        store = ResultStore()
+        circuit = _paper_circuit()
+        result, _ = _stored_dp_result(store, circuit, ibm_qx4())
+        provider = StoreBoundProvider(store)
+        assert provider.upper_bound(circuit, ibm_qx4()) == result.added_cost
+        other = QuantumCircuit(2)
+        other.cx(0, 1)
+        assert provider.upper_bound(other, ibm_qx4()) is None
+
+    def test_chain_keeps_tightest_bound(self):
+        store = ResultStore()
+        circuit = _paper_circuit()
+        result, _ = _stored_dp_result(store, circuit, ibm_qx4())
+        chain = BoundProviderChain([
+            StaticBoundProvider(result.added_cost + 10),
+            StoreBoundProvider(store),
+        ])
+        bound, provider = chain.resolve(circuit, ibm_qx4())
+        assert bound == result.added_cost
+        assert provider == "store"
+
+    def test_chain_with_no_information(self):
+        chain = BoundProviderChain([StoreBoundProvider(ResultStore())])
+        bound, provider = chain.resolve(_paper_circuit(), ibm_qx4())
+        assert bound is None and provider is None
+
+
+class TestSubArchitectures:
+    def _line(self):
+        return CouplingMap(3, [(0, 1), (1, 2)], name="line3")
+
+    def _extended(self):
+        # The line plus an extra qubit and couplings: a strict super-graph.
+        return CouplingMap(4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="ring4")
+
+    def test_is_sub_architecture(self):
+        assert is_sub_architecture(self._line(), self._extended())
+        assert not is_sub_architecture(self._extended(), self._line())
+        # Same qubit count but a non-subset edge is not a sub-architecture.
+        rotated = CouplingMap(3, [(1, 0), (1, 2)])
+        assert not is_sub_architecture(rotated, self._line())
+
+    def test_store_bound_from_sub_architecture(self):
+        store = ResultStore()
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        line = self._line()
+        result, _ = _stored_dp_result(store, circuit, line)
+        # Nothing stored for the big device itself, but the line result is a
+        # valid mapping on the super-graph, so its cost seeds the bound.
+        provider = StoreBoundProvider(store, couplings=[line])
+        assert provider.upper_bound(circuit, self._extended()) == result.added_cost
+        # Without the sub-architecture hint the store has nothing to offer.
+        assert StoreBoundProvider(store).upper_bound(
+            circuit, self._extended()
+        ) is None
+
+
+class TestPipelineSeeding:
+    def test_sat_map_is_seeded_from_store(self):
+        store = ResultStore()
+        circuit = _paper_circuit()
+        dp_result, _ = _stored_dp_result(store, circuit, ibm_qx4())
+        pipeline = MappingPipeline(
+            ibm_qx4(), engine="sat",
+            bound_providers=[StoreBoundProvider(store)],
+        )
+        result = pipeline.map(circuit)
+        assert result.added_cost == dp_result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert result.optimal
+        assert result.statistics["seeded_upper_bound"] == dp_result.added_cost
+        assert result.statistics["bound_provider"] == "store"
+        assert result.statistics["external_bound"] == dp_result.added_cost
+
+    def test_seeded_solve_uses_fewer_iterations(self):
+        store = ResultStore()
+        circuit = _paper_circuit()
+        _stored_dp_result(store, circuit, ibm_qx4())
+        unseeded = MappingPipeline(ibm_qx4(), engine="sat").map(circuit)
+        seeded = MappingPipeline(
+            ibm_qx4(), engine="sat",
+            bound_providers=[StoreBoundProvider(store)],
+        ).map(circuit)
+        assert seeded.added_cost == unseeded.added_cost
+        assert (
+            seeded.statistics["solver_iterations"]
+            < unseeded.statistics["solver_iterations"]
+        )
+
+    def test_restricted_strategies_are_not_seeded(self):
+        # An externally derived bound may undercut a restricted search
+        # space's own minimum; such engines must be mapped unseeded.
+        store = ResultStore()
+        circuit = _paper_circuit()
+        _stored_dp_result(store, circuit, ibm_qx4())
+        pipeline = MappingPipeline(
+            ibm_qx4(), engine="sat",
+            engine_options={"strategy": "odd"},
+            bound_providers=[StoreBoundProvider(store)],
+        )
+        result = pipeline.map(circuit)
+        assert "seeded_upper_bound" not in result.statistics
+        assert "external_bound" not in result.statistics
+
+    def test_subset_mode_is_not_seeded(self):
+        store = ResultStore()
+        circuit = _paper_circuit()
+        _stored_dp_result(store, circuit, ibm_qx4())
+        pipeline = MappingPipeline(
+            ibm_qx4(), engine="sat",
+            engine_options={"use_subsets": True},
+            bound_providers=[StoreBoundProvider(store)],
+        )
+        result = pipeline.map(circuit)
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert "external_bound" not in result.statistics
+
+    def test_portfolio_accepts_external_bound(self):
+        store = ResultStore()
+        circuit = _paper_circuit()
+        dp_result, _ = _stored_dp_result(store, circuit, ibm_qx4())
+        pipeline = MappingPipeline(
+            ibm_qx4(), engine="portfolio",
+            bound_providers=[StoreBoundProvider(store)],
+        )
+        result = pipeline.map(circuit)
+        assert result.added_cost == dp_result.added_cost
+        # The stored exact bound is tighter than the heuristic's, so it wins.
+        assert result.statistics["portfolio_bound"] == dp_result.added_cost
+        assert result.statistics["portfolio_external_bound"] == dp_result.added_cost
+
+    def test_map_many_seeds_each_item(self):
+        store = ResultStore()
+        circuits = [_paper_circuit(), _paper_circuit()]
+        dp_result, _ = _stored_dp_result(store, circuits[0], ibm_qx4())
+        pipeline = MappingPipeline(
+            ibm_qx4(), engine="sat",
+            bound_providers=[StoreBoundProvider(store)],
+        )
+        items = pipeline.map_many(circuits, workers=2)
+        assert all(item.ok for item in items)
+        for item in items:
+            assert item.result.added_cost == dp_result.added_cost
+            assert item.result.statistics["external_bound"] == dp_result.added_cost
+
+
+class TestServiceBoundSeeding:
+    def _run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_resubmit_after_cleared_entry_is_reseeded(self):
+        async def scenario():
+            circuit = _paper_circuit()
+            store = ResultStore()
+            async with MappingService(ibm_qx4(), engine="dp", store=store) as service:
+                dp_job = await service.submit(circuit)
+                dp_result = await service.result(dp_job)
+
+                sat_job = await service.submit(circuit, engine="sat")
+                await service.result(sat_job)
+                sat_fp = service.status(sat_job)["fingerprint"]
+
+                # Clear the solved SAT entry, resubmit: the job must solve
+                # again (no cache hit) but the BoundProvider chain still
+                # seeds its bound from the DP row of the same circuit.
+                assert store.delete(sat_fp)
+                resubmit = await service.submit(circuit, engine="sat")
+                result = await service.result(resubmit)
+                provenance = service.status(resubmit)["provenance"]
+                assert provenance["cache_hit"] is False
+                assert provenance["seeded_bound"] == dp_result.added_cost
+                assert provenance["bound_provider"] == "store"
+                assert result.added_cost == dp_result.added_cost
+                assert result.statistics["seeded_upper_bound"] == dp_result.added_cost
+                return result
+
+        result = self._run(scenario())
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+
+    def test_seeding_can_be_disabled(self):
+        async def scenario():
+            circuit = _paper_circuit()
+            store = ResultStore()
+            async with MappingService(
+                ibm_qx4(), engine="dp", store=store, seed_bounds=False
+            ) as service:
+                await service.result(await service.submit(circuit))
+                sat_job = await service.submit(circuit, engine="sat")
+                await service.result(sat_job)
+                return service.status(sat_job)["provenance"]
+
+        provenance = self._run(scenario())
+        assert "seeded_bound" not in provenance
+
+    def test_cross_engine_warm_start_on_first_sat_submit(self):
+        async def scenario():
+            circuit = _paper_circuit()
+            store = ResultStore()
+            async with MappingService(ibm_qx4(), engine="dp", store=store) as service:
+                dp_result = await service.result(await service.submit(circuit))
+                sat_job = await service.submit(circuit, engine="sat")
+                sat_result = await service.result(sat_job)
+                provenance = service.status(sat_job)["provenance"]
+                assert provenance["seeded_bound"] == dp_result.added_cost
+                assert sat_result.added_cost == dp_result.added_cost
+                return sat_result
+
+        result = self._run(scenario())
+        assert result.statistics["solver_iterations"] <= 2

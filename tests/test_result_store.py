@@ -255,3 +255,200 @@ print(result.added_cost)
             capture_output=True, text=True, check=True,
         )
         assert read.stdout.strip() == added_cost
+
+
+class TestTTLExpiry:
+    """``ttl_seconds``: expired rows read as misses and are purged lazily."""
+
+    def test_expired_entries_read_as_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite", ttl_seconds=60.0)
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        assert store.get(fingerprint) is not None
+
+        # Age the row below the cutoff instead of sleeping.
+        import sqlite3, time as _time
+        with sqlite3.connect(str(tmp_path / "r.sqlite")) as conn:
+            conn.execute(
+                "UPDATE results SET created_at = ?", (_time.time() - 120,)
+            )
+        aged = ResultStore(tmp_path / "r.sqlite", ttl_seconds=60.0)
+        assert aged.get(fingerprint) is None
+        assert aged.stats()["expired_dropped"] == 1
+        # Lazy purge: the row is gone for good, even without a TTL.
+        assert ResultStore(tmp_path / "r.sqlite").get(fingerprint) is None
+
+    def test_memory_tier_honours_ttl(self):
+        store = ResultStore(ttl_seconds=60.0)
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        assert store.get(fingerprint) is not None
+        # Age the in-memory entry directly.
+        with store._lock:
+            store._memory[fingerprint].created_at -= 120
+        assert store.get(fingerprint) is None
+        assert fingerprint not in store
+
+    def test_expired_purge_spares_concurrently_refreshed_rows(self, tmp_path):
+        """A stale memory entry must not delete another writer's fresh row."""
+        path = tmp_path / "r.sqlite"
+        reader = ResultStore(path, ttl_seconds=60.0)
+        writer = ResultStore(path, ttl_seconds=60.0)
+        result = _result()
+        fingerprint = _fingerprint(result)
+        reader.put(fingerprint, result)
+        # Age only the reader's in-memory view; then the other handle
+        # re-puts a fresh row (fresh created_at on disk).
+        with reader._lock:
+            reader._memory[fingerprint].created_at -= 120
+        writer.put(fingerprint, result)
+        # The reader's lazy purge fires, but the guarded DELETE must leave
+        # the refreshed row alone — and the same call falls through to the
+        # disk tier and serves it.
+        assert reader.get(fingerprint) is not None
+        assert reader.stats()["expired_dropped"] == 1
+        assert reader.stats()["disk_hits"] == 1
+
+    def test_contains_honours_ttl(self, tmp_path):
+        store = ResultStore(
+            tmp_path / "r.sqlite", ttl_seconds=60.0, max_memory_entries=0
+        )
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        assert fingerprint in store
+        import sqlite3, time as _time
+        with sqlite3.connect(str(tmp_path / "r.sqlite")) as conn:
+            conn.execute(
+                "UPDATE results SET created_at = ?", (_time.time() - 120,)
+            )
+        assert fingerprint not in store
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultStore(ttl_seconds=0)
+        with pytest.raises(ValueError):
+            ResultStore().prune(ttl_seconds=-1)
+
+    def test_prune_sweeps_expired_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        fresh, stale = _result(seed=1), _result(seed=2)
+        store.put(_fingerprint(fresh), fresh)
+        store.put(_fingerprint(stale), stale)
+        import sqlite3, time as _time
+        with sqlite3.connect(str(tmp_path / "r.sqlite")) as conn:
+            conn.execute(
+                "UPDATE results SET created_at = ? WHERE fingerprint = ?",
+                (_time.time() - 120, _fingerprint(stale)),
+            )
+        reopened = ResultStore(tmp_path / "r.sqlite")
+        assert reopened.prune(ttl_seconds=60.0) == 1
+        assert reopened.get(_fingerprint(stale)) is None
+        assert reopened.get(_fingerprint(fresh)) is not None
+
+    def test_prune_without_ttl_is_a_noop(self):
+        store = ResultStore()
+        result = _result()
+        store.put(_fingerprint(result), result)
+        assert store.prune() == 0
+        assert len(store) == 1
+
+
+class TestDeleteAndBoundLookup:
+    def test_delete_removes_both_tiers(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        assert store.delete(fingerprint)
+        assert store.get(fingerprint) is None
+        assert not store.delete(fingerprint)
+
+    def test_best_added_cost_across_engines(self, tmp_path):
+        from repro.service.fingerprint import coupling_fingerprint
+
+        store = ResultStore(tmp_path / "r.sqlite")
+        result = _result()
+        circuit = result.original_circuit
+        circuit_fp = circuit.fingerprint()
+        arch_fp = coupling_fingerprint(ibm_qx4())
+        assert store.best_added_cost(circuit_fp, arch_fp) is None
+        store.put(
+            job_fingerprint(circuit, ibm_qx4(), "dp", {}), result,
+            circuit_fp=circuit_fp, arch_fp=arch_fp,
+        )
+        store.put(
+            job_fingerprint(circuit, ibm_qx4(), "sat", {}), result,
+            circuit_fp=circuit_fp, arch_fp=arch_fp,
+        )
+        assert store.best_added_cost(circuit_fp, arch_fp) == result.added_cost
+        assert store.best_added_cost("nope", arch_fp) is None
+        # A fresh process sees the same bound (it lives in the columns).
+        assert (
+            ResultStore(tmp_path / "r.sqlite").best_added_cost(circuit_fp, arch_fp)
+            == result.added_cost
+        )
+
+    def test_memory_only_store_serves_bounds(self):
+        from repro.service.fingerprint import coupling_fingerprint
+
+        store = ResultStore()
+        result = _result()
+        circuit_fp = result.original_circuit.fingerprint()
+        arch_fp = coupling_fingerprint(ibm_qx4())
+        store.put(_fingerprint(result), result,
+                  circuit_fp=circuit_fp, arch_fp=arch_fp)
+        assert store.best_added_cost(circuit_fp, arch_fp) == result.added_cost
+
+
+class TestSchemaMigration:
+    """Legacy databases (no fingerprint columns) are migrated in place."""
+
+    def _legacy_db(self, path, result, fingerprint):
+        import sqlite3, time as _time
+
+        with sqlite3.connect(str(path)) as conn:
+            conn.execute(
+                "CREATE TABLE results ("
+                "fingerprint TEXT PRIMARY KEY, payload TEXT NOT NULL, "
+                "engine TEXT NOT NULL, added_cost INTEGER NOT NULL, "
+                "optimal INTEGER NOT NULL, created_at REAL NOT NULL)"
+            )
+            conn.execute(
+                "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?)",
+                (fingerprint, json.dumps(result.to_dict()), result.engine,
+                 result.added_cost, int(result.optimal), _time.time()),
+            )
+
+    def test_legacy_rows_still_serve_exact_hits(self, tmp_path):
+        result = _result()
+        fingerprint = _fingerprint(result)
+        path = tmp_path / "legacy.sqlite"
+        self._legacy_db(path, result, fingerprint)
+
+        store = ResultStore(path)
+        served = store.get(fingerprint)
+        assert served is not None
+        assert served.added_cost == result.added_cost
+
+    def test_legacy_rows_do_not_serve_bound_lookups(self, tmp_path):
+        from repro.service.fingerprint import coupling_fingerprint
+
+        result = _result()
+        path = tmp_path / "legacy.sqlite"
+        self._legacy_db(path, result, _fingerprint(result))
+        store = ResultStore(path)
+        assert store.best_added_cost(
+            result.original_circuit.fingerprint(),
+            coupling_fingerprint(ibm_qx4()),
+        ) is None
+        # New writes on the migrated file do serve bounds.
+        circuit_fp = result.original_circuit.fingerprint()
+        arch_fp = coupling_fingerprint(ibm_qx4())
+        store.put(
+            job_fingerprint(result.original_circuit, ibm_qx4(), "sat", {}),
+            result, circuit_fp=circuit_fp, arch_fp=arch_fp,
+        )
+        assert store.best_added_cost(circuit_fp, arch_fp) == result.added_cost

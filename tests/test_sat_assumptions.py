@@ -1,0 +1,211 @@
+"""Assumption semantics of the incremental CDCL solver.
+
+The contract under test (the foundation of :class:`repro.sat.session.
+SolveSession` and everything above it):
+
+* assumptions hold in any returned model,
+* assumptions are fully undone between calls — nothing leaks into later
+  solves,
+* UNSAT-under-assumptions does not poison a later assumption-free (or
+  differently assumed) solve,
+* learned clauses measurably persist across ``solve()`` calls.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.solver import CDCLSolver, SolverResult
+
+GUARD = 50  # guard variable of the guarded pigeonhole instance
+
+
+def _guarded_pigeonhole(pigeons=4, holes=3):
+    """Pigeonhole clauses, each disabled unless the GUARD literal is true.
+
+    UNSAT exactly under the assumption ``GUARD``; trivially SAT without it.
+    """
+    solver = CDCLSolver()
+
+    def var(i, j):
+        return i * holes + j + 1
+
+    for i in range(pigeons):
+        solver.add_clause([-GUARD] + [var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                solver.add_clause([-GUARD, -var(i1, j), -var(i2, j)])
+    return solver
+
+
+class TestModelsHonourAssumptions:
+    def test_positive_and_negative_assumptions_hold(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2, 3])
+        assert solver.solve(assumptions=[-1, 3]) is SolverResult.SAT
+        model = solver.model()
+        assert model[1] is False
+        assert model[3] is True
+
+    def test_assumption_on_fresh_variable(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[7]) is SolverResult.SAT
+        assert solver.model()[7] is True
+
+    def test_zero_literal_rejected(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        with pytest.raises(ValueError):
+            solver.solve(assumptions=[0])
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_agrees_with_unit_clause_semantics(self, seed):
+        """solve(assumptions=A) must equal solving the formula plus A as units."""
+        rng = random.Random(seed)
+        num_vars = rng.randint(4, 9)
+        clauses = []
+        for _ in range(rng.randint(5, 30)):
+            size = min(rng.randint(1, 3), num_vars)
+            variables = rng.sample(range(1, num_vars + 1), size)
+            clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+        assume = [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, num_vars + 1), rng.randint(1, num_vars))
+        ]
+
+        assumed = CDCLSolver()
+        reference = CDCLSolver()
+        for clause in clauses:
+            assumed.add_clause(clause)
+            reference.add_clause(clause)
+        for literal in assume:
+            reference.add_clause([literal])
+
+        outcome = assumed.solve(assumptions=assume)
+        assert outcome == reference.solve()
+        if outcome is SolverResult.SAT:
+            model = assumed.model()
+            for literal in assume:
+                assert model[abs(literal)] == (literal > 0)
+
+
+class TestAssumptionsAreUndone:
+    def test_no_leakage_into_later_solves(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -2]) is SolverResult.SAT
+        # The opposite polarity must be reachable afterwards.
+        assert solver.solve(assumptions=[-1, 2]) is SolverResult.SAT
+        model = solver.model()
+        assert model[1] is False and model[2] is True
+
+    def test_assumption_does_not_become_a_unit(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is SolverResult.SAT
+        # If -1 had leaked as a unit, adding clause [1] would now be UNSAT.
+        solver.add_clause([1])
+        assert solver.solve() is SolverResult.SAT
+        assert solver.model()[1] is True
+
+
+class TestUnsatUnderAssumptions:
+    def test_does_not_poison_later_solves(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1, -2]) is SolverResult.UNSAT
+        assert solver.solve() is SolverResult.SAT
+        assert solver.solve(assumptions=[1]) is SolverResult.SAT
+
+    def test_contradictory_assumptions(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[2, -2]) is SolverResult.UNSAT
+        assert solver.solve() is SolverResult.SAT
+
+    def test_unsat_after_conflict_driven_search(self):
+        solver = _guarded_pigeonhole()
+        assert solver.solve(assumptions=[GUARD]) is SolverResult.UNSAT
+        assert solver.statistics["conflicts"] > 0
+        assert solver.solve() is SolverResult.SAT
+        assert solver.solve(assumptions=[-GUARD]) is SolverResult.SAT
+
+    def test_really_unsat_formula_stays_sticky(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[2]) is SolverResult.UNSAT
+        assert solver.solve() is SolverResult.UNSAT
+
+
+class TestLearnedClausePersistence:
+    def test_learned_clauses_survive_between_calls(self):
+        solver = _guarded_pigeonhole()
+        assert solver.solve(assumptions=[GUARD]) is SolverResult.UNSAT
+        first_conflicts = solver.statistics["conflicts"]
+        learned_after_first = solver.num_learned
+        assert first_conflicts > 0
+        assert learned_after_first > 0
+
+        # The clauses learned while refuting the guarded instance are
+        # consequences of the formula alone: they survive the SAT solve in
+        # between and make the second refutation measurably cheaper.
+        assert solver.solve() is SolverResult.SAT
+        assert solver.num_learned >= learned_after_first
+
+        before = solver.statistics["conflicts"]
+        assert solver.solve(assumptions=[GUARD]) is SolverResult.UNSAT
+        second_conflicts = solver.statistics["conflicts"] - before
+        assert second_conflicts < first_conflicts
+
+    def test_fresh_solver_pays_full_price_again(self):
+        """Control experiment: without retention the rework is real."""
+        solver = _guarded_pigeonhole()
+        assert solver.solve(assumptions=[GUARD]) is SolverResult.UNSAT
+        first_conflicts = solver.statistics["conflicts"]
+
+        fresh = _guarded_pigeonhole()
+        assert fresh.solve(assumptions=[GUARD]) is SolverResult.UNSAT
+        assert fresh.statistics["conflicts"] == first_conflicts
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_assumed_solve_matches_enumeration(self, seed):
+        rng = random.Random(100 + seed)
+        num_vars = rng.randint(3, 7)
+        clauses = []
+        for _ in range(rng.randint(4, 15)):
+            variables = rng.sample(range(1, num_vars + 1), min(3, num_vars))
+            clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+        assume = [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, num_vars + 1), 2)
+        ]
+
+        def satisfiable_under(assignment_filter):
+            for bits in itertools.product([False, True], repeat=num_vars):
+                assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+                if not assignment_filter(assignment):
+                    continue
+                if all(
+                    any(
+                        assignment[abs(l)] if l > 0 else not assignment[abs(l)]
+                        for l in clause
+                    )
+                    for clause in clauses
+                ):
+                    return True
+            return False
+
+        solver = CDCLSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        outcome = solver.solve(assumptions=assume)
+        expected = satisfiable_under(
+            lambda a: all(a[abs(l)] == (l > 0) for l in assume)
+        )
+        assert (outcome is SolverResult.SAT) == expected

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.arch.devices import ibm_qx4, linear_architecture
+from repro.benchlib.paper_example import (
+    PAPER_EXAMPLE_MINIMAL_COST,
+    paper_example_cnot_skeleton,
+)
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.dp_mapper import DPMapper
 from repro.exact.sat_mapper import SATMapper
@@ -89,3 +93,79 @@ class TestSATMapper:
         assert result.statistics["subsets_tried"] >= 1
         assert result.statistics["encoding_variables"] > 0
         assert result.statistics["encoding_clauses"] > 0
+
+
+class TestSubsetFamilies:
+    """Structurally identical subsets share one encoding and one session."""
+
+    def test_qx4_four_qubit_subsets_form_two_families(self):
+        mapper = SATMapper(ibm_qx4(), use_subsets=True)
+        subsets = mapper.candidate_subsets(4)
+        groups = mapper.subset_family_groups(subsets)
+        assert len(subsets) == 4
+        assert len(groups) == 2
+        assert sorted(index for group in groups for index in group) == [0, 1, 2, 3]
+        for group in groups:
+            assert group == sorted(group)
+
+    def test_family_reuse_in_sequential_sweep(self):
+        circuit = paper_example_cnot_skeleton()
+        result = SATMapper(ibm_qx4(), use_subsets=True).map(circuit)
+        stats = result.statistics
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert stats["subsets_tried"] == 4
+        assert stats["subsets_solved"] == 2
+        assert stats["family_reuses"] == 2
+        # Only the solved instances spend solver iterations.
+        assert stats["solver_iterations"] > 0
+        assert stats["session_solve_calls"] == stats["solver_iterations"]
+
+    def test_family_reuse_matches_unshared_objective(self):
+        # Cross-check: each subset solved independently (no family sharing)
+        # must agree with the swept result on the minimum objective.
+        circuit = paper_example_cnot_skeleton()
+        mapper = SATMapper(ibm_qx4(), use_subsets=True)
+        gates, spots = mapper.cnot_instance(circuit)
+        independent = [
+            mapper.solve_subset(gates, circuit.num_qubits, spots, subset)
+            for subset in mapper.candidate_subsets(circuit.num_qubits)
+        ]
+        best = SATMapper.select_best_outcome(independent)
+        swept = mapper.map(circuit)
+        assert best is not None
+        assert swept.objective == best.objective
+
+    def test_mirror_outcome_translates_device_indices(self):
+        circuit = paper_example_cnot_skeleton()
+        mapper = SATMapper(ibm_qx4(), use_subsets=True)
+        gates, spots = mapper.cnot_instance(circuit)
+        subsets = mapper.candidate_subsets(circuit.num_qubits)
+        groups = mapper.subset_family_groups(subsets)
+        group = next(g for g in groups if len(g) > 1)
+        solved = mapper.solve_subset(
+            gates, circuit.num_qubits, spots, subsets[group[0]]
+        )
+        assert solved.is_satisfiable
+        mirrored = SATMapper.mirror_outcome(solved, subsets[group[1]])
+        assert mirrored.reused
+        assert mirrored.status == solved.status
+        assert mirrored.objective == solved.objective
+        member = set(subsets[group[1]])
+        for mapping in mirrored.mappings:
+            assert set(mapping) <= member
+        # Mirrored mappings preserve the *relative* placement.
+        rep_positions = {q: i for i, q in enumerate(subsets[group[0]])}
+        mem_positions = {q: i for i, q in enumerate(subsets[group[1]])}
+        for original, translated in zip(solved.mappings, mirrored.mappings):
+            assert [rep_positions[q] for q in original] == [
+                mem_positions[q] for q in translated
+            ]
+
+    def test_accepts_external_bound_flags(self):
+        from repro.exact.strategies import get_strategy
+
+        assert SATMapper(ibm_qx4()).accepts_external_bound
+        assert not SATMapper(ibm_qx4(), use_subsets=True).accepts_external_bound
+        assert not SATMapper(
+            ibm_qx4(), strategy=get_strategy("odd")
+        ).accepts_external_bound

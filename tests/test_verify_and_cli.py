@@ -305,3 +305,105 @@ class TestCLIServiceSubcommands:
         out = capsys.readouterr().out
         assert exit_code == 1
         assert "FAILED" in out
+
+
+class TestCLIBoundsAndPrune:
+    """The bound-seeding flags and the cache prune subcommand."""
+
+    @pytest.fixture(autouse=True)
+    def _unconfigured_cache(self, monkeypatch):
+        from repro.arch.cache import clear_caches, reset_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        clear_caches()
+        reset_cache_dir()
+        yield
+        clear_caches()
+        reset_cache_dir()
+
+    def _write_qasm(self, tmp_path, circuit, name="circuit.qasm"):
+        from repro.circuit.qasm import to_qasm
+
+        path = tmp_path / name
+        path.write_text(to_qasm(circuit))
+        return str(path)
+
+    def _nontrivial_circuit(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 3)
+        circuit.cx(3, 0)
+        return circuit
+
+    def test_sat_run_is_seeded_from_cached_dp_result(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._nontrivial_circuit())
+        cache_dir = str(tmp_path / "cache")
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main([path, "--engine", "sat", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "bound seeded" in out
+        assert "provider: store" in out
+
+    def test_no_bound_seeding_flag(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._nontrivial_circuit())
+        cache_dir = str(tmp_path / "cache")
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main([path, "--engine", "sat", "--cache-dir", cache_dir,
+                     "--no-bound-seeding"]) == 0
+        out = capsys.readouterr().out
+        assert "bound seeded" not in out
+
+    def test_static_upper_bound_flag(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._nontrivial_circuit())
+        assert main([path, "--engine", "sat", "--upper-bound", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "bound seeded      : 11 (provider: static)" in out
+
+    def test_unachievable_upper_bound_fails_cleanly(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._nontrivial_circuit())
+        assert main([path, "--engine", "sat", "--upper-bound", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "upper-bound" in err
+
+    def test_cache_prune_drops_old_results(self, tmp_path, capsys):
+        import sqlite3
+        import time as _time
+
+        path = self._write_qasm(tmp_path, self._nontrivial_circuit())
+        cache_dir = str(tmp_path / "cache")
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        with sqlite3.connect(str(tmp_path / "cache" / "results.sqlite")) as conn:
+            conn.execute("UPDATE results SET created_at = ?", (_time.time() - 120,))
+        assert main(["cache", "prune", "--ttl", "60", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 expired results" in out
+        # Pruned entry is gone: the next run is a miss again.
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        assert "result cache      : miss" in capsys.readouterr().out
+
+    def test_cache_prune_requires_ttl_and_directory(self, tmp_path):
+        from repro.arch.cache import reset_cache_dir
+
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache-dir", str(tmp_path / "cache")])
+        reset_cache_dir()  # the first call activated the directory globally
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--ttl", "60"])
+
+    def test_result_ttl_flag_expires_cache_hits(self, tmp_path, capsys):
+        import sqlite3
+        import time as _time
+
+        path = self._write_qasm(tmp_path, self._nontrivial_circuit())
+        cache_dir = str(tmp_path / "cache")
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        with sqlite3.connect(str(tmp_path / "cache" / "results.sqlite")) as conn:
+            conn.execute("UPDATE results SET created_at = ?", (_time.time() - 120,))
+        assert main([path, "--engine", "dp", "--cache-dir", cache_dir,
+                     "--result-ttl", "60"]) == 0
+        assert "result cache      : miss" in capsys.readouterr().out
