@@ -2,8 +2,10 @@
 """Perf smoke: solver iteration counts of the solving core must not regress.
 
 Runs the paper's worked example (Fig. 1, minimal added cost 4 on IBM QX4)
-through the SAT and portfolio engines and compares the per-config solver
-iteration counts against the committed baseline
+through the SAT and portfolio engines — including the full optimizer
+strategy matrix (linear / binary / core-guided, seeded and unseeded, plus a
+model warm start replaying a previously solved schedule) — and compares the
+per-config solver iteration counts against the committed baseline
 (``benchmarks/perf_smoke_baseline.json``):
 
 * the proven minimum objective must match the baseline exactly,
@@ -12,7 +14,11 @@ iteration counts against the committed baseline
   additionally stay strictly below the pre-incremental-core (PR 2) numbers
   recorded in ``pr2_reference_iterations`` — the incremental ``SolveSession``
   (no fresh solver per probe, no CNF clone per bound) is what bought the
-  improvement, and this guard keeps it bought.
+  improvement, and this guard keeps it bought,
+* for the configs listed under ``strict_improvement_vs_linear`` the count
+  must stay strictly below unseeded linear descent's measured count — the
+  core-guided strategy and the model warm start earn their keep in oracle
+  calls, and this guard keeps that earned.
 
 Iteration counts of the pure-Python CDCL solver are deterministic for a
 fixed formula, so the comparison is exact — no timing calibration needed.
@@ -39,13 +45,34 @@ from repro.exact.sat_mapper import SATMapper
 from repro.pipeline.portfolio import PortfolioMapper
 
 
+#: Seed bound for the *_seeded configs (the known minimum of the example).
+SEED_BOUND = 4
+
+
 def _configs():
-    """The measured engine configurations, deterministic order."""
+    """The measured engine configurations, deterministic order.
+
+    Each value is ``(mapper factory, map kwargs)``.  The ``sat`` config runs
+    first: ``sat_model_seeded`` replays its schedule as the incumbent model
+    (the store-backed warm-start path, without needing a store here).
+    """
     return {
-        "sat": lambda: SATMapper(ibm_qx4()),
-        "portfolio": lambda: PortfolioMapper(ibm_qx4()),
-        "portfolio_subsets": lambda: PortfolioMapper(ibm_qx4(), use_subsets=True),
-        "sat_subsets": lambda: SATMapper(ibm_qx4(), use_subsets=True),
+        "sat": (lambda: SATMapper(ibm_qx4()), {}),
+        "sat_binary": (lambda: SATMapper(ibm_qx4(), optimizer="binary"), {}),
+        "sat_core": (lambda: SATMapper(ibm_qx4(), optimizer="core"), {}),
+        "sat_linear_seeded": (
+            lambda: SATMapper(ibm_qx4()), {"upper_bound": SEED_BOUND}
+        ),
+        "sat_core_seeded": (
+            lambda: SATMapper(ibm_qx4(), optimizer="core"),
+            {"upper_bound": SEED_BOUND},
+        ),
+        "sat_model_seeded": (lambda: SATMapper(ibm_qx4()), "MODEL_SEED"),
+        "portfolio": (lambda: PortfolioMapper(ibm_qx4()), {}),
+        "portfolio_subsets": (
+            lambda: PortfolioMapper(ibm_qx4(), use_subsets=True), {}
+        ),
+        "sat_subsets": (lambda: SATMapper(ibm_qx4(), use_subsets=True), {}),
     }
 
 
@@ -53,14 +80,25 @@ def measure():
     """Map the paper example with every config; returns per-config metrics."""
     circuit = paper_example_cnot_skeleton()
     measurements = {}
-    for name, factory in _configs().items():
+    reference_result = None
+    for name, (factory, kwargs) in _configs().items():
+        if kwargs == "MODEL_SEED":
+            assert reference_result is not None, "'sat' must run first"
+            kwargs = {
+                "initial_model": reference_result.schedule.mappings,
+                "initial_objective": reference_result.added_cost,
+            }
         start = time.monotonic()
-        result = factory().map(circuit)
+        result = factory().map(circuit, **kwargs)
         elapsed = time.monotonic() - start
+        if name == "sat":
+            reference_result = result
         measurements[name] = {
             "added_cost": result.added_cost,
             "solver_iterations": result.statistics["solver_iterations"],
             "solver_conflicts": result.statistics["solver_conflicts"],
+            "descent_iterations": result.statistics.get("descent_iterations"),
+            "cores_found": result.statistics.get("cores_found"),
             "subsets_solved": result.statistics.get("subsets_solved"),
             "family_reuses": result.statistics.get("family_reuses"),
             "wall_seconds": round(elapsed, 4),
@@ -73,6 +111,8 @@ def check(measurements, baseline):
     failures = []
     pr2 = baseline.get("pr2_reference_iterations", {})
     strict = set(baseline.get("strict_improvement_vs_pr2", []))
+    strict_linear = set(baseline.get("strict_improvement_vs_linear", []))
+    linear_iterations = measurements.get("sat", {}).get("solver_iterations")
     for name, expected in baseline["configs"].items():
         measured = measurements.get(name)
         if measured is None:
@@ -93,6 +133,15 @@ def check(measurements, baseline):
             failures.append(
                 f"{name}: iterations no longer strictly below the PR 2 "
                 f"reference ({iterations} >= {pr2[name]})"
+            )
+        if (
+            name in strict_linear
+            and linear_iterations is not None
+            and iterations >= linear_iterations
+        ):
+            failures.append(
+                f"{name}: iterations no longer strictly below unseeded "
+                f"linear descent ({iterations} >= {linear_iterations})"
             )
     return failures
 
@@ -120,6 +169,9 @@ def main(argv=None) -> int:
             for name, config in baseline["configs"].items()
         },
         "pr2_reference_iterations": baseline.get("pr2_reference_iterations"),
+        "strict_improvement_vs_linear": baseline.get(
+            "strict_improvement_vs_linear"
+        ),
     }
     if args.output:
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")

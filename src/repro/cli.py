@@ -74,9 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered mapping engines and exit",
     )
     parser.add_argument(
+        "--list-optimizers", action="store_true",
+        help="list the registered optimizer strategies (with descriptions) "
+        "and exit",
+    )
+    parser.add_argument(
         "--strategy", default="all",
         help="permutation-restriction strategy for the exact engines "
         "(all, disjoint, odd, triangle)",
+    )
+    parser.add_argument(
+        "--optimizer", default=None,
+        help="objective-search strategy of the SAT stage (linear, binary, "
+        "core, or 'race' for the portfolio engine; default: linear). "
+        "'core' uses MaxSAT-style UNSAT-core-guided descent",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="on a proven-optimal SAT result, print the final UNSAT core "
+        "mapped to human-readable constraint labels (which objective "
+        "selectors / bound-ladder nodes bind); most informative with "
+        "--optimizer core or binary",
     )
     parser.add_argument(
         "--subsets", action="store_true",
@@ -123,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         "same circuit (bound seeding is on whenever --cache-dir is active)",
     )
     parser.add_argument(
+        "--no-model-seeding", action="store_true",
+        help="seed only the objective bound from cached results, never the "
+        "cached schedule as an incumbent model (model seeding is on "
+        "whenever bound seeding is)",
+    )
+    parser.add_argument(
         "--output", default=None, help="write the mapped circuit to this QASM file"
     )
     parser.add_argument(
@@ -144,9 +168,73 @@ def _engine_options(engine: str, args: argparse.Namespace) -> Dict[str, Any]:
     if engine in ("sat", "portfolio"):
         options["use_subsets"] = args.subsets
         options["time_limit"] = args.time_limit
+        if getattr(args, "optimizer", None) is not None:
+            options["optimizer"] = args.optimizer
     if engine == "stochastic":
         options["trials"] = args.trials
     return options
+
+
+def _validate_optimizer(parser: argparse.ArgumentParser, args: argparse.Namespace,
+                        engine: str) -> None:
+    """Fail fast on an unknown ``--optimizer`` value (with the valid names)."""
+    optimizer = getattr(args, "optimizer", None)
+    if optimizer is None:
+        return
+    from repro.sat.optimize import available_optimizers
+
+    valid = list(available_optimizers())
+    if engine == "portfolio":
+        valid.append("race")
+    if optimizer == "race" and engine != "portfolio":
+        parser.error(
+            "--optimizer race is only supported by the portfolio engine "
+            f"(got engine {engine!r})"
+        )
+    from repro.sat.optimize import resolve_optimizer_name
+
+    if optimizer != "race":
+        try:
+            resolve_optimizer_name(optimizer)
+        except ValueError:
+            parser.error(
+                f"unknown --optimizer {optimizer!r}; choose one of "
+                f"{', '.join(valid)} (see --list-optimizers)"
+            )
+    if engine not in ("sat", "portfolio"):
+        parser.error(
+            f"--optimizer only applies to the sat and portfolio engines "
+            f"(got engine {engine!r})"
+        )
+
+
+def _print_optimizers() -> None:
+    from repro.sat.optimize import optimizer_descriptions
+
+    descriptions = optimizer_descriptions()
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:{width}s}  {description}")
+    print(f"{'race':{width}s}  portfolio engine only: race linear vs. "
+          "core-guided descent, first proven result wins")
+
+
+def _print_explanation(result) -> None:
+    """Print the final UNSAT core of a proven-optimal result, if recorded."""
+    if not result.optimal:
+        print("explain            : result is not proven optimal; no final "
+              "UNSAT core to report")
+        return
+    labels = result.statistics.get("final_core")
+    if not labels:
+        print("explain            : no UNSAT core recorded (the linear "
+              "strategy proves optimality via committed bounds; re-run with "
+              "--optimizer core or binary for a core)")
+        return
+    print(f"final UNSAT core   : {len(labels)} binding constraint(s) at the "
+          "optimum — no cheaper schedule can satisfy all of:")
+    for label in labels:
+        print(f"  - {label}")
 
 
 def _activate_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
@@ -167,8 +255,14 @@ def _run_map(argv: Sequence[str]) -> int:
         for name in available_mappers():
             print(name)
         return 0
+    if args.list_optimizers:
+        _print_optimizers()
+        return 0
     if args.qasm is None:
-        parser.error("the qasm input file is required (or use --list-engines)")
+        parser.error(
+            "the qasm input file is required "
+            "(or use --list-engines / --list-optimizers)"
+        )
     if args.upper_bound is not None and args.upper_bound < 0:
         parser.error("--upper-bound must be non-negative")
     if args.result_ttl is not None and args.result_ttl <= 0:
@@ -178,6 +272,7 @@ def _run_map(argv: Sequence[str]) -> int:
         engine = resolve_mapper_name(args.engine)
     except KeyError as error:
         parser.error(str(error))
+    _validate_optimizer(parser, args, engine)
     try:
         coupling = get_architecture(args.arch)
     except KeyError as error:
@@ -202,9 +297,12 @@ def _run_map(argv: Sequence[str]) -> int:
     if not cache_hit:
         providers = []
         if store is not None and not args.no_bound_seeding:
-            from repro.pipeline.bounds import StoreBoundProvider
+            from repro.pipeline.bounds import ModelProvider, StoreBoundProvider
 
-            providers.append(StoreBoundProvider(store, couplings=[coupling]))
+            provider_cls = (
+                StoreBoundProvider if args.no_model_seeding else ModelProvider
+            )
+            providers.append(provider_cls(store, couplings=[coupling]))
         if args.upper_bound is not None:
             from repro.pipeline.bounds import StaticBoundProvider
 
@@ -262,6 +360,15 @@ def _run_map(argv: Sequence[str]) -> int:
     if seeded_bound is not None and not cache_hit:
         provider = result.statistics.get("bound_provider", "unknown")
         print(f"bound seeded      : {seeded_bound} (provider: {provider})")
+    seeded_model = result.statistics.get("seeded_model_objective")
+    if seeded_model is not None and not cache_hit:
+        source = result.statistics.get("seeded_model_source", "same")
+        print(f"model seeded      : cost {seeded_model} ({source} hit, "
+              "replayed as incumbent)")
+    for note in result.statistics.get("seed_notes", []) if not cache_hit else []:
+        print(f"seed note         : {note}")
+    if args.explain:
+        _print_explanation(result)
     if args.verify:
         equivalent = result_is_equivalent(result)
         print(f"equivalence check : {'passed' if equivalent else 'FAILED'}")
@@ -368,6 +475,11 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "--strategy", default="all",
         help="permutation-restriction strategy for the exact engines",
     )
+    parser.add_argument(
+        "--optimizer", default=None,
+        help="objective-search strategy of the SAT stage "
+        "(linear, binary, core; 'race' with --engine portfolio)",
+    )
     parser.add_argument("--subsets", action="store_true",
                         help="restrict the SAT engine to connected subsets")
     parser.add_argument("--time-limit", type=float, default=None,
@@ -393,6 +505,11 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "--no-bound-seeding", action="store_true",
         help="do not warm-start exact solves from cached results of the same "
         "circuit on the same or a sub-architecture",
+    )
+    parser.add_argument(
+        "--no-model-seeding", action="store_true",
+        help="seed only objective bounds from cached results, never cached "
+        "schedules as incumbent models",
     )
     return parser
 
@@ -425,6 +542,7 @@ async def _serve_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         seed_bounds=not args.no_bound_seeding,
+        seed_models=not args.no_model_seeding,
     ) as service:
         job_ids = await service.submit_many(circuits)
         for job_id in job_ids:
@@ -466,6 +584,11 @@ def _run_serve(argv: Sequence[str]) -> int:
     args = parser.parse_args(argv)
     if args.result_ttl is not None and args.result_ttl <= 0:
         parser.error("--result-ttl must be positive")
+    try:
+        engine = resolve_mapper_name(args.engine)
+    except KeyError as error:
+        parser.error(str(error))
+    _validate_optimizer(parser, args, engine)
     return asyncio.run(_serve_batch(args))
 
 

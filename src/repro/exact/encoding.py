@@ -104,6 +104,57 @@ class MappingEncoding:
             mappings.append(tuple(placement))
         return mappings
 
+    def assignment_from_schedule(
+        self, mappings: Sequence[Tuple[int, ...]]
+    ) -> Dict[int, bool]:
+        """The (partial) assignment of the mapping variables realising *mappings*.
+
+        The inverse of :meth:`extract_schedule`: every ``x^k_ij`` variable is
+        set according to the given per-gate placements.  Auxiliary (Tseitin,
+        permutation, switching) variables are left unassigned — the result
+        is meant as a model warm start (phase seeding plus an incumbent for
+        :meth:`repro.sat.optimize.OptimizingSolver.minimize`), and both
+        :meth:`extract_schedule` and the objective bookkeeping of the warm
+        start only need the ``x`` layer.
+
+        Raises:
+            EncodingError: When the schedule does not fit this encoding —
+                wrong gate count, non-injective or out-of-range placements,
+                or a mapping change before a gate that is not a permutation
+                spot.
+        """
+        if len(mappings) != len(self.gates):
+            raise EncodingError(
+                f"schedule covers {len(mappings)} gates but the encoding has "
+                f"{len(self.gates)}"
+            )
+        spot_set = set(self.permutation_spots)
+        assignment: Dict[int, bool] = {}
+        previous: Optional[Tuple[int, ...]] = None
+        for k, mapping in enumerate(mappings):
+            mapping = tuple(mapping)
+            if len(mapping) != self.num_logical:
+                raise EncodingError(
+                    f"mapping {mapping!r} does not cover all "
+                    f"{self.num_logical} logical qubits"
+                )
+            if len(set(mapping)) != len(mapping):
+                raise EncodingError(f"mapping {mapping!r} is not injective")
+            for physical in mapping:
+                if not 0 <= physical < self.num_physical:
+                    raise EncodingError(
+                        f"physical qubit {physical} out of range in {mapping!r}"
+                    )
+            if k not in spot_set and mapping != previous:
+                raise EncodingError(
+                    f"mapping changes before gate {k}, which is not a "
+                    f"permutation spot of this encoding"
+                )
+            for (i, j), variable in self.x_vars[k].items():
+                assignment[variable] = mapping[j] == i
+            previous = mapping
+        return assignment
+
     def objective_value(self, model: Dict[int, bool]) -> int:
         """Evaluate the cost function ``F`` under a SAT model."""
         total = 0

@@ -40,12 +40,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
-from repro.exact.encoding import MappingEncoding, build_encoding
+from repro.exact.encoding import EncodingError, MappingEncoding, build_encoding
 from repro.exact.reconstruction import build_result, default_schedule
-from repro.exact.result import MappingResult, MappingSchedule
+from repro.exact.result import MappingResult, MappingSchedule, schedule_is_valid
 from repro.exact.strategies import AllGatesStrategy, PermutationStrategy
 from repro.arch.cache import shared_connected_subsets, shared_permutation_table
-from repro.sat.optimize import OptimizationResult, OptimizingSolver
+from repro.sat.optimize import (
+    OptimizationResult,
+    OptimizingSolver,
+    resolve_optimizer_name,
+)
 from repro.sat.session import SolveSession
 
 
@@ -86,6 +90,9 @@ class SubsetOutcome:
             the same family instead of being solved.
         statistics: Incremental-session counters of the solve (empty for
             mirrored outcomes).
+        core_labels: Human-readable labels of the final UNSAT core of the
+            optimiser run, when its strategy recorded one (empty for
+            mirrored outcomes and strategies without assumption probes).
     """
 
     subset: Tuple[int, ...]
@@ -98,6 +105,7 @@ class SubsetOutcome:
     clauses: int = 0
     reused: bool = False
     statistics: Dict[str, int] = field(default_factory=dict)
+    core_labels: Tuple[str, ...] = ()
 
     @property
     def is_satisfiable(self) -> bool:
@@ -149,8 +157,12 @@ class SATMapper:
             permutations before every gate (the minimal formulation).
         use_subsets: Solve one instance per connected subset of ``n`` physical
             qubits instead of one instance over all ``m`` (Section 4.1).
-        optimizer_strategy: ``"linear"`` or ``"binary"`` objective search
-            (see :class:`~repro.sat.optimize.OptimizingSolver`).
+        optimizer: Objective-search strategy from the optimizer registry
+            (``"linear"``, ``"binary"``, ``"core"`` or any name registered
+            via :func:`repro.sat.optimize.register_optimizer`); validated at
+            construction time.
+        optimizer_strategy: Backwards-compatible alias for *optimizer*
+            (ignored when *optimizer* is given).
         time_limit: Optional wall-clock budget in seconds for the whole
             mapping call; when exhausted the best solution found so far is
             returned (not necessarily minimal) and the remaining subset
@@ -173,6 +185,7 @@ class SATMapper:
         coupling: CouplingMap,
         strategy: Optional[PermutationStrategy] = None,
         use_subsets: bool = False,
+        optimizer: Optional[str] = None,
         optimizer_strategy: str = "linear",
         time_limit: Optional[float] = None,
         conflict_limit: Optional[int] = None,
@@ -181,7 +194,11 @@ class SATMapper:
         self.coupling = coupling
         self.strategy = strategy if strategy is not None else AllGatesStrategy()
         self.use_subsets = use_subsets
-        self.optimizer_strategy = optimizer_strategy
+        # Resolve (and thereby validate) the strategy name up front: a typo
+        # should fail at construction, not after minutes of encoding work.
+        self.optimizer_strategy = resolve_optimizer_name(
+            optimizer if optimizer is not None else optimizer_strategy
+        )
         self.time_limit = time_limit
         self.conflict_limit = conflict_limit
         self.decompose_swaps = decompose_swaps
@@ -202,6 +219,28 @@ class SATMapper:
         a solvable instance unsatisfiable.
         """
         return self.strategy.guarantees_minimality and not self.use_subsets
+
+    @property
+    def accepts_initial_model(self) -> bool:
+        """Whether a cached schedule may seed the search as an incumbent model.
+
+        Same condition as :attr:`accepts_external_bound` — the schedule's
+        cost is asserted as an upper bound alongside the model, so both
+        gates share one safety argument — plus the schedule must survive
+        validation against this mapper's coupling map and permutation spots
+        (see :meth:`map`).
+        """
+        return self.accepts_external_bound
+
+    def validate_schedule(
+        self, circuit: QuantumCircuit, mappings: Sequence[Tuple[int, ...]]
+    ) -> bool:
+        """Whether *mappings* is a valid schedule for *circuit* on this device.
+
+        See :func:`repro.exact.result.schedule_is_valid` (shared with the
+        model-seeding bound providers).
+        """
+        return schedule_is_valid(circuit, mappings, self.coupling)
 
     def candidate_subsets(self, num_logical: int) -> List[Tuple[int, ...]]:
         """Physical-qubit subsets to try (Section 4.1)."""
@@ -286,15 +325,37 @@ class SATMapper:
         subset: Tuple[int, ...],
         time_limit: Optional[float],
         upper_bound: Optional[int],
+        incumbent: Optional[Tuple[List[Tuple[int, ...]], int]] = None,
     ) -> SubsetOutcome:
-        """Run the optimiser on the family's live session and record the outcome."""
+        """Run the optimiser on the family's live session and record the outcome.
+
+        *incumbent* is an optional ``(local mappings, objective)`` warm
+        start: the schedule is translated into an ``x``-variable assignment
+        that seeds the solver's phases and counts as the first feasible
+        solution.  A schedule the encoding rejects (wrong shape, off-spot
+        mapping change) is silently dropped — seeding is an optimisation,
+        never a correctness requirement.
+        """
         assert state.optimizer is not None and state.encoding is not None
+        initial_model: Optional[Dict[int, bool]] = None
+        initial_objective: Optional[int] = None
+        if incumbent is not None:
+            try:
+                initial_model = state.encoding.assignment_from_schedule(
+                    incumbent[0]
+                )
+                initial_objective = incumbent[1]
+            except EncodingError:
+                initial_model = None
+                initial_objective = None
         outcome: OptimizationResult = state.optimizer.minimize(
             strategy=self.optimizer_strategy,
             time_limit=time_limit,
             conflict_limit=self.conflict_limit,
             upper_bound=upper_bound,
             session=state.session,
+            initial_model=initial_model,
+            initial_objective=initial_objective,
         )
         state.status = outcome.status
         state.bound_used = upper_bound
@@ -316,6 +377,7 @@ class SATMapper:
             variables=state.encoding.num_variables,
             clauses=state.encoding.num_clauses,
             statistics=dict(outcome.statistics),
+            core_labels=outcome.core_labels,
         )
         if outcome.status in ("optimal", "unsat"):
             # Conclusive families are never re-solved, only mirrored.
@@ -471,6 +533,17 @@ class SATMapper:
             "bound_clauses_added",
             "learned_clauses_retained",
         )
+        # Strategy-level counters (unprefixed): descent progress, model
+        # warm starts and core-guided bookkeeping, summed over the solved
+        # instances.  ``core_lower_bound`` is NOT summable — each instance's
+        # value bounds only its own sub-problem — so the winning instance's
+        # bound is reported instead (below).
+        strategy_keys = (
+            "descent_iterations",
+            "model_seeded",
+            "cores_found",
+            "core_literals_relaxed",
+        )
         statistics = {
             "subsets_total": subsets_total,
             "subsets_tried": len(outcomes),
@@ -487,6 +560,16 @@ class SATMapper:
             statistics[f"session_{key}"] = sum(
                 o.statistics.get(key, 0) for o in outcomes
             )
+        for key in strategy_keys:
+            total = sum(o.statistics.get(key, 0) for o in outcomes)
+            if total:
+                statistics[key] = total
+        core_lower_bound = best.statistics.get("core_lower_bound", 0)
+        if core_lower_bound:
+            statistics["core_lower_bound"] = core_lower_bound
+        statistics["optimizer"] = self.optimizer_strategy
+        if best.core_labels:
+            statistics["final_core"] = list(best.core_labels)
         if upper_bound is not None:
             statistics["seeded_upper_bound"] = upper_bound
         # Reconstruction needs SWAP sequences on the full device; reuse the
@@ -514,7 +597,11 @@ class SATMapper:
 
     # ------------------------------------------------------------------
     def map(
-        self, circuit: QuantumCircuit, upper_bound: Optional[int] = None
+        self,
+        circuit: QuantumCircuit,
+        upper_bound: Optional[int] = None,
+        initial_model: Optional[Sequence[Tuple[int, ...]]] = None,
+        initial_objective: Optional[int] = None,
     ) -> MappingResult:
         """Map *circuit* to the architecture with minimal added cost.
 
@@ -525,11 +612,25 @@ class SATMapper:
                 mappings at most this expensive are searched for; when none
                 exists, :class:`SATMapperError` is raised even though the
                 unbounded problem may be satisfiable.
+            initial_model: Optional known-valid schedule (one device-indexed
+                mapping per CNOT, e.g. from a cached
+                :class:`~repro.exact.result.MappingResult`), used as the
+                first incumbent: the solver's phases are seeded with it and
+                the descent starts directly below *initial_objective* — a
+                resubmission of an already-solved circuit then needs only
+                the final optimality probe.  The schedule is validated
+                against this mapper's coupling map and permutation spots
+                first and silently dropped when it does not transfer; it is
+                also ignored when :attr:`accepts_initial_model` is false
+                (restricted search spaces).
+            initial_objective: Added cost of *initial_model* (required with
+                it).
 
         Raises:
             SATMapperError: If no valid mapping exists within the bound (or
                 none was found within the time budget).
-            ValueError: If the circuit does not fit on the device.
+            ValueError: If the circuit does not fit on the device, or an
+                initial model arrives without its objective.
         """
         start = time.monotonic()
         num_logical = circuit.num_qubits
@@ -541,7 +642,19 @@ class SATMapper:
             )
         if upper_bound is not None and upper_bound < 0:
             raise ValueError("upper_bound must be non-negative")
+        if (initial_model is None) != (initial_objective is None):
+            raise ValueError(
+                "initial_model and initial_objective must be given together"
+            )
         gates, spots = self.cnot_instance(circuit)
+
+        incumbent: Optional[Tuple[List[Tuple[int, ...]], int]] = None
+        if (
+            initial_model is not None
+            and self.accepts_initial_model
+            and self.validate_schedule(circuit, list(initial_model))
+        ):
+            incumbent = ([tuple(m) for m in initial_model], initial_objective)
 
         if not gates:
             schedule = default_schedule(num_logical, self.coupling)
@@ -578,7 +691,18 @@ class SATMapper:
             if state is None:
                 state = self._family_state(sub_coupling, gates, num_logical, spots)
                 families[key] = state
-                outcome = self._solve_family(state, tuple(subset), remaining, bound)
+                # The incumbent schedule is device-indexed, so it only seeds
+                # the full-device instance (the only one that exists when
+                # model seeding is allowed — see accepts_initial_model).
+                seed = (
+                    incumbent
+                    if incumbent is not None
+                    and tuple(subset) == tuple(range(num_physical))
+                    else None
+                )
+                outcome = self._solve_family(
+                    state, tuple(subset), remaining, bound, incumbent=seed
+                )
             else:
                 outcome = self._reuse_family_outcome(state, tuple(subset), bound)
                 if outcome is None:

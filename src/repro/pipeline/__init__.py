@@ -39,6 +39,9 @@ _EXPORTS = {
     "BoundProvider": "repro.pipeline.bounds",
     "BoundProviderChain": "repro.pipeline.bounds",
     "HeuristicBoundProvider": "repro.pipeline.bounds",
+    "ModelProvider": "repro.pipeline.bounds",
+    "ModelSeed": "repro.pipeline.bounds",
+    "SeedResolution": "repro.pipeline.bounds",
     "StaticBoundProvider": "repro.pipeline.bounds",
     "StoreBoundProvider": "repro.pipeline.bounds",
     "shared_permutation_table": "repro.pipeline.cache",
@@ -56,6 +59,9 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         BoundProvider,
         BoundProviderChain,
         HeuristicBoundProvider,
+        ModelProvider,
+        ModelSeed,
+        SeedResolution,
         StaticBoundProvider,
         StoreBoundProvider,
     )

@@ -11,18 +11,29 @@ objective bound (see ``OptimizingSolver.minimize(upper_bound=...)``).  A
   architecture **or on a known sub-architecture**: a mapping that complies
   with a subset of the device's edges also complies with the device, so its
   cost is a valid upper bound,
-* :class:`StaticBoundProvider` — a caller-supplied bound (CLI flag, API).
+* :class:`StaticBoundProvider` — a caller-supplied bound (CLI flag, API),
+* :class:`ModelProvider` — the *schedule* of the cheapest stored result,
+  replayed as an initial incumbent model: the exact solver then starts with
+  a feasible solution in hand and only has to prove (or beat) it, instead
+  of rediscovering it probe by probe.
 
 A :class:`BoundProviderChain` queries every provider and keeps the tightest
-bound.  Every bound produced here is the cost of some *valid mapping on the
-full device*, so it is an upper bound on the true minimum — safe to assert
-exactly where ``mapper.accepts_external_bound`` is true (see
+bound (:meth:`~BoundProviderChain.resolve`); the richer
+:meth:`~BoundProviderChain.resolve_seed` additionally collects a model seed
+from providers that offer one.  Every bound produced here is the cost of
+some *valid mapping on the full device*, so it is an upper bound on the
+true minimum — safe to assert exactly where
+``mapper.accepts_external_bound`` is true (see
 :meth:`repro.exact.sat_mapper.SATMapper.accepts_external_bound` for why
-restricted search spaces opt out).
+restricted search spaces opt out).  Model seeds are stricter still: a
+cached schedule is only replayed after re-validation against the *current*
+coupling map — a sub-architecture hit whose schedule does not transfer
+degrades to bound-only seeding with a provenance note instead of failing.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.arch.coupling import CouplingMap
@@ -147,15 +158,128 @@ class StoreBoundProvider:
         return best
 
 
+@dataclass(frozen=True)
+class ModelSeed:
+    """A cached schedule replayable as an initial incumbent model.
+
+    Attributes:
+        mappings: One device-indexed logical-to-physical mapping per CNOT.
+        objective: The schedule's added cost on the device it was validated
+            against (a valid upper bound for the current solve).
+        provider: Name of the provider that produced the seed.
+        source_arch: ``"same"`` when the schedule was solved on the target
+            architecture itself, ``"sub-architecture"`` otherwise.
+    """
+
+    mappings: Tuple[Tuple[int, ...], ...]
+    objective: int
+    provider: str = "model"
+    source_arch: str = "same"
+
+
+class ModelProvider(StoreBoundProvider):
+    """Bound *and* schedule seeding from the result store.
+
+    Extends :class:`StoreBoundProvider` (costs transfer exactly as there)
+    with :meth:`model_seed`: the cheapest stored result whose schedule
+    survives validation against the current coupling map is handed back as
+    a replayable incumbent.  Validation matters because sub-architecture
+    hits may not transfer as models even though their costs transfer as
+    bounds (and a corrupted store row must never poison a solve): any
+    schedule that fails the check degrades to bound-only seeding, with a
+    note explaining why.
+    """
+
+    name = "model"
+
+    def model_seed(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Tuple[Optional[ModelSeed], List[str]]:
+        """The cheapest replayable stored schedule, plus provenance notes.
+
+        Every consulted architecture — the target itself plus the
+        registered sub-architectures (whose schedules run unchanged on the
+        device under identity labelling *when* they validate) — contributes
+        its cheapest stored schedule, and the cheapest validating one
+        overall wins (ties broken towards the target architecture).  Every
+        candidate whose schedule fails validation against the current
+        coupling map contributes a note instead of a seed.
+
+        Returns:
+            ``(seed, notes)`` — *seed* is ``None`` when no stored schedule
+            transfers; *notes* records each rejected candidate.
+        """
+        from repro.exact.result import schedule_is_valid
+        from repro.service.fingerprint import coupling_fingerprint
+
+        circuit_fp = circuit.fingerprint()
+        target_fp = coupling_fingerprint(coupling)
+        candidates: List[Tuple[str, str]] = [(target_fp, "same")]
+        seen = {target_fp}
+        for candidate in self.couplings:
+            if not is_sub_architecture(candidate, coupling):
+                continue
+            fingerprint = coupling_fingerprint(candidate)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                candidates.append((fingerprint, "sub-architecture"))
+        notes: List[str] = []
+        best: Optional[ModelSeed] = None
+        for arch_fp, kind in candidates:
+            result = self.store.best_result(circuit_fp, arch_fp)
+            if result is None:
+                continue
+            if best is not None and best.objective <= result.added_cost:
+                continue
+            mappings = tuple(tuple(m) for m in result.schedule.mappings)
+            if not mappings:
+                continue
+            if schedule_is_valid(circuit, mappings, coupling):
+                best = ModelSeed(
+                    mappings=mappings,
+                    objective=result.added_cost,
+                    provider=self.name,
+                    source_arch=kind,
+                )
+                continue
+            notes.append(
+                f"cached schedule ({kind} hit, engine {result.engine}, cost "
+                f"{result.added_cost}) does not comply with the current "
+                f"coupling map; falling back to bound-only seeding"
+            )
+        return best, notes
+
+
+@dataclass
+class SeedResolution:
+    """Everything the chain knows about warm-starting one solve.
+
+    Attributes:
+        bound: The tightest valid upper bound (``None`` when unknown).
+        provider: Name of the provider that supplied :attr:`bound`.
+        model: A replayable incumbent schedule, when some provider offered
+            one that is at least as cheap as no bound at all (a model seed
+            worse than the resolved bound is dropped — the bound alone is
+            stronger).
+        notes: Provenance notes, e.g. why a cached schedule was rejected.
+    """
+
+    bound: Optional[int] = None
+    provider: Optional[str] = None
+    model: Optional[ModelSeed] = None
+    notes: List[str] = field(default_factory=list)
+
+
 class BoundProviderChain:
     """Query several providers and keep the tightest valid bound.
 
     Example:
         >>> chain = BoundProviderChain([
-        ...     StoreBoundProvider(store, couplings=devices),
+        ...     ModelProvider(store, couplings=devices),
         ...     HeuristicBoundProvider(),
         ... ])
         >>> bound, provider = chain.resolve(circuit, coupling)
+        >>> seed = chain.resolve_seed(circuit, coupling)
     """
 
     def __init__(self, providers: Sequence[BoundProvider]):
@@ -176,11 +300,48 @@ class BoundProviderChain:
                 source = getattr(provider, "name", type(provider).__name__)
         return best, source
 
+    def resolve_seed(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> SeedResolution:
+        """Tightest bound plus (when available) a replayable model seed.
+
+        Providers exposing a ``model_seed`` method (duck-typed — see
+        :class:`ModelProvider`) are asked for a schedule; the cheapest valid
+        one wins.  A model whose objective exceeds the resolved bound is
+        dropped: the tighter bound subsumes it (seeding a provably
+        non-optimal incumbent would only slow the descent down).
+        """
+        bound, provider = self.resolve(circuit, coupling)
+        resolution = SeedResolution(bound=bound, provider=provider)
+        best_seed: Optional[ModelSeed] = None
+        for candidate in self.providers:
+            seeder = getattr(candidate, "model_seed", None)
+            if seeder is None:
+                continue
+            seed, notes = seeder(circuit, coupling)
+            resolution.notes.extend(notes)
+            if seed is None:
+                continue
+            if bound is not None and seed.objective > bound:
+                resolution.notes.append(
+                    f"model seed (cost {seed.objective}) is worse than the "
+                    f"resolved bound {bound} from {provider}; using the "
+                    f"bound alone"
+                )
+                continue
+            if best_seed is None or seed.objective < best_seed.objective:
+                best_seed = seed
+        resolution.model = best_seed
+        return resolution
+
 
 __all__ = [
     "BoundProvider",
     "BoundProviderChain",
     "HeuristicBoundProvider",
+    "ModelProvider",
+    "ModelSeed",
+    "SeedResolution",
     "StaticBoundProvider",
     "StoreBoundProvider",
     "is_sub_architecture",

@@ -48,19 +48,35 @@ from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
 from repro.exact.sat_mapper import SATMapper, SATMapperError, SubsetOutcome
-from repro.pipeline.bounds import BoundProvider, BoundProviderChain
+from repro.pipeline.bounds import BoundProvider, BoundProviderChain, SeedResolution
 from repro.pipeline.registry import get_mapper, resolve_mapper_name
 
 
-def _map_with_bound(mapper, circuit: QuantumCircuit, upper_bound: Optional[int]):
-    """Map through *mapper*, seeding the bound only where it is safe.
+def _map_with_bound(
+    mapper,
+    circuit: QuantumCircuit,
+    upper_bound: Optional[int],
+    model_mappings: Optional[Sequence[Tuple[int, ...]]] = None,
+    model_objective: Optional[int] = None,
+):
+    """Map through *mapper*, seeding bound and model only where safe.
 
-    Engines opt in via ``accepts_external_bound``; everything else is mapped
-    unseeded, so heuristics and restricted exact searches are unaffected.
+    Engines opt in via ``accepts_external_bound`` (objective bound) and
+    ``accepts_initial_model`` (incumbent schedule); everything else is
+    mapped unseeded, so heuristics and restricted exact searches are
+    unaffected.
     """
+    kwargs = {}
     if upper_bound is not None and getattr(mapper, "accepts_external_bound", False):
-        return mapper.map(circuit, upper_bound=upper_bound)
-    return mapper.map(circuit)
+        kwargs["upper_bound"] = upper_bound
+    if (
+        model_mappings is not None
+        and model_objective is not None
+        and getattr(mapper, "accepts_initial_model", False)
+    ):
+        kwargs["initial_model"] = model_mappings
+        kwargs["initial_objective"] = model_objective
+    return mapper.map(circuit, **kwargs)
 
 
 @dataclass
@@ -97,12 +113,15 @@ def _map_circuit_task(
     options: Dict[str, Any],
     circuit: QuantumCircuit,
     upper_bound: Optional[int] = None,
+    model_mappings: Optional[Tuple[Tuple[int, ...], ...]] = None,
+    model_objective: Optional[int] = None,
 ) -> Tuple[str, Any, Optional[str], float]:
     """Worker task: map one circuit with a freshly built engine.
 
-    *upper_bound* is a plain integer resolved by the parent (bound providers
-    hold locks and store handles, so they never cross into workers); it is
-    only asserted on engines that declare ``accepts_external_bound``.
+    *upper_bound* and the model seed are plain integers/tuples resolved by
+    the parent (bound providers hold locks and store handles, so they never
+    cross into workers); they are only asserted on engines that declare
+    ``accepts_external_bound`` / ``accepts_initial_model``.
 
     Returns a plain tuple ``(status, payload, error_type, elapsed)`` instead
     of raising, so process workers never have to pickle tracebacks.
@@ -110,7 +129,9 @@ def _map_circuit_task(
     start = time.monotonic()
     try:
         mapper = get_mapper(engine, coupling, **options)
-        result = _map_with_bound(mapper, circuit, upper_bound)
+        result = _map_with_bound(
+            mapper, circuit, upper_bound, model_mappings, model_objective
+        )
         return ("ok", result, None, time.monotonic() - start)
     except Exception as error:  # noqa: BLE001 - converted to a structured failure
         return ("error", str(error), type(error).__name__, time.monotonic() - start)
@@ -195,27 +216,39 @@ class MappingPipeline:
         )
 
     # ------------------------------------------------------------------
-    def _seed_bound(
+    def _resolve_seed(
         self, mapper, circuit: QuantumCircuit
-    ) -> Tuple[Optional[int], Optional[str]]:
-        """Resolve the tightest provider bound for *circuit*, if applicable.
+    ) -> SeedResolution:
+        """Resolve the provider bound and model seed for *circuit*.
 
         Providers run in the calling thread (they may touch a result store);
-        the resolved integer is what travels into worker tasks.
+        the resolved plain values are what travel into worker tasks.  The
+        model seed is only resolved for mappers that can replay it.
         """
         if self.bounds is None:
-            return None, None
+            return SeedResolution()
         if not getattr(mapper, "accepts_external_bound", False):
-            return None, None
-        return self.bounds.resolve(circuit, self.coupling)
+            return SeedResolution()
+        if getattr(mapper, "accepts_initial_model", False):
+            return self.bounds.resolve_seed(circuit, self.coupling)
+        bound, provider = self.bounds.resolve(circuit, self.coupling)
+        return SeedResolution(bound=bound, provider=provider)
 
     @staticmethod
-    def _annotate_bound(
-        result: MappingResult, bound: Optional[int], provider: Optional[str]
-    ) -> None:
-        if bound is not None and provider is not None:
-            result.statistics.setdefault("bound_provider", provider)
-            result.statistics.setdefault("external_bound", bound)
+    def _annotate_seed(result: MappingResult, seed: SeedResolution) -> None:
+        if seed.bound is not None and seed.provider is not None:
+            result.statistics.setdefault("bound_provider", seed.provider)
+            result.statistics.setdefault("external_bound", seed.bound)
+        if seed.model is not None:
+            result.statistics.setdefault("model_provider", seed.model.provider)
+            result.statistics.setdefault(
+                "seeded_model_objective", seed.model.objective
+            )
+            result.statistics.setdefault(
+                "seeded_model_source", seed.model.source_arch
+            )
+        if seed.notes:
+            result.statistics.setdefault("seed_notes", list(seed.notes))
 
     # ------------------------------------------------------------------
     def _make_executor(self, workers: int) -> Executor:
@@ -245,9 +278,15 @@ class MappingPipeline:
             and mapper.use_subsets
         ):
             return self._map_subsets_parallel(mapper, circuit)
-        bound, provider = self._seed_bound(mapper, circuit)
-        result = _map_with_bound(mapper, circuit, bound)
-        self._annotate_bound(result, bound, provider)
+        seed = self._resolve_seed(mapper, circuit)
+        result = _map_with_bound(
+            mapper,
+            circuit,
+            seed.bound,
+            seed.model.mappings if seed.model is not None else None,
+            seed.model.objective if seed.model is not None else None,
+        )
+        self._annotate_seed(result, seed)
         return result
 
     def _map_subsets_parallel(
@@ -388,24 +427,32 @@ class MappingPipeline:
         pool_size = self.workers if workers is None else max(1, int(workers))
         pool_size = min(pool_size, max(1, len(batch)))
 
-        # Resolve provider bounds in the calling thread: providers may hold
-        # store handles and locks that must not cross into process workers.
-        bounds: List[Optional[int]] = [None] * len(batch)
-        providers: List[Optional[str]] = [None] * len(batch)
+        # Resolve provider bounds and model seeds in the calling thread:
+        # providers may hold store handles and locks that must not cross
+        # into process workers.  Only plain tuples/ints travel.
+        seeds: List[SeedResolution] = [SeedResolution() for _ in batch]
         if self.bounds is not None and batch:
             probe = self.create_mapper()
             if getattr(probe, "accepts_external_bound", False):
-                for index, circuit in enumerate(batch):
-                    bounds[index], providers[index] = self.bounds.resolve(
-                        circuit, self.coupling
-                    )
+                seeds = [
+                    self._resolve_seed(probe, circuit) for circuit in batch
+                ]
+
+        def task_args(index: int, circuit: QuantumCircuit):
+            seed = seeds[index]
+            model = seed.model
+            return (
+                self.engine, self.coupling, self.engine_options, circuit,
+                seed.bound,
+                model.mappings if model is not None else None,
+                model.objective if model is not None else None,
+            )
 
         if pool_size <= 1 or len(batch) <= 1:
             items = [
-                self._item_from_task(index, circuit, _map_circuit_task(
-                    self.engine, self.coupling, self.engine_options, circuit,
-                    bounds[index],
-                ))
+                self._item_from_task(
+                    index, circuit, _map_circuit_task(*task_args(index, circuit))
+                )
                 for index, circuit in enumerate(batch)
             ]
         else:
@@ -413,9 +460,7 @@ class MappingPipeline:
             with self._make_executor(pool_size) as pool:
                 futures = {
                     pool.submit(
-                        _map_circuit_task,
-                        self.engine, self.coupling, self.engine_options, circuit,
-                        bounds[index],
+                        _map_circuit_task, *task_args(index, circuit)
                     ): (index, circuit)
                     for index, circuit in enumerate(batch)
                 }
@@ -427,9 +472,7 @@ class MappingPipeline:
             items = [item for item in slots if item is not None]
         for item in items:
             if item.ok:
-                self._annotate_bound(
-                    item.result, bounds[item.index], providers[item.index]
-                )
+                self._annotate_seed(item.result, seeds[item.index])
         return items
 
     @staticmethod

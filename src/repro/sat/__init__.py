@@ -17,12 +17,16 @@ replacement with the pieces the mapping formulation needs:
   constraints,
 * :mod:`repro.sat.session` — :class:`SolveSession`, a persistent incremental
   solver on which objective bounds are *assumed* instead of re-encoded,
+* :mod:`repro.sat.cores` — UNSAT cores over assumption literals: the value
+  object, labelling and deletion-based trimming,
 * :mod:`repro.sat.optimize` — minimisation of a weighted linear objective on
-  top of the SAT solver (the "extended interpretation" of Definition 3 in the
-  paper).
+  top of the SAT solver (the "extended interpretation" of Definition 3 in
+  the paper), with a pluggable strategy registry (linear / binary /
+  core-guided descent).
 """
 
 from repro.sat.cnf import CNF, Clause, Literal, VariablePool
+from repro.sat.cores import UnsatCore, core_from_session, trim_core
 from repro.sat.session import SolveSession
 from repro.sat.solver import CDCLSolver, SolverResult
 from repro.sat.dpll import DPLLSolver
@@ -34,7 +38,17 @@ from repro.sat.cardinality import (
     at_most_k_sequential,
 )
 from repro.sat.pb import encode_pb_leq
-from repro.sat.optimize import ObjectiveTerm, OptimizingSolver, OptimizationResult
+from repro.sat.optimize import (
+    ObjectiveTerm,
+    OptimizationResult,
+    OptimizerRegistry,
+    OptimizerStrategy,
+    OptimizingSolver,
+    available_optimizers,
+    optimizer_descriptions,
+    register_optimizer,
+    resolve_optimizer_name,
+)
 
 __all__ = [
     "CNF",
@@ -44,6 +58,9 @@ __all__ = [
     "CDCLSolver",
     "SolverResult",
     "SolveSession",
+    "UnsatCore",
+    "core_from_session",
+    "trim_core",
     "DPLLSolver",
     "TseitinEncoder",
     "at_most_one_pairwise",
@@ -54,4 +71,10 @@ __all__ = [
     "ObjectiveTerm",
     "OptimizingSolver",
     "OptimizationResult",
+    "OptimizerStrategy",
+    "OptimizerRegistry",
+    "register_optimizer",
+    "available_optimizers",
+    "optimizer_descriptions",
+    "resolve_optimizer_name",
 ]

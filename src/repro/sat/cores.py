@@ -1,0 +1,127 @@
+"""UNSAT cores over assumption literals: extraction, trimming, explanation.
+
+When :meth:`repro.sat.solver.CDCLSolver.solve` answers UNSAT under
+assumptions, :meth:`~repro.sat.solver.CDCLSolver.last_core` names the subset
+of the assumption literals the conflict actually depends on (final-conflict
+analysis, MiniSat's ``analyzeFinal``).  This module wraps that raw tuple in
+a small value object with human-readable labels, plus two generic helpers:
+
+* :func:`core_from_session` — the last core of a
+  :class:`~repro.sat.session.SolveSession`, labelled through the session's
+  knowledge of bound-ladder nodes and objective terms,
+* :func:`trim_core` — deletion-based core minimisation: drop one literal at
+  a time and keep the drop whenever the remainder is still unsatisfiable.
+  The result is *minimal* (no literal can be removed), not necessarily
+  *minimum* — computing a smallest core is much harder and never needed
+  here.
+
+Cores drive two features: the ``"core"`` optimizer strategy in
+:mod:`repro.sat.optimize` relaxes exactly the literals of each core (so the
+proven lower bound rises by whole cores instead of unit steps), and the CLI
+``--explain`` flag prints the final core of a proven-optimal mapping as the
+list of constraints that bind at the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+#: A solve oracle for :func:`trim_core`: called with assumption literals,
+#: returns True when the instance is UNSAT under them.
+UnsatOracle = Callable[[Sequence[int]], bool]
+
+
+@dataclass(frozen=True)
+class UnsatCore:
+    """A failing subset of assumption literals, optionally labelled.
+
+    Attributes:
+        literals: The assumption literals of the core (DIMACS convention).
+            An empty tuple means "unsatisfiable regardless of assumptions"
+            (the hard constraints alone are inconsistent).
+        labels: One human-readable description per literal (same order);
+            empty when no labelling context was available.
+    """
+
+    literals: Tuple[int, ...]
+    labels: Tuple[str, ...] = field(default=())
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the core blames no assumption (hard UNSAT)."""
+        return not self.literals
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def __contains__(self, literal: int) -> bool:
+        return literal in self.literals
+
+    def describe(self) -> List[str]:
+        """The labels, falling back to raw literals when unlabelled."""
+        if self.labels:
+            return list(self.labels)
+        return [str(literal) for literal in self.literals]
+
+
+def core_from_session(session, max_labels: "int | None" = None) -> UnsatCore:
+    """The last core of a :class:`~repro.sat.session.SolveSession`, labelled.
+
+    Args:
+        session: Anything with ``last_core()`` and ``describe_literal()``
+            (duck-typed so tests can pass fakes).
+        max_labels: Label only this many literals and summarise the tail
+            (a phase-1 core over every objective selector can hold hundreds
+            of literals, and the labels travel inside persisted result
+            statistics).  ``None`` labels everything.  The raw literal
+            tuple is always complete.
+
+    Returns:
+        The :class:`UnsatCore`; empty when the last solve was SAT, UNKNOWN
+        or unsatisfiable independently of its assumptions.
+    """
+    literals = tuple(session.last_core())
+    shown = literals if max_labels is None else literals[:max_labels]
+    labels = [session.describe_literal(literal) for literal in shown]
+    if len(literals) > len(shown):
+        labels.append(f"... and {len(literals) - len(shown)} more core literals")
+    return UnsatCore(literals=literals, labels=tuple(labels))
+
+
+def trim_core(is_unsat: UnsatOracle, literals: Sequence[int]) -> Tuple[int, ...]:
+    """Deletion-based minimisation of an UNSAT core.
+
+    Args:
+        is_unsat: Oracle answering "is the instance UNSAT under these
+            assumptions?".  Each candidate subset costs one oracle call
+            (one incremental solve), so trimming an ``n``-literal core
+            costs at most ``n`` solves.
+        literals: A known failing assumption set (need not be minimal).
+
+    Returns:
+        A subset of *literals* that is still unsatisfiable and from which
+        no single literal can be dropped.
+
+    Raises:
+        ValueError: When *literals* is not actually failing — trimming a
+            satisfiable "core" would silently return garbage.
+    """
+    current = list(literals)
+    if not is_unsat(current):
+        raise ValueError("the given literals are not an UNSAT core")
+    index = 0
+    while index < len(current):
+        candidate = current[:index] + current[index + 1:]
+        if is_unsat(candidate):
+            current = candidate
+            # Same index now points at the next literal.
+        else:
+            index += 1
+    return tuple(current)
+
+
+__all__ = ["UnsatCore", "UnsatOracle", "core_from_session", "trim_core"]

@@ -18,6 +18,11 @@ loaded with a CNF formula and minimises a weighted objective over it by
   calls because the solver itself survives; nothing learned while a bound
   was assumed has to be thrown away (the assumption enters conflict
   analysis as a pseudo-decision, never as an antecedent).
+* Arbitrary extra assumptions can ride along
+  (:meth:`SolveSession.solve_with_assumptions`), and after an UNSAT answer
+  the failing assumption subset is available as an **UNSAT core**
+  (:meth:`SolveSession.last_core`) — this is what the core-guided
+  optimizer strategy and the ``--explain`` CLI flag are built on.
 
 This is the repository's replacement for the old ``_bounded_copy`` pattern
 in :mod:`repro.sat.optimize`, which re-encoded (and for the binary strategy
@@ -75,6 +80,10 @@ class SolveSession:
             suffix[index] = suffix[index + 1] + ladder[index][0]
         self._suffix_totals = suffix
         self._nodes: Dict[Tuple[int, int], int] = {}
+        self._node_info: Dict[int, Tuple[int, int]] = {}
+        self._term_by_var: Dict[int, Tuple[int, Literal]] = {
+            abs(literal): (weight, literal) for weight, literal in ladder
+        }
         self._committed_bound: Optional[int] = None
         self.statistics: Dict[str, int] = {
             "solve_calls": 0,
@@ -83,6 +92,7 @@ class SolveSession:
             "bound_nodes_created": 0,
             "bound_nodes_reused": 0,
             "bound_clauses_added": 0,
+            "phase_seeds": 0,
         }
 
     # ------------------------------------------------------------------
@@ -106,6 +116,20 @@ class SolveSession:
         """The tightest permanently committed bound (``None`` when none)."""
         return self._committed_bound
 
+    @property
+    def positive_terms(self) -> List[Tuple[int, Literal]]:
+        """The positive-weight objective terms, heaviest first (a copy)."""
+        return list(self._ladder_terms)
+
+    def term_selectors(self) -> List[Tuple[int, Literal]]:
+        """``(weight, -literal)`` per positive-weight term.
+
+        Assuming ``-literal`` forces the term to contribute nothing to the
+        objective; these are the assumption literals the core-guided
+        strategy hands to :meth:`solve_with_assumptions`.
+        """
+        return [(weight, -literal) for weight, literal in self._ladder_terms]
+
     # ------------------------------------------------------------------
     def _add(self, literals: List[int]) -> None:
         self.solver.add_clause(literals)
@@ -127,6 +151,7 @@ class SolveSession:
         weight, literal = self._ladder_terms[index]
         node = self._pool.new_var(f"bound_n{index}_{budget}")
         self._nodes[key] = node
+        self._node_info[node] = key
         self.statistics["bound_nodes_created"] += 1
         # Literal false: the budget is unchanged for the remaining terms.
         low = self._build(index + 1, budget)
@@ -191,6 +216,41 @@ class SolveSession:
                 selector = self.selector(bound)
                 if selector is not None:
                     assumptions.append(selector)
+        return self._solve(assumptions, conflict_limit, time_limit)
+
+    def solve_with_assumptions(
+        self,
+        assumptions: Sequence[Literal],
+        bound: Optional[int] = None,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolverResult:
+        """One solver call under arbitrary assumption literals.
+
+        Args:
+            assumptions: Literals assumed true for this call only (for
+                example the term selectors of the core-guided strategy).
+            bound: Optional objective bound ``F <= bound``, *assumed* via
+                its ladder selector alongside the other assumptions.
+            conflict_limit: Per-call conflict budget.
+            time_limit: Per-call wall-clock budget in seconds.
+
+        After an :attr:`~repro.sat.solver.SolverResult.UNSAT` answer,
+        :meth:`last_core` names the failing assumption subset.
+        """
+        literals = list(assumptions)
+        if bound is not None:
+            selector = self.selector(bound)
+            if selector is not None:
+                literals.append(selector)
+        return self._solve(literals, conflict_limit, time_limit)
+
+    def _solve(
+        self,
+        assumptions: List[int],
+        conflict_limit: Optional[int],
+        time_limit: Optional[float],
+    ) -> SolverResult:
         self.statistics["solve_calls"] += 1
         if assumptions:
             self.statistics["assumption_solves"] += 1
@@ -199,6 +259,48 @@ class SolveSession:
             time_limit=time_limit,
             assumptions=assumptions,
         )
+
+    # ------------------------------------------------------------------
+    def last_core(self) -> Tuple[int, ...]:
+        """Failing assumption subset of the last solve (see ``CDCLSolver.last_core``)."""
+        return self.solver.last_core()
+
+    def seed_phases(self, assignment: Dict[int, bool]) -> None:
+        """Install a (partial) assignment as the solver's saved phases.
+
+        Used for model warm starts: when *assignment* comes from a known
+        feasible schedule, the next search is steered toward it.  Purely a
+        search hint — never affects which answers are possible.
+        """
+        self.solver.seed_phases(assignment)
+        self.statistics["phase_seeds"] += 1
+
+    def describe_literal(self, literal: Literal) -> str:
+        """Human-readable meaning of *literal* within this session.
+
+        Bound-ladder nodes read as the partial-sum constraint they encode;
+        objective-term literals carry their weight and pool name; everything
+        else falls back to the variable pool's name.
+        """
+        var = abs(literal)
+        negated = literal < 0
+        info = self._node_info.get(var)
+        if info is not None:
+            index, budget = info
+            label = (
+                f"bound ladder: objective terms[{index}:] "
+                f"(weight {self._suffix_totals[index]}) <= {budget}"
+            )
+            return f"NOT ({label})" if negated else label
+        term = self._term_by_var.get(var)
+        if term is not None:
+            weight, term_literal = term
+            name = self._pool.name(var)
+            # The selector -term_literal reads as "term off" (contributes 0).
+            off = (literal == -term_literal)
+            state = "kept off (contributes 0)" if off else "active (contributes weight)"
+            return f"objective term {name} (weight {weight}), {state}"
+        return self._pool.describe_literal(literal)
 
     # ------------------------------------------------------------------
     def add_clause(self, literals: Sequence[Literal]) -> None:

@@ -18,7 +18,13 @@ modern architecture:
   any model returned, and are fully undone afterwards.  An UNSAT answer
   under assumptions means "unsatisfiable together with these assumptions"
   and does not poison later calls; learned clauses derived under
-  assumptions are consequences of the formula alone and are retained.
+  assumptions are consequences of the formula alone and are retained,
+* final-conflict analysis (``last_core()``): after an UNSAT answer under
+  assumptions, the subset of the assumption literals that actually caused
+  the conflict is available (MiniSat's ``analyzeFinal``) — re-asserting
+  just that subset is still unsatisfiable,
+* phase seeding (``seed_phases()``): a known (partial) assignment can be
+  installed as the saved phases, steering the next search toward it.
 
 The solver accepts and returns literals in DIMACS convention (positive /
 negative integers, variables numbered from 1).
@@ -28,7 +34,7 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.sat.cnf import CNF, Literal
 
@@ -91,6 +97,7 @@ class CDCLSolver:
         self._cla_decay = 0.999
         self._unsat = False
         self._pending_units: List[int] = []
+        self._last_core: Tuple[int, ...] = ()
         self.statistics: Dict[str, int] = {
             "conflicts": 0,
             "decisions": 0,
@@ -317,6 +324,40 @@ class CDCLSolver:
             backjump = max(self._level[abs(l)] for l in learned[1:])
         return learned, backjump
 
+    def _analyze_final(self, failed: int) -> Tuple[int, ...]:
+        """Assumptions responsible for falsifying the assumption *failed*.
+
+        MiniSat's ``analyzeFinal``: walk the trail backwards from the point
+        where ``-failed`` ended up assigned and resolve every implied literal
+        with its reason clause; pseudo-decisions (the earlier assumptions)
+        that remain are the ones the conflict actually depends on.  Only
+        assumption levels exist when this runs — the free search never
+        starts before all assumptions are established.
+
+        Returns:
+            The failing subset of the assumption literals, *failed* included.
+        """
+        core = [failed]
+        if not self._trail_lim:
+            # -failed is forced at level 0: the formula alone refutes it.
+            return tuple(core)
+        seen = {abs(failed)}
+        for literal in reversed(self._trail[self._trail_lim[0]:]):
+            var = abs(literal)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason[var]
+            if reason is None:
+                # A pseudo-decision, i.e. one of the earlier assumptions.
+                core.append(literal)
+            else:
+                # The implied literal sits at position 0; resolve on the rest.
+                for clause_literal in reason.literals[1:]:
+                    if self._level[abs(clause_literal)] > 0:
+                        seen.add(abs(clause_literal))
+        return tuple(core)
+
     def _backtrack(self, level: int) -> None:
         if self._decision_level() <= level:
             return
@@ -414,6 +455,9 @@ class CDCLSolver:
                     raise ValueError("0 is not a valid literal")
                 assumption_list.append(literal)
                 self._ensure_var(abs(literal))
+        # An empty core is the default: it stays empty on SAT/UNKNOWN and on
+        # UNSAT answers that hold regardless of the assumptions.
+        self._last_core = ()
         if self._unsat:
             return SolverResult.UNSAT
         start_time = time.monotonic()
@@ -481,7 +525,9 @@ class CDCLSolver:
                     if value is False:
                         # The formula together with the earlier assumptions
                         # forces the negation: UNSAT under assumptions only,
-                        # so the solver itself stays usable.
+                        # so the solver itself stays usable.  Extract the
+                        # failing assumption subset before unwinding.
+                        self._last_core = self._analyze_final(literal)
                         self._backtrack(0)
                         return SolverResult.UNSAT
                     self._trail_lim.append(len(self._trail))
@@ -515,6 +561,35 @@ class CDCLSolver:
         """Truth value of *literal* in the current model."""
         value = self._value(literal)
         return bool(value) if value is not None else literal < 0
+
+    # ------------------------------------------------------------------
+    # Cores and warm starts
+    # ------------------------------------------------------------------
+    def last_core(self) -> Tuple[int, ...]:
+        """The failing assumption subset of the last ``solve()`` call.
+
+        Non-empty only when the last call returned
+        :attr:`SolverResult.UNSAT` *because of its assumptions*: the tuple
+        is then a subset of the assumption literals passed in, and solving
+        with just that subset assumed is still unsatisfiable.  Empty after
+        SAT and UNKNOWN answers, and after UNSAT answers that hold
+        regardless of the assumptions (the formula alone is inconsistent).
+        """
+        return self._last_core
+
+    def seed_phases(self, assignment: Mapping[int, bool]) -> None:
+        """Install *assignment* as the saved phases (a model warm start).
+
+        Phase saving only steers which polarity a decision variable is tried
+        first, so seeding never affects correctness — but when *assignment*
+        is (close to) a model of the formula, the next search tends to walk
+        straight into it instead of rediscovering it conflict by conflict.
+        """
+        for var, value in assignment.items():
+            if var <= 0:
+                raise ValueError("variables must be positive")
+            self._ensure_var(var)
+            self._phase[var] = bool(value)
 
 
 __all__ = ["CDCLSolver", "SolverResult"]

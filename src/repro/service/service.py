@@ -19,12 +19,15 @@ Four layers keep repeated work off the solvers:
    groups jobs by (architecture, engine, options) and maps each group as one
    ``map_many`` batch, so per-architecture artefacts are built once per
    group rather than once per job.
-4. **Bound seeding** — jobs that do have to solve are warm-started through a
-   :class:`~repro.pipeline.bounds.BoundProviderChain`: the cheapest stored
-   result for the same circuit on the same (or a registered sub-)
-   architecture — solved by *any* engine — is asserted as the exact
-   engine's initial upper bound, so even a cleared or differently-keyed
-   store entry still speeds up the solve instead of being useless.
+4. **Bound and model seeding** — jobs that do have to solve are warm-started
+   through a :class:`~repro.pipeline.bounds.BoundProviderChain`: the
+   cheapest stored result for the same circuit on the same (or a registered
+   sub-) architecture — solved by *any* engine — is asserted as the exact
+   engine's initial upper bound, and (when its schedule validates against
+   the target coupling map) replayed as the solver's initial incumbent
+   *model*, so a resubmitted circuit needs only the final optimality probe
+   instead of a full descent.  Schedules that do not transfer degrade to
+   bound-only seeding with a provenance note.
 
 The service can front **multiple coupling maps** (the first step toward
 device sharding): register several devices and each submission is routed to
@@ -44,7 +47,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
-from repro.pipeline.bounds import BoundProvider, StoreBoundProvider
+from repro.pipeline.bounds import BoundProvider, ModelProvider, StoreBoundProvider
 from repro.pipeline.pipeline import MappingPipeline
 from repro.pipeline.registry import resolve_mapper_name
 from repro.service.errors import (
@@ -136,6 +139,11 @@ class MappingService:
             (see :mod:`repro.pipeline.bounds`).  Defaults to a store lookup
             over the registered devices (``seed_bounds=False`` disables it).
         seed_bounds: Whether to seed exact solves at all.
+        seed_models: Whether the default store lookup may also replay a
+            cached *schedule* as the solver's initial incumbent model
+            (validated against the target coupling map first; sub-
+            architecture hits that do not transfer degrade to bound-only
+            seeding).  Ignored when explicit *bound_providers* are given.
 
     Example:
         >>> async with MappingService(ibm_qx4(), engine="dp") as service:
@@ -153,6 +161,7 @@ class MappingService:
         executor: str = "thread",
         bound_providers: Optional[Sequence[BoundProvider]] = None,
         seed_bounds: bool = True,
+        seed_models: bool = True,
     ):
         self.couplings = self._normalise_couplings(couplings)
         self.engine = resolve_mapper_name(engine)
@@ -167,8 +176,11 @@ class MappingService:
         elif bound_providers is not None:
             self.bound_providers = list(bound_providers)
         else:
+            # ModelProvider extends the plain store lookup with schedule
+            # replay, so one provider covers both seeding layers.
+            provider_cls = ModelProvider if seed_models else StoreBoundProvider
             self.bound_providers = [
-                StoreBoundProvider(
+                provider_cls(
                     self.store, couplings=list(self.couplings.values())
                 )
             ]
@@ -535,6 +547,18 @@ class MappingService:
                     job.provenance["bound_provider"] = statistics.get(
                         "bound_provider"
                     )
+                if "seeded_model_objective" in statistics:
+                    job.provenance["seeded_model"] = statistics[
+                        "seeded_model_objective"
+                    ]
+                    job.provenance["model_provider"] = statistics.get(
+                        "model_provider"
+                    )
+                    job.provenance["seeded_model_source"] = statistics.get(
+                        "seeded_model_source"
+                    )
+                if "seed_notes" in statistics:
+                    job.provenance["seed_notes"] = statistics["seed_notes"]
                 self._complete(
                     job, item.result, cache_hit=False,
                     elapsed=item.elapsed_seconds or elapsed,

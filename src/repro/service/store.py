@@ -397,6 +397,55 @@ class ResultStore:
                     best = cost
         return best
 
+    def best_result(
+        self, circuit_fp: str, arch_fp: str
+    ) -> Optional[MappingResult]:
+        """The cheapest stored *result* for a circuit on an architecture.
+
+        The full-payload companion of :meth:`best_added_cost`: besides its
+        cost, the returned result carries the mapping *schedule*, which the
+        :class:`~repro.pipeline.bounds.ModelProvider` replays as an initial
+        incumbent model (not just as a bound).  Ties are broken towards the
+        memory tier (no deserialisation); corrupt disk rows are dropped and
+        skipped like in :meth:`get`.  Returns ``None`` when nothing
+        (non-expired) matches.
+        """
+        best: Optional[MappingResult] = None
+        now = time.time()
+        with self._lock:
+            for entry in self._memory.values():
+                if (
+                    entry.circuit_fp == circuit_fp
+                    and entry.arch_fp == arch_fp
+                    and not self._expired(entry.created_at, now)
+                ):
+                    if best is None or entry.result.added_cost < best.added_cost:
+                        best = entry.result
+        if self.path is not None:
+            query = (
+                "SELECT fingerprint, payload, added_cost FROM results "
+                "WHERE circuit_fp = ? AND arch_fp = ?"
+            )
+            params: Tuple[Any, ...] = (circuit_fp, arch_fp)
+            cutoff = self._cutoff()
+            if cutoff is not None:
+                query += " AND created_at > ?"
+                params += (cutoff,)
+            query += " ORDER BY added_cost ASC"
+            with self._connect() as conn:
+                rows = conn.execute(query, params).fetchall()
+            for fingerprint, payload, added_cost in rows:
+                if best is not None and best.added_cost <= added_cost:
+                    break
+                try:
+                    best = MappingResult.from_dict(json.loads(payload))
+                    break
+                except (ValueError, KeyError, TypeError):
+                    self._delete_row(fingerprint)
+                    with self._lock:
+                        self._stats["corrupt_dropped"] += 1
+        return best
+
     # ------------------------------------------------------------------
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:

@@ -1,0 +1,288 @@
+"""Tests for the optimizer-strategy registry, core-guided descent and model
+warm starts, across the optimize / SATMapper / portfolio layers."""
+
+import pytest
+
+from repro.arch.devices import ibm_qx4
+from repro.benchlib import benchmark_circuit
+from repro.benchlib.paper_example import (
+    PAPER_EXAMPLE_MINIMAL_COST,
+    paper_example_cnot_skeleton,
+)
+from repro.exact.dp_mapper import DPMapper
+from repro.exact.sat_mapper import SATMapper
+from repro.pipeline.portfolio import PortfolioMapper
+from repro.sat.cnf import CNF
+from repro.sat.optimize import (
+    ObjectiveTerm,
+    OptimizerRegistry,
+    OptimizerStrategy,
+    OptimizingSolver,
+    available_optimizers,
+    optimizer_descriptions,
+    register_optimizer,
+    resolve_optimizer_name,
+)
+
+
+def _toy_instance():
+    cnf = CNF()
+    a, b, c = cnf.new_var("a"), cnf.new_var("b"), cnf.new_var("c")
+    cnf.add_clause([a, b])
+    cnf.add_clause([b, c])
+    objective = [ObjectiveTerm(2, a), ObjectiveTerm(3, b), ObjectiveTerm(4, c)]
+    return cnf, objective
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_optimizers()
+        assert {"linear", "binary", "core"} <= set(names)
+
+    def test_aliases_resolve(self):
+        assert resolve_optimizer_name("core-guided") == "core"
+        assert resolve_optimizer_name("bisect") == "binary"
+        assert resolve_optimizer_name("LINEAR") == "linear"
+
+    def test_unknown_name_raises_value_error_with_choices(self):
+        with pytest.raises(ValueError, match="core"):
+            resolve_optimizer_name("simulated_annealing")
+
+    def test_descriptions_are_one_liners(self):
+        descriptions = optimizer_descriptions()
+        for name in ("linear", "binary", "core"):
+            assert descriptions[name]
+            assert "\n" not in descriptions[name]
+
+    def test_custom_registration_in_isolated_registry(self):
+        registry = OptimizerRegistry()
+
+        class Greedy(OptimizerStrategy):
+            name = "greedy"
+            description = "test strategy"
+
+            def minimize(self, task):
+                raise NotImplementedError
+
+        registry.register("greedy", Greedy, aliases=("gr",))
+        assert registry.resolve("gr") == "greedy"
+        assert isinstance(registry.create("greedy"), Greedy)
+        with pytest.raises(ValueError):
+            registry.register("greedy", Greedy)
+
+    def test_custom_strategy_usable_through_minimize(self):
+        class Constant(OptimizerStrategy):
+            name = "constant-test"
+            description = "returns unknown without solving"
+
+            def minimize(self, task):
+                return task.result("unknown")
+
+        register_optimizer("constant-test", Constant, overwrite=True)
+        cnf, objective = _toy_instance()
+        result = OptimizingSolver(cnf, objective).minimize(strategy="constant-test")
+        assert result.status == "unknown"
+        assert result.iterations == 0
+
+    def test_minimize_rejects_unknown_strategy(self):
+        cnf, objective = _toy_instance()
+        with pytest.raises(ValueError):
+            OptimizingSolver(cnf, objective).minimize(strategy="nope")
+
+
+class TestCoreGuidedDescent:
+    @pytest.mark.parametrize("strategy", ["linear", "binary", "core"])
+    def test_same_minimum_on_toy_instance(self, strategy):
+        cnf, objective = _toy_instance()
+        result = OptimizingSolver(cnf, objective).minimize(strategy=strategy)
+        assert result.is_optimal
+        assert result.objective == 3  # b alone satisfies both clauses
+
+    def test_core_counters_on_toy_instance(self):
+        cnf, objective = _toy_instance()
+        result = OptimizingSolver(cnf, objective).minimize(strategy="core")
+        assert result.statistics["cores_found"] >= 1
+        assert result.statistics["core_literals_relaxed"] >= 1
+        assert 0 < result.statistics["core_lower_bound"] <= result.objective
+
+    def test_core_respects_seeded_upper_bound(self):
+        cnf, objective = _toy_instance()
+        solver = OptimizingSolver(cnf, objective)
+        assert solver.minimize(strategy="core", upper_bound=2).status == "unsat"
+        assert solver.minimize(strategy="core", upper_bound=3).objective == 3
+
+    def test_core_reports_hard_unsat(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        cnf.add_clause([a])
+        cnf.add_clause([-a])
+        result = OptimizingSolver(cnf, [ObjectiveTerm(1, a)]).minimize(
+            strategy="core"
+        )
+        assert result.status == "unsat"
+
+    def test_core_handles_empty_objective(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        cnf.add_clause([a])
+        result = OptimizingSolver(cnf, []).minimize(strategy="core")
+        assert result.is_optimal
+        assert result.objective == 0
+
+
+class TestInitialModelWarmStart:
+    def test_requires_objective_with_model(self):
+        cnf, objective = _toy_instance()
+        with pytest.raises(ValueError):
+            OptimizingSolver(cnf, objective).minimize(initial_model={1: True})
+
+    @pytest.mark.parametrize("strategy", ["linear", "binary", "core"])
+    def test_incumbent_is_used_and_optimum_proven(self, strategy):
+        cnf, objective = _toy_instance()
+        solver = OptimizingSolver(cnf, objective)
+        reference = solver.minimize()
+        result = solver.minimize(
+            strategy=strategy,
+            initial_model=reference.model,
+            initial_objective=reference.objective,
+        )
+        assert result.is_optimal
+        assert result.objective == reference.objective
+        assert result.statistics["model_seeded"] == 1
+
+    def test_linear_needs_only_the_final_probe(self):
+        cnf, objective = _toy_instance()
+        solver = OptimizingSolver(cnf, objective)
+        reference = solver.minimize()
+        result = solver.minimize(
+            initial_model=reference.model,
+            initial_objective=reference.objective,
+        )
+        # One UNSAT probe below the incumbent; no model-producing solves.
+        assert result.iterations == 1
+        assert result.statistics["descent_iterations"] == 0
+
+    def test_zero_cost_incumbent_short_circuits(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        cnf.add_clause([a, -a])
+        result = OptimizingSolver(cnf, [ObjectiveTerm(5, a)]).minimize(
+            initial_model={a: False}, initial_objective=0
+        )
+        assert result.is_optimal
+        assert result.objective == 0
+        assert result.iterations == 0
+
+    def test_incumbent_worse_than_bound_is_ignored(self):
+        cnf, objective = _toy_instance()
+        result = OptimizingSolver(cnf, objective).minimize(
+            upper_bound=3,
+            initial_model={1: True, 2: True, 3: True},
+            initial_objective=9,
+        )
+        assert result.is_optimal
+        assert result.objective == 3
+        assert "model_seeded" not in result.statistics
+
+
+class TestSATMapperStrategies:
+    def test_optimizer_validated_at_construction(self):
+        with pytest.raises(ValueError, match="available"):
+            SATMapper(ibm_qx4(), optimizer="annealing")
+
+    def test_optimizer_alias_resolves(self):
+        mapper = SATMapper(ibm_qx4(), optimizer="core-guided")
+        assert mapper.optimizer_strategy == "core"
+
+    def test_legacy_optimizer_strategy_kwarg_still_works(self):
+        mapper = SATMapper(ibm_qx4(), optimizer_strategy="binary")
+        assert mapper.optimizer_strategy == "binary"
+
+    @pytest.mark.parametrize("optimizer", ["binary", "core"])
+    def test_paper_example_same_minimum(self, optimizer):
+        circuit = paper_example_cnot_skeleton()
+        result = SATMapper(ibm_qx4(), optimizer=optimizer).map(circuit)
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert result.optimal
+        assert result.statistics["optimizer"] == optimizer
+
+    def test_core_uses_fewer_iterations_than_linear_on_paper_example(self):
+        circuit = paper_example_cnot_skeleton()
+        linear = SATMapper(ibm_qx4()).map(circuit)
+        core = SATMapper(ibm_qx4(), optimizer="core").map(circuit)
+        assert core.added_cost == linear.added_cost
+        assert (
+            core.statistics["solver_iterations"]
+            < linear.statistics["solver_iterations"]
+        )
+        assert core.statistics["cores_found"] >= 1
+
+    @pytest.mark.parametrize("name", ["ex-1_166", "ham3_102"])
+    @pytest.mark.parametrize("optimizer", ["binary", "core"])
+    def test_table1_3qubit_circuits_same_minimum(self, name, optimizer):
+        circuit = benchmark_circuit(name)
+        reference = DPMapper(ibm_qx4()).map(circuit)
+        result = SATMapper(
+            ibm_qx4(), use_subsets=True, optimizer=optimizer
+        ).map(circuit)
+        assert result.added_cost == reference.added_cost
+
+    def test_model_seeded_map_skips_the_descent(self):
+        circuit = paper_example_cnot_skeleton()
+        first = SATMapper(ibm_qx4()).map(circuit)
+        seeded = SATMapper(ibm_qx4()).map(
+            circuit,
+            initial_model=first.schedule.mappings,
+            initial_objective=first.added_cost,
+        )
+        assert seeded.added_cost == first.added_cost
+        assert seeded.optimal
+        assert seeded.statistics["solver_iterations"] == 1
+        assert seeded.statistics.get("descent_iterations", 0) == 0
+        assert seeded.statistics["model_seeded"] == 1
+
+    def test_invalid_initial_model_is_ignored(self):
+        circuit = paper_example_cnot_skeleton()
+        bogus = [(0, 0, 0, 0)] * circuit.count_cnot()  # not injective
+        result = SATMapper(ibm_qx4()).map(
+            circuit, initial_model=bogus, initial_objective=0
+        )
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert "model_seeded" not in result.statistics
+
+    def test_initial_model_requires_objective(self):
+        circuit = paper_example_cnot_skeleton()
+        with pytest.raises(ValueError):
+            SATMapper(ibm_qx4()).map(circuit, initial_model=[(0, 1, 2, 3)])
+
+    def test_subset_mapper_ignores_initial_model(self):
+        circuit = paper_example_cnot_skeleton()
+        mapper = SATMapper(ibm_qx4(), use_subsets=True)
+        assert not mapper.accepts_initial_model
+        first = SATMapper(ibm_qx4()).map(circuit)
+        result = mapper.map(
+            circuit,
+            initial_model=first.schedule.mappings,
+            initial_objective=first.added_cost,
+        )
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert "model_seeded" not in result.statistics
+
+
+class TestPortfolioOptimizers:
+    def test_portfolio_with_core_optimizer(self):
+        circuit = paper_example_cnot_skeleton()
+        result = PortfolioMapper(ibm_qx4(), optimizer="core").map(circuit)
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert result.statistics["portfolio_optimizer"] == "core"
+
+    def test_portfolio_race_wins_with_either_strategy(self):
+        circuit = paper_example_cnot_skeleton()
+        result = PortfolioMapper(ibm_qx4(), optimizer="race").map(circuit)
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert result.optimal
+        assert result.statistics["portfolio_race_winner"] in ("linear", "core")
+
+    def test_portfolio_rejects_unknown_optimizer(self):
+        with pytest.raises(ValueError):
+            PortfolioMapper(ibm_qx4(), optimizer="warp")

@@ -344,7 +344,10 @@ class TestCLIBoundsAndPrune:
         assert main([path, "--engine", "sat", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "bound seeded" in out
-        assert "provider: store" in out
+        # The default cached-path provider is now the ModelProvider (a
+        # StoreBoundProvider that additionally replays cached schedules).
+        assert "provider: model" in out
+        assert "model seeded" in out
 
     def test_no_bound_seeding_flag(self, tmp_path, capsys):
         path = self._write_qasm(tmp_path, self._nontrivial_circuit())
@@ -407,3 +410,81 @@ class TestCLIBoundsAndPrune:
         assert main([path, "--engine", "dp", "--cache-dir", cache_dir,
                      "--result-ttl", "60"]) == 0
         assert "result cache      : miss" in capsys.readouterr().out
+
+
+class TestCLIOptimizerFlags:
+    """The optimizer-strategy layer's CLI surface."""
+
+    def _write_qasm(self, tmp_path, circuit):
+        path = tmp_path / "circuit.qasm"
+        path.write_text(to_qasm(circuit))
+        return str(path)
+
+    def _paper_circuit(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(2, 3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 1)
+        circuit.cx(0, 1)
+        return circuit
+
+    def test_list_optimizers(self, capsys):
+        assert main(["--list-optimizers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("linear", "binary", "core", "race"):
+            assert name in out
+        # Descriptions ride along.
+        assert "core-guided" in out
+
+    def test_unknown_optimizer_errors_early(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        with pytest.raises(SystemExit):
+            main([path, "--engine", "sat", "--optimizer", "made_up"])
+
+    def test_race_requires_portfolio_engine(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        with pytest.raises(SystemExit):
+            main([path, "--engine", "sat", "--optimizer", "race"])
+
+    def test_optimizer_rejected_for_non_sat_engines(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        with pytest.raises(SystemExit):
+            main([path, "--engine", "dp", "--optimizer", "core"])
+
+    def test_core_optimizer_end_to_end(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._paper_circuit())
+        assert main([path, "--engine", "sat", "--optimizer", "core"]) == 0
+        out = capsys.readouterr().out
+        assert "added operations  : 4" in out
+        assert "proven minimal    : True" in out
+
+    def test_explain_prints_final_core(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._paper_circuit())
+        assert main(
+            [path, "--engine", "sat", "--optimizer", "core", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "final UNSAT core" in out
+        assert "objective term" in out
+
+    def test_explain_without_core_reports_gracefully(self, tmp_path, capsys):
+        # Linear descent proves optimality via committed bounds: no core.
+        path = self._write_qasm(tmp_path, self._paper_circuit())
+        assert main([path, "--engine", "sat", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "no UNSAT core recorded" in out
+
+    def test_portfolio_race_end_to_end(self, tmp_path, capsys):
+        path = self._write_qasm(tmp_path, self._paper_circuit())
+        assert main(
+            [path, "--engine", "portfolio", "--optimizer", "race"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "added operations  : 4" in out
