@@ -1,52 +1,66 @@
 #!/usr/bin/env python
-"""Perf smoke: solver iteration counts of the solving core must not regress.
+"""Perf smoke: solver iteration counts and sweep conflicts must not regress.
 
-Runs the paper's worked example (Fig. 1, minimal added cost 4 on IBM QX4)
-through the SAT and portfolio engines — including the full optimizer
-strategy matrix (linear / binary / core-guided, seeded and unseeded, plus a
-model warm start replaying a previously solved schedule) — and compares the
-per-config solver iteration counts against the committed baseline
-(``benchmarks/perf_smoke_baseline.json``):
+Two benchmark sections, both deterministic (the pure-Python CDCL solver's
+behaviour is a function of the formula alone, so the comparisons are exact —
+no timing calibration needed):
 
-* the proven minimum objective must match the baseline exactly,
-* ``solver_iterations`` must not exceed the committed ceiling,
-* for the configs listed under ``strict_improvement_vs_pr2`` the count must
-  additionally stay strictly below the pre-incremental-core (PR 2) numbers
-  recorded in ``pr2_reference_iterations`` — the incremental ``SolveSession``
-  (no fresh solver per probe, no CNF clone per bound) is what bought the
-  improvement, and this guard keeps it bought,
-* for the configs listed under ``strict_improvement_vs_linear`` the count
-  must stay strictly below unseeded linear descent's measured count — the
-  core-guided strategy and the model warm start earn their keep in oracle
-  calls, and this guard keeps that earned.
+**Engine configs** — the paper's worked example (Fig. 1, minimal added cost 4
+on IBM QX4) through the SAT and portfolio engines, including the full
+optimizer strategy matrix (linear / binary / core-guided, seeded and
+unseeded, plus a model warm start replaying a previously solved schedule).
+Per-config ``solver_iterations`` are compared against the committed baseline
+(``benchmarks/perf_smoke_baseline.json``): the proven minimum must match
+exactly, the count must not exceed the ceiling, and the configs listed under
+``strict_improvement_vs_pr2`` / ``strict_improvement_vs_linear`` must stay
+strictly below their reference counts.
 
-Iteration counts of the pure-Python CDCL solver are deterministic for a
-fixed formula, so the comparison is exact — no timing calibration needed.
-Wall-clock numbers are recorded in the output JSON for information only.
+**Sweep configs** — subset sweeps (paper example + Table-1 3-qubit circuits
+on QX4 and on the 8-qubit ``sweep_grid8`` benchmark device) exercising the
+sweep-scale machinery: family ordering, lower-bound family pruning and
+cross-family clause sharing.  Sweep-level *conflict totals* are pinned
+against the baseline, the QX4 sweeps must additionally stay strictly below
+the pre-sweep-sharing (PR 4) conflict counts recorded in
+``pr4_reference_conflicts``, and the Table-1 QX4 sweeps must prune at least
+one family without solving it.
+
+``--record`` additionally runs the sweep suite a second time with sharing
+and pruning disabled (the ``--no-share --no-prune`` ablation) and appends a
+schema-versioned entry — per-config wall seconds, conflicts, propagations,
+clauses shared/imported, families pruned, plus the ablation numbers and the
+end-to-end wall-clock saving — to ``benchmarks/BENCH_sweep.json``, the
+repository's committed wall-clock trajectory.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \
         --baseline benchmarks/perf_smoke_baseline.json \
-        --output perf-smoke.json
+        --output perf-smoke.json --record
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
 from pathlib import Path
 
-from repro.arch.devices import ibm_qx4
+from repro.arch.cache import shared_permutation_table
+from repro.arch.devices import ibm_qx4, sweep_grid8
+from repro.benchlib.generators import benchmark_circuit
 from repro.benchlib.paper_example import paper_example_cnot_skeleton
+from repro.exact.encoding import clear_skeleton_cache
 from repro.exact.sat_mapper import SATMapper
 from repro.pipeline.portfolio import PortfolioMapper
 
 
 #: Seed bound for the *_seeded configs (the known minimum of the example).
 SEED_BOUND = 4
+
+#: Schema version of the entries appended to BENCH_sweep.json.
+BENCH_SWEEP_SCHEMA = 1
 
 
 def _configs():
@@ -73,6 +87,26 @@ def _configs():
             lambda: PortfolioMapper(ibm_qx4(), use_subsets=True), {}
         ),
         "sat_subsets": (lambda: SATMapper(ibm_qx4(), use_subsets=True), {}),
+    }
+
+
+def _sweep_configs():
+    """The subset-sweep benchmark: (architecture factory, circuit factory).
+
+    QX4 carries the paper-parity criteria (identical proven minima, strictly
+    fewer conflicts than PR 4, at least one family pruned); the 8-qubit
+    ``sweep_grid8`` device scales the family count up (8 three-qubit
+    families, 18 four-qubit families) so pruning and sharing dominate the
+    end-to-end wall clock.
+    """
+    return {
+        "paper_qx4": (ibm_qx4, paper_example_cnot_skeleton),
+        "ex-1_166_qx4": (ibm_qx4, lambda: benchmark_circuit("ex-1_166")),
+        "ham3_102_qx4": (ibm_qx4, lambda: benchmark_circuit("ham3_102")),
+        "paper_grid8": (sweep_grid8, paper_example_cnot_skeleton),
+        "ex-1_166_grid8": (sweep_grid8, lambda: benchmark_circuit("ex-1_166")),
+        "ham3_102_grid8": (sweep_grid8, lambda: benchmark_circuit("ham3_102")),
+        "3_17_13_grid8": (sweep_grid8, lambda: benchmark_circuit("3_17_13")),
     }
 
 
@@ -106,8 +140,48 @@ def measure():
     return measurements
 
 
+def measure_sweeps(share: bool = True, prune: bool = True):
+    """Run the subset-sweep suite; returns per-config sweep metrics.
+
+    The per-architecture reconstruction tables are warmed first so the wall
+    numbers time the sweep itself, not the process-wide one-off caches; the
+    encoding-skeleton cache is cleared per config so every sweep pays its
+    own construction (and the ablation's from-scratch builds are comparable).
+    """
+    for arch_factory in {f for f, _ in _sweep_configs().values()}:
+        shared_permutation_table(arch_factory())
+    measurements = {}
+    for name, (arch_factory, circuit_factory) in _sweep_configs().items():
+        clear_skeleton_cache()
+        mapper = SATMapper(
+            arch_factory(),
+            use_subsets=True,
+            share_clauses=share,
+            prune_families=prune,
+        )
+        # Collect between configs so one sweep's garbage is not another
+        # sweep's pause — wall numbers should time the sweep, not the GC.
+        gc.collect()
+        start = time.monotonic()
+        result = mapper.map(circuit_factory())
+        elapsed = time.monotonic() - start
+        stats = result.statistics
+        measurements[name] = {
+            "added_cost": result.added_cost,
+            "solver_conflicts": stats["solver_conflicts"],
+            "solver_iterations": stats["solver_iterations"],
+            "solver_propagations": stats["solver_propagations"],
+            "families_total": stats.get("families_total", 0),
+            "families_pruned": stats.get("families_pruned", 0),
+            "clauses_exported": stats.get("clauses_exported", 0),
+            "clauses_imported": stats.get("clauses_imported", 0),
+            "wall_seconds": round(elapsed, 4),
+        }
+    return measurements
+
+
 def check(measurements, baseline):
-    """Compare measurements against the baseline; returns failure messages."""
+    """Compare engine-config measurements against the baseline."""
     failures = []
     pr2 = baseline.get("pr2_reference_iterations", {})
     strict = set(baseline.get("strict_improvement_vs_pr2", []))
@@ -146,6 +220,77 @@ def check(measurements, baseline):
     return failures
 
 
+def check_sweeps(measurements, baseline):
+    """Compare sweep measurements against the baseline; returns failures."""
+    failures = []
+    pr4 = baseline.get("pr4_reference_conflicts", {})
+    strict = set(baseline.get("strict_conflicts_vs_pr4", []))
+    for name, expected in baseline.get("sweep_configs", {}).items():
+        measured = measurements.get(name)
+        if measured is None:
+            failures.append(f"sweep {name}: configuration was not measured")
+            continue
+        if measured["added_cost"] != expected["added_cost"]:
+            failures.append(
+                f"sweep {name}: proven minimum changed "
+                f"({measured['added_cost']} != {expected['added_cost']})"
+            )
+        conflicts = measured["solver_conflicts"]
+        if conflicts > expected["max_conflicts"]:
+            failures.append(
+                f"sweep {name}: sweep conflicts regressed "
+                f"({conflicts} > baseline {expected['max_conflicts']})"
+            )
+        if name in strict and name in pr4 and conflicts >= pr4[name]:
+            failures.append(
+                f"sweep {name}: conflicts no longer strictly below the "
+                f"pre-sweep-sharing PR 4 reference "
+                f"({conflicts} >= {pr4[name]})"
+            )
+        min_pruned = expected.get("min_families_pruned", 0)
+        if measured["families_pruned"] < min_pruned:
+            failures.append(
+                f"sweep {name}: expected at least {min_pruned} pruned "
+                f"families, saw {measured['families_pruned']}"
+            )
+    return failures
+
+
+def record_entry(sweep_on, sweep_off, path: Path) -> dict:
+    """Append one schema-versioned sweep entry to BENCH_sweep.json."""
+    wall_on = round(sum(m["wall_seconds"] for m in sweep_on.values()), 4)
+    wall_off = round(sum(m["wall_seconds"] for m in sweep_off.values()), 4)
+    entry = {
+        "schema_version": BENCH_SWEEP_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmark": "subset sweeps (paper example + Table-1 3-qubit, "
+                     "ibm_qx4 + sweep_grid8)",
+        "configs": sweep_on,
+        "ablation_configs": sweep_off,
+        "wall_seconds_total": wall_on,
+        "ablation_wall_seconds_total": wall_off,
+        "wall_saving_percent": round(100.0 * (1.0 - wall_on / wall_off), 1)
+        if wall_off > 0 else 0.0,
+        "conflicts_total": sum(m["solver_conflicts"] for m in sweep_on.values()),
+        "ablation_conflicts_total": sum(
+            m["solver_conflicts"] for m in sweep_off.values()
+        ),
+        "families_pruned_total": sum(
+            m["families_pruned"] for m in sweep_on.values()
+        ),
+        "clauses_imported_total": sum(
+            m["clauses_imported"] for m in sweep_on.values()
+        ),
+    }
+    if path.exists():
+        history = json.loads(path.read_text())
+    else:
+        history = {"schema_version": BENCH_SWEEP_SCHEMA, "entries": []}
+    history["entries"].append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -157,24 +302,52 @@ def main(argv=None) -> int:
         "--output", default=None,
         help="write the measured numbers to this JSON file (CI artifact)",
     )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="run the sweep ablation and append a schema-versioned entry "
+        "(wall seconds, conflicts, clauses shared, families pruned) to "
+        "--bench-history",
+    )
+    parser.add_argument(
+        "--bench-history",
+        default=str(Path(__file__).parent / "BENCH_sweep.json"),
+        help="sweep wall-clock history file appended to by --record",
+    )
+    parser.add_argument(
+        "--no-share", action="store_true",
+        help="ablation: disable cross-family clause sharing and encoding-"
+        "skeleton reuse in the sweep configs",
+    )
+    parser.add_argument(
+        "--no-prune", action="store_true",
+        help="ablation: disable lower-bound family pruning in the sweep "
+        "configs",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
     measurements = measure()
+    share, prune = not args.no_share, not args.no_prune
+    sweeps = measure_sweeps(share=share, prune=prune)
+
     report = {
         "benchmark": baseline.get("benchmark"),
         "measurements": measurements,
+        "sweep_measurements": sweeps,
         "baseline_max_iterations": {
             name: config["max_iterations"]
             for name, config in baseline["configs"].items()
         },
+        "baseline_max_sweep_conflicts": {
+            name: config["max_conflicts"]
+            for name, config in baseline.get("sweep_configs", {}).items()
+        },
         "pr2_reference_iterations": baseline.get("pr2_reference_iterations"),
+        "pr4_reference_conflicts": baseline.get("pr4_reference_conflicts"),
         "strict_improvement_vs_linear": baseline.get(
             "strict_improvement_vs_linear"
         ),
     }
-    if args.output:
-        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
 
     for name, metrics in measurements.items():
         print(
@@ -183,12 +356,45 @@ def main(argv=None) -> int:
             f"conflicts={metrics['solver_conflicts']:5d} "
             f"wall={metrics['wall_seconds']:.3f}s"
         )
+    for name, metrics in sweeps.items():
+        print(
+            f"sweep {name:14s} cost={metrics['added_cost']:3d} "
+            f"conflicts={metrics['solver_conflicts']:5d} "
+            f"pruned={metrics['families_pruned']}/{metrics['families_total']} "
+            f"imported={metrics['clauses_imported']:3d} "
+            f"wall={metrics['wall_seconds']:.3f}s"
+        )
+
     failures = check(measurements, baseline)
+    if share and prune:
+        failures += check_sweeps(sweeps, baseline)
+    else:
+        print("sweep ablation flags active: baseline sweep checks skipped")
+
+    if args.record:
+        if share and prune:
+            ablation = measure_sweeps(share=False, prune=False)
+        else:
+            ablation = sweeps
+            sweeps = measure_sweeps(share=True, prune=True)
+        entry = record_entry(sweeps, ablation, Path(args.bench_history))
+        print(
+            f"recorded sweep entry: {entry['wall_seconds_total']:.3f}s vs "
+            f"{entry['ablation_wall_seconds_total']:.3f}s ablation "
+            f"({entry['wall_saving_percent']:.1f}% wall saved, "
+            f"{entry['conflicts_total']} vs "
+            f"{entry['ablation_conflicts_total']} conflicts)"
+        )
+        report["bench_sweep_entry"] = entry
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("perf smoke OK: no iteration regressions")
+    print("perf smoke OK: no iteration or sweep-conflict regressions")
     return 0
 
 

@@ -68,6 +68,25 @@ def ibm_tokyo() -> CouplingMap:
     return CouplingMap(20, edges, name="ibm_tokyo")
 
 
+def sweep_grid8() -> CouplingMap:
+    """An 8-qubit 2x4 grid with mixed CNOT directions (benchmark device).
+
+    The directions are deliberately irregular so that the connected
+    3-qubit subsets fall into *many* distinct families (several directed
+    orientation classes over the same undirected path shape) — the
+    workload that exercises the sweep-scale machinery of
+    :class:`~repro.exact.sat_mapper.SATMapper` (family ordering,
+    lower-bound pruning, cross-family clause sharing).  Small enough
+    (``8! `` permutations) for exact SWAP reconstruction.
+    """
+    edges = [
+        (0, 1), (2, 1), (2, 3),
+        (4, 0), (1, 5), (6, 2), (3, 7),
+        (4, 5), (6, 5), (6, 7),
+    ]
+    return CouplingMap(8, edges, name="sweep_grid8")
+
+
 def linear_architecture(num_qubits: int, bidirectional: bool = False) -> CouplingMap:
     """A 1-D chain ``0 - 1 - ... - (n-1)`` with CNOTs directed towards higher indices.
 
@@ -142,12 +161,14 @@ _REGISTRY: Dict[str, Callable[[], CouplingMap]] = {
     "rueschlikon": ibm_qx5,
     "ibm_tokyo": ibm_tokyo,
     "tokyo": ibm_tokyo,
+    "sweep_grid8": sweep_grid8,
+    "grid8": sweep_grid8,
 }
 
 
 def available_architectures() -> List[str]:
     """Names accepted by :func:`get_architecture` (canonical names only)."""
-    return sorted({"ibm_qx2", "ibm_qx4", "ibm_qx5", "ibm_tokyo"})
+    return sorted({"ibm_qx2", "ibm_qx4", "ibm_qx5", "ibm_tokyo", "sweep_grid8"})
 
 
 def get_architecture(name: str) -> CouplingMap:
@@ -169,6 +190,7 @@ __all__ = [
     "ibm_qx4",
     "ibm_qx5",
     "ibm_tokyo",
+    "sweep_grid8",
     "linear_architecture",
     "ring_architecture",
     "grid_architecture",

@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="additionally check functional equivalence by simulation",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the mapping under cProfile and print the top 20 functions "
+        "by cumulative time to stderr (future perf work starts from data, "
+        "not guesses)",
+    )
     return parser
 
 
@@ -244,6 +250,31 @@ def _activate_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
     return get_cache_dir()
 
 
+def _profiled_map(pipeline: MappingPipeline, circuit):
+    """Map *circuit* under cProfile; print the top functions to stderr.
+
+    The report goes to stderr so the normal result summary on stdout stays
+    machine-parseable.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = pipeline.map(circuit)
+    finally:
+        profile.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profile, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        print("--- cProfile: top 20 functions by cumulative time ---",
+              file=sys.stderr)
+        print(stream.getvalue(), file=sys.stderr, end="")
+    return result
+
+
 # ----------------------------------------------------------------------
 # Classic single-circuit mapping
 # ----------------------------------------------------------------------
@@ -318,7 +349,10 @@ def _run_map(argv: Sequence[str]) -> int:
         from repro.exact.sat_mapper import SATMapperError
 
         try:
-            result = pipeline.map(circuit)
+            if args.profile:
+                result = _profiled_map(pipeline, circuit)
+            else:
+                result = pipeline.map(circuit)
         except SATMapperError as error:
             hint = (
                 " (is --upper-bound really achievable?)"

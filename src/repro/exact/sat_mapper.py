@@ -10,7 +10,7 @@ circuit.  The performance improvements of Section 4 are available through
 * ``strategy=...`` — restrict the gates before which the mapping may change
   (Section 4.2).
 
-The subset sweep is organised around two reuse layers:
+The subset sweep is organised around four reuse layers:
 
 * **Subset families** — two subsets whose induced sub-couplings re-index to
   the same directed edge set produce *identical* encodings, so they form one
@@ -21,6 +21,23 @@ The subset sweep is organised around two reuse layers:
   seed and the cross-subset incumbent) are *assumed* on the live solver, so
   learned clauses survive both the objective descent and any re-solve of the
   family under a tightened incumbent.
+* **Family ordering and pruning** — families are solved in ascending order
+  of a provable structural lower bound
+  (:func:`~repro.exact.sweep.structural_lower_bound`, densest sub-couplings
+  first), with ties keeping the canonical keys' first-appearance order, so
+  sequential and parallel sweeps walk the same order.  Once an incumbent
+  exists, a family whose proven lower bound — structural, or transferred
+  from an already-decided family it embeds into (fewer edges can never map
+  more cheaply) — meets the incumbent is *pruned without a single solver
+  call*, and the skip is mirrored to all its members.
+* **Cross-family clause sharing** — clauses learned by one family's solver
+  before any committed bound are consequences of that family's formula
+  alone; restricted to the shared encoding layers and translated through
+  :func:`~repro.exact.sweep.encoding_variable_remap` along an (undirected)
+  edge embedding, they are implied by every sparser family's formula too,
+  and are injected into those sessions before their first solve.  Set the
+  environment variable ``REPRO_CHECK_IMPORTS`` to verify every imported
+  clause by refutation (slow; used by the property tests).
 
 The subset loop is factored into :meth:`SATMapper.solve_subset` so that the
 batch pipeline (:mod:`repro.pipeline.pipeline`) can fan the independent
@@ -34,6 +51,7 @@ and the parallel one share :meth:`SATMapper.subset_family_groups`,
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -44,13 +62,26 @@ from repro.exact.encoding import EncodingError, MappingEncoding, build_encoding
 from repro.exact.reconstruction import build_result, default_schedule
 from repro.exact.result import MappingResult, MappingSchedule, schedule_is_valid
 from repro.exact.strategies import AllGatesStrategy, PermutationStrategy
+from repro.exact.sweep import (
+    clause_is_implied,
+    encoding_variable_remap,
+    find_edge_embedding,
+    schedule_cost,
+    structural_lower_bound,
+    translate_schedule,
+)
 from repro.arch.cache import shared_connected_subsets, shared_permutation_table
+from repro.arch.permutations import invert_permutation
 from repro.sat.optimize import (
     OptimizationResult,
     OptimizingSolver,
     resolve_optimizer_name,
 )
 from repro.sat.session import SolveSession
+
+#: Longest learned clause exported across subset families (short clauses
+#: prune the most per imported literal; long ones mostly cost propagation).
+SHARE_MAX_CLAUSE_SIZE = 8
 
 
 class SATMapperError(RuntimeError):
@@ -88,6 +119,12 @@ class SubsetOutcome:
         clauses: CNF clauses of the instance encoding.
         reused: True when the outcome was mirrored from another subset of
             the same family instead of being solved.
+        pruned: True when the subset's family was skipped without solving
+            because its proven lower bound met the sweep incumbent
+            (``status`` is then ``"pruned"``, which reads as
+            unsatisfiable-within-bound).
+        proven_lower_bound: Lower bound on the family's objective that
+            justified the prune (``None`` for solved/mirrored outcomes).
         statistics: Incremental-session counters of the solve (empty for
             mirrored outcomes).
         core_labels: Human-readable labels of the final UNSAT core of the
@@ -104,6 +141,8 @@ class SubsetOutcome:
     variables: int = 0
     clauses: int = 0
     reused: bool = False
+    pruned: bool = False
+    proven_lower_bound: Optional[float] = None
     statistics: Dict[str, int] = field(default_factory=dict)
     core_labels: Tuple[str, ...] = ()
 
@@ -148,6 +187,273 @@ class _FamilyState:
         self.session = None
 
 
+@dataclass
+class FamilyPlan:
+    """One subset family of a sweep, in solving order.
+
+    Attributes:
+        indices: Subset indices of the family's members, ascending (the
+            first is the representative that is actually solved).
+        key: Canonical coupling key of the induced sub-coupling.
+        sub_coupling: The representative's re-indexed sub-coupling.
+        heuristic_lower_bound: Provable structural lower bound on the
+            family's added cost (the primary ordering key, see
+            :func:`repro.exact.sweep.structural_lower_bound`).
+        connected: Whether the sub-coupling is connected (disconnected
+            families are recorded as unsatisfiable without solving).
+    """
+
+    indices: List[int]
+    key: Tuple
+    sub_coupling: CouplingMap
+    heuristic_lower_bound: int
+    connected: bool
+
+
+@dataclass
+class _SharedVars:
+    """Slim view of an encoding's shareable variable layers.
+
+    Retained in the sweep's family records after the heavyweight encoding
+    (its CNF clause list) has been released — everything
+    :func:`repro.exact.sweep.encoding_variable_remap` needs from a clause
+    *source*.
+    """
+
+    skeleton: Optional[object]
+    x_var_limit: int
+    spot_var_start: int
+    spot_var_end: int
+    x_vars: List[Dict[Tuple[int, int], int]]
+    eq_vars: Dict[int, Dict[Tuple[int, int, int], int]]
+    y_vars: Dict[int, Dict[Tuple[int, ...], int]]
+
+    @classmethod
+    def of(cls, encoding: MappingEncoding) -> "_SharedVars":
+        return cls(
+            skeleton=encoding.skeleton,
+            x_var_limit=encoding.x_var_limit,
+            spot_var_start=encoding.spot_var_start,
+            spot_var_end=encoding.spot_var_end,
+            x_vars=encoding.x_vars,
+            eq_vars=encoding.eq_vars,
+            y_vars=encoding.y_vars,
+        )
+
+
+@dataclass
+class _FamilyRecord:
+    """What a processed family leaves behind for the rest of the sweep."""
+
+    plan: FamilyPlan
+    shared_vars: Optional[_SharedVars]
+    lower_bound: Optional[float]
+    exported: List[Tuple[int, ...]]
+    schedule: Optional[List[Tuple[int, ...]]] = None
+    schedule_objective: Optional[int] = None
+    #: Sweep-plan position, set by the parallel fan-out so that pruning
+    #: decisions can be restricted to plan-order-prefix information (the
+    #: sequential loop's records are prefix-ordered by construction).
+    position: Optional[int] = None
+
+
+class SweepContext:
+    """Cross-family bookkeeping of one sweep: proven bounds and clause pool.
+
+    Both the sequential loop (:meth:`SATMapper.map`) and the parallel
+    fan-out (:mod:`repro.pipeline.pipeline`) feed processed families in via
+    :meth:`note_family` and query :meth:`lower_bound_for` before touching
+    the next one; the sequential loop additionally pulls translated learned
+    clauses via :meth:`import_into`.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[_FamilyRecord] = []
+        self._embeddings: Dict[Tuple, Optional[Tuple[int, ...]]] = {}
+        self.clauses_exported = 0
+        self.clauses_imported = 0
+        self.families_pruned = 0
+        self.models_transferred = 0
+
+    # ------------------------------------------------------------------
+    def note_family(
+        self,
+        plan: FamilyPlan,
+        lower_bound: Optional[float],
+        shared_vars: Optional[_SharedVars] = None,
+        exported: Optional[List[Tuple[int, ...]]] = None,
+        schedule: Optional[List[Tuple[int, ...]]] = None,
+        schedule_objective: Optional[int] = None,
+        position: Optional[int] = None,
+    ) -> None:
+        """Record a processed (solved or pruned) family.
+
+        A family that is solved again (an inconclusive representative
+        re-minimised for a later member) updates its record in place: the
+        export list is replaced (``export_learned`` is cumulative) and the
+        proven bound only ever rises.
+        """
+        exported = exported or []
+        for record in self.records:
+            if record.plan is plan:
+                if exported:
+                    self.clauses_exported += max(
+                        0, len(exported) - len(record.exported)
+                    )
+                    record.exported = exported
+                if lower_bound is not None and (
+                    record.lower_bound is None
+                    or lower_bound > record.lower_bound
+                ):
+                    record.lower_bound = lower_bound
+                if shared_vars is not None:
+                    record.shared_vars = shared_vars
+                if schedule is not None and (
+                    record.schedule_objective is None
+                    or schedule_objective < record.schedule_objective
+                ):
+                    record.schedule = schedule
+                    record.schedule_objective = schedule_objective
+                return
+        self.clauses_exported += len(exported)
+        self.records.append(
+            _FamilyRecord(
+                plan=plan, shared_vars=shared_vars,
+                lower_bound=lower_bound, exported=exported,
+                schedule=schedule, schedule_objective=schedule_objective,
+                position=position,
+            )
+        )
+
+    def _embedding(
+        self, inner: FamilyPlan, outer: FamilyPlan, directed: bool
+    ) -> Optional[Tuple[int, ...]]:
+        cache_key = (inner.key, outer.key, directed)
+        if cache_key not in self._embeddings:
+            self._embeddings[cache_key] = find_edge_embedding(
+                inner.sub_coupling, outer.sub_coupling, directed=directed
+            )
+        return self._embeddings[cache_key]
+
+    # ------------------------------------------------------------------
+    def lower_bound_for(
+        self, plan: FamilyPlan, before: Optional[int] = None
+    ) -> float:
+        """The tightest proven lower bound available for *plan*'s family.
+
+        Combines the family's own structural bound with bounds transferred
+        from processed families it embeds into: when every edge of this
+        family maps into family *B* under some vertex relabelling, every
+        schedule here is also valid on *B* at no higher cost, so this
+        family's optimum is at least *B*'s proven bound.
+
+        Args:
+            before: When given, only records stamped with a plan position
+                strictly below this take part — the parallel fan-out prunes
+                a family from exactly the information the sequential sweep
+                would have at that point, never from a later-ordered family
+                that happened to finish early (which could change which
+                subset wins a tie).
+        """
+        bound: float = plan.heuristic_lower_bound
+        for record in self.records:
+            if record.lower_bound is None or record.lower_bound <= bound:
+                continue
+            if (
+                before is not None
+                and record.position is not None
+                and record.position >= before
+            ):
+                continue
+            # Bound transfer needs the cost-preserving (directed) relation.
+            if self._embedding(plan, record.plan, directed=True) is not None:
+                bound = record.lower_bound
+        return bound
+
+    # ------------------------------------------------------------------
+    def incumbent_for(
+        self,
+        plan: FamilyPlan,
+        gates: Sequence[Tuple[int, int]],
+        table,
+        bound: Optional[int],
+    ) -> Optional[Tuple[List[Tuple[int, ...]], int]]:
+        """A warm-start schedule for *plan*, transferred from a solved family.
+
+        A schedule found on family *B* relabelled through an undirected
+        embedding stays *placement-valid* on this family (constraint (2)
+        accepts a coupled pair in either orientation); only its reversal
+        cost changes, and :func:`repro.exact.sweep.schedule_cost` recomputes
+        the exact objective against this family's edge directions.  The
+        cheapest transferable schedule at or below *bound* is returned as
+        ``(local mappings, objective)`` — a genuine feasible solution, so
+        the descent starts directly below it (phases seeded, first model
+        free) instead of descending from scratch.
+        """
+        best: Optional[Tuple[List[Tuple[int, ...]], int]] = None
+        for record in self.records:
+            if record.schedule is None:
+                continue
+            sigma = self._embedding(plan, record.plan, directed=False)
+            if sigma is None:
+                continue
+            translated = translate_schedule(
+                record.schedule, invert_permutation(sigma)
+            )
+            cost = schedule_cost(plan.sub_coupling, table, gates, translated)
+            if cost is None:
+                continue
+            if bound is not None and cost > bound:
+                continue
+            if best is None or cost < best[1]:
+                best = (translated, cost)
+        if best is not None:
+            self.models_transferred += 1
+        return best
+
+    # ------------------------------------------------------------------
+    def import_into(self, plan: FamilyPlan, state: "_FamilyState") -> int:
+        """Inject every transferable recorded clause into *state*'s session.
+
+        Clauses flow from an edge-superset family (where they were learned)
+        into this edge-subset family, remapped through the inverse of the
+        embedding over the shared variable roles.
+        """
+        assert state.encoding is not None and state.session is not None
+        check_imports = bool(os.environ.get("REPRO_CHECK_IMPORTS"))
+        imported = 0
+        for record in self.records:
+            if not record.exported or record.shared_vars is None:
+                continue
+            # Clause transfer only needs hard-constraint satisfiability to
+            # carry over, so the looser undirected relation applies.
+            sigma = self._embedding(plan, record.plan, directed=False)
+            if sigma is None:
+                continue
+            remap = encoding_variable_remap(
+                record.shared_vars, state.encoding, invert_permutation(sigma)
+            )
+            if check_imports:
+                for clause in record.exported:
+                    mapped = [
+                        remap[abs(l)] if l > 0 else -remap[abs(l)]
+                        for l in clause
+                        if abs(l) in remap
+                    ]
+                    if len(mapped) != len(clause):
+                        continue
+                    if not clause_is_implied(state.encoding.cnf, mapped):
+                        raise AssertionError(
+                            f"imported clause {clause} (mapped {mapped}) is "
+                            f"not implied by the target family's formula"
+                        )
+            imported += state.session.import_clauses(
+                record.exported, remap=remap
+            )
+        self.clauses_imported += imported
+        return imported
+
+
 class SATMapper:
     """Exact mapper using the paper's symbolic formulation and a SAT optimiser.
 
@@ -169,6 +475,15 @@ class SATMapper:
             instances are skipped.
         conflict_limit: Optional per-solver-call conflict budget.
         decompose_swaps: Emit SWAPs as their 7-gate decomposition (default).
+        share_clauses: Share work across subset families: sibling families
+            instantiate one cached encoding skeleton instead of re-running
+            the Tseitin construction, and learned clauses cross family
+            boundaries along edge embeddings (see the module docstring).
+            Never changes the result — only how fast it is found.
+        prune_families: Skip — without solving — subset families whose
+            proven lower bound (structural, or transferred from a decided
+            family they embed into) already meets the sweep incumbent.
+            Never changes the proven minimum.
 
     Example:
         >>> from repro.arch import ibm_qx4
@@ -190,6 +505,8 @@ class SATMapper:
         time_limit: Optional[float] = None,
         conflict_limit: Optional[int] = None,
         decompose_swaps: bool = True,
+        share_clauses: bool = True,
+        prune_families: bool = True,
     ):
         self.coupling = coupling
         self.strategy = strategy if strategy is not None else AllGatesStrategy()
@@ -202,6 +519,8 @@ class SATMapper:
         self.time_limit = time_limit
         self.conflict_limit = conflict_limit
         self.decompose_swaps = decompose_swaps
+        self.share_clauses = share_clauses
+        self.prune_families = prune_families
 
     # ------------------------------------------------------------------
     # Instance preparation (shared with the batch pipeline)
@@ -270,6 +589,45 @@ class SATMapper:
             groups[key].append(index)
         return [groups[key] for key in order]
 
+    def plan_families(
+        self,
+        subsets: Sequence[Tuple[int, ...]],
+        gates: Sequence[Tuple[int, int]],
+    ) -> List[FamilyPlan]:
+        """Group subsets into families and fix the sweep's solving order.
+
+        Families are sorted by ``(heuristic lower bound, canonical coupling
+        key)`` — a *stable* sort, so the order is fully determined by the
+        architecture and the circuit.  Densest sub-couplings (lowest
+        structural bound) come first: they tend to hold the cheapest
+        mappings, which establishes a tight incumbent early and lets the
+        sparse tail be pruned without solving.  Sequential and parallel
+        sweeps both follow this order, so they prune identically and
+        benchmark numbers are reproducible.
+        """
+        plans: List[FamilyPlan] = []
+        for group in self.subset_family_groups(subsets):
+            sub_coupling = self.coupling.subgraph(subsets[group[0]])
+            connected = sub_coupling.is_connected()
+            plans.append(
+                FamilyPlan(
+                    indices=list(group),
+                    key=sub_coupling.canonical_key(),
+                    sub_coupling=sub_coupling,
+                    heuristic_lower_bound=(
+                        structural_lower_bound(sub_coupling, gates)
+                        if connected else 0
+                    ),
+                    connected=connected,
+                )
+            )
+        # Stable sort: ties keep the canonical keys' first-appearance order
+        # over the (sorted) subset enumeration, which is itself a pure
+        # function of the architecture — the overall order is reproducible
+        # across runs, processes and the parallel fan-out.
+        plans.sort(key=lambda plan: plan.heuristic_lower_bound)
+        return plans
+
     def cnot_instance(
         self, circuit: QuantumCircuit
     ) -> Tuple[List[Tuple[int, int]], List[int]]:
@@ -301,6 +659,7 @@ class SATMapper:
             list(gates), num_logical, sub_coupling,
             permutation_spots=list(spots),
             permutation_table=table,
+            reuse_skeleton=self.share_clauses,
         )
         optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
         return _FamilyState(
@@ -367,7 +726,7 @@ class SATMapper:
             state.objective = None
             state.local_mappings = None
             mappings = None
-        result = SubsetOutcome(
+        return SubsetOutcome(
             subset=tuple(subset),
             status=outcome.status,
             objective=outcome.objective if outcome.is_satisfiable else None,
@@ -379,10 +738,75 @@ class SATMapper:
             statistics=dict(outcome.statistics),
             core_labels=outcome.core_labels,
         )
+
+    @staticmethod
+    def proven_family_lower_bound(
+        state: _FamilyState, outcome: SubsetOutcome
+    ) -> Optional[float]:
+        """Lower bound on the family's true optimum proven by this solve.
+
+        * ``optimal`` — the optimum itself is known exactly.
+        * ``unsat`` under bound ``b`` — nothing costs at most ``b``, so the
+          optimum is at least ``b + 1`` (infinite when no bound was active:
+          the instance is unsatisfiable outright).
+        * core-guided runs additionally prove ``core_lower_bound`` from
+          disjoint UNSAT cores, valid even when the descent did not finish
+          (the core strategy never commits bounds, so its cores are
+          consequences of the formula alone).
+        """
+        bound: Optional[float] = None
+        if outcome.status == "optimal":
+            bound = outcome.objective
+        elif outcome.status == "unsat":
+            bound = (
+                float("inf") if state.bound_used is None
+                else state.bound_used + 1
+            )
+        core_bound = outcome.statistics.get("core_lower_bound", 0)
+        if core_bound and (bound is None or core_bound > bound):
+            bound = core_bound
+        return bound
+
+    def _finish_family(
+        self,
+        context: SweepContext,
+        plan: FamilyPlan,
+        state: _FamilyState,
+        outcome: SubsetOutcome,
+    ) -> None:
+        """Harvest shareable clauses and proven bounds, then free the solver.
+
+        Must run while the family's session is still alive; conclusive
+        (``optimal``/``unsat``) families drop their solver afterwards —
+        they only ever serve mirrored outcomes from the recorded fields.
+        """
+        exported: List[Tuple[int, ...]] = []
+        if (
+            self.share_clauses
+            and state.session is not None
+            and state.encoding is not None
+        ):
+            exported = state.session.export_learned(
+                max_size=SHARE_MAX_CLAUSE_SIZE,
+                var_ok=state.encoding.is_shared_variable,
+            )
+        context.note_family(
+            plan,
+            lower_bound=self.proven_family_lower_bound(state, outcome),
+            shared_vars=(
+                _SharedVars.of(state.encoding)
+                if state.encoding is not None else None
+            ),
+            exported=exported,
+            schedule=(
+                list(state.local_mappings)
+                if state.local_mappings is not None else None
+            ),
+            schedule_objective=state.objective,
+        )
         if outcome.status in ("optimal", "unsat"):
             # Conclusive families are never re-solved, only mirrored.
             state.release_solver()
-        return result
 
     def _reuse_family_outcome(
         self,
@@ -505,6 +929,7 @@ class SATMapper:
         runtime_seconds: float,
         budget_exhausted: bool = False,
         upper_bound: Optional[int] = None,
+        extra_statistics: Optional[Dict[str, object]] = None,
     ) -> MappingResult:
         """Assemble the :class:`MappingResult` from per-subset outcomes."""
         num_logical = circuit.num_qubits
@@ -548,10 +973,16 @@ class SATMapper:
             "subsets_total": subsets_total,
             "subsets_tried": len(outcomes),
             "subsets_skipped": subsets_total - len(outcomes),
-            "subsets_solved": sum(1 for o in outcomes if not o.reused),
+            "subsets_solved": sum(
+                1 for o in outcomes if not o.reused and not o.pruned
+            ),
+            "subsets_pruned": sum(1 for o in outcomes if o.pruned),
             "family_reuses": sum(1 for o in outcomes if o.reused),
             "solver_conflicts": sum(o.conflicts for o in outcomes),
             "solver_iterations": sum(o.iterations for o in outcomes),
+            "solver_propagations": sum(
+                o.statistics.get("propagations", 0) for o in outcomes
+            ),
             "encoding_variables": sum(o.variables for o in outcomes),
             "encoding_clauses": sum(o.clauses for o in outcomes),
             "budget_exhausted": budget_exhausted,
@@ -572,6 +1003,8 @@ class SATMapper:
             statistics["final_core"] = list(best.core_labels)
         if upper_bound is not None:
             statistics["seeded_upper_bound"] = upper_bound
+        if extra_statistics:
+            statistics.update(extra_statistics)
         # Reconstruction needs SWAP sequences on the full device; reuse the
         # process-wide table when the device is small enough to enumerate
         # (build_result's lazy fallback applies the same size guard, and only
@@ -669,62 +1102,131 @@ class SATMapper:
             )
 
         subsets = self.candidate_subsets(num_logical)
+        plans = self.plan_families(subsets, gates)
+        context = SweepContext()
         outcomes: List[SubsetOutcome] = []
-        families: Dict[Tuple, _FamilyState] = {}
         best: Optional[SubsetOutcome] = None
         bound = upper_bound
         budget_exhausted = False
+        found_zero = False
 
-        for subset in subsets:
+        for plan in plans:
+            if found_zero or budget_exhausted:
+                break
+            if not plan.connected:
+                for index in plan.indices:
+                    outcomes.append(
+                        SubsetOutcome(subset=tuple(subsets[index]), status="unsat")
+                    )
+                continue
             remaining = self._remaining_time(start)
             if remaining is not None and remaining <= 0:
                 # Budget spent: do not launch further solver calls.  The best
                 # solution found so far (if any) is returned as non-optimal.
                 budget_exhausted = True
                 break
-            sub_coupling = self.coupling.subgraph(subset)
-            if not sub_coupling.is_connected():
-                outcomes.append(SubsetOutcome(subset=tuple(subset), status="unsat"))
-                continue
-            key = sub_coupling.canonical_key()
-            state = families.get(key)
-            if state is None:
-                state = self._family_state(sub_coupling, gates, num_logical, spots)
-                families[key] = state
-                # The incumbent schedule is device-indexed, so it only seeds
-                # the full-device instance (the only one that exists when
-                # model seeding is allowed — see accepts_initial_model).
-                seed = (
-                    incumbent
-                    if incumbent is not None
-                    and tuple(subset) == tuple(range(num_physical))
-                    else None
+            if self.prune_families and bound is not None:
+                proven = context.lower_bound_for(plan)
+                if proven > bound:
+                    # The family provably holds nothing at most `bound`:
+                    # skip it — and all its members — without solving.  The
+                    # bound may serve as an embedding source for later
+                    # (sparser) families, so it is recorded.
+                    context.families_pruned += 1
+                    context.note_family(plan, lower_bound=proven)
+                    for index in plan.indices:
+                        outcomes.append(
+                            SubsetOutcome(
+                                subset=tuple(subsets[index]),
+                                status="pruned",
+                                pruned=True,
+                                proven_lower_bound=proven,
+                            )
+                        )
+                    continue
+            state = self._family_state(plan.sub_coupling, gates, num_logical, spots)
+            if self.share_clauses:
+                context.import_into(plan, state)
+            representative = tuple(subsets[plan.indices[0]])
+            # The incumbent schedule is device-indexed, so it only seeds
+            # the full-device instance (the only one that exists when
+            # model seeding is allowed — see accepts_initial_model).
+            seed = (
+                incumbent
+                if incumbent is not None
+                and representative == tuple(range(num_physical))
+                else None
+            )
+            if seed is None and self.share_clauses and state.encoding is not None:
+                # Cross-family model transfer: replay the cheapest schedule
+                # already found on an embeddable family as this family's
+                # first incumbent (re-costed against these edge directions).
+                # A transfer that lands above the sweep bound cannot serve
+                # as an incumbent, but it is still a valid model of the hard
+                # constraints — its x-assignment seeds the solver's phases
+                # (a pure search hint), steering the bounded search into
+                # known-feasible territory instead of a cold start.
+                transfer = context.incumbent_for(
+                    plan, gates, state.encoding.permutation_table, bound=None
                 )
-                outcome = self._solve_family(
-                    state, tuple(subset), remaining, bound, incumbent=seed
-                )
-            else:
-                outcome = self._reuse_family_outcome(state, tuple(subset), bound)
-                if outcome is None:
-                    # Earlier attempt was budget-limited: re-minimise on the
-                    # family's live session (learned clauses retained) under
-                    # the current incumbent bound.
-                    outcome = self._solve_family(
-                        state, tuple(subset), remaining, bound
-                    )
+                if transfer is not None:
+                    if bound is not None and transfer[1] > bound:
+                        try:
+                            state.session.seed_phases(
+                                state.encoding.assignment_from_schedule(
+                                    transfer[0]
+                                )
+                            )
+                        except EncodingError:
+                            pass
+                    else:
+                        seed = transfer
+            outcome = self._solve_family(
+                state, representative, remaining, bound, incumbent=seed
+            )
+            self._finish_family(context, plan, state, outcome)
             outcomes.append(outcome)
-            if not outcome.is_satisfiable:
-                continue
-            if best is None or outcome.objective < best.objective:
-                best = outcome
-            if best.objective == 0:
-                # A zero-added-cost mapping cannot be beaten by any other
-                # subset — stop the loop early.
-                break
-            # Tighten: later subsets only interest us when strictly cheaper
-            # than the incumbent (and never above a seeded upper bound).
-            incumbent_bound = best.objective - 1
-            bound = incumbent_bound if bound is None else min(bound, incumbent_bound)
+            if outcome.is_satisfiable:
+                if best is None or outcome.objective < best.objective:
+                    best = outcome
+                if best.objective == 0:
+                    # A zero-added-cost mapping cannot be beaten by any
+                    # other subset — stop the sweep early.
+                    found_zero = True
+                    continue
+                # Tighten: later instances only interest us when strictly
+                # cheaper than the incumbent (never above a seeded bound).
+                incumbent_bound = best.objective - 1
+                bound = (
+                    incumbent_bound if bound is None
+                    else min(bound, incumbent_bound)
+                )
+            # Mirror the outcome onto the family's other members (re-solving
+            # on the live session only when an earlier attempt was
+            # budget-limited and the bound has tightened since).
+            for index in plan.indices[1:]:
+                member = tuple(subsets[index])
+                mirrored = self._reuse_family_outcome(state, member, bound)
+                if mirrored is None:
+                    remaining = self._remaining_time(start)
+                    if remaining is not None and remaining <= 0:
+                        budget_exhausted = True
+                        break
+                    mirrored = self._solve_family(state, member, remaining, bound)
+                    self._finish_family(context, plan, state, mirrored)
+                outcomes.append(mirrored)
+                if not mirrored.is_satisfiable:
+                    continue
+                if best is None or mirrored.objective < best.objective:
+                    best = mirrored
+                if best.objective == 0:
+                    found_zero = True
+                    break
+                incumbent_bound = best.objective - 1
+                bound = (
+                    incumbent_bound if bound is None
+                    else min(bound, incumbent_bound)
+                )
 
         if best is None:
             raise SATMapperError.no_solution(budget_exhausted)
@@ -738,8 +1240,24 @@ class SATMapper:
             runtime_seconds=time.monotonic() - start,
             budget_exhausted=budget_exhausted,
             upper_bound=upper_bound,
+            extra_statistics={
+                "families_total": len(plans),
+                "families_pruned": context.families_pruned,
+                "clauses_exported": context.clauses_exported,
+                "clauses_imported": context.clauses_imported,
+                "models_transferred": context.models_transferred,
+                "clause_sharing": int(self.share_clauses),
+                "family_pruning": int(self.prune_families),
+            },
         )
         return result
 
 
-__all__ = ["SATMapper", "SATMapperError", "SubsetOutcome"]
+__all__ = [
+    "SATMapper",
+    "SATMapperError",
+    "SubsetOutcome",
+    "FamilyPlan",
+    "SweepContext",
+    "SHARE_MAX_CLAUSE_SIZE",
+]

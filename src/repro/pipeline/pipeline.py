@@ -47,7 +47,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
-from repro.exact.sat_mapper import SATMapper, SATMapperError, SubsetOutcome
+from repro.exact.sat_mapper import (
+    SATMapper,
+    SATMapperError,
+    SubsetOutcome,
+    SweepContext,
+)
 from repro.pipeline.bounds import BoundProvider, BoundProviderChain, SeedResolution
 from repro.pipeline.registry import get_mapper, resolve_mapper_name
 
@@ -304,22 +309,35 @@ class MappingPipeline:
 
         budget = mapper.time_limit
         deadline = None if budget is None else start + budget
-        outcomes_by_index: Dict[int, SubsetOutcome] = {}
         budget_exhausted = False
         # One task per subset *family*: structurally identical sub-couplings
         # share an encoding, so solving the first member covers them all.
-        groups = mapper.subset_family_groups(subsets)
-        with self._make_executor(min(self.workers, len(groups))) as pool:
+        # Families are submitted in the sweep plan's order (heuristic lower
+        # bound, then first appearance) — the same order the sequential loop
+        # walks, so pruning decisions transfer between the two paths.
+        plans = mapper.plan_families(subsets, gates)
+        context = SweepContext()
+        outcomes_by_plan: Dict[int, SubsetOutcome] = {}
+        pruned_plans: Dict[int, float] = {}
+        connected = [
+            (position, plan)
+            for position, plan in enumerate(plans)
+            if plan.connected
+        ]
+        with self._make_executor(
+            min(self.workers, max(1, len(connected)))
+        ) as pool:
             futures = {
                 pool.submit(
                     _solve_subset_task,
-                    mapper, gates, circuit.num_qubits, spots, subsets[group[0]],
-                    deadline, None,
-                ): group[0]
-                for group in groups
+                    mapper, gates, circuit.num_qubits, spots,
+                    subsets[plan.indices[0]], deadline, None,
+                ): position
+                for position, plan in connected
             }
             pending = set(futures)
-            zero_index: Optional[int] = None
+            zero_position: Optional[int] = None
+            best_objective: Optional[int] = None
             while pending:
                 remaining = None
                 if deadline is not None:
@@ -331,25 +349,85 @@ class MappingPipeline:
                     pending, timeout=remaining, return_when=FIRST_COMPLETED
                 )
                 for future in done:
-                    index = futures[future]
+                    position = futures[future]
                     outcome = future.result()
-                    outcomes_by_index[index] = outcome
+                    outcomes_by_plan[position] = outcome
+                    plan = plans[position]
+                    context.note_family(
+                        plan,
+                        lower_bound=(
+                            outcome.objective
+                            if outcome.status == "optimal"
+                            else float("inf") if outcome.status == "unsat"
+                            else None
+                        ),
+                        position=position,
+                    )
+                    if outcome.is_satisfiable and (
+                        best_objective is None
+                        or outcome.objective < best_objective
+                    ):
+                        best_objective = outcome.objective
                     if outcome.is_satisfiable and outcome.objective == 0:
-                        if zero_index is None or index < zero_index:
-                            zero_index = index
-                if zero_index is not None:
+                        if zero_position is None or position < zero_position:
+                            zero_position = position
+                if zero_position is not None:
                     # Zero added cost is globally minimal, so nothing can beat
                     # it — but the sequential loop would have stopped at the
-                    # *first* subset reaching zero, so keep waiting for the
-                    # lower-indexed instances (one of them may also reach
+                    # *first* family reaching zero, so keep waiting for the
+                    # earlier-ordered instances (one of them may also reach
                     # zero) and cancel the rest.  This keeps the winner
                     # deterministic regardless of completion order.
                     keep = set()
                     for future in pending:
-                        if futures[future] < zero_index:
+                        if futures[future] < zero_position:
                             keep.add(future)
                         else:
                             future.cancel()
+                    pending = keep
+                elif mapper.prune_families and best_objective is not None:
+                    # Family pruning, parallel flavour: a queued (not yet
+                    # running) family is cancelled only when the decision is
+                    # reproducible from plan-order-prefix information —
+                    # every earlier-ordered family already resolved, the
+                    # incumbent and the transferred bounds drawn from those
+                    # alone.  That is exactly the information the sequential
+                    # sweep has at the same point, so the two paths prune
+                    # the same families (cancellation of a running task is
+                    # impossible, so parallel may prune fewer — never
+                    # different ones).
+                    keep = set()
+                    for future in sorted(pending, key=futures.get):
+                        position = futures[future]
+                        plan = plans[position]
+                        prefix_resolved = all(
+                            earlier in outcomes_by_plan
+                            or earlier in pruned_plans
+                            or not plans[earlier].connected
+                            for earlier in range(position)
+                        )
+                        prefix_best = min(
+                            (
+                                outcomes_by_plan[earlier].objective
+                                for earlier in range(position)
+                                if earlier in outcomes_by_plan
+                                and outcomes_by_plan[earlier].is_satisfiable
+                            ),
+                            default=None,
+                        )
+                        if not prefix_resolved or prefix_best is None:
+                            keep.add(future)
+                            continue
+                        bound = prefix_best - 1
+                        proven = context.lower_bound_for(plan, before=position)
+                        if proven > bound and future.cancel():
+                            pruned_plans[position] = proven
+                            context.note_family(
+                                plan, lower_bound=proven, position=position
+                            )
+                            context.families_pruned += 1
+                        else:
+                            keep.add(future)
                     pending = keep
             for future in pending:
                 future.cancel()
@@ -357,10 +435,15 @@ class MappingPipeline:
         # outcomes that completed after a deadline break — a budget-limited
         # run must still return the best solution found, like the sequential
         # loop does.
-        for future, index in futures.items():
-            if index in outcomes_by_index or not future.done() or future.cancelled():
+        for future, position in futures.items():
+            if (
+                position in outcomes_by_plan
+                or position in pruned_plans
+                or not future.done()
+                or future.cancelled()
+            ):
                 continue
-            outcomes_by_index[index] = future.result()
+            outcomes_by_plan[position] = future.result()
         if (
             deadline is not None
             and not budget_exhausted
@@ -371,25 +454,39 @@ class MappingPipeline:
             # still budget-limited and must be reported as such.
             budget_exhausted = True
 
-        # Mirror each solved family representative onto the family's other
-        # members — identical encodings, so only the device-index translation
-        # differs and no solver runs.  The representative keeps the lowest
-        # index of its family, so the reduction below still picks the same
-        # winner as the sequential sweep.
-        for group in groups:
-            solved = outcomes_by_index.get(group[0])
+        # Assemble outcomes in the sweep plan's order, mirroring each solved
+        # family representative onto the family's other members — identical
+        # encodings, so only the device-index translation differs and no
+        # solver runs.  The reduction then picks the same winner as the
+        # sequential sweep.
+        ordered: List[SubsetOutcome] = []
+        for position, plan in enumerate(plans):
+            if not plan.connected:
+                ordered.extend(
+                    SubsetOutcome(subset=tuple(subsets[index]), status="unsat")
+                    for index in plan.indices
+                )
+                continue
+            if position in pruned_plans:
+                proven = pruned_plans[position]
+                ordered.extend(
+                    SubsetOutcome(
+                        subset=tuple(subsets[index]),
+                        status="pruned",
+                        pruned=True,
+                        proven_lower_bound=proven,
+                    )
+                    for index in plan.indices
+                )
+                continue
+            solved = outcomes_by_plan.get(position)
             if solved is None:
                 continue
-            for member in group[1:]:
-                outcomes_by_index[member] = SATMapper.mirror_outcome(
-                    solved, subsets[member]
-                )
-
-        # Deterministic reduction in subset order — the same subset wins as
-        # in the sequential loop, which keeps the first strict improvement.
-        ordered = [
-            outcomes_by_index[index] for index in sorted(outcomes_by_index)
-        ]
+            ordered.append(solved)
+            ordered.extend(
+                SATMapper.mirror_outcome(solved, subsets[member])
+                for member in plan.indices[1:]
+            )
         best = SATMapper.select_best_outcome(ordered)
         if best is None:
             raise SATMapperError.no_solution(budget_exhausted)
@@ -401,6 +498,14 @@ class MappingPipeline:
             subsets_total=len(subsets),
             runtime_seconds=time.monotonic() - start,
             budget_exhausted=budget_exhausted,
+            extra_statistics={
+                "families_total": len(plans),
+                "families_pruned": context.families_pruned,
+                "clauses_exported": 0,
+                "clauses_imported": 0,
+                "clause_sharing": 0,
+                "family_pruning": int(mapper.prune_families),
+            },
         )
 
     # ------------------------------------------------------------------

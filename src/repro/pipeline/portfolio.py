@@ -58,6 +58,11 @@ class PortfolioMapper:
         time_limit: Wall-clock budget of the SAT stage in seconds.
         conflict_limit: Per-solver-call conflict budget of the SAT stage.
         decompose_swaps: Emit SWAPs as their 7-gate decomposition (default).
+        share_clauses: Forwarded to the SAT stage — cross-family clause
+            sharing and skeleton reuse during subset sweeps (see
+            :class:`~repro.exact.sat_mapper.SATMapper`).
+        prune_families: Forwarded to the SAT stage — lower-bound family
+            pruning during subset sweeps.
         heuristic: Registry name of the bound-providing heuristic engine
             (default ``"sabre"``).
         heuristic_options: Extra constructor options for the heuristic.
@@ -86,6 +91,8 @@ class PortfolioMapper:
         time_limit: Optional[float] = None,
         conflict_limit: Optional[int] = None,
         decompose_swaps: bool = True,
+        share_clauses: bool = True,
+        prune_families: bool = True,
         heuristic: str = "sabre",
         heuristic_options: Optional[Dict[str, Any]] = None,
     ):
@@ -110,6 +117,8 @@ class PortfolioMapper:
                 time_limit=time_limit,
                 conflict_limit=conflict_limit,
                 decompose_swaps=decompose_swaps,
+                share_clauses=share_clauses,
+                prune_families=prune_families,
             )
 
         if self.optimizer == "race":

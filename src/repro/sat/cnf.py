@@ -9,7 +9,7 @@ the mapping encodings much easier.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 Literal = int
 
@@ -55,6 +55,38 @@ class VariablePool:
     def name(self, var: int) -> str:
         """The name of *var* (falls back to ``v<index>``)."""
         return self._names.get(abs(var), f"v{abs(var)}")
+
+    def fork(self) -> "VariablePool":
+        """An independent copy of this pool (same allocations and names).
+
+        Used to instantiate a cached encoding skeleton: the copy continues
+        allocating from where the template stopped, without the template
+        ever observing the new variables.
+        """
+        clone = VariablePool()
+        clone._next = self._next
+        clone._names = dict(self._names)
+        return clone
+
+    def append_block(self, count: int, names: Mapping[int, str]) -> None:
+        """Allocate *count* variables at once with pre-computed names.
+
+        The block-substitution fast path of
+        :func:`repro.exact.encoding.build_encoding` re-bases a cached block
+        of variables onto this pool; *names* must already use the final
+        (shifted) indices, all within the newly allocated range.
+        """
+        if count < 0:
+            raise CNFError("cannot append a negative variable block")
+        start = self._next
+        self._next += count
+        for var, name in names.items():
+            if not start <= var < self._next:
+                raise CNFError(
+                    f"block name for variable {var} outside the appended "
+                    f"range [{start}, {self._next - 1}]"
+                )
+            self._names[var] = name
 
     def describe_literal(self, literal: Literal) -> str:
         """Human-readable form of a literal, e.g. ``!x`` for ``-1``."""

@@ -85,7 +85,8 @@ class OptimizationResult:
         elapsed_seconds: Wall-clock time spent.
         statistics: Incremental-session counters for this run (bound-ladder
             node reuse, assumption solves, learned-clause retention,
-            ``fresh_solver``) plus strategy counters: ``descent_iterations``
+            ``propagations``, ``fresh_solver``) plus strategy counters:
+            ``descent_iterations``
             (solver calls that produced a model), ``model_seeded`` (an
             initial incumbent was used), and for the core-guided strategy
             ``cores_found`` / ``core_literals_relaxed`` /
@@ -124,17 +125,23 @@ class _SessionRun:
         self.session = session
         self.fresh = fresh
         self._start_conflicts = session.conflicts
+        self._start_propagations = session.propagations
         self._start_stats = dict(session.statistics)
 
     @property
     def conflicts(self) -> int:
         return self.session.conflicts - self._start_conflicts
 
+    @property
+    def propagations(self) -> int:
+        return self.session.propagations - self._start_propagations
+
     def statistics(self) -> Dict[str, int]:
         stats = {
             key: self.session.statistics[key] - self._start_stats.get(key, 0)
             for key in self.session.statistics
         }
+        stats["propagations"] = self.propagations
         stats["learned_clauses_retained"] = self.session.learned_clauses
         stats["fresh_solver"] = int(self.fresh)
         return stats

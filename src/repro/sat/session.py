@@ -31,7 +31,7 @@ re-solved from scratch) the whole instance for every bound probe.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sat.cnf import CNF, Literal
 from repro.sat.pb import evaluate_pb
@@ -61,6 +61,10 @@ class SolveSession:
 
     def __init__(self, cnf: CNF, objective: Sequence[Tuple[int, Literal]]):
         self._pool = cnf.pool
+        # Variables at or below this index belong to the formula itself;
+        # everything above is session-local (bound-ladder nodes) and never
+        # crosses session boundaries via export_learned().
+        self._formula_var_limit = cnf.num_vars
         self.solver = CDCLSolver()
         self.solver.add_cnf(cnf)
         self._terms: List[Tuple[int, Literal]] = []
@@ -93,6 +97,9 @@ class SolveSession:
             "bound_nodes_reused": 0,
             "bound_clauses_added": 0,
             "phase_seeds": 0,
+            "clauses_exported": 0,
+            "clauses_imported": 0,
+            "import_clauses_dropped": 0,
         }
 
     # ------------------------------------------------------------------
@@ -105,6 +112,11 @@ class SolveSession:
     def conflicts(self) -> int:
         """Cumulative solver conflicts over the session's lifetime."""
         return self.solver.statistics["conflicts"]
+
+    @property
+    def propagations(self) -> int:
+        """Cumulative unit propagations over the session's lifetime."""
+        return self.solver.statistics["propagations"]
 
     @property
     def learned_clauses(self) -> int:
@@ -210,6 +222,9 @@ class SolveSession:
                 if self._committed_bound is None or bound < self._committed_bound:
                     self._committed_bound = bound
                     if selector is not None:
+                        # A committed bound is not implied by the formula, so
+                        # clauses learned after it must never be exported.
+                        self.solver.freeze_exports()
                         self.solver.add_clause([selector])
                         self.statistics["committed_bounds"] += 1
             else:
@@ -304,8 +319,80 @@ class SolveSession:
 
     # ------------------------------------------------------------------
     def add_clause(self, literals: Sequence[Literal]) -> None:
-        """Add a permanent clause to the live solver (between solves)."""
+        """Add a permanent clause to the live solver (between solves).
+
+        The clause is treated as a caller-asserted *strengthening* (not
+        necessarily implied by the original formula), so learned-clause
+        exports are frozen at this point — see ``CDCLSolver.freeze_exports``.
+        """
+        self.solver.freeze_exports()
         self.solver.add_clause(literals)
+
+    def export_learned(
+        self,
+        max_size: Optional[int] = None,
+        var_ok: Optional[Callable[[int], bool]] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Learned clauses of the live solver that are safe to share.
+
+        Bound-ladder variables are session-local and always excluded; pass
+        an additional *var_ok* predicate to restrict the export to layers
+        shared with the import target (for the mapping encodings: the x and
+        spot blocks, see :mod:`repro.exact.sweep`).  Clauses learned after a
+        committed bound are excluded automatically (they may depend on the
+        commit, see :meth:`solve_with_bound`).
+        """
+        limit = self._formula_var_limit
+        if var_ok is None:
+            allowed = lambda var: var <= limit  # noqa: E731
+        else:
+            allowed = lambda var: var <= limit and var_ok(var)  # noqa: E731
+        exported = self.solver.export_learned(max_size=max_size, var_ok=allowed)
+        self.statistics["clauses_exported"] += len(exported)
+        return exported
+
+    def import_clauses(
+        self,
+        clauses: Iterable[Sequence[Literal]],
+        remap: Optional[Mapping[int, int]] = None,
+    ) -> int:
+        """Inject externally learned clauses into the live solver.
+
+        Args:
+            clauses: Clause literal tuples (in the *source* instance's
+                variable numbering when *remap* is given).
+            remap: Source-variable to target-variable translation table; a
+                clause mentioning any unmapped variable is dropped (counted
+                as ``import_clauses_dropped``).  ``None`` means the clauses
+                already use this session's numbering.
+
+        The caller is responsible for the (remapped) clauses being implied
+        by this session's formula; see
+        :func:`repro.exact.sweep.clause_is_implied` for the debug check.
+
+        Returns:
+            The number of clauses actually added (after dedupe).
+        """
+        ready: List[Tuple[int, ...]] = []
+        for literals in clauses:
+            if remap is None:
+                ready.append(tuple(literals))
+                continue
+            mapped: List[int] = []
+            ok = True
+            for literal in literals:
+                target = remap.get(abs(literal))
+                if target is None:
+                    ok = False
+                    break
+                mapped.append(target if literal > 0 else -target)
+            if ok:
+                ready.append(tuple(mapped))
+            else:
+                self.statistics["import_clauses_dropped"] += 1
+        added = self.solver.import_clauses(ready)
+        self.statistics["clauses_imported"] += added
+        return added
 
     def model(self) -> Dict[int, bool]:
         """The model of the last successful solve (see ``CDCLSolver.model``)."""

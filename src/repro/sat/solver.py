@@ -24,7 +24,14 @@ modern architecture:
   the conflict is available (MiniSat's ``analyzeFinal``) — re-asserting
   just that subset is still unsatisfiable,
 * phase seeding (``seed_phases()``): a known (partial) assignment can be
-  installed as the saved phases, steering the next search toward it.
+  installed as the saved phases, steering the next search toward it,
+* learned-clause export/import (``export_learned()`` / ``import_clauses()``):
+  learned clauses are consequences of the *formula alone* (assumptions enter
+  conflict analysis as pseudo-decisions, never as antecedents), so they can
+  be handed to another solver whose formula implies this one's — subject to
+  the export boundary set by ``freeze_exports()``, which marks the point
+  after which permanent clauses were added that later learned clauses may
+  depend on.
 
 The solver accepts and returns literals in DIMACS convention (positive /
 negative integers, variables numbered from 1).
@@ -34,7 +41,7 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sat.cnf import CNF, Literal
 
@@ -55,12 +62,16 @@ class _Clause:
     reorders a clause whose first literal is satisfied).
     """
 
-    __slots__ = ("literals", "learned", "activity")
+    __slots__ = ("literals", "learned", "activity", "seq")
 
-    def __init__(self, literals: List[int], learned: bool = False):
+    def __init__(self, literals: List[int], learned: bool = False, seq: int = -1):
         self.literals = literals
         self.learned = learned
         self.activity = 0.0
+        # Monotone id of a learned clause (-1 for problem clauses); used by
+        # export_learned() to honour the freeze_exports() boundary even after
+        # _reduce_learned() has dropped or reordered clauses.
+        self.seq = seq
 
 
 class CDCLSolver:
@@ -98,12 +109,21 @@ class CDCLSolver:
         self._unsat = False
         self._pending_units: List[int] = []
         self._last_core: Tuple[int, ...] = ()
+        self._learned_seq = 0
+        self._export_boundary: Optional[int] = None
+        # Learned unit clauses (seq, literal): implied by the formula alone,
+        # the strongest clauses to share, but they live on the trail rather
+        # than in self._learned, so they are recorded separately.
+        self._learned_units: List[Tuple[int, int]] = []
+        self._import_keys: set = set()
         self.statistics: Dict[str, int] = {
             "conflicts": 0,
             "decisions": 0,
             "propagations": 0,
             "restarts": 0,
             "learned_deleted": 0,
+            "clauses_imported": 0,
+            "import_duplicates": 0,
         }
         if cnf is not None:
             self.add_cnf(cnf)
@@ -206,17 +226,30 @@ class CDCLSolver:
     # Unit propagation
     # ------------------------------------------------------------------
     def _propagate(self) -> Optional[_Clause]:
-        """Propagate all enqueued assignments.  Returns a conflicting clause or None."""
-        while self._propagation_head < len(self._trail):
-            literal = self._trail[self._propagation_head]
+        """Propagate all enqueued assignments.  Returns a conflicting clause or None.
+
+        This is the solver's hottest loop (the large majority of the wall
+        clock on the mapping encodings), so attribute lookups are hoisted
+        into locals and ``_value``/``_enc`` are inlined: every assignment
+        read works directly on the ``_assign`` list.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        propagations = 0
+        while self._propagation_head < len(trail):
+            literal = trail[self._propagation_head]
             self._propagation_head += 1
-            self.statistics["propagations"] += 1
-            watch_index = self._enc(literal)
-            watchers = self._watches[watch_index]
+            propagations += 1
+            # Inlined _enc(literal).
+            watch_index = 2 * literal if literal > 0 else -2 * literal + 1
+            watchers = watches[watch_index]
             new_watchers: List[_Clause] = []
+            new_append = new_watchers.append
             conflict: Optional[_Clause] = None
             i = 0
-            while i < len(watchers):
+            num_watchers = len(watchers)
+            while i < num_watchers:
                 clause = watchers[i]
                 i += 1
                 lits = clause.literals
@@ -224,30 +257,41 @@ class CDCLSolver:
                 if lits[0] == -literal:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._value(first) is True:
-                    new_watchers.append(clause)
+                # Inlined _value(first) is True.
+                value = assign[first] if first > 0 else assign[-first]
+                if value is not None and (value if first > 0 else not value):
+                    new_append(clause)
                     continue
                 # Look for a new literal to watch.
                 found = False
                 for k in range(2, len(lits)):
-                    if self._value(lits[k]) is not False:
+                    other = lits[k]
+                    value = assign[other] if other > 0 else assign[-other]
+                    if value is None or (value if other > 0 else not value):
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[self._enc(-lits[1])].append(clause)
+                        moved = lits[1]
+                        # Inlined _enc(-moved).
+                        watches[
+                            2 * moved + 1 if moved > 0 else -2 * moved
+                        ].append(clause)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting; keep watching the false literal.
-                new_watchers.append(clause)
-                if self._value(first) is False:
+                new_append(clause)
+                value = assign[first] if first > 0 else assign[-first]
+                if value is not None and not (value if first > 0 else not value):
                     new_watchers.extend(watchers[i:])
                     conflict = clause
                     break
                 self._enqueue(first, clause)
-            self._watches[watch_index] = new_watchers
+            watches[watch_index] = new_watchers
             if conflict is not None:
-                self._propagation_head = len(self._trail)
+                self.statistics["propagations"] += propagations
+                self._propagation_head = len(trail)
                 return conflict
+        self.statistics["propagations"] += propagations
         return None
 
     # ------------------------------------------------------------------
@@ -491,10 +535,13 @@ class CDCLSolver:
                     return SolverResult.UNSAT
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)
+                seq = self._learned_seq
+                self._learned_seq += 1
                 if len(learned) == 1:
+                    self._learned_units.append((seq, learned[0]))
                     self._enqueue(learned[0], None)
                 else:
-                    clause = _Clause(list(learned), learned=True)
+                    clause = _Clause(list(learned), learned=True, seq=seq)
                     self._learned.append(clause)
                     self._attach(clause)
                     self._bump_clause(clause)
@@ -590,6 +637,111 @@ class CDCLSolver:
                 raise ValueError("variables must be positive")
             self._ensure_var(var)
             self._phase[var] = bool(value)
+
+    # ------------------------------------------------------------------
+    # Learned-clause export / import (cross-instance clause sharing)
+    # ------------------------------------------------------------------
+    def freeze_exports(self) -> None:
+        """Stop exporting clauses learned from this point on.
+
+        Call this when a permanent clause is added that is *not* implied by
+        the original formula (for example a committed objective bound):
+        clauses learned afterwards may depend on it, so they are no longer
+        consequences of the formula alone and must not be exported into
+        other instances.  The earliest freeze wins; clauses learned before
+        it stay exportable forever.
+        """
+        if self._export_boundary is None:
+            self._export_boundary = self._learned_seq
+
+    def export_learned(
+        self,
+        max_size: Optional[int] = None,
+        var_ok: Optional[Callable[[int], bool]] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Learned clauses implied by the formula alone, oldest first.
+
+        Only clauses learned before the :meth:`freeze_exports` boundary are
+        returned (all of them when no freeze happened).  Learned *units* are
+        included — they are the strongest facts the search produced.
+
+        Args:
+            max_size: Skip clauses with more literals than this (short
+                clauses prune the most per literal; ``None`` = no filter).
+            var_ok: Predicate over variable indices; a clause is exported
+                only when every variable it mentions passes (used to
+                restrict the export to layers shared with the import
+                target; ``None`` = no filter).
+
+        Returns:
+            Clause literal tuples, ordered by learning sequence.
+        """
+        boundary = self._export_boundary
+        exported: List[Tuple[int, Tuple[int, ...]]] = []
+        for seq, literal in self._learned_units:
+            if boundary is not None and seq >= boundary:
+                continue
+            if var_ok is not None and not var_ok(abs(literal)):
+                continue
+            exported.append((seq, (literal,)))
+        for clause in self._learned:
+            if boundary is not None and clause.seq >= boundary:
+                continue
+            literals = clause.literals
+            if max_size is not None and len(literals) > max_size:
+                continue
+            if var_ok is not None and not all(var_ok(abs(l)) for l in literals):
+                continue
+            exported.append((clause.seq, tuple(literals)))
+        exported.sort(key=lambda item: item[0])
+        return [literals for _, literals in exported]
+
+    def import_clauses(self, clauses: Iterable[Sequence[int]]) -> int:
+        """Add externally learned clauses (deduplicated) as learned clauses.
+
+        The caller is responsible for every clause being *implied* by this
+        solver's formula — imports must never change the set of models (see
+        :func:`repro.exact.sweep.clause_is_implied` for the debug check).
+        Duplicates — within the batch and across earlier imports — are
+        skipped, as are tautologies.
+
+        Returns:
+            The number of clauses actually added.
+        """
+        added = 0
+        for literals in clauses:
+            unique: List[int] = []
+            seen: set = set()
+            tautology = False
+            for literal in literals:
+                if literal == 0:
+                    raise ValueError("0 is not a valid literal")
+                if literal in seen:
+                    continue
+                if -literal in seen:
+                    tautology = True
+                    break
+                seen.add(literal)
+                unique.append(literal)
+            if tautology or not unique:
+                continue
+            key = frozenset(unique)
+            if key in self._import_keys:
+                self.statistics["import_duplicates"] += 1
+                continue
+            self._import_keys.add(key)
+            for literal in unique:
+                self._ensure_var(abs(literal))
+            if len(unique) == 1:
+                self._pending_units.append(unique[0])
+            else:
+                clause = _Clause(unique, learned=True, seq=self._learned_seq)
+                self._learned_seq += 1
+                self._learned.append(clause)
+                self._attach(clause)
+            added += 1
+            self.statistics["clauses_imported"] += 1
+        return added
 
 
 __all__ = ["CDCLSolver", "SolverResult"]

@@ -109,8 +109,12 @@ class TestSubsetFamilies:
             assert group == sorted(group)
 
     def test_family_reuse_in_sequential_sweep(self):
+        # With pruning disabled, both families are solved and their second
+        # members are mirrored for free (the PR 3 baseline behaviour).
         circuit = paper_example_cnot_skeleton()
-        result = SATMapper(ibm_qx4(), use_subsets=True).map(circuit)
+        result = SATMapper(
+            ibm_qx4(), use_subsets=True, prune_families=False
+        ).map(circuit)
         stats = result.statistics
         assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
         assert stats["subsets_tried"] == 4
@@ -119,6 +123,20 @@ class TestSubsetFamilies:
         # Only the solved instances spend solver iterations.
         assert stats["solver_iterations"] > 0
         assert stats["session_solve_calls"] == stats["solver_iterations"]
+
+    def test_family_pruning_skips_second_family_entirely(self):
+        # With pruning on, the second family's structural reversal bound (4)
+        # already exceeds the incumbent-derived bound (3): it is skipped
+        # without a single solver call, same proven minimum.
+        circuit = paper_example_cnot_skeleton()
+        result = SATMapper(ibm_qx4(), use_subsets=True).map(circuit)
+        stats = result.statistics
+        assert result.added_cost == PAPER_EXAMPLE_MINIMAL_COST
+        assert stats["subsets_tried"] == 4
+        assert stats["subsets_solved"] == 1
+        assert stats["family_reuses"] == 1
+        assert stats["subsets_pruned"] == 2
+        assert stats["families_pruned"] == 1
 
     def test_family_reuse_matches_unshared_objective(self):
         # Cross-check: each subset solved independently (no family sharing)
