@@ -43,6 +43,8 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -54,13 +56,17 @@ from repro.benchlib.paper_example import paper_example_cnot_skeleton
 from repro.exact.encoding import clear_skeleton_cache
 from repro.exact.sat_mapper import SATMapper
 from repro.pipeline.portfolio import PortfolioMapper
+from repro.sat.solver import solver_backend_provenance
 
 
 #: Seed bound for the *_seeded configs (the known minimum of the example).
 SEED_BOUND = 4
 
 #: Schema version of the entries appended to BENCH_sweep.json.
-BENCH_SWEEP_SCHEMA = 1
+#: v2 adds the ``environment`` stamp (python, platform, solver backend,
+#: git revision) so wall-clock history stays attributable across machines
+#: and backends; v1 entries remain valid (the stamp is additive).
+BENCH_SWEEP_SCHEMA = 2
 
 
 def _configs():
@@ -256,6 +262,28 @@ def check_sweeps(measurements, baseline):
     return failures
 
 
+def _environment_stamp() -> dict:
+    """Provenance of a recorded entry: interpreter, platform, backend, rev.
+
+    Wall-clock history is only comparable when the machine and the solver
+    backend are known; every entry records where its numbers came from.
+    """
+    stamp = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    stamp.update(solver_backend_provenance())
+    try:
+        stamp["git_revision"] = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        stamp["git_revision"] = "unknown"
+    return stamp
+
+
 def record_entry(sweep_on, sweep_off, path: Path) -> dict:
     """Append one schema-versioned sweep entry to BENCH_sweep.json."""
     wall_on = round(sum(m["wall_seconds"] for m in sweep_on.values()), 4)
@@ -265,6 +293,7 @@ def record_entry(sweep_on, sweep_off, path: Path) -> dict:
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "benchmark": "subset sweeps (paper example + Table-1 3-qubit, "
                      "ibm_qx4 + sweep_grid8)",
+        "environment": _environment_stamp(),
         "configs": sweep_on,
         "ablation_configs": sweep_off,
         "wall_seconds_total": wall_on,

@@ -1,11 +1,64 @@
-"""Setup shim.
+"""Setup shim, plus the optional compiled-solver-backend build.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-the package can be installed in editable mode on machines whose setuptools
-predates PEP-660 editable wheels (and in fully offline environments via
+The project metadata lives in ``pyproject.toml`` where present; this file
+keeps editable installs working on machines whose setuptools predates
+PEP-660 editable wheels (and in fully offline environments via
 ``pip install -e . --no-build-isolation --no-use-pep517``).
+
+Setting ``REPRO_BUILD_COMPILED=1`` additionally builds the *compiled*
+solver backend: the CDCL core ``src/repro/sat/_solver_core.py`` is copied
+to ``_solver_core_c.py`` and compiled to a native extension
+(``repro.sat._solver_core_c``) with Cython when available, else mypyc.
+Because the extension is built from the identical source, it produces
+bit-for-bit identical models and statistics counters — it is selected (or
+skipped, with a provenance note) at import time via
+``REPRO_SOLVER_BACKEND=auto|pure|compiled``; see ``repro/sat/_backend.py``
+and the README's "Solver internals" section.
+
+Typical invocation::
+
+    REPRO_BUILD_COMPILED=1 python setup.py build_ext --inplace
 """
+
+import os
+import shutil
+from pathlib import Path
 
 from setuptools import setup
 
-setup()
+
+def _compiled_backend_extensions():
+    """Extension modules for the compiled solver backend, or ``[]``.
+
+    The build is strictly opt-in (``REPRO_BUILD_COMPILED=1``): default
+    installs must keep working on machines without a C toolchain, Cython or
+    mypy — the pure backend is always available.
+    """
+    if os.environ.get("REPRO_BUILD_COMPILED") != "1":
+        return []
+    here = Path(__file__).parent
+    source = here / "src" / "repro" / "sat" / "_solver_core.py"
+    copy = here / "src" / "repro" / "sat" / "_solver_core_c.py"
+    # The compiled module must coexist with the interpreted one so both
+    # backends stay importable side by side (differential tests); compile a
+    # generated copy under the _c name instead of shadowing the original.
+    shutil.copyfile(source, copy)
+    try:
+        from Cython.Build import cythonize
+
+        return cythonize([str(copy)], language_level=3)
+    except ImportError:
+        pass
+    try:
+        from mypyc.build import mypycify
+
+        return mypycify([str(copy)])
+    except ImportError:
+        raise RuntimeError(
+            "REPRO_BUILD_COMPILED=1 requires Cython or mypy (for mypyc) to "
+            "be installed; unset it to install with the pure-Python solver "
+            "backend only"
+        )
+
+
+setup(ext_modules=_compiled_backend_extensions())

@@ -159,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
         "by cumulative time to stderr (future perf work starts from data, "
         "not guesses)",
     )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="with --profile, additionally dump the full pstats data to "
+        "FILE for offline analysis (python -m pstats FILE, snakeviz, ...); "
+        "implies --profile",
+    )
     return parser
 
 
@@ -250,11 +256,14 @@ def _activate_cache_dir(cache_dir: Optional[str]) -> Optional[str]:
     return get_cache_dir()
 
 
-def _profiled_map(pipeline: MappingPipeline, circuit):
+def _profiled_map(pipeline: MappingPipeline, circuit, profile_out=None):
     """Map *circuit* under cProfile; print the top functions to stderr.
 
     The report goes to stderr so the normal result summary on stdout stays
-    machine-parseable.
+    machine-parseable.  When *profile_out* is given, the full pstats data is
+    additionally dumped there (loadable with ``python -m pstats FILE`` or
+    any pstats viewer) — the top-20 summary only shows where time went,
+    the dump lets callers drill into callers/callees offline.
     """
     import cProfile
     import io
@@ -272,6 +281,10 @@ def _profiled_map(pipeline: MappingPipeline, circuit):
         print("--- cProfile: top 20 functions by cumulative time ---",
               file=sys.stderr)
         print(stream.getvalue(), file=sys.stderr, end="")
+        if profile_out is not None:
+            stats.dump_stats(profile_out)
+            print(f"full profile data written to {profile_out}",
+                  file=sys.stderr)
     return result
 
 
@@ -349,8 +362,8 @@ def _run_map(argv: Sequence[str]) -> int:
         from repro.exact.sat_mapper import SATMapperError
 
         try:
-            if args.profile:
-                result = _profiled_map(pipeline, circuit)
+            if args.profile or args.profile_out:
+                result = _profiled_map(pipeline, circuit, args.profile_out)
             else:
                 result = pipeline.map(circuit)
         except SATMapperError as error:

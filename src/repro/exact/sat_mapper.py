@@ -78,6 +78,7 @@ from repro.sat.optimize import (
     resolve_optimizer_name,
 )
 from repro.sat.session import SolveSession
+from repro.sat.solver import solver_backend_provenance
 
 #: Longest learned clause exported across subset families (short clauses
 #: prune the most per imported literal; long ones mostly cost propagation).
@@ -999,6 +1000,10 @@ class SATMapper:
         if core_lower_bound:
             statistics["core_lower_bound"] = core_lower_bound
         statistics["optimizer"] = self.optimizer_strategy
+        # Backend provenance: which CDCL implementation (pure / compiled)
+        # produced these counters.  Counters are bit-identical across
+        # backends; wall-clock numbers are not, so perf records need this.
+        statistics.update(solver_backend_provenance())
         if best.core_labels:
             statistics["final_core"] = list(best.core_labels)
         if upper_bound is not None:

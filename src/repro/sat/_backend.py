@@ -1,0 +1,176 @@
+"""Solver backend selection (``REPRO_SOLVER_BACKEND=auto|pure|compiled``).
+
+The CDCL core (:mod:`repro.sat._solver_core`) runs either interpreted (the
+*pure* backend, always available) or as a native extension compiled from the
+identical source (the *compiled* backend, ``repro.sat._solver_core_c``,
+built by ``setup.py`` when Cython or mypyc is installed — see the README's
+"Solver internals" section).  Because both backends execute the same code,
+they produce identical models and identical ``conflicts`` / ``decisions`` /
+``propagations`` counters; the differential tests assert this.
+
+Selection happens once, at first import of :mod:`repro.sat.solver`:
+
+``auto`` (default)
+    Use the compiled extension when present, otherwise fall back to pure
+    silently (the provenance note still records that no extension was
+    found).
+``pure``
+    Always use the interpreted core, even when the extension is built.
+``compiled``
+    Use the extension; when it is missing or is not actually a native
+    module, fall back to pure with an explicit provenance note (mapping
+    keeps working — results are identical either way).
+
+Any other value falls back to ``auto`` with a warning rather than breaking
+imports.  :func:`backend_provenance` exposes the outcome; the SAT mapper
+copies it into its result statistics and the perf benchmarks stamp it into
+``BENCH_sweep.json`` entries so perf history stays attributable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import warnings
+from types import ModuleType
+from typing import Dict, Optional, Tuple
+
+_ENV_VAR = "REPRO_SOLVER_BACKEND"
+_VALID = ("auto", "pure", "compiled")
+_COMPILED_MODULE = "repro.sat._solver_core_c"
+_NATIVE_SUFFIXES = (".so", ".pyd", ".dylib")
+
+
+class SolverBackend:
+    """The resolved solver backend: name, the module, and how we got here."""
+
+    __slots__ = ("name", "requested", "note", "module")
+
+    def __init__(
+        self,
+        name: str,
+        requested: str,
+        note: Optional[str],
+        module: ModuleType,
+    ):
+        self.name = name
+        self.requested = requested
+        self.note = note
+        self.module = module
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SolverBackend(name={self.name!r}, requested={self.requested!r})"
+
+
+def _load_compiled() -> Tuple[Optional[ModuleType], Optional[str]]:
+    """Import the compiled core; returns ``(module, why_not)``."""
+    try:
+        module = importlib.import_module(_COMPILED_MODULE)
+    except ImportError:
+        return None, f"compiled backend not built ({_COMPILED_MODULE} missing)"
+    path = getattr(module, "__file__", "") or ""
+    if not path.endswith(_NATIVE_SUFFIXES):
+        # A stray interpreted copy (e.g. the build-time source shadowing a
+        # missing extension) would behave identically but would not be
+        # "compiled"; refuse it so provenance stays truthful.
+        return None, (
+            f"{_COMPILED_MODULE} is not a native extension "
+            f"(found {path or 'no file'}); run the optional build first"
+        )
+    return module, None
+
+
+def requested_backend() -> str:
+    """The backend named by ``REPRO_SOLVER_BACKEND`` (default ``auto``)."""
+    raw = os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+    if raw not in _VALID:
+        warnings.warn(
+            f"{_ENV_VAR}={raw!r} is not one of {'/'.join(_VALID)}; "
+            "treating it as 'auto'",
+            stacklevel=2,
+        )
+        return "auto"
+    return raw
+
+
+def select_backend(requested: Optional[str] = None) -> SolverBackend:
+    """Resolve *requested* (default: the environment) to a usable backend."""
+    if requested is None:
+        requested = requested_backend()
+    elif requested not in _VALID:
+        raise ValueError(
+            f"unknown solver backend {requested!r} (expected one of {_VALID})"
+        )
+    note: Optional[str] = None
+    if requested in ("auto", "compiled"):
+        module, why_not = _load_compiled()
+        if module is not None:
+            return SolverBackend("compiled", requested, None, module)
+        if requested == "compiled":
+            note = f"{_ENV_VAR}=compiled requested but {why_not}; using pure"
+        else:
+            note = why_not
+    pure = importlib.import_module("repro.sat._solver_core")
+    return SolverBackend("pure", requested, note, pure)
+
+
+def backend_module(name: str) -> Optional[ModuleType]:
+    """The core module of backend *name*, or ``None`` when unavailable.
+
+    Used by the differential tests to pit both backends against each other
+    regardless of what ``REPRO_SOLVER_BACKEND`` selected for the process.
+    """
+    if name == "pure":
+        return importlib.import_module("repro.sat._solver_core")
+    if name == "compiled":
+        module, _ = _load_compiled()
+        return module
+    raise ValueError(f"unknown solver backend {name!r}")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends importable right now (pure is always there)."""
+    names = ["pure"]
+    if _load_compiled()[0] is not None:
+        names.append("compiled")
+    return tuple(names)
+
+
+_ACTIVE: Optional[SolverBackend] = None
+
+
+def active_backend() -> SolverBackend:
+    """The process-wide backend, resolved once on first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = select_backend()
+    return _ACTIVE
+
+
+def backend_provenance() -> Dict[str, str]:
+    """Provenance of the active backend for statistics and bench records.
+
+    Always contains ``solver_backend`` (``pure`` or ``compiled``) and
+    ``solver_backend_requested``; contains ``solver_backend_note`` when the
+    selection fell back or has something worth recording (e.g. ``compiled``
+    was requested but the extension is absent).
+    """
+    backend = active_backend()
+    provenance = {
+        "solver_backend": backend.name,
+        "solver_backend_requested": backend.requested,
+    }
+    if backend.note:
+        provenance["solver_backend_note"] = backend.note
+    return provenance
+
+
+__all__ = [
+    "SolverBackend",
+    "active_backend",
+    "available_backends",
+    "backend_module",
+    "backend_provenance",
+    "requested_backend",
+    "select_backend",
+]

@@ -1,0 +1,23 @@
+"""The solver outcome enum, shared by every solver backend.
+
+``SolverResult`` lives in its own (never compiled) module so that the pure
+and the compiled solver backends hand out the *same* enum instances: code
+all over the repository compares results with ``is`` / ``==`` against
+``SolverResult.SAT`` imported from :mod:`repro.sat.solver`, which must keep
+working no matter which backend produced the value.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolverResult(enum.Enum):
+    """Outcome of a ``solve()`` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+__all__ = ["SolverResult"]

@@ -1,0 +1,981 @@
+"""The CDCL solver core: flat clause arena, watched literals, VSIDS heap.
+
+This module is the implementation behind :class:`repro.sat.solver.CDCLSolver`.
+It exists in two interchangeable forms: imported directly (the *pure* Python
+backend) or compiled to a native extension (the *compiled* backend, built as
+``repro.sat._solver_core_c`` by ``setup.py`` when Cython or mypyc is
+available).  Both forms execute the identical source, so models and the
+``conflicts`` / ``decisions`` / ``propagations`` counters are bit-for-bit
+identical between backends — the differential tests and the perf-smoke pins
+enforce this.
+
+Data layout (the "flat clause arena")
+-------------------------------------
+
+Clauses are not objects.  All clause data lives in one flat ``list[int]``,
+``_arena``; a *clause reference* (cref) is the arena offset of the clause's
+first literal, preceded by a two-int header::
+
+    _arena[cref - 2]   number of literals
+    _arena[cref - 1]   learned sequence id (-1 for problem clauses)
+    _arena[cref + k]   literal k (DIMACS convention)
+
+The hottest loop (:meth:`CDCLSolver._propagate`) therefore touches only flat
+``list`` indexing — no attribute lookups, no per-clause Python objects, and
+watch lists are plain ``list[int]`` of crefs compacted in place instead of
+being reallocated per propagated literal.  Watched literals always sit at
+positions 0 and 1; while a clause is the *reason* of an assignment the
+implied literal sits at position 0 (the invariant conflict analysis relies
+on).  Learned-clause activities live in a side dict keyed by cref (touched
+only during conflict analysis, never during propagation).  Deleting learned
+clauses leaves garbage in the arena; when more than half the arena is
+garbage it is compacted and every cref (watch lists, reasons on the trail,
+clause lists, activities) is remapped.
+
+Branching (the "VSIDS order heap")
+----------------------------------
+
+``_pick_branch_variable`` used to scan all variables linearly on every
+decision.  It now pops from an *indexed binary max-heap* ordered by
+``(activity, -var)`` — exactly the argmax the linear scan computed, so the
+decision sequence is unchanged.  Assigned variables are removed lazily (pop
+and discard), unassigned variables re-enter the heap during backtracking,
+and activity bumps sift in place.  Because a VSIDS rescale multiplies every
+activity by the same constant, it can only *collapse* unequal activities
+into ties (never reorder), so the heap is rebuilt after each rescale to keep
+the tie-break-by-variable order exact.  ``benchmarks/micro_solver.py
+branching`` replays a recorded churn profile against the rejected designs
+(linear scan, lazy ``heapq``) to justify this one.
+
+The public API and the search behaviour (first-UIP learning, phase saving,
+Luby restarts, assumption handling, export/import seq boundaries, learned
+clause reduction) are documented on :mod:`repro.sat.solver`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sat._result import SolverResult
+from repro.sat.cnf import CNF, Literal
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning SAT solver (flat-arena core).
+
+    Example:
+        >>> solver = CDCLSolver()
+        >>> solver.add_clause([1, 2])
+        >>> solver.add_clause([-1, 2])
+        >>> solver.solve()
+        <SolverResult.SAT: 'sat'>
+        >>> solver.model()[2]
+        True
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None):
+        self._num_vars = 0
+        # Indexed by variable (1-based): None / True / False.
+        self._assign: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        # Reason cref per variable; 0 = decision / assumption / no reason.
+        self._reason: List[int] = [0]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        # Flat clause storage; see the module docstring for the layout.
+        self._arena: List[int] = []
+        self._arena_waste = 0
+        self._clauses: List[int] = []
+        self._learned: List[int] = []
+        self._cla_act: Dict[int, float] = {}
+        # Watch lists indexed by encoded literal (2v for +v, 2v+1 for -v),
+        # holding crefs of clauses watching the literal's negation.
+        self._watches: List[List[int]] = [[], []]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._propagation_head = 0
+        # VSIDS order heap: _heap holds variables, _heap_pos maps a variable
+        # to its heap index (-1 when absent).  Invariant: every unassigned
+        # variable is in the heap (assigned ones may linger and are skipped).
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
+        # Scratch for conflict analysis (persistent to avoid per-conflict
+        # allocation; always all-zero between calls).
+        self._seen = bytearray(1)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._unsat = False
+        self._pending_units: List[int] = []
+        self._last_core: Tuple[int, ...] = ()
+        self._learned_seq = 0
+        self._export_boundary: Optional[int] = None
+        # Learned unit clauses (seq, literal): implied by the formula alone,
+        # the strongest clauses to share, but they live on the trail rather
+        # than in self._learned, so they are recorded separately.
+        self._learned_units: List[Tuple[int, int]] = []
+        self._import_keys: set = set()
+        self.statistics: Dict[str, int] = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned_deleted": 0,
+            "clauses_imported": 0,
+            "import_duplicates": 0,
+        }
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def _ensure_var(self, var: int) -> None:
+        """Grow every per-variable array to cover *var* (batched).
+
+        Encodings allocate thousands of variables at once (``add_cnf``
+        ensures the pool's maximum up front), so growth happens in one
+        ``extend`` per array instead of one append per variable.
+        """
+        num = self._num_vars
+        if var <= num:
+            return
+        grow = var - num
+        self._num_vars = var
+        self._assign.extend([None] * grow)
+        self._level.extend([0] * grow)
+        self._reason.extend([0] * grow)
+        self._activity.extend([0.0] * grow)
+        self._phase.extend([False] * grow)
+        self._seen.extend(b"\x00" * grow)
+        watches = self._watches
+        for _ in range(2 * grow):
+            watches.append([])
+        # New variables go straight to the bottom of the heap: their
+        # activity (0.0) is minimal and their index exceeds every variable
+        # already present, so the (activity, -var) heap property holds
+        # without sifting.
+        heap = self._heap
+        self._heap_pos.extend(range(len(heap), len(heap) + grow))
+        heap.extend(range(num + 1, var + 1))
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add a clause (DIMACS literals).  May be called between solves."""
+        unique: List[int] = []
+        seen = set()
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if literal in seen:
+                continue
+            if -literal in seen:
+                return  # tautology, nothing to add
+            seen.add(literal)
+            unique.append(literal)
+            self._ensure_var(abs(literal))
+        if not unique:
+            self._unsat = True
+            return
+        if len(unique) == 1:
+            self._pending_units.append(unique[0])
+            return
+        cref = self._new_clause(unique, -1)
+        self._clauses.append(cref)
+        self._attach(cref)
+
+    def add_cnf(self, cnf: CNF) -> None:
+        """Add every clause of *cnf*."""
+        self._ensure_var(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause.literals)
+
+    @property
+    def num_vars(self) -> int:
+        """Highest variable index seen so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learned) clauses."""
+        return len(self._clauses)
+
+    @property
+    def num_learned(self) -> int:
+        """Number of learned clauses currently kept (persist across solves)."""
+        return len(self._learned)
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    def _new_clause(self, literals: List[int], seq: int) -> int:
+        """Append a clause to the arena; returns its cref."""
+        arena = self._arena
+        arena.append(len(literals))
+        arena.append(seq)
+        cref = len(arena)
+        arena.extend(literals)
+        return cref
+
+    @staticmethod
+    def _enc(literal: int) -> int:
+        """Encode a DIMACS literal as a watch-list index."""
+        var = abs(literal)
+        return 2 * var if literal > 0 else 2 * var + 1
+
+    def _value(self, literal: int) -> Optional[bool]:
+        value = self._assign[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def _attach(self, cref: int) -> None:
+        arena = self._arena
+        watches = self._watches
+        first = arena[cref]
+        second = arena[cref + 1]
+        # Inlined _enc(-first) / _enc(-second).
+        watches[2 * first + 1 if first > 0 else -2 * first].append(cref)
+        watches[2 * second + 1 if second > 0 else -2 * second].append(cref)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, literal: int, reason: int) -> bool:
+        """Assign *literal* true.  Returns False when it contradicts the trail."""
+        current = self._value(literal)
+        if current is not None:
+            return current
+        var = abs(literal)
+        self._assign[var] = literal > 0
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    # ------------------------------------------------------------------
+    # VSIDS order heap
+    # ------------------------------------------------------------------
+    # Max-heap ordered by (activity, -var): a sits above b when its activity
+    # is strictly larger, or equal with the smaller variable index — the
+    # exact argmax the old linear scan computed, so decisions are unchanged.
+    def _heap_sift_up(self, idx: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        act = self._activity
+        var = heap[idx]
+        a = act[var]
+        while idx > 0:
+            parent = (idx - 1) >> 1
+            pvar = heap[parent]
+            pa = act[pvar]
+            if a > pa or (a == pa and var < pvar):
+                heap[idx] = pvar
+                pos[pvar] = idx
+                idx = parent
+            else:
+                break
+        heap[idx] = var
+        pos[var] = idx
+
+    def _heap_sift_down(self, idx: int) -> None:
+        heap = self._heap
+        pos = self._heap_pos
+        act = self._activity
+        size = len(heap)
+        var = heap[idx]
+        a = act[var]
+        while True:
+            child = 2 * idx + 1
+            if child >= size:
+                break
+            cvar = heap[child]
+            ca = act[cvar]
+            right = child + 1
+            if right < size:
+                rvar = heap[right]
+                ra = act[rvar]
+                if ra > ca or (ra == ca and rvar < cvar):
+                    child = right
+                    cvar = rvar
+                    ca = ra
+            if ca > a or (ca == a and cvar < var):
+                heap[idx] = cvar
+                pos[cvar] = idx
+                idx = child
+            else:
+                break
+        heap[idx] = var
+        pos[var] = idx
+
+    def _heap_insert(self, var: int) -> None:
+        heap = self._heap
+        self._heap_pos[var] = len(heap)
+        heap.append(var)
+        self._heap_sift_up(len(heap) - 1)
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        pos = self._heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    def _heap_rebuild(self) -> None:
+        """Re-heapify after a rescale changed every activity at once."""
+        for idx in range(len(self._heap) // 2 - 1, -1, -1):
+            self._heap_sift_down(idx)
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        act = self._activity
+        value = act[var] + self._var_inc
+        act[var] = value
+        if value > 1e100:
+            for v in range(1, self._num_vars + 1):
+                act[v] *= 1e-100
+            self._var_inc *= 1e-100
+            # The uniform rescale may collapse distinct activities into
+            # ties; rebuild so the tie-break-by-variable order stays exact.
+            self._heap_rebuild()
+        else:
+            idx = self._heap_pos[var]
+            if idx >= 0:
+                self._heap_sift_up(idx)
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, cref: int) -> None:
+        act = self._cla_act
+        value = act[cref] + self._cla_inc
+        act[cref] = value
+        if value > 1e20:
+            for learned in self._learned:
+                act[learned] *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self._cla_decay
+
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis (MiniSat style).
+
+        Returns:
+            The learned clause with the asserting literal first, and the
+            decision level to backjump to.
+        """
+        arena = self._arena
+        level = self._level
+        trail = self._trail
+        reasons = self._reason
+        seen = self._seen
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        to_clear: List[int] = []
+        path_count = 0
+        popped_literal = 0
+        reason = conflict
+        index = len(trail) - 1
+        current_level = len(self._trail_lim)
+
+        while True:
+            if arena[reason - 1] >= 0:  # learned clause
+                self._bump_clause(reason)
+            # Skip the implied literal (position 0) for reason clauses; the
+            # conflict clause (first iteration) is scanned in full.
+            start = reason if popped_literal == 0 else reason + 1
+            end = reason + arena[reason - 2]
+            for offset in range(start, end):
+                clause_literal = arena[offset]
+                var = clause_literal if clause_literal > 0 else -clause_literal
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if level[var] >= current_level:
+                        path_count += 1
+                    else:
+                        learned.append(clause_literal)
+            # Select the next current-level literal to resolve on.
+            while True:
+                literal = trail[index]
+                if seen[literal if literal > 0 else -literal]:
+                    break
+                index -= 1
+            popped_literal = trail[index]
+            index -= 1
+            var = popped_literal if popped_literal > 0 else -popped_literal
+            seen[var] = 0
+            reason = reasons[var]
+            path_count -= 1
+            if path_count == 0:
+                break
+        learned[0] = -popped_literal
+        for var in to_clear:
+            seen[var] = 0
+
+        # Backjump level: highest level among the non-asserting literals.
+        backjump = 0
+        for literal in learned[1:]:
+            var_level = level[literal if literal > 0 else -literal]
+            if var_level > backjump:
+                backjump = var_level
+        return learned, backjump
+
+    def _analyze_final(self, failed: int) -> Tuple[int, ...]:
+        """Assumptions responsible for falsifying the assumption *failed*.
+
+        MiniSat's ``analyzeFinal``: walk the trail backwards from the point
+        where ``-failed`` ended up assigned and resolve every implied literal
+        with its reason clause; pseudo-decisions (the earlier assumptions)
+        that remain are the ones the conflict actually depends on.  Only
+        assumption levels exist when this runs — the free search never
+        starts before all assumptions are established.
+
+        Returns:
+            The failing subset of the assumption literals, *failed* included.
+        """
+        core = [failed]
+        if not self._trail_lim:
+            # -failed is forced at level 0: the formula alone refutes it.
+            return tuple(core)
+        arena = self._arena
+        seen = {abs(failed)}
+        for literal in reversed(self._trail[self._trail_lim[0]:]):
+            var = abs(literal)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason[var]
+            if reason == 0:
+                # A pseudo-decision, i.e. one of the earlier assumptions.
+                core.append(literal)
+            else:
+                # The implied literal sits at position 0; resolve on the rest.
+                end = reason + arena[reason - 2]
+                for offset in range(reason + 1, end):
+                    clause_literal = arena[offset]
+                    if self._level[abs(clause_literal)] > 0:
+                        seen.add(abs(clause_literal))
+        return tuple(core)
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        target = self._trail_lim[level]
+        trail = self._trail
+        assign = self._assign
+        reasons = self._reason
+        pos = self._heap_pos
+        for literal in reversed(trail[target:]):
+            var = literal if literal > 0 else -literal
+            assign[var] = None
+            reasons[var] = 0
+            # Popped decision variables must re-enter the order heap the
+            # moment they are unassigned (propagated variables were never
+            # removed and are skipped).
+            if pos[var] < 0:
+                self._heap_insert(var)
+        del trail[target:]
+        del self._trail_lim[level:]
+        self._propagation_head = len(trail)
+
+    # ------------------------------------------------------------------
+    # Unit propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> int:
+        """Propagate all enqueued assignments.
+
+        Returns the cref of a conflicting clause, or 0 when the assignment
+        propagated without conflict.  This is the solver's hottest loop (the
+        large majority of the wall clock on the mapping encodings): it works
+        exclusively on flat int lists — the clause arena, in-place-compacted
+        watch lists of crefs — with the enqueue inlined, so no Python object
+        or attribute traffic survives in the loop body.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        arena = self._arena
+        level = self._level
+        reasons = self._reason
+        phase = self._phase
+        current_level = len(self._trail_lim)
+        head = self._propagation_head
+        propagations = 0
+        conflict = 0
+        while head < len(trail):
+            literal = trail[head]
+            head += 1
+            propagations += 1
+            neg_literal = -literal
+            # Inlined _enc(literal).
+            watchers = watches[2 * literal if literal > 0 else -2 * literal + 1]
+            read = 0
+            write = 0
+            num_watchers = len(watchers)
+            while read < num_watchers:
+                cref = watchers[read]
+                read += 1
+                # Make sure the falsified watched literal sits at position 1.
+                first = arena[cref]
+                if first == neg_literal:
+                    first = arena[cref + 1]
+                    arena[cref] = first
+                    arena[cref + 1] = neg_literal
+                # Inlined _value(first) is True: clause already satisfied.
+                value = assign[first] if first > 0 else assign[-first]
+                if value is not None and (value if first > 0 else not value):
+                    watchers[write] = cref
+                    write += 1
+                    continue
+                # Look for a new literal to watch.
+                end = cref + arena[cref - 2]
+                offset = cref + 2
+                found = False
+                while offset < end:
+                    other = arena[offset]
+                    other_value = assign[other] if other > 0 else assign[-other]
+                    if other_value is None or (
+                        other_value if other > 0 else not other_value
+                    ):
+                        arena[cref + 1] = other
+                        arena[offset] = neg_literal
+                        # Inlined _enc(-other).
+                        watches[
+                            2 * other + 1 if other > 0 else -2 * other
+                        ].append(cref)
+                        found = True
+                        break
+                    offset += 1
+                if found:
+                    continue
+                # Clause is unit or conflicting; keep watching the false
+                # literal.
+                watchers[write] = cref
+                write += 1
+                if value is not None:
+                    # first is False: conflicting clause.  Keep the not yet
+                    # visited watchers and stop.
+                    while read < num_watchers:
+                        watchers[write] = watchers[read]
+                        write += 1
+                        read += 1
+                    conflict = cref
+                    break
+                # Unit clause: inlined _enqueue(first, cref) — first is
+                # known unassigned here.
+                if first > 0:
+                    assign[first] = True
+                    level[first] = current_level
+                    reasons[first] = cref
+                    phase[first] = True
+                else:
+                    var = -first
+                    assign[var] = False
+                    level[var] = current_level
+                    reasons[var] = cref
+                    phase[var] = False
+                trail.append(first)
+            del watchers[write:]
+            if conflict:
+                self._propagation_head = len(trail)
+                self.statistics["propagations"] += propagations
+                return conflict
+        self._propagation_head = head
+        self.statistics["propagations"] += propagations
+        return 0
+
+    # ------------------------------------------------------------------
+    # Decisions and restarts
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        # Pop the (activity, -var) maximum; assigned variables are removed
+        # lazily — they re-enter the heap when backtracking unassigns them.
+        assign = self._assign
+        heap = self._heap
+        while heap:
+            var = self._heap_pop()
+            if assign[var] is None:
+                return var
+        return None
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (1-based index)."""
+        i = max(1, index)
+        while True:
+            k = i.bit_length()
+            if i == (1 << k) - 1:
+                return 1 << (k - 1)
+            i = i - (1 << (k - 1)) + 1
+
+    def _reduce_learned(self) -> None:
+        """Delete the less active half of the long learned clauses."""
+        learned = self._learned
+        if len(learned) < 2000:
+            return
+        arena = self._arena
+        reasons = self._reason
+        locked = set()
+        for literal in self._trail:
+            reason = reasons[literal if literal > 0 else -literal]
+            if reason:
+                locked.add(reason)
+        act = self._cla_act
+        learned.sort(key=act.__getitem__)
+        keep: List[int] = []
+        to_delete = set()
+        half = len(learned) // 2
+        waste = 0
+        for position, cref in enumerate(learned):
+            if position < half and arena[cref - 2] > 2 and cref not in locked:
+                to_delete.add(cref)
+                waste += arena[cref - 2] + 2
+                self.statistics["learned_deleted"] += 1
+            else:
+                keep.append(cref)
+        if not to_delete:
+            return
+        self._learned = keep
+        for cref in to_delete:
+            del act[cref]
+        watches = self._watches
+        for index, watch_list in enumerate(watches):
+            watches[index] = [
+                cref for cref in watch_list if cref not in to_delete
+            ]
+        self._arena_waste += waste
+        if self._arena_waste > 4096 and self._arena_waste * 2 > len(arena):
+            self._compact_arena()
+
+    def _compact_arena(self) -> None:
+        """Copy live clauses into a fresh arena, remapping every cref.
+
+        Triggered when deleted learned clauses have turned more than half
+        the arena into garbage.  Crefs appear in the clause lists, the watch
+        lists, the reasons of trail literals and the activity table — all are
+        rewritten; cref values carry no meaning beyond identity, so the
+        search is unaffected.
+        """
+        old = self._arena
+        fresh: List[int] = []
+        remap: Dict[int, int] = {}
+        for refs in (self._clauses, self._learned):
+            for index, cref in enumerate(refs):
+                size = old[cref - 2]
+                fresh.append(size)
+                fresh.append(old[cref - 1])
+                new_cref = len(fresh)
+                fresh.extend(old[cref:cref + size])
+                remap[cref] = new_cref
+                refs[index] = new_cref
+        self._arena = fresh
+        self._arena_waste = 0
+        watches = self._watches
+        for index, watch_list in enumerate(watches):
+            watches[index] = [remap[cref] for cref in watch_list]
+        reasons = self._reason
+        for literal in self._trail:
+            var = literal if literal > 0 else -literal
+            reason = reasons[var]
+            if reason:
+                reasons[var] = remap[reason]
+        self._cla_act = {
+            remap[cref]: activity for cref, activity in self._cla_act.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        assumptions: Optional[Iterable[int]] = None,
+    ) -> SolverResult:
+        """Run the CDCL search.
+
+        Args:
+            conflict_limit: Abort with :attr:`SolverResult.UNKNOWN` after this
+                many conflicts (``None`` = unlimited).
+            time_limit: Abort with :attr:`SolverResult.UNKNOWN` after this many
+                seconds (``None`` = unlimited).
+            assumptions: Literals assumed true for this call only.  They are
+                enqueued as pseudo-decisions before the free search, so a
+                :attr:`SolverResult.SAT` model satisfies all of them, and an
+                :attr:`SolverResult.UNSAT` answer means "unsatisfiable under
+                these assumptions" — the solver stays usable and a later call
+                without (or with other) assumptions is unaffected.
+
+        Returns:
+            :attr:`SolverResult.SAT`, :attr:`SolverResult.UNSAT` or
+            :attr:`SolverResult.UNKNOWN`.
+        """
+        assumption_list: List[int] = []
+        if assumptions is not None:
+            for literal in assumptions:
+                if literal == 0:
+                    raise ValueError("0 is not a valid literal")
+                assumption_list.append(literal)
+                self._ensure_var(abs(literal))
+        # An empty core is the default: it stays empty on SAT/UNKNOWN and on
+        # UNSAT answers that hold regardless of the assumptions.
+        self._last_core = ()
+        if self._unsat:
+            return SolverResult.UNSAT
+        start_time = time.monotonic()
+        self._backtrack(0)
+        # Re-propagate the whole level-0 trail so that clauses added since the
+        # previous call are taken into account.
+        self._propagation_head = 0
+        while self._pending_units:
+            literal = self._pending_units.pop()
+            self._ensure_var(abs(literal))
+            if not self._enqueue(literal, 0):
+                self._unsat = True
+                return SolverResult.UNSAT
+        if self._propagate():
+            self._unsat = True
+            return SolverResult.UNSAT
+
+        total_conflicts = 0
+        restart_count = 0
+        restart_limit = 100 * self._luby(restart_count + 1)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict:
+                self.statistics["conflicts"] += 1
+                total_conflicts += 1
+                conflicts_since_restart += 1
+                if not self._trail_lim:
+                    self._unsat = True
+                    return SolverResult.UNSAT
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                seq = self._learned_seq
+                self._learned_seq += 1
+                if len(learned) == 1:
+                    self._learned_units.append((seq, learned[0]))
+                    self._enqueue(learned[0], 0)
+                else:
+                    cref = self._new_clause(learned, seq)
+                    self._learned.append(cref)
+                    self._cla_act[cref] = 0.0
+                    self._attach(cref)
+                    self._bump_clause(cref)
+                    self._enqueue(learned[0], cref)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                if conflict_limit is not None and total_conflicts >= conflict_limit:
+                    return SolverResult.UNKNOWN
+                if time_limit is not None and time.monotonic() - start_time > time_limit:
+                    return SolverResult.UNKNOWN
+                if total_conflicts % 1024 == 0:
+                    self._reduce_learned()
+            else:
+                if conflicts_since_restart >= restart_limit:
+                    restart_count += 1
+                    self.statistics["restarts"] += 1
+                    restart_limit = 100 * self._luby(restart_count + 1)
+                    conflicts_since_restart = 0
+                    self._backtrack(0)
+                    continue
+                # Re-establish assumptions (MiniSat style): assumption i is
+                # the decision of level i+1, so backjumps and restarts that
+                # pop assumption levels simply re-enter them here.
+                level = len(self._trail_lim)
+                if level < len(assumption_list):
+                    literal = assumption_list[level]
+                    value = self._value(literal)
+                    if value is False:
+                        # The formula together with the earlier assumptions
+                        # forces the negation: UNSAT under assumptions only,
+                        # so the solver itself stays usable.  Extract the
+                        # failing assumption subset before unwinding.
+                        self._last_core = self._analyze_final(literal)
+                        self._backtrack(0)
+                        return SolverResult.UNSAT
+                    self._trail_lim.append(len(self._trail))
+                    if value is None:
+                        self._enqueue(literal, 0)
+                    # Already-true assumptions still consume one (empty)
+                    # decision level to keep the level/index alignment.
+                    continue
+                variable = self._pick_branch_variable()
+                if variable is None:
+                    return SolverResult.SAT
+                self.statistics["decisions"] += 1
+                self._trail_lim.append(len(self._trail))
+                literal = variable if self._phase[variable] else -variable
+                self._enqueue(literal, 0)
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+    def model(self) -> Dict[int, bool]:
+        """Return the satisfying assignment found by the last ``solve()`` call.
+
+        Unconstrained variables default to False.
+        """
+        return {
+            var: bool(self._assign[var]) if self._assign[var] is not None else False
+            for var in range(1, self._num_vars + 1)
+        }
+
+    def value(self, literal: int) -> bool:
+        """Truth value of *literal* in the current model."""
+        value = self._value(literal)
+        return bool(value) if value is not None else literal < 0
+
+    # ------------------------------------------------------------------
+    # Cores and warm starts
+    # ------------------------------------------------------------------
+    def last_core(self) -> Tuple[int, ...]:
+        """The failing assumption subset of the last ``solve()`` call.
+
+        Non-empty only when the last call returned
+        :attr:`SolverResult.UNSAT` *because of its assumptions*: the tuple
+        is then a subset of the assumption literals passed in, and solving
+        with just that subset assumed is still unsatisfiable.  Empty after
+        SAT and UNKNOWN answers, and after UNSAT answers that hold
+        regardless of the assumptions (the formula alone is inconsistent).
+        """
+        return self._last_core
+
+    def seed_phases(self, assignment: Mapping[int, bool]) -> None:
+        """Install *assignment* as the saved phases (a model warm start).
+
+        Phase saving only steers which polarity a decision variable is tried
+        first, so seeding never affects correctness — but when *assignment*
+        is (close to) a model of the formula, the next search tends to walk
+        straight into it instead of rediscovering it conflict by conflict.
+        """
+        for var, value in assignment.items():
+            if var <= 0:
+                raise ValueError("variables must be positive")
+            self._ensure_var(var)
+            self._phase[var] = bool(value)
+
+    # ------------------------------------------------------------------
+    # Learned-clause export / import (cross-instance clause sharing)
+    # ------------------------------------------------------------------
+    def freeze_exports(self) -> None:
+        """Stop exporting clauses learned from this point on.
+
+        Call this when a permanent clause is added that is *not* implied by
+        the original formula (for example a committed objective bound):
+        clauses learned afterwards may depend on it, so they are no longer
+        consequences of the formula alone and must not be exported into
+        other instances.  The earliest freeze wins; clauses learned before
+        it stay exportable forever.
+        """
+        if self._export_boundary is None:
+            self._export_boundary = self._learned_seq
+
+    def export_learned(
+        self,
+        max_size: Optional[int] = None,
+        var_ok: Optional[Callable[[int], bool]] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Learned clauses implied by the formula alone, oldest first.
+
+        Only clauses learned before the :meth:`freeze_exports` boundary are
+        returned (all of them when no freeze happened).  Learned *units* are
+        included — they are the strongest facts the search produced.
+
+        Args:
+            max_size: Skip clauses with more literals than this (short
+                clauses prune the most per literal; ``None`` = no filter).
+            var_ok: Predicate over variable indices; a clause is exported
+                only when every variable it mentions passes (used to
+                restrict the export to layers shared with the import
+                target; ``None`` = no filter).
+
+        Returns:
+            Clause literal tuples, ordered by learning sequence.
+        """
+        boundary = self._export_boundary
+        arena = self._arena
+        exported: List[Tuple[int, Tuple[int, ...]]] = []
+        for seq, literal in self._learned_units:
+            if boundary is not None and seq >= boundary:
+                continue
+            if var_ok is not None and not var_ok(abs(literal)):
+                continue
+            exported.append((seq, (literal,)))
+        for cref in self._learned:
+            seq = arena[cref - 1]
+            if boundary is not None and seq >= boundary:
+                continue
+            size = arena[cref - 2]
+            if max_size is not None and size > max_size:
+                continue
+            literals = tuple(arena[cref:cref + size])
+            if var_ok is not None and not all(var_ok(abs(l)) for l in literals):
+                continue
+            exported.append((seq, literals))
+        exported.sort(key=lambda item: item[0])
+        return [literals for _, literals in exported]
+
+    def import_clauses(self, clauses: Iterable[Sequence[int]]) -> int:
+        """Add externally learned clauses (deduplicated) as learned clauses.
+
+        The caller is responsible for every clause being *implied* by this
+        solver's formula — imports must never change the set of models (see
+        :func:`repro.exact.sweep.clause_is_implied` for the debug check).
+        Duplicates — within the batch and across earlier imports — are
+        skipped, as are tautologies.
+
+        Returns:
+            The number of clauses actually added.
+        """
+        added = 0
+        for literals in clauses:
+            unique: List[int] = []
+            seen: set = set()
+            tautology = False
+            for literal in literals:
+                if literal == 0:
+                    raise ValueError("0 is not a valid literal")
+                if literal in seen:
+                    continue
+                if -literal in seen:
+                    tautology = True
+                    break
+                seen.add(literal)
+                unique.append(literal)
+            if tautology or not unique:
+                continue
+            key = frozenset(unique)
+            if key in self._import_keys:
+                self.statistics["import_duplicates"] += 1
+                continue
+            self._import_keys.add(key)
+            for literal in unique:
+                self._ensure_var(abs(literal))
+            if len(unique) == 1:
+                self._pending_units.append(unique[0])
+            else:
+                cref = self._new_clause(unique, self._learned_seq)
+                self._learned_seq += 1
+                self._learned.append(cref)
+                self._cla_act[cref] = 0.0
+                self._attach(cref)
+            added += 1
+            self.statistics["clauses_imported"] += 1
+        return added
+
+
+__all__ = ["CDCLSolver", "SolverResult"]

@@ -3,13 +3,19 @@
 This is the reasoning engine used in place of Z3.  It implements the standard
 modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation over a **flat clause arena** (one int
+  array of literals plus offset/length headers; watch lists are int arrays
+  of clause references compacted in place — no per-clause Python objects in
+  the hot loop, see :mod:`repro.sat._solver_core`),
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping,
-* VSIDS-style variable activities with exponential decay,
+* VSIDS-style variable activities with exponential decay, served from an
+  **indexed order heap** keyed ``(activity, -var)`` — the exact argmax the
+  earlier linear scan computed, so decision sequences are unchanged,
 * phase saving,
 * Luby-sequence restarts,
-* periodic deletion of inactive learned clauses,
+* periodic deletion of inactive learned clauses (with arena compaction once
+  garbage dominates),
 * incremental solving (clauses may be added between ``solve()`` calls;
   learned clauses are kept since adding clauses only strengthens the
   formula),
@@ -35,713 +41,45 @@ modern architecture:
 
 The solver accepts and returns literals in DIMACS convention (positive /
 negative integers, variables numbered from 1).
+
+Backends
+--------
+
+The implementation lives in :mod:`repro.sat._solver_core` and can run
+interpreted (*pure*) or as a native extension compiled from the identical
+source (*compiled*); ``REPRO_SOLVER_BACKEND=auto|pure|compiled`` picks one
+at import, with a graceful fallback to pure when the extension is absent
+(see :mod:`repro.sat._backend`).  Models and statistics counters are
+bit-for-bit identical across backends; :func:`solver_backend` and
+:func:`solver_backend_provenance` report which one is active.
 """
 
 from __future__ import annotations
 
-import enum
-import time
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict
 
-from repro.sat.cnf import CNF, Literal
+from repro.sat._backend import active_backend, backend_provenance
+from repro.sat._result import SolverResult
 
+_BACKEND = active_backend()
 
-class SolverResult(enum.Enum):
-    """Outcome of a ``solve()`` call."""
+#: The CDCL solver class of the active backend (pure or compiled).
+CDCLSolver = _BACKEND.module.CDCLSolver
 
-    SAT = "sat"
-    UNSAT = "unsat"
-    UNKNOWN = "unknown"
 
+def solver_backend() -> str:
+    """Name of the active solver backend: ``"pure"`` or ``"compiled"``."""
+    return _BACKEND.name
 
-class _Clause:
-    """Internal clause representation (mutable literal list plus bookkeeping).
 
-    Invariant used by conflict analysis: while a clause is the *reason* of an
-    assignment, the implied literal sits at position 0 (propagation never
-    reorders a clause whose first literal is satisfied).
-    """
+def solver_backend_provenance() -> Dict[str, str]:
+    """Backend provenance (name, what was requested, fallback note if any)."""
+    return backend_provenance()
 
-    __slots__ = ("literals", "learned", "activity", "seq")
 
-    def __init__(self, literals: List[int], learned: bool = False, seq: int = -1):
-        self.literals = literals
-        self.learned = learned
-        self.activity = 0.0
-        # Monotone id of a learned clause (-1 for problem clauses); used by
-        # export_learned() to honour the freeze_exports() boundary even after
-        # _reduce_learned() has dropped or reordered clauses.
-        self.seq = seq
-
-
-class CDCLSolver:
-    """Conflict-driven clause-learning SAT solver.
-
-    Example:
-        >>> solver = CDCLSolver()
-        >>> solver.add_clause([1, 2])
-        >>> solver.add_clause([-1, 2])
-        >>> solver.solve()
-        <SolverResult.SAT: 'sat'>
-        >>> solver.model()[2]
-        True
-    """
-
-    def __init__(self, cnf: Optional[CNF] = None):
-        self._num_vars = 0
-        # Indexed by variable (1-based): None / True / False.
-        self._assign: List[Optional[bool]] = [None]
-        self._level: List[int] = [0]
-        self._reason: List[Optional[_Clause]] = [None]
-        self._activity: List[float] = [0.0]
-        self._phase: List[bool] = [False]
-        self._clauses: List[_Clause] = []
-        self._learned: List[_Clause] = []
-        # Watch lists indexed by encoded literal (2v for +v, 2v+1 for -v).
-        self._watches: List[List[_Clause]] = [[], []]
-        self._trail: List[int] = []
-        self._trail_lim: List[int] = []
-        self._propagation_head = 0
-        self._var_inc = 1.0
-        self._var_decay = 0.95
-        self._cla_inc = 1.0
-        self._cla_decay = 0.999
-        self._unsat = False
-        self._pending_units: List[int] = []
-        self._last_core: Tuple[int, ...] = ()
-        self._learned_seq = 0
-        self._export_boundary: Optional[int] = None
-        # Learned unit clauses (seq, literal): implied by the formula alone,
-        # the strongest clauses to share, but they live on the trail rather
-        # than in self._learned, so they are recorded separately.
-        self._learned_units: List[Tuple[int, int]] = []
-        self._import_keys: set = set()
-        self.statistics: Dict[str, int] = {
-            "conflicts": 0,
-            "decisions": 0,
-            "propagations": 0,
-            "restarts": 0,
-            "learned_deleted": 0,
-            "clauses_imported": 0,
-            "import_duplicates": 0,
-        }
-        if cnf is not None:
-            self.add_cnf(cnf)
-
-    # ------------------------------------------------------------------
-    # Problem construction
-    # ------------------------------------------------------------------
-    def _ensure_var(self, var: int) -> None:
-        while self._num_vars < var:
-            self._num_vars += 1
-            self._assign.append(None)
-            self._level.append(0)
-            self._reason.append(None)
-            self._activity.append(0.0)
-            self._phase.append(False)
-            self._watches.append([])
-            self._watches.append([])
-
-    def add_clause(self, literals: Iterable[Literal]) -> None:
-        """Add a clause (DIMACS literals).  May be called between solves."""
-        unique: List[int] = []
-        seen = set()
-        for literal in literals:
-            if literal == 0:
-                raise ValueError("0 is not a valid literal")
-            if literal in seen:
-                continue
-            if -literal in seen:
-                return  # tautology, nothing to add
-            seen.add(literal)
-            unique.append(literal)
-            self._ensure_var(abs(literal))
-        if not unique:
-            self._unsat = True
-            return
-        if len(unique) == 1:
-            self._pending_units.append(unique[0])
-            return
-        clause = _Clause(unique, learned=False)
-        self._clauses.append(clause)
-        self._attach(clause)
-
-    def add_cnf(self, cnf: CNF) -> None:
-        """Add every clause of *cnf*."""
-        self._ensure_var(cnf.num_vars)
-        for clause in cnf.clauses:
-            self.add_clause(clause.literals)
-
-    @property
-    def num_vars(self) -> int:
-        """Highest variable index seen so far."""
-        return self._num_vars
-
-    @property
-    def num_clauses(self) -> int:
-        """Number of problem (non-learned) clauses."""
-        return len(self._clauses)
-
-    @property
-    def num_learned(self) -> int:
-        """Number of learned clauses currently kept (persist across solves)."""
-        return len(self._learned)
-
-    # ------------------------------------------------------------------
-    # Low-level helpers
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _enc(literal: int) -> int:
-        """Encode a DIMACS literal as a watch-list index."""
-        var = abs(literal)
-        return 2 * var if literal > 0 else 2 * var + 1
-
-    def _value(self, literal: int) -> Optional[bool]:
-        value = self._assign[abs(literal)]
-        if value is None:
-            return None
-        return value if literal > 0 else not value
-
-    def _attach(self, clause: _Clause) -> None:
-        self._watches[self._enc(-clause.literals[0])].append(clause)
-        self._watches[self._enc(-clause.literals[1])].append(clause)
-
-    def _decision_level(self) -> int:
-        return len(self._trail_lim)
-
-    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
-        """Assign *literal* true.  Returns False when it contradicts the trail."""
-        current = self._value(literal)
-        if current is not None:
-            return current
-        var = abs(literal)
-        self._assign[var] = literal > 0
-        self._level[var] = self._decision_level()
-        self._reason[var] = reason
-        self._phase[var] = literal > 0
-        self._trail.append(literal)
-        return True
-
-    # ------------------------------------------------------------------
-    # Unit propagation
-    # ------------------------------------------------------------------
-    def _propagate(self) -> Optional[_Clause]:
-        """Propagate all enqueued assignments.  Returns a conflicting clause or None.
-
-        This is the solver's hottest loop (the large majority of the wall
-        clock on the mapping encodings), so attribute lookups are hoisted
-        into locals and ``_value``/``_enc`` are inlined: every assignment
-        read works directly on the ``_assign`` list.
-        """
-        assign = self._assign
-        watches = self._watches
-        trail = self._trail
-        propagations = 0
-        while self._propagation_head < len(trail):
-            literal = trail[self._propagation_head]
-            self._propagation_head += 1
-            propagations += 1
-            # Inlined _enc(literal).
-            watch_index = 2 * literal if literal > 0 else -2 * literal + 1
-            watchers = watches[watch_index]
-            new_watchers: List[_Clause] = []
-            new_append = new_watchers.append
-            conflict: Optional[_Clause] = None
-            i = 0
-            num_watchers = len(watchers)
-            while i < num_watchers:
-                clause = watchers[i]
-                i += 1
-                lits = clause.literals
-                # Make sure the falsified watched literal sits at position 1.
-                if lits[0] == -literal:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                # Inlined _value(first) is True.
-                value = assign[first] if first > 0 else assign[-first]
-                if value is not None and (value if first > 0 else not value):
-                    new_append(clause)
-                    continue
-                # Look for a new literal to watch.
-                found = False
-                for k in range(2, len(lits)):
-                    other = lits[k]
-                    value = assign[other] if other > 0 else assign[-other]
-                    if value is None or (value if other > 0 else not value):
-                        lits[1], lits[k] = lits[k], lits[1]
-                        moved = lits[1]
-                        # Inlined _enc(-moved).
-                        watches[
-                            2 * moved + 1 if moved > 0 else -2 * moved
-                        ].append(clause)
-                        found = True
-                        break
-                if found:
-                    continue
-                # Clause is unit or conflicting; keep watching the false literal.
-                new_append(clause)
-                value = assign[first] if first > 0 else assign[-first]
-                if value is not None and not (value if first > 0 else not value):
-                    new_watchers.extend(watchers[i:])
-                    conflict = clause
-                    break
-                self._enqueue(first, clause)
-            watches[watch_index] = new_watchers
-            if conflict is not None:
-                self.statistics["propagations"] += propagations
-                self._propagation_head = len(trail)
-                return conflict
-        self.statistics["propagations"] += propagations
-        return None
-
-    # ------------------------------------------------------------------
-    # Conflict analysis
-    # ------------------------------------------------------------------
-    def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
-            self._var_inc *= 1e-100
-
-    def _decay_var_activity(self) -> None:
-        self._var_inc /= self._var_decay
-
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
-            for learned in self._learned:
-                learned.activity *= 1e-20
-            self._cla_inc *= 1e-20
-
-    def _decay_clause_activity(self) -> None:
-        self._cla_inc /= self._cla_decay
-
-    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
-        """First-UIP conflict analysis (MiniSat style).
-
-        Returns:
-            The learned clause with the asserting literal first, and the
-            decision level to backjump to.
-        """
-        learned: List[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self._num_vars + 1)
-        path_count = 0
-        popped_literal: Optional[int] = None
-        reason: Optional[_Clause] = conflict
-        index = len(self._trail) - 1
-        current_level = self._decision_level()
-
-        while True:
-            assert reason is not None
-            if reason.learned:
-                self._bump_clause(reason)
-            # Skip the implied literal (position 0) for reason clauses; the
-            # conflict clause (first iteration) is scanned in full.
-            start = 0 if popped_literal is None else 1
-            for clause_literal in reason.literals[start:]:
-                var = abs(clause_literal)
-                if not seen[var] and self._level[var] > 0:
-                    seen[var] = True
-                    self._bump_var(var)
-                    if self._level[var] >= current_level:
-                        path_count += 1
-                    else:
-                        learned.append(clause_literal)
-            # Select the next current-level literal to resolve on.
-            while not seen[abs(self._trail[index])]:
-                index -= 1
-            popped_literal = self._trail[index]
-            index -= 1
-            var = abs(popped_literal)
-            seen[var] = False
-            reason = self._reason[var]
-            path_count -= 1
-            if path_count == 0:
-                break
-        learned[0] = -popped_literal
-
-        # Backjump level: highest level among the non-asserting literals.
-        if len(learned) == 1:
-            backjump = 0
-        else:
-            backjump = max(self._level[abs(l)] for l in learned[1:])
-        return learned, backjump
-
-    def _analyze_final(self, failed: int) -> Tuple[int, ...]:
-        """Assumptions responsible for falsifying the assumption *failed*.
-
-        MiniSat's ``analyzeFinal``: walk the trail backwards from the point
-        where ``-failed`` ended up assigned and resolve every implied literal
-        with its reason clause; pseudo-decisions (the earlier assumptions)
-        that remain are the ones the conflict actually depends on.  Only
-        assumption levels exist when this runs — the free search never
-        starts before all assumptions are established.
-
-        Returns:
-            The failing subset of the assumption literals, *failed* included.
-        """
-        core = [failed]
-        if not self._trail_lim:
-            # -failed is forced at level 0: the formula alone refutes it.
-            return tuple(core)
-        seen = {abs(failed)}
-        for literal in reversed(self._trail[self._trail_lim[0]:]):
-            var = abs(literal)
-            if var not in seen:
-                continue
-            seen.discard(var)
-            reason = self._reason[var]
-            if reason is None:
-                # A pseudo-decision, i.e. one of the earlier assumptions.
-                core.append(literal)
-            else:
-                # The implied literal sits at position 0; resolve on the rest.
-                for clause_literal in reason.literals[1:]:
-                    if self._level[abs(clause_literal)] > 0:
-                        seen.add(abs(clause_literal))
-        return tuple(core)
-
-    def _backtrack(self, level: int) -> None:
-        if self._decision_level() <= level:
-            return
-        target = self._trail_lim[level]
-        for literal in reversed(self._trail[target:]):
-            var = abs(literal)
-            self._assign[var] = None
-            self._reason[var] = None
-        del self._trail[target:]
-        del self._trail_lim[level:]
-        self._propagation_head = len(self._trail)
-
-    # ------------------------------------------------------------------
-    # Decisions and restarts
-    # ------------------------------------------------------------------
-    def _pick_branch_variable(self) -> Optional[int]:
-        best_var = None
-        best_activity = -1.0
-        assign = self._assign
-        activity = self._activity
-        for var in range(1, self._num_vars + 1):
-            if assign[var] is None and activity[var] > best_activity:
-                best_activity = activity[var]
-                best_var = var
-        return best_var
-
-    @staticmethod
-    def _luby(index: int) -> int:
-        """The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (1-based index)."""
-        i = max(1, index)
-        while True:
-            k = i.bit_length()
-            if i == (1 << k) - 1:
-                return 1 << (k - 1)
-            i = i - (1 << (k - 1)) + 1
-
-    def _reduce_learned(self) -> None:
-        """Delete the less active half of the long learned clauses."""
-        if len(self._learned) < 2000:
-            return
-        locked = {
-            id(self._reason[abs(lit)])
-            for lit in self._trail
-            if self._reason[abs(lit)] is not None
-        }
-        self._learned.sort(key=lambda clause: clause.activity)
-        keep: List[_Clause] = []
-        to_delete = set()
-        half = len(self._learned) // 2
-        for position, clause in enumerate(self._learned):
-            if position < half and len(clause.literals) > 2 and id(clause) not in locked:
-                to_delete.add(id(clause))
-                self.statistics["learned_deleted"] += 1
-            else:
-                keep.append(clause)
-        if not to_delete:
-            return
-        self._learned = keep
-        for index, watch_list in enumerate(self._watches):
-            self._watches[index] = [
-                clause for clause in watch_list if id(clause) not in to_delete
-            ]
-
-    # ------------------------------------------------------------------
-    # Main search loop
-    # ------------------------------------------------------------------
-    def solve(
-        self,
-        conflict_limit: Optional[int] = None,
-        time_limit: Optional[float] = None,
-        assumptions: Optional[Iterable[int]] = None,
-    ) -> SolverResult:
-        """Run the CDCL search.
-
-        Args:
-            conflict_limit: Abort with :attr:`SolverResult.UNKNOWN` after this
-                many conflicts (``None`` = unlimited).
-            time_limit: Abort with :attr:`SolverResult.UNKNOWN` after this many
-                seconds (``None`` = unlimited).
-            assumptions: Literals assumed true for this call only.  They are
-                enqueued as pseudo-decisions before the free search, so a
-                :attr:`SolverResult.SAT` model satisfies all of them, and an
-                :attr:`SolverResult.UNSAT` answer means "unsatisfiable under
-                these assumptions" — the solver stays usable and a later call
-                without (or with other) assumptions is unaffected.
-
-        Returns:
-            :attr:`SolverResult.SAT`, :attr:`SolverResult.UNSAT` or
-            :attr:`SolverResult.UNKNOWN`.
-        """
-        assumption_list: List[int] = []
-        if assumptions is not None:
-            for literal in assumptions:
-                if literal == 0:
-                    raise ValueError("0 is not a valid literal")
-                assumption_list.append(literal)
-                self._ensure_var(abs(literal))
-        # An empty core is the default: it stays empty on SAT/UNKNOWN and on
-        # UNSAT answers that hold regardless of the assumptions.
-        self._last_core = ()
-        if self._unsat:
-            return SolverResult.UNSAT
-        start_time = time.monotonic()
-        self._backtrack(0)
-        # Re-propagate the whole level-0 trail so that clauses added since the
-        # previous call are taken into account.
-        self._propagation_head = 0
-        while self._pending_units:
-            literal = self._pending_units.pop()
-            self._ensure_var(abs(literal))
-            if not self._enqueue(literal, None):
-                self._unsat = True
-                return SolverResult.UNSAT
-        if self._propagate() is not None:
-            self._unsat = True
-            return SolverResult.UNSAT
-
-        total_conflicts = 0
-        restart_count = 0
-        restart_limit = 100 * self._luby(restart_count + 1)
-        conflicts_since_restart = 0
-
-        while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                self.statistics["conflicts"] += 1
-                total_conflicts += 1
-                conflicts_since_restart += 1
-                if self._decision_level() == 0:
-                    self._unsat = True
-                    return SolverResult.UNSAT
-                learned, backjump_level = self._analyze(conflict)
-                self._backtrack(backjump_level)
-                seq = self._learned_seq
-                self._learned_seq += 1
-                if len(learned) == 1:
-                    self._learned_units.append((seq, learned[0]))
-                    self._enqueue(learned[0], None)
-                else:
-                    clause = _Clause(list(learned), learned=True, seq=seq)
-                    self._learned.append(clause)
-                    self._attach(clause)
-                    self._bump_clause(clause)
-                    self._enqueue(learned[0], clause)
-                self._decay_var_activity()
-                self._decay_clause_activity()
-                if conflict_limit is not None and total_conflicts >= conflict_limit:
-                    return SolverResult.UNKNOWN
-                if time_limit is not None and time.monotonic() - start_time > time_limit:
-                    return SolverResult.UNKNOWN
-                if total_conflicts % 1024 == 0:
-                    self._reduce_learned()
-            else:
-                if conflicts_since_restart >= restart_limit:
-                    restart_count += 1
-                    self.statistics["restarts"] += 1
-                    restart_limit = 100 * self._luby(restart_count + 1)
-                    conflicts_since_restart = 0
-                    self._backtrack(0)
-                    continue
-                # Re-establish assumptions (MiniSat style): assumption i is
-                # the decision of level i+1, so backjumps and restarts that
-                # pop assumption levels simply re-enter them here.
-                level = self._decision_level()
-                if level < len(assumption_list):
-                    literal = assumption_list[level]
-                    value = self._value(literal)
-                    if value is False:
-                        # The formula together with the earlier assumptions
-                        # forces the negation: UNSAT under assumptions only,
-                        # so the solver itself stays usable.  Extract the
-                        # failing assumption subset before unwinding.
-                        self._last_core = self._analyze_final(literal)
-                        self._backtrack(0)
-                        return SolverResult.UNSAT
-                    self._trail_lim.append(len(self._trail))
-                    if value is None:
-                        self._enqueue(literal, None)
-                    # Already-true assumptions still consume one (empty)
-                    # decision level to keep the level/index alignment.
-                    continue
-                variable = self._pick_branch_variable()
-                if variable is None:
-                    return SolverResult.SAT
-                self.statistics["decisions"] += 1
-                self._trail_lim.append(len(self._trail))
-                literal = variable if self._phase[variable] else -variable
-                self._enqueue(literal, None)
-
-    # ------------------------------------------------------------------
-    # Model extraction
-    # ------------------------------------------------------------------
-    def model(self) -> Dict[int, bool]:
-        """Return the satisfying assignment found by the last ``solve()`` call.
-
-        Unconstrained variables default to False.
-        """
-        return {
-            var: bool(self._assign[var]) if self._assign[var] is not None else False
-            for var in range(1, self._num_vars + 1)
-        }
-
-    def value(self, literal: int) -> bool:
-        """Truth value of *literal* in the current model."""
-        value = self._value(literal)
-        return bool(value) if value is not None else literal < 0
-
-    # ------------------------------------------------------------------
-    # Cores and warm starts
-    # ------------------------------------------------------------------
-    def last_core(self) -> Tuple[int, ...]:
-        """The failing assumption subset of the last ``solve()`` call.
-
-        Non-empty only when the last call returned
-        :attr:`SolverResult.UNSAT` *because of its assumptions*: the tuple
-        is then a subset of the assumption literals passed in, and solving
-        with just that subset assumed is still unsatisfiable.  Empty after
-        SAT and UNKNOWN answers, and after UNSAT answers that hold
-        regardless of the assumptions (the formula alone is inconsistent).
-        """
-        return self._last_core
-
-    def seed_phases(self, assignment: Mapping[int, bool]) -> None:
-        """Install *assignment* as the saved phases (a model warm start).
-
-        Phase saving only steers which polarity a decision variable is tried
-        first, so seeding never affects correctness — but when *assignment*
-        is (close to) a model of the formula, the next search tends to walk
-        straight into it instead of rediscovering it conflict by conflict.
-        """
-        for var, value in assignment.items():
-            if var <= 0:
-                raise ValueError("variables must be positive")
-            self._ensure_var(var)
-            self._phase[var] = bool(value)
-
-    # ------------------------------------------------------------------
-    # Learned-clause export / import (cross-instance clause sharing)
-    # ------------------------------------------------------------------
-    def freeze_exports(self) -> None:
-        """Stop exporting clauses learned from this point on.
-
-        Call this when a permanent clause is added that is *not* implied by
-        the original formula (for example a committed objective bound):
-        clauses learned afterwards may depend on it, so they are no longer
-        consequences of the formula alone and must not be exported into
-        other instances.  The earliest freeze wins; clauses learned before
-        it stay exportable forever.
-        """
-        if self._export_boundary is None:
-            self._export_boundary = self._learned_seq
-
-    def export_learned(
-        self,
-        max_size: Optional[int] = None,
-        var_ok: Optional[Callable[[int], bool]] = None,
-    ) -> List[Tuple[int, ...]]:
-        """Learned clauses implied by the formula alone, oldest first.
-
-        Only clauses learned before the :meth:`freeze_exports` boundary are
-        returned (all of them when no freeze happened).  Learned *units* are
-        included — they are the strongest facts the search produced.
-
-        Args:
-            max_size: Skip clauses with more literals than this (short
-                clauses prune the most per literal; ``None`` = no filter).
-            var_ok: Predicate over variable indices; a clause is exported
-                only when every variable it mentions passes (used to
-                restrict the export to layers shared with the import
-                target; ``None`` = no filter).
-
-        Returns:
-            Clause literal tuples, ordered by learning sequence.
-        """
-        boundary = self._export_boundary
-        exported: List[Tuple[int, Tuple[int, ...]]] = []
-        for seq, literal in self._learned_units:
-            if boundary is not None and seq >= boundary:
-                continue
-            if var_ok is not None and not var_ok(abs(literal)):
-                continue
-            exported.append((seq, (literal,)))
-        for clause in self._learned:
-            if boundary is not None and clause.seq >= boundary:
-                continue
-            literals = clause.literals
-            if max_size is not None and len(literals) > max_size:
-                continue
-            if var_ok is not None and not all(var_ok(abs(l)) for l in literals):
-                continue
-            exported.append((clause.seq, tuple(literals)))
-        exported.sort(key=lambda item: item[0])
-        return [literals for _, literals in exported]
-
-    def import_clauses(self, clauses: Iterable[Sequence[int]]) -> int:
-        """Add externally learned clauses (deduplicated) as learned clauses.
-
-        The caller is responsible for every clause being *implied* by this
-        solver's formula — imports must never change the set of models (see
-        :func:`repro.exact.sweep.clause_is_implied` for the debug check).
-        Duplicates — within the batch and across earlier imports — are
-        skipped, as are tautologies.
-
-        Returns:
-            The number of clauses actually added.
-        """
-        added = 0
-        for literals in clauses:
-            unique: List[int] = []
-            seen: set = set()
-            tautology = False
-            for literal in literals:
-                if literal == 0:
-                    raise ValueError("0 is not a valid literal")
-                if literal in seen:
-                    continue
-                if -literal in seen:
-                    tautology = True
-                    break
-                seen.add(literal)
-                unique.append(literal)
-            if tautology or not unique:
-                continue
-            key = frozenset(unique)
-            if key in self._import_keys:
-                self.statistics["import_duplicates"] += 1
-                continue
-            self._import_keys.add(key)
-            for literal in unique:
-                self._ensure_var(abs(literal))
-            if len(unique) == 1:
-                self._pending_units.append(unique[0])
-            else:
-                clause = _Clause(unique, learned=True, seq=self._learned_seq)
-                self._learned_seq += 1
-                self._learned.append(clause)
-                self._attach(clause)
-            added += 1
-            self.statistics["clauses_imported"] += 1
-        return added
-
-
-__all__ = ["CDCLSolver", "SolverResult"]
+__all__ = [
+    "CDCLSolver",
+    "SolverResult",
+    "solver_backend",
+    "solver_backend_provenance",
+]

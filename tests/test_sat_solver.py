@@ -145,6 +145,18 @@ class TestAgainstReferences:
 
     @pytest.mark.parametrize("seed", range(15))
     def test_cdcl_agrees_with_dpll(self, seed):
+        """Every available backend agrees with DPLL — plain, under
+        assumptions, and after export/import — with identical counters.
+
+        The differential part runs each backend through the same scripted
+        scenario and requires the full statistics dicts to match: the
+        compiled backend is only acceptable if it is bit-identical, not
+        merely "also correct".  With only the pure backend built, the
+        scenario still exercises assumptions and export/import against
+        DPLL.
+        """
+        from repro.sat._backend import available_backends, backend_module
+
         rng = random.Random(1000 + seed)
         num_vars = rng.randint(5, 12)
         cnf = CNF()
@@ -153,9 +165,57 @@ class TestAgainstReferences:
         for _ in range(rng.randint(10, 50)):
             variables = rng.sample(range(1, num_vars + 1), 3)
             cnf.add_clause([v if rng.random() < 0.5 else -v for v in variables])
-        cdcl = CDCLSolver(cnf)
-        dpll = DPLLSolver(cnf)
-        assert cdcl.solve() == dpll.solve()
+        assumptions = [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, num_vars + 1), 2)
+        ]
+        clause_literals = [list(c.literals) for c in cnf.clauses]
+
+        # DPLL references: plain, and with the assumptions as unit clauses.
+        dpll_plain = DPLLSolver(cnf).solve()
+        assumed = CNF()
+        for _ in range(num_vars):
+            assumed.new_var()
+        for literals in clause_literals:
+            assumed.add_clause(literals)
+        for literal in assumptions:
+            assumed.add_clause([literal])
+        dpll_assumed = DPLLSolver(assumed).solve()
+
+        counters = {}
+        for name in available_backends():
+            solver_class = backend_module(name).CDCLSolver
+            solver = solver_class(cnf)
+            assert solver.solve() is dpll_plain
+            if dpll_plain is SolverResult.SAT:
+                assert model_satisfies(clause_literals, solver.model())
+            assert solver.solve(assumptions=assumptions) is dpll_assumed
+            if dpll_assumed is SolverResult.SAT:
+                model = solver.model()
+                assert model_satisfies(clause_literals, model)
+                assert model_satisfies([[a] for a in assumptions], model)
+            elif dpll_plain is SolverResult.SAT:
+                # UNSAT only together with the assumptions: the failing
+                # core is a (non-empty) subset of them.
+                core = solver.last_core()
+                assert core
+                assert set(core) <= set(assumptions)
+            # Assumptions are fully undone; the plain answer is unchanged.
+            assert solver.solve() is dpll_plain
+            # A second solver of the same backend fed the exported learned
+            # clauses must agree everywhere too.
+            receiver = solver_class(cnf)
+            receiver.import_clauses(solver.export_learned())
+            assert receiver.solve() is dpll_plain
+            assert receiver.solve(assumptions=assumptions) is dpll_assumed
+            counters[name] = (
+                dict(solver.statistics), dict(receiver.statistics)
+            )
+        reference = counters.pop("pure")
+        for name, stats in counters.items():
+            assert stats == reference, (
+                f"backend {name!r} diverged from 'pure': {stats} != {reference}"
+            )
 
     def test_larger_satisfiable_instance(self):
         # A satisfiable structured instance: a chain of equivalences.

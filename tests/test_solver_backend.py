@@ -1,0 +1,203 @@
+"""Tests for solver backend selection and the flat-core internals.
+
+Covers the ``REPRO_SOLVER_BACKEND`` selection machinery (valid and invalid
+values, graceful fallback with a truthful provenance note), the batched
+``_ensure_var`` growth of the rewritten core, and the indexed VSIDS order
+heap — which must compute the exact argmax the old linear scan computed
+under arbitrary bump/assign/unassign churn, rescales included.
+"""
+
+import random
+
+import pytest
+
+from repro.sat._backend import (
+    available_backends,
+    backend_module,
+    backend_provenance,
+    requested_backend,
+    select_backend,
+)
+from repro.sat._solver_core import CDCLSolver as PureCDCLSolver
+from repro.sat.solver import (
+    CDCLSolver,
+    solver_backend,
+    solver_backend_provenance,
+)
+
+
+class TestBackendSelection:
+    def test_pure_is_always_available(self):
+        assert "pure" in available_backends()
+        assert backend_module("pure").CDCLSolver is PureCDCLSolver
+
+    def test_select_pure_explicitly(self):
+        backend = select_backend("pure")
+        assert backend.name == "pure"
+        assert backend.requested == "pure"
+        assert backend.note is None
+        assert backend.module.CDCLSolver is PureCDCLSolver
+
+    def test_select_compiled_or_truthful_fallback(self):
+        backend = select_backend("compiled")
+        if "compiled" in available_backends():
+            assert backend.name == "compiled"
+            assert backend.note is None
+            assert backend.module.__file__.endswith((".so", ".pyd", ".dylib"))
+        else:
+            assert backend.name == "pure"
+            assert backend.note is not None
+            assert "using pure" in backend.note
+
+    def test_select_auto_prefers_compiled_when_built(self):
+        backend = select_backend("auto")
+        if "compiled" in available_backends():
+            assert backend.name == "compiled"
+        else:
+            assert backend.name == "pure"
+            assert backend.note is not None  # records why compiled was skipped
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            select_backend("turbo")
+        with pytest.raises(ValueError):
+            backend_module("turbo")
+
+    def test_env_var_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER_BACKEND", raising=False)
+        assert requested_backend() == "auto"
+        monkeypatch.setenv("REPRO_SOLVER_BACKEND", " PURE ")
+        assert requested_backend() == "pure"
+        monkeypatch.setenv("REPRO_SOLVER_BACKEND", "")
+        assert requested_backend() == "auto"
+
+    def test_invalid_env_value_warns_and_falls_back_to_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_BACKEND", "turbo")
+        with pytest.warns(UserWarning, match="REPRO_SOLVER_BACKEND"):
+            assert requested_backend() == "auto"
+
+    def test_provenance_shape(self):
+        provenance = backend_provenance()
+        assert provenance["solver_backend"] in ("pure", "compiled")
+        assert provenance["solver_backend_requested"] in (
+            "auto", "pure", "compiled"
+        )
+        if provenance["solver_backend"] == "pure" and "compiled" not in (
+            available_backends()
+        ):
+            # Running interpreted without the extension: the note says why.
+            if provenance["solver_backend_requested"] != "pure":
+                assert "solver_backend_note" in provenance
+
+    def test_solver_module_reexports(self):
+        assert solver_backend() in available_backends()
+        assert CDCLSolver is backend_module(solver_backend()).CDCLSolver
+        assert solver_backend_provenance() == backend_provenance()
+
+
+class TestEnsureVarBatchGrowth:
+    def test_single_clause_grows_all_arrays_at_once(self):
+        solver = PureCDCLSolver()
+        solver.add_clause([500, -1200])
+        assert solver.num_vars == 1200
+        assert len(solver._assign) == 1201
+        assert len(solver._level) == 1201
+        assert len(solver._reason) == 1201
+        assert len(solver._activity) == 1201
+        assert len(solver._phase) == 1201
+        assert len(solver._seen) == 1201
+        assert len(solver._watches) == 2 * 1200 + 2
+        # Every variable sits in the order heap exactly once, and the
+        # position index is consistent.
+        assert sorted(solver._heap) == list(range(1, 1201))
+        for idx, var in enumerate(solver._heap):
+            assert solver._heap_pos[var] == idx
+
+    def test_incremental_growth_keeps_heap_consistent(self):
+        solver = PureCDCLSolver()
+        solver.add_clause([1, -2])
+        solver._bump_var(2)  # non-zero activity before more vars arrive
+        solver.add_clause([3, -40])
+        assert solver.num_vars == 40
+        assert sorted(solver._heap) == list(range(1, 41))
+        for idx, var in enumerate(solver._heap):
+            assert solver._heap_pos[var] == idx
+        # The bumped variable is still the heap maximum.
+        assert solver._pick_branch_variable() == 2
+
+    def test_growth_is_idempotent(self):
+        solver = PureCDCLSolver()
+        solver.add_clause([7, -3])
+        before = len(solver._assign)
+        solver._ensure_var(5)  # already covered
+        assert len(solver._assign) == before
+
+
+class TestOrderHeapMatchesLinearScan:
+    """The indexed heap must be decision-identical to the old linear scan."""
+
+    @staticmethod
+    def _linear_argmax(solver, num_vars):
+        best_var = None
+        best_act = -1.0
+        for var in range(1, num_vars + 1):
+            if solver._assign[var] is None and solver._activity[var] > best_act:
+                best_act = solver._activity[var]
+                best_var = var
+        return best_var
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_churn(self, seed):
+        rng = random.Random(42 + seed)
+        num_vars = 40
+        solver = PureCDCLSolver()
+        solver._ensure_var(num_vars)
+        assigned = []
+        for step in range(1500):
+            op = rng.random()
+            if op < 0.55:
+                solver._bump_var(rng.randint(1, num_vars))
+            elif op < 0.80:
+                expected = self._linear_argmax(solver, num_vars)
+                picked = solver._pick_branch_variable()
+                assert picked == expected
+                if picked is not None:
+                    solver._assign[picked] = True
+                    assigned.append(picked)
+            elif assigned:
+                var = assigned.pop(rng.randrange(len(assigned)))
+                solver._assign[var] = None
+                if solver._heap_pos[var] < 0:
+                    solver._heap_insert(var)
+            if step % 300 == 299:
+                # Accelerate toward an activity rescale (1e100 overflow
+                # guard) so the rebuild path is exercised too.
+                solver._var_inc *= 1e20
+        # Force a rescale and confirm the ordering survives it.
+        solver._var_inc = 2e100
+        solver._bump_var(1)
+        assert solver._activity[1] < 1e100  # rescale happened
+        while assigned:
+            var = assigned.pop()
+            solver._assign[var] = None
+            if solver._heap_pos[var] < 0:
+                solver._heap_insert(var)
+        drained = []
+        while True:
+            expected = self._linear_argmax(solver, num_vars)
+            picked = solver._pick_branch_variable()
+            assert picked == expected
+            if picked is None:
+                break
+            solver._assign[picked] = True
+            drained.append(picked)
+        assert sorted(drained) == list(range(1, num_vars + 1))
+
+    def test_tie_break_is_lowest_variable(self):
+        solver = PureCDCLSolver()
+        solver._ensure_var(10)
+        for var in (3, 7, 9):
+            solver._bump_var(var)  # equal activities
+        assert solver._pick_branch_variable() == 3
+        solver._assign[3] = True
+        assert solver._pick_branch_variable() == 7
