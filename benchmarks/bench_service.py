@@ -1,0 +1,373 @@
+#!/usr/bin/env python
+"""Load benchmark of the network serving layer.
+
+Boots a real :class:`~repro.server.supervisor.Supervisor` (worker
+subprocesses, shared result store, load-aware routing) and drives a mixed
+cached/uncached workload of 4-qubit circuits through ``POST /v1/jobs`` +
+``GET /v1/jobs/{id}/result?wait=`` with a configurable number of concurrent
+asyncio clients.  Per-request latency is measured submit-to-result; the run
+reports nearest-rank p50/p99, mean, throughput and error rate.
+
+Two modes:
+
+* **default / --record** — run the workload against a 1-worker and a
+  2-worker fleet (fresh store each, disjoint uncached circuits) and report
+  both; ``--record`` appends a schema-versioned entry with an environment
+  stamp (python, platform, solver backend, git revision) to
+  ``benchmarks/BENCH_service.json``, the committed serving-throughput
+  trajectory.  On an uncached mixed workload the 2-worker fleet must beat
+  the 1-worker fleet: the whole point of the process supervisor is that the
+  pure-Python solver's GIL stops mattering across processes.  That gate
+  only makes sense with >= 2 CPUs; on a single-CPU machine (CI containers,
+  cgroup-pinned boxes) it degrades to a no-collapse check and the recorded
+  entry carries an explicit ``single_core_waiver`` so the number is never
+  misread as a scaling result.
+* **--smoke** — one short 2-worker run for CI: zero errors required and a
+  generous p99 gate (``--p99-gate``); exit 1 on violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --record
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchlib.generators import random_cnot_circuit  # noqa: E402
+from repro.circuit.qasm.writer import to_qasm  # noqa: E402
+from repro.sat.solver import solver_backend_provenance  # noqa: E402
+from repro.server import wire  # noqa: E402
+from repro.server.supervisor import Supervisor  # noqa: E402
+
+#: Schema version of the entries appended to BENCH_service.json.
+BENCH_SERVICE_SCHEMA = 1
+
+#: Qubits / CNOT count of the workload circuits.  16 CNOTs on 4 qubits puts
+#: one uncached dp solve around 100ms — long enough that solver work (not
+#: HTTP plumbing) dominates, short enough for a quick benchmark.
+WORKLOAD_QUBITS = 4
+WORKLOAD_CNOTS = 16
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _environment_stamp() -> dict:
+    """Provenance of a recorded entry: interpreter, platform, backend, rev."""
+    stamp = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": _available_cpus(),
+    }
+    stamp.update(solver_backend_provenance())
+    try:
+        stamp["git_revision"] = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        stamp["git_revision"] = "unknown"
+    return stamp
+
+
+def _workload(requests: int, cached_fraction: float, seed_base: int):
+    """The request mix: submit bodies, cached ones repeating a hot circuit.
+
+    ``seed_base`` keeps the uncached circuits of independent runs disjoint,
+    so the 1-worker and 2-worker fleets both solve everything cold.
+    """
+    hot = to_qasm(
+        random_cnot_circuit(
+            WORKLOAD_QUBITS, WORKLOAD_CNOTS, seed=seed_base, locality=0.7
+        )
+    )
+    bodies = []
+    cached_every = max(2, round(1 / cached_fraction)) if cached_fraction else 0
+    for index in range(requests):
+        if cached_every and index % cached_every == 0 and index > 0:
+            qasm, kind = hot, "cached"
+        else:
+            qasm = to_qasm(
+                random_cnot_circuit(
+                    WORKLOAD_QUBITS, WORKLOAD_CNOTS,
+                    seed=seed_base + 1 + index, locality=0.7,
+                )
+            )
+            kind = "uncached"
+        envelope = {
+            "type": "submit-request",
+            "version": 1,
+            "payload": {
+                "qasm": qasm,
+                "arch": "ibm_qx4",
+                "engine": "dp",
+                "circuit_name": f"bench_{kind}_{index}",
+            },
+        }
+        bodies.append((json.dumps(envelope).encode(), kind))
+    return bodies
+
+
+def _quantile(values, q):
+    """Nearest-rank quantile of a non-empty sorted list."""
+    rank = max(0, min(len(values) - 1, int(q * len(values) + 0.5) - 1))
+    return values[rank]
+
+
+async def _client_loop(port, queue, latencies, errors, kinds_done):
+    while True:
+        try:
+            body, kind = queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return
+        started = time.perf_counter()
+        try:
+            _status, _headers, raw = await wire.http_request(
+                "127.0.0.1", port, "POST", "/v1/jobs", body=body, timeout=120,
+            )
+            submitted = json.loads(raw)
+            if submitted.get("type") != "job-status":
+                raise RuntimeError(f"submit failed: {submitted}")
+            job_id = submitted["payload"]["job_id"]
+            status, _headers, raw = await wire.http_request(
+                "127.0.0.1", port, "GET",
+                f"/v1/jobs/{job_id}/result?wait=120", timeout=150,
+            )
+            if status != 200:
+                raise RuntimeError(f"result failed ({status}): {raw[:200]!r}")
+        except Exception as error:  # noqa: BLE001 - every failure is counted
+            errors.append(f"{type(error).__name__}: {error}")
+        else:
+            latencies.append(time.perf_counter() - started)
+            kinds_done[kind] = kinds_done.get(kind, 0) + 1
+
+
+async def run_load(
+    *,
+    workers: int,
+    requests: int,
+    concurrency: int,
+    cached_fraction: float,
+    seed_base: int,
+    service_workers: int = 2,
+) -> dict:
+    """One full run: boot a fleet, push the workload, summarize."""
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in _workload(requests, cached_fraction, seed_base):
+        queue.put_nowait(item)
+    latencies: list = []
+    errors: list = []
+    kinds_done: dict = {}
+    async with Supervisor(
+        workers=workers, engine="dp", service_workers=service_workers
+    ) as supervisor:
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _client_loop(
+                    supervisor.port, queue, latencies, errors, kinds_done
+                )
+                for _ in range(concurrency)
+            )
+        )
+        elapsed = time.perf_counter() - started
+        restarts = sum(handle.restarts for handle in supervisor.workers)
+    latencies.sort()
+    summary = {
+        "workers": workers,
+        "requests": requests,
+        "concurrency": concurrency,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "error_rate": len(errors) / requests if requests else 0.0,
+        "cached_completed": kinds_done.get("cached", 0),
+        "uncached_completed": kinds_done.get("uncached", 0),
+        "wall_seconds": round(elapsed, 4),
+        "throughput_rps": round(len(latencies) / elapsed, 3) if elapsed else 0,
+        "worker_restarts": restarts,
+    }
+    if latencies:
+        summary["latency"] = {
+            "p50_seconds": round(_quantile(latencies, 0.50), 5),
+            "p99_seconds": round(_quantile(latencies, 0.99), 5),
+            "mean_seconds": round(sum(latencies) / len(latencies), 5),
+            "max_seconds": round(latencies[-1], 5),
+        }
+    if errors:
+        summary["error_samples"] = errors[:5]
+    return summary
+
+
+def _print_summary(label: str, summary: dict) -> None:
+    latency = summary.get("latency", {})
+    print(
+        f"{label:12s} {summary['completed']}/{summary['requests']} ok, "
+        f"{summary['errors']} errors, "
+        f"{summary['throughput_rps']:7.2f} req/s, "
+        f"p50 {latency.get('p50_seconds', float('nan')):.3f}s, "
+        f"p99 {latency.get('p99_seconds', float('nan')):.3f}s "
+        f"({summary['cached_completed']} cached / "
+        f"{summary['uncached_completed']} uncached)"
+    )
+
+
+def record_entry(runs: dict, config: dict, path: Path) -> dict:
+    entry = {
+        "schema_version": BENCH_SERVICE_SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmark": (
+            "HTTP service load: mixed cached/uncached 4-qubit dp workload "
+            "through the multi-process supervisor"
+        ),
+        "environment": _environment_stamp(),
+        "config": config,
+        "runs": runs,
+    }
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {"schema_version": BENCH_SERVICE_SCHEMA, "entries": []}
+    document["entries"].append(entry)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60,
+                        help="total requests per run (default 60)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="concurrent client loops (default 8)")
+    parser.add_argument("--cached-fraction", type=float, default=0.25,
+                        help="fraction of requests repeating the hot "
+                        "circuit (default 0.25)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: one short 2-worker run, zero errors "
+                        "required, p99 gated")
+    parser.add_argument("--p99-gate", type=float, default=30.0,
+                        help="--smoke: maximum tolerated p99 latency in "
+                        "seconds (default 30, deliberately generous — the "
+                        "gate catches hangs, not noise)")
+    parser.add_argument("--record", action="store_true",
+                        help="append the 1-vs-2-worker comparison to "
+                        "benchmarks/BENCH_service.json")
+    parser.add_argument("--output", default=None,
+                        help="also write the run summaries to this JSON file")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        requests = min(args.requests, 24)
+        summary = asyncio.run(
+            run_load(
+                workers=2,
+                requests=requests,
+                concurrency=min(args.concurrency, 4),
+                cached_fraction=args.cached_fraction,
+                seed_base=9000,
+            )
+        )
+        _print_summary("smoke(w=2)", summary)
+        runs = {"smoke_workers_2": summary}
+        ok = True
+        if summary["errors"]:
+            print(f"FAIL: {summary['errors']} errors "
+                  f"(samples: {summary.get('error_samples')})")
+            ok = False
+        if summary["completed"] != requests:
+            print(f"FAIL: only {summary['completed']}/{requests} completed")
+            ok = False
+        p99 = summary.get("latency", {}).get("p99_seconds", float("inf"))
+        if p99 > args.p99_gate:
+            print(f"FAIL: p99 {p99:.3f}s exceeds the {args.p99_gate:.0f}s gate")
+            ok = False
+        if args.output:
+            Path(args.output).write_text(json.dumps(runs, indent=1) + "\n")
+        print("smoke:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+
+    runs = {}
+    for workers in (1, 2):
+        summary = asyncio.run(
+            run_load(
+                workers=workers,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                cached_fraction=args.cached_fraction,
+                # Disjoint seed ranges: both fleets solve their uncached
+                # circuits cold.
+                seed_base=1000 * workers,
+            )
+        )
+        runs[f"workers_{workers}"] = summary
+        _print_summary(f"workers={workers}", summary)
+
+    speedup = (
+        runs["workers_2"]["throughput_rps"] / runs["workers_1"]["throughput_rps"]
+        if runs["workers_1"]["throughput_rps"]
+        else float("inf")
+    )
+    cpus = _available_cpus()
+    print(f"2-worker speedup: {speedup:.2f}x on {cpus} CPU(s)")
+    ok = True
+    if runs["workers_1"]["errors"] or runs["workers_2"]["errors"]:
+        print("FAIL: errors during the load run")
+        ok = False
+    single_core = cpus < 2
+    if single_core:
+        # One CPU: two solver processes cannot out-compute one, whatever
+        # the serving layer does.  The gate degrades to "the supervisor's
+        # extra hop must not collapse throughput" and the recorded entry
+        # carries an explicit waiver so the number is never misread as a
+        # scaling result.
+        print("note: single-CPU machine — strict 2-worker > 1-worker gate "
+              "waived (recorded with single_core_waiver); gating on "
+              "no-collapse (>= 0.80x) instead")
+        if speedup < 0.80:
+            print("FAIL: 2-worker throughput collapsed versus 1 worker")
+            ok = False
+    elif runs["workers_2"]["throughput_rps"] <= runs["workers_1"]["throughput_rps"]:
+        print("FAIL: 2-worker throughput must beat 1 worker on an "
+              "uncached-dominated workload")
+        ok = False
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(runs, indent=1) + "\n")
+    if args.record and ok:
+        config = {
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "cached_fraction": args.cached_fraction,
+            "workload_qubits": WORKLOAD_QUBITS,
+            "workload_cnots": WORKLOAD_CNOTS,
+            "engine": "dp",
+            "arch": "ibm_qx4",
+            "service_workers_per_process": 2,
+            "speedup_2_vs_1": round(speedup, 3),
+            "single_core_waiver": single_core,
+        }
+        path = Path(__file__).parent / "BENCH_service.json"
+        record_entry(runs, config, path)
+        print(f"recorded entry -> {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Drive a live ``repro-map listen`` server with nothing but the stdlib.
+
+The wire contract is plain JSON over HTTP, so any language's HTTP client
+can submit circuits — this demo uses :mod:`urllib` to show the minimum a
+client needs:
+
+1. ``POST /v1/jobs`` with a ``submit-request`` envelope (QASM travels as
+   text),
+2. ``GET /v1/jobs/{id}/result?wait=...`` to long-poll the result,
+3. ``GET /v1/stats`` for the fleet's counters,
+4. ``POST /v1/cache/prune`` to broadcast a cache invalidation.
+
+By default the demo boots its own 2-worker server as a subprocess and
+tears it down afterwards; point ``--url`` at an already-running server to
+skip that.
+
+Usage::
+
+    PYTHONPATH=src python examples/http_client_demo.py
+    PYTHONPATH=src python examples/http_client_demo.py --url 127.0.0.1:8137
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+#: The paper's worked example (Fig. 1): 4 qubits, minimal added cost 4 on
+#: IBM QX4 (same gate list as ``repro.benchlib.paper_example``).
+PAPER_EXAMPLE_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[2];
+cx q[2], q[3];
+cx q[0], q[1];
+t q[0];
+h q[1];
+cx q[1], q[2];
+cx q[2], q[1];
+cx q[0], q[1];
+"""
+
+
+def request(base: str, method: str, target: str, payload: dict = None):
+    """One JSON request/response exchange; returns (status, envelope)."""
+    body = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        f"http://{base}{target}", data=body, method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=180) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        # Error responses are protocol envelopes too.
+        return error.code, json.loads(error.read())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None, metavar="HOST:PORT",
+        help="talk to an already-running server instead of booting one",
+    )
+    args = parser.parse_args()
+
+    server = None
+    if args.url:
+        base = args.url
+    else:
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "listen",
+             "--port", "0", "--workers", "2"],
+            stdout=subprocess.PIPE, env=env, text=True,
+        )
+        ready = json.loads(server.stdout.readline())
+        base = f"127.0.0.1:{ready['port']}"
+        print(f"booted a 2-worker server on {base}")
+
+    try:
+        # 1. Submit the paper example.
+        status, envelope = request(base, "POST", "/v1/jobs", {
+            "type": "submit-request",
+            "version": 1,
+            "payload": {
+                "qasm": PAPER_EXAMPLE_QASM,
+                "arch": "ibm_qx4",
+                "engine": "dp",
+                "circuit_name": "paper_example",
+            },
+        })
+        job_id = envelope["payload"]["job_id"]
+        print(f"submitted ({status}): job {job_id}, "
+              f"status {envelope['payload']['status']}")
+
+        # 2. Long-poll the result.
+        status, envelope = request(
+            base, "GET", f"/v1/jobs/{job_id}/result?wait=120"
+        )
+        result = envelope["payload"]["result"]
+        print(f"result   ({status}): added cost {result['objective']}, "
+              f"proven minimal: {result['optimal']}")
+
+        # 3. Resubmit: the shared store answers without re-solving.
+        _status, envelope = request(base, "POST", "/v1/jobs", {
+            "type": "submit-request",
+            "version": 1,
+            "payload": {"qasm": PAPER_EXAMPLE_QASM, "arch": "ibm_qx4",
+                        "engine": "dp", "circuit_name": "paper_example"},
+        })
+        rerun_id = envelope["payload"]["job_id"]
+        _status, envelope = request(
+            base, "GET", f"/v1/jobs/{rerun_id}/result?wait=120"
+        )
+        print(f"resubmit : job {rerun_id}, cache hit: "
+              f"{envelope['payload']['provenance'].get('cache_hit')}")
+
+        # 4. Fleet stats.
+        _status, envelope = request(base, "GET", "/v1/stats")
+        payload = envelope["payload"]
+        if payload["role"] == "supervisor":
+            submitted = sum(
+                worker["submitted"] for worker in payload["workers"].values()
+            )
+            print(f"stats    : {payload['stats']['workers']} workers, "
+                  f"{submitted} jobs submitted fleet-wide")
+        else:
+            print(f"stats    : single worker, "
+                  f"{payload['stats']['submitted']} jobs submitted")
+
+        # 5. Broadcast a cache invalidation (memory LRUs drop everywhere).
+        _status, envelope = request(base, "POST", "/v1/cache/prune", {
+            "type": "prune-request", "version": 1,
+            "payload": {"flush_memory": True},
+        })
+        print(f"prune    : {envelope['payload']['memory_dropped']} in-memory "
+              "entries dropped across the fleet")
+
+        # 6. A structured error: unknown jobs are 404 + machine-readable code.
+        status, envelope = request(base, "GET", "/v1/jobs/w9-job-999999")
+        print(f"error demo ({status}): "
+              f"code {envelope['payload']['error_code']!r}")
+        return 0
+    finally:
+        if server is not None:
+            server.send_signal(signal.SIGTERM)
+            server.wait(timeout=60)
+            print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

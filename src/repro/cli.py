@@ -5,12 +5,15 @@ Engines are resolved through the mapper backend registry
 added at runtime via :func:`repro.pipeline.register_mapper` — is a valid
 ``--engine`` argument.
 
-The command has three entry points.  The classic mapping invocation (the
+The command has four entry points.  The classic mapping invocation (the
 default, kept flag-compatible with earlier releases) maps one circuit; the
 ``serve`` subcommand drives a whole batch through the async
 :class:`~repro.service.service.MappingService` with result caching and
-multi-device routing; the ``cache`` subcommand inspects and clears the
-in-memory and on-disk caches.
+multi-device routing; the ``listen`` subcommand runs the network serving
+layer (HTTP/WebSocket front end, multi-process workers behind a
+supervisor); the ``cache`` subcommand inspects, clears and prunes the
+in-memory and on-disk caches — locally or on a running server via
+``--url``.
 
 Examples::
 
@@ -18,7 +21,11 @@ Examples::
     repro-map circuit.qasm --arch qx4 --engine sat --strategy odd --subsets
     repro-map circuit.qasm --engine sat --subsets --workers 4 --cache-dir ~/.repro
     repro-map serve a.qasm b.qasm --arch qx4 --arch qx5 --engine dp --workers 4
+    repro-map listen --port 8137 --workers 4 --arch qx4 --arch qx5
     repro-map cache stats --cache-dir ~/.repro
+    repro-map cache stats --url 127.0.0.1:8137
+    repro-map cache prune --ttl 3600 --cache-dir ~/.repro
+    repro-map cache prune --url 127.0.0.1:8137
     repro-map cache clear --cache-dir ~/.repro
     repro-map --list-engines
     python -m repro.cli circuit.qasm --arch qx4
@@ -46,7 +53,7 @@ from repro.sim.equivalence import result_is_equivalent
 from repro.verify import verify_result
 
 #: Subcommand names dispatched away from the classic mapping invocation.
-_SUBCOMMANDS = ("cache", "serve")
+_SUBCOMMANDS = ("cache", "serve", "listen")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,7 +441,8 @@ def _build_cache_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-map cache",
         description="Inspect, clear or prune the per-architecture artefact "
-        "caches and the persistent result store.",
+        "caches and the persistent result store (locally, or on a running "
+        "server via --url).",
     )
     parser.add_argument("action", choices=["stats", "clear", "prune"])
     parser.add_argument(
@@ -445,31 +453,85 @@ def _build_cache_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ttl", type=float, default=None,
         help="for 'prune': drop result-store rows older than this many "
-        "seconds (required)",
+        "seconds (required for a local prune; optional with --url, where "
+        "omitting it only flushes the workers' in-memory caches)",
+    )
+    parser.add_argument(
+        "--url", default=None, metavar="HOST:PORT",
+        help="operate on a running repro-map listen server instead of the "
+        "local filesystem: 'stats' fetches GET /v1/stats, 'prune' posts "
+        "the invalidation broadcast to POST /v1/cache/prune",
     )
     return parser
 
 
+def _parse_url(url: str) -> "tuple[str, int]":
+    """Split a ``host:port`` (scheme prefix tolerated) into its parts."""
+    stripped = url.split("//", 1)[-1].rstrip("/")
+    host, _, port = stripped.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {url!r}")
+    return host, int(port)
+
+
+def _http_json(method: str, url: str, target: str, body=None):
+    """One protocol request against a running server; returns the envelope."""
+    import json as _json
+
+    from repro.server import wire
+
+    host, port = _parse_url(url)
+
+    async def call():
+        status, _headers, payload = await wire.http_request(
+            host, port, method, target, body=body
+        )
+        return status, _json.loads(payload)
+
+    return asyncio.run(call())
+
+
 def _run_cache(argv: Sequence[str]) -> int:
+    import json as _json
+
     parser = _build_cache_parser()
     args = parser.parse_args(argv)
-    cache_dir = _activate_cache_dir(args.cache_dir)
+
+    if args.url is not None and args.action == "clear":
+        parser.error("cache clear is not available over --url")
 
     if args.action == "prune":
+        if args.url is not None:
+            from repro.server.protocol import PruneRequest
+
+            request = PruneRequest(ttl_seconds=args.ttl, flush_memory=True)
+            status, envelope = _http_json(
+                "POST", args.url, "/v1/cache/prune",
+                _json.dumps(request.to_wire()).encode(),
+            )
+            print(_json.dumps(envelope["payload"], indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        cache_dir = _activate_cache_dir(args.cache_dir)
         if args.ttl is None:
-            parser.error("cache prune requires --ttl SECONDS")
+            parser.error("cache prune requires --ttl SECONDS (or --url)")
         if cache_dir is None:
             parser.error(
                 "cache prune needs a persistent store "
-                "(use --cache-dir or REPRO_CACHE_DIR)"
+                "(use --cache-dir, REPRO_CACHE_DIR, or --url)"
             )
         from repro.service.store import ResultStore
 
-        removed = ResultStore.at(cache_dir).prune(ttl_seconds=args.ttl)
-        print(f"result store pruned ({cache_dir}): {removed} expired results")
+        report = ResultStore.at(cache_dir).prune_report(ttl_seconds=args.ttl)
+        report["cache_dir"] = cache_dir
+        print(_json.dumps(report, indent=2, sort_keys=True))
         return 0
 
     if args.action == "stats":
+        if args.url is not None:
+            status, envelope = _http_json("GET", args.url, "/v1/stats")
+            print(_json.dumps(envelope["payload"], indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        cache_dir = _activate_cache_dir(args.cache_dir)
         print("in-process caches:")
         for key, value in sorted(cache_stats().items()):
             print(f"  {key:32s}: {value}")
@@ -483,6 +545,8 @@ def _run_cache(argv: Sequence[str]) -> int:
             print("result store: no cache directory configured "
                   "(use --cache-dir or REPRO_CACHE_DIR)")
         return 0
+
+    cache_dir = _activate_cache_dir(args.cache_dir)
 
     clear_caches()
     print("in-process caches cleared")
@@ -640,12 +704,143 @@ def _run_serve(argv: Sequence[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# listen subcommand
+# ----------------------------------------------------------------------
+def _build_listen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map listen",
+        description="Run the network serving layer: an HTTP/WebSocket "
+        "front end over the mapping service.  --workers N spawns N worker "
+        "processes behind a supervising reverse proxy (load-aware routing, "
+        "heartbeat restarts, cache invalidation broadcast); --workers 0 "
+        "serves from a single in-process worker.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8137,
+        help="public port to listen on (default 8137; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes behind the supervisor (default 2; "
+        "0 = single in-process worker, no supervisor)",
+    )
+    parser.add_argument(
+        "--arch", action="append", default=None,
+        help="architecture every worker registers; repeat for several "
+        "devices (default: ibm_qx4)",
+    )
+    parser.add_argument(
+        "--engine", default="dp",
+        help=f"mapping engine ({', '.join(available_mappers())}; default: dp)",
+    )
+    parser.add_argument("--strategy", default="all")
+    parser.add_argument("--optimizer", default=None)
+    parser.add_argument("--subsets", action="store_true")
+    parser.add_argument("--time-limit", type=float, default=None)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument(
+        "--service-workers", type=int, default=2,
+        help="solver pool size inside each worker process (default 2)",
+    )
+    parser.add_argument("--executor", default="thread",
+                        choices=["thread", "process"])
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="shared persistent cache directory (defaults to "
+        "$REPRO_CACHE_DIR; without one the supervisor creates a private "
+        "temporary directory so its workers still share one result store)",
+    )
+    parser.add_argument("--result-ttl", type=float, default=None)
+    return parser
+
+
+def _run_listen(argv: Sequence[str]) -> int:
+    parser = _build_listen_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    try:
+        engine = resolve_mapper_name(args.engine)
+    except KeyError as error:
+        parser.error(str(error))
+    _validate_optimizer(parser, args, engine)
+    options = _engine_options(engine, args)
+    arch = args.arch or ["ibm_qx4"]
+
+    if args.workers == 0:
+        import json as _json
+        import os
+        import signal
+
+        from repro.server.worker import build_server
+
+        async def single_worker() -> int:
+            server = build_server(
+                host=args.host,
+                port=args.port,
+                worker_id="w0",
+                arch=arch,
+                engine=engine,
+                engine_options=options,
+                service_workers=args.service_workers,
+                executor=args.executor,
+                cache_dir=args.cache_dir,
+                result_ttl=args.result_ttl,
+            )
+            await server.start()
+            print(
+                _json.dumps(
+                    {
+                        "event": "listening",
+                        "role": "worker",
+                        "host": args.host,
+                        "port": server.port,
+                        "pid": os.getpid(),
+                    }
+                ),
+                flush=True,
+            )
+            stop_requested = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop_requested.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    signal.signal(signum, lambda *_: stop_requested.set())
+            await stop_requested.wait()
+            await server.stop(drain=True)
+            return 0
+
+        return asyncio.run(single_worker())
+
+    from repro.server.supervisor import run_supervisor
+
+    return asyncio.run(
+        run_supervisor(
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            arch=arch,
+            engine=engine,
+            engine_options=options,
+            service_workers=args.service_workers,
+            executor=args.executor,
+            cache_dir=args.cache_dir,
+            result_ttl=args.result_ttl,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-map`` command."""
     arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] in _SUBCOMMANDS:
         if arguments[0] == "cache":
             return _run_cache(arguments[1:])
+        if arguments[0] == "listen":
+            return _run_listen(arguments[1:])
         return _run_serve(arguments[1:])
     return _run_map(arguments)
 

@@ -1,0 +1,469 @@
+"""Single-process HTTP/WebSocket server over one :class:`MappingService`.
+
+:class:`JobServer` is the unit the supervisor scales horizontally: one
+process, one asyncio loop, one mapping service, one listening socket.  It
+exposes the full job lifecycle under the versioned ``/v1`` prefix:
+
+=========  =======================  ==========================================
+method     path                     meaning
+=========  =======================  ==========================================
+POST       /v1/jobs                 submit a circuit (SubmitRequest body)
+GET        /v1/jobs/{id}            job status snapshot
+GET        /v1/jobs/{id}/result     full result (``?wait=SECONDS`` to block)
+GET        /v1/stats                service + store counters and gauges
+GET        /v1/healthz              liveness + the queue-depth routing gauges
+POST       /v1/cache/prune          prune the result store / flush the LRU
+GET        /v1/stream               WebSocket: job state transition events
+=========  =======================  ==========================================
+
+Every body in both directions is a :mod:`repro.server.protocol` envelope;
+every failure is an :class:`~repro.server.protocol.ErrorEnvelope` whose
+HTTP status comes from the service-error code table.  Connections are
+keep-alive; request handling is fully async (the service already keeps
+solver work off the event loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.circuit.qasm import parse_qasm
+from repro.server import wire
+from repro.server.protocol import (
+    ErrorEnvelope,
+    HealthReport,
+    JobStatus,
+    ProtocolError,
+    PruneReport,
+    PruneRequest,
+    ResultPayload,
+    StatsReport,
+    StreamEvent,
+    SubmitRequest,
+    from_wire,
+)
+from repro.service.errors import ServiceError
+from repro.service.service import DONE, FAILED, MappingService
+
+#: Longest a ``?wait=`` result long-poll may block (seconds).
+MAX_RESULT_WAIT_SECONDS = 300.0
+
+
+def _error_response(error: ServiceError, *, keep_alive: bool = True) -> bytes:
+    envelope = ErrorEnvelope.from_error(error)
+    return wire.json_response(
+        envelope.http_status, envelope.to_wire(), keep_alive=keep_alive
+    )
+
+
+class JobServer:
+    """The HTTP/WebSocket front end of one mapping service process.
+
+    Args:
+        service: The (not yet started) mapping service to expose.
+        host/port: Bind address; port ``0`` picks a free port (read the
+            resolved one from :attr:`port` after :meth:`start`).
+        worker_id: Name stamped into health reports and stream events —
+            the supervisor uses it to prefix job ids.
+        cache_dir: The persistent cache directory backing the service's
+            store, if any (reported by the prune endpoint).
+    """
+
+    def __init__(
+        self,
+        service: MappingService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_id: str = "w0",
+        cache_dir: Optional[str] = None,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id
+        self.cache_dir = cache_dir
+        self.draining = False
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "JobServer":
+        """Start the service and bind the listening socket."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=wire.MAX_HEADER_BYTES,
+            reuse_address=True,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop accepting, then drain the service.
+
+        Open keep-alive connections are closed after their in-progress
+        request; the service finishes in-flight solves and fails
+        still-queued jobs with ``ServiceUnavailable`` (see
+        :meth:`MappingService.stop`).
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop(drain=drain)
+
+    async def __aenter__(self) -> "JobServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop(drain=exc_type is None)
+
+    async def serve_forever(self) -> None:
+        """Block until the server is closed (for worker main loops)."""
+        assert self._server is not None, "start() the server first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - cancellation path
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await wire.read_request(reader)
+                except wire.WireError as error:
+                    envelope = ErrorEnvelope(
+                        error_code="protocol-error",
+                        message=str(error),
+                        http_status=error.status,
+                    )
+                    writer.write(
+                        wire.json_response(
+                            error.status, envelope.to_wire(), keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                self._requests_served += 1
+                if request.path == "/v1/stream" and request.is_websocket_upgrade:
+                    await self._handle_stream(request, reader, writer)
+                    return
+                status, envelope = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self.draining
+                writer.write(
+                    wire.json_response(status, envelope, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Route one request; always returns a protocol envelope."""
+        try:
+            return await self._route(request)
+        except ServiceError as error:
+            envelope = ErrorEnvelope.from_error(error)
+            return envelope.http_status, envelope.to_wire()
+        except Exception as error:  # noqa: BLE001 - last-resort server error
+            envelope = ErrorEnvelope(
+                error_code="service-error",
+                message=f"internal server error: {error}",
+                details={"error_type": type(error).__name__},
+            )
+            return envelope.http_status, envelope.to_wire()
+
+    async def _route(
+        self, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        path, method = request.path, request.method
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise _method_not_allowed(method, path)
+            return await self._submit(request)
+        if path.startswith("/v1/jobs/"):
+            tail = path[len("/v1/jobs/"):]
+            if tail.endswith("/result"):
+                job_id = tail[: -len("/result")]
+                if method != "GET":
+                    raise _method_not_allowed(method, path)
+                return await self._result(job_id, request)
+            if "/" not in tail:
+                if method != "GET":
+                    raise _method_not_allowed(method, path)
+                return self._status(tail)
+        if path == "/v1/stats":
+            if method != "GET":
+                raise _method_not_allowed(method, path)
+            return self._stats()
+        if path == "/v1/healthz":
+            if method != "GET":
+                raise _method_not_allowed(method, path)
+            return self._healthz()
+        if path == "/v1/cache/prune":
+            if method != "POST":
+                raise _method_not_allowed(method, path)
+            return await self._prune(request)
+        if path == "/v1/stream":
+            raise ProtocolError(
+                "/v1/stream requires a WebSocket upgrade "
+                "(Connection: Upgrade, Upgrade: websocket)"
+            )
+        not_found = ServiceError(f"no such endpoint: {method} {path}")
+        not_found.code = "not-found"
+        raise not_found
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers
+    # ------------------------------------------------------------------
+    async def _submit(
+        self, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        message = from_wire(request.json())
+        if not isinstance(message, SubmitRequest):
+            raise ProtocolError(
+                f"POST /v1/jobs expects a submit-request, got {message.TYPE}"
+            )
+        try:
+            circuit = parse_qasm(
+                message.qasm, name=message.circuit_name or "submitted_circuit"
+            )
+        except Exception as error:  # noqa: BLE001 - parser raises ValueError family
+            raise ProtocolError(
+                f"QASM body failed to parse: {error}",
+                details={"error_type": type(error).__name__},
+            ) from error
+        job_id = await self.service.submit(
+            circuit,
+            arch=message.arch,
+            engine=message.engine,
+            options=dict(message.options) or None,
+        )
+        snapshot = self.service.status(job_id)
+        return 202, JobStatus.from_snapshot(snapshot).to_wire()
+
+    def _status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        snapshot = self.service.status(job_id)
+        return 200, JobStatus.from_snapshot(snapshot).to_wire()
+
+    async def _result(
+        self, job_id: str, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        wait_raw = request.query.get("wait")
+        if wait_raw is not None:
+            try:
+                wait = min(float(wait_raw), MAX_RESULT_WAIT_SECONDS)
+            except ValueError:
+                raise ProtocolError(
+                    f"invalid wait parameter {wait_raw!r}"
+                ) from None
+            try:
+                await self.service.result(job_id, timeout=wait)
+            except asyncio.TimeoutError:
+                pass  # fall through to the snapshot below (202)
+            except ServiceError:
+                pass  # job failed; the snapshot carries the structured error
+        snapshot = self.service.status(job_id)
+        if snapshot["status"] == DONE:
+            result = await self.service.result(job_id)
+            payload = ResultPayload(
+                job_id=job_id,
+                result=result.to_dict(),
+                provenance=dict(snapshot.get("provenance", {})),
+            )
+            return 200, payload.to_wire()
+        if snapshot["status"] == FAILED:
+            error_dict = snapshot.get("error") or {}
+            envelope = ErrorEnvelope(
+                error_code=error_dict.get("code", "mapping-failed"),
+                message=error_dict.get("message", "job failed"),
+                details=dict(error_dict.get("details", {})),
+                http_status=ErrorEnvelope.from_error(
+                    _as_service_error(error_dict)
+                ).http_status,
+            )
+            return envelope.http_status, envelope.to_wire()
+        return 202, JobStatus.from_snapshot(snapshot).to_wire()
+
+    def _stats(self) -> Tuple[int, Dict[str, Any]]:
+        stats = self.service.stats()
+        stats["server"] = {
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+            "port": self.port,
+            "requests_served": self._requests_served,
+            "uptime_seconds": (
+                time.monotonic() - self.started_at
+                if self.started_at is not None
+                else 0.0
+            ),
+            "draining": self.draining,
+        }
+        report = StatsReport(role="worker", stats=stats)
+        return 200, report.to_wire()
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        stats = self.service.stats()
+        report = HealthReport(
+            ok=not self.draining,
+            role="worker",
+            pid=os.getpid(),
+            queue_depth=stats["queue_depth"],
+            in_flight=stats["in_flight"],
+            worker_id=self.worker_id,
+            draining=self.draining,
+        )
+        return 200, report.to_wire()
+
+    async def _prune(
+        self, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = request.json()
+        if body:
+            message = from_wire(body)
+            if not isinstance(message, PruneRequest):
+                raise ProtocolError(
+                    "POST /v1/cache/prune expects a prune-request, got "
+                    f"{message.TYPE}"
+                )
+        else:
+            message = PruneRequest()
+        store = self.service.store
+        loop = asyncio.get_running_loop()
+        if message.ttl_seconds is not None:
+            pruned = await loop.run_in_executor(
+                None, store.prune_report, message.ttl_seconds
+            )
+        else:
+            pruned = {"rows_pruned": 0, "bytes_reclaimed": 0,
+                      "memory_dropped": 0, "ttl_seconds": None}
+        memory_dropped = pruned["memory_dropped"]
+        if message.flush_memory:
+            memory_dropped += store.drop_memory()
+        report = PruneReport(
+            rows_pruned=pruned["rows_pruned"],
+            bytes_reclaimed=pruned["bytes_reclaimed"],
+            memory_dropped=memory_dropped,
+            ttl_seconds=message.ttl_seconds,
+            cache_dir=self.cache_dir,
+        )
+        return 200, report.to_wire()
+
+    # ------------------------------------------------------------------
+    # WebSocket stream
+    # ------------------------------------------------------------------
+    async def _handle_stream(
+        self,
+        request: wire.HTTPRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            writer.write(
+                wire.json_response(
+                    400,
+                    ErrorEnvelope(
+                        error_code="protocol-error",
+                        message="missing Sec-WebSocket-Key",
+                        http_status=400,
+                    ).to_wire(),
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        writer.write(
+            wire.serialize_response(
+                101,
+                extra_headers={
+                    "Upgrade": "websocket",
+                    "Connection": "Upgrade",
+                    "Sec-WebSocket-Accept": wire.websocket_accept(key),
+                },
+            )
+        )
+        await writer.drain()
+        socket = wire.WebSocketConnection(reader, writer, client=False)
+        queue = self.service.subscribe()
+        receive_task = asyncio.ensure_future(socket.receive())
+        event_task = asyncio.ensure_future(queue.get())
+        try:
+            while True:
+                done, _ = await asyncio.wait(
+                    {receive_task, event_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if receive_task in done:
+                    # The only client messages we expect are pings (answered
+                    # inside receive()) and close; anything else is ignored.
+                    if receive_task.result() is None:
+                        break
+                    receive_task = asyncio.ensure_future(socket.receive())
+                if event_task in done:
+                    event = StreamEvent.from_service_event(
+                        event_task.result(), worker=self.worker_id
+                    )
+                    await socket.send_text(event.to_json())
+                    event_task = asyncio.ensure_future(queue.get())
+        except (wire.WireError, ConnectionError, OSError):
+            pass  # subscriber went away mid-send
+        finally:
+            self.service.unsubscribe(queue)
+            for task in (receive_task, event_task):
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+            await socket.close()
+
+
+def _method_not_allowed(method: str, path: str) -> ServiceError:
+    error = ServiceError(f"method {method} not allowed on {path}")
+    error.code = "method-not-allowed"
+    return error
+
+
+def _as_service_error(error_dict: Dict[str, Any]) -> ServiceError:
+    rebuilt = ServiceError(
+        error_dict.get("message", "job failed"),
+        details=dict(error_dict.get("details", {})),
+    )
+    rebuilt.code = error_dict.get("code", "mapping-failed")
+    return rebuilt
+
+
+def _json_dumps(value: Any) -> str:  # pragma: no cover - debugging helper
+    return json.dumps(value, sort_keys=True)
+
+
+__all__ = ["JobServer", "MAX_RESULT_WAIT_SECONDS"]

@@ -1,0 +1,624 @@
+"""Versioned typed-message wire contract of the network serving layer.
+
+Every payload that crosses the wire — HTTP request/response bodies and
+WebSocket stream events — is one of the small dataclasses below, carried in
+a three-field envelope::
+
+    {"type": "submit-request", "version": 1, "payload": {...}}
+
+The contract is deliberately strict, because the two ends of the wire are
+allowed to run different releases:
+
+* **Registry.** Message classes register under ``(type_name, version)``;
+  :func:`from_wire` refuses unknown types and — separately, with a more
+  helpful error — known types at unsupported versions, so a newer client
+  talking to an older server fails loudly instead of half-working.
+* **Unknown fields are rejected.** A payload field the receiving side does
+  not declare is a contract violation (probably a newer sender), never
+  silently dropped.
+* **Versioning rules.** A change that adds an *optional* field keeps the
+  version (old payloads still validate); any removal, rename, type change
+  or new *required* field bumps the message's ``VERSION`` and keeps the old
+  class registered for as long as old senders exist.
+
+Error mapping: every :class:`~repro.service.errors.ServiceError` code has a
+row in :data:`HTTP_STATUS_BY_ERROR_CODE`; :class:`ErrorEnvelope` carries the
+code, message, details and resolved HTTP status across the wire so clients
+can branch on the stable machine-readable code instead of the status text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+from repro.service.errors import ServiceError
+
+#: Version of the envelope itself (the three-field wrapper, not the payloads).
+PROTOCOL_VERSION = 1
+
+#: Stable service-error code → HTTP status.  Codes missing here (including
+#: codes minted by future releases) fall back to 500: an unknown failure is
+#: a server-side failure until proven otherwise.
+HTTP_STATUS_BY_ERROR_CODE: Dict[str, int] = {
+    "service-error": 500,
+    "invalid-result": 500,
+    "job-not-found": 404,
+    "routing-failed": 400,
+    "mapping-failed": 500,
+    "store-error": 500,
+    "service-state": 409,
+    "service-unavailable": 503,
+    "protocol-error": 400,
+    # Route-level codes minted by the HTTP layer itself.
+    "not-found": 404,
+    "method-not-allowed": 405,
+    "upstream-failed": 502,
+}
+
+#: Fallback status for error codes without an explicit row.
+DEFAULT_ERROR_STATUS = 500
+
+
+def http_status_for_code(code: str) -> int:
+    """The HTTP status a service-error *code* maps to (default 500)."""
+    return HTTP_STATUS_BY_ERROR_CODE.get(code, DEFAULT_ERROR_STATUS)
+
+
+class ProtocolError(ServiceError):
+    """A wire payload violated the message contract.
+
+    Covers malformed envelopes, unknown message types, version mismatches,
+    unknown or missing payload fields and field-level validation failures.
+    Maps to HTTP 400 — the bytes were understood, their content was not.
+    """
+
+    code = "protocol-error"
+
+
+# ----------------------------------------------------------------------
+# Registry + envelope conversions
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[Tuple[str, int], Type["WireMessage"]] = {}
+
+
+def register_message(cls: Type["WireMessage"]) -> Type["WireMessage"]:
+    """Class decorator: add a message type to the wire registry."""
+    if not cls.TYPE:
+        raise ValueError(f"{cls.__name__} must define a non-empty TYPE")
+    key = (cls.TYPE, cls.VERSION)
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate message registration for {key}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def registered_messages() -> Dict[Tuple[str, int], Type["WireMessage"]]:
+    """A snapshot of the registry (for introspection and tests)."""
+    return dict(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """Base class of every wire message.
+
+    Subclasses are frozen dataclasses whose fields *are* the payload;
+    ``TYPE``/``VERSION`` name the registry slot.  ``validate`` holds the
+    field-level rules and runs on both directions of the conversion, so an
+    instance that round-trips was valid on both ends.
+    """
+
+    TYPE: ClassVar[str] = ""
+    VERSION: ClassVar[int] = 1
+
+    def validate(self) -> None:
+        """Check field-level invariants; raise :class:`ProtocolError`."""
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The payload mapping (shallow: nested values stay as they are)."""
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The full JSON-ready envelope for this message."""
+        self.validate()
+        return {
+            "type": self.TYPE,
+            "version": self.VERSION,
+            "payload": self.to_payload(),
+        }
+
+    def to_json(self) -> str:
+        """The envelope serialized to a JSON string."""
+        return json.dumps(self.to_wire(), sort_keys=True)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "WireMessage":
+        """Build an instance from a payload mapping — strictly.
+
+        Unknown fields and missing required fields both raise
+        :class:`ProtocolError`; the built instance is validated before it
+        is returned.
+        """
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(
+                f"{cls.TYPE} payload must be an object",
+                details={"type": cls.TYPE, "got": type(payload).__name__},
+            )
+        declared = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - set(declared))
+        if unknown:
+            raise ProtocolError(
+                f"unknown field(s) in {cls.TYPE} payload: {', '.join(unknown)}",
+                details={"type": cls.TYPE, "unknown_fields": unknown},
+            )
+        missing = sorted(
+            name
+            for name, f in declared.items()
+            if name not in payload
+            and f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING  # type: ignore[misc]
+        )
+        if missing:
+            raise ProtocolError(
+                f"missing required field(s) in {cls.TYPE} payload: "
+                f"{', '.join(missing)}",
+                details={"type": cls.TYPE, "missing_fields": missing},
+            )
+        message = cls(**dict(payload))
+        message.validate()
+        return message
+
+    # ------------------------------------------------------------------
+    # Validation helpers for subclasses
+    # ------------------------------------------------------------------
+    def _require(self, condition: bool, description: str) -> None:
+        if not condition:
+            raise ProtocolError(
+                f"invalid {self.TYPE} payload: {description}",
+                details={"type": self.TYPE},
+            )
+
+    def _require_str(self, name: str, *, optional: bool = False) -> None:
+        value = getattr(self, name)
+        if value is None and optional:
+            return
+        self._require(
+            isinstance(value, str) and bool(value),
+            f"{name} must be a non-empty string",
+        )
+
+    def _require_dict(self, name: str) -> None:
+        value = getattr(self, name)
+        self._require(
+            isinstance(value, dict)
+            and all(isinstance(key, str) for key in value),
+            f"{name} must be an object with string keys",
+        )
+
+    def _require_int(self, name: str, *, optional: bool = False,
+                     minimum: Optional[int] = None) -> None:
+        value = getattr(self, name)
+        if value is None and optional:
+            return
+        ok = isinstance(value, int) and not isinstance(value, bool)
+        if ok and minimum is not None:
+            ok = value >= minimum
+        self._require(ok, f"{name} must be an integer"
+                      + (f" >= {minimum}" if minimum is not None else ""))
+
+    def _require_bool(self, name: str, *, optional: bool = False) -> None:
+        value = getattr(self, name)
+        if value is None and optional:
+            return
+        self._require(isinstance(value, bool), f"{name} must be a boolean")
+
+    def _require_number(self, name: str, *, optional: bool = False,
+                        positive: bool = False) -> None:
+        value = getattr(self, name)
+        if value is None and optional:
+            return
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        if ok and positive:
+            ok = value > 0
+        self._require(
+            ok, f"{name} must be a{' positive' if positive else ''} number"
+        )
+
+
+def to_wire(message: WireMessage) -> Dict[str, Any]:
+    """Function-style alias of :meth:`WireMessage.to_wire`."""
+    return message.to_wire()
+
+
+def from_wire(envelope: Any) -> WireMessage:
+    """Decode one envelope into its registered message type — strictly.
+
+    Raises:
+        ProtocolError: Malformed envelope, unknown type, unsupported
+            version, or an invalid payload.
+    """
+    if not isinstance(envelope, Mapping):
+        raise ProtocolError(
+            "wire envelope must be an object",
+            details={"got": type(envelope).__name__},
+        )
+    extra = sorted(set(envelope) - {"type", "version", "payload"})
+    if extra:
+        raise ProtocolError(
+            f"unknown envelope field(s): {', '.join(extra)}",
+            details={"unknown_fields": extra},
+        )
+    type_name = envelope.get("type")
+    version = envelope.get("version")
+    if not isinstance(type_name, str) or not type_name:
+        raise ProtocolError("envelope 'type' must be a non-empty string")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError("envelope 'version' must be an integer")
+    cls = _REGISTRY.get((type_name, version))
+    if cls is None:
+        supported = sorted(
+            v for (name, v) in _REGISTRY if name == type_name
+        )
+        if supported:
+            raise ProtocolError(
+                f"unsupported version {version} of message {type_name!r} "
+                f"(supported: {', '.join(map(str, supported))})",
+                details={
+                    "type": type_name,
+                    "version": version,
+                    "supported_versions": supported,
+                },
+            )
+        raise ProtocolError(
+            f"unknown message type {type_name!r}",
+            details={"type": type_name, "known": sorted({n for n, _ in _REGISTRY})},
+        )
+    return cls.from_payload(envelope.get("payload", {}))
+
+
+def from_json(text: str) -> WireMessage:
+    """Decode a JSON string into its registered message type."""
+    try:
+        envelope = json.loads(text)
+    except ValueError as error:
+        raise ProtocolError(
+            f"body is not valid JSON: {error}"
+        ) from error
+    return from_wire(envelope)
+
+
+# ----------------------------------------------------------------------
+# Message types
+# ----------------------------------------------------------------------
+#: Job lifecycle states a JobStatus / StreamEvent may carry.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@register_message
+@dataclass(frozen=True)
+class SubmitRequest(WireMessage):
+    """``POST /v1/jobs`` body: one circuit to map.
+
+    The circuit travels as its OpenQASM 2.0 source — the same canonical
+    text form the fingerprint layer hashes — so any client that can write
+    QASM can submit without sharing Python objects.
+    """
+
+    TYPE: ClassVar[str] = "submit-request"
+    VERSION: ClassVar[int] = 1
+
+    qasm: str
+    arch: Optional[str] = None
+    engine: Optional[str] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+    circuit_name: Optional[str] = None
+
+    def validate(self) -> None:
+        self._require_str("qasm")
+        self._require_str("arch", optional=True)
+        self._require_str("engine", optional=True)
+        self._require_str("circuit_name", optional=True)
+        self._require_dict("options")
+
+
+@register_message
+@dataclass(frozen=True)
+class JobStatus(WireMessage):
+    """Status snapshot of one job (``GET /v1/jobs/{id}``, submit response)."""
+
+    TYPE: ClassVar[str] = "job-status"
+    VERSION: ClassVar[int] = 1
+
+    job_id: str
+    status: str
+    fingerprint: str
+    circuit_name: str
+    arch: str
+    engine: str
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    added_cost: Optional[int] = None
+    optimal: Optional[bool] = None
+    error: Optional[Dict[str, Any]] = None
+
+    def validate(self) -> None:
+        self._require_str("job_id")
+        self._require(self.status in JOB_STATES,
+                      f"status must be one of {', '.join(JOB_STATES)}")
+        self._require_str("fingerprint")
+        self._require_str("circuit_name")
+        self._require_str("arch")
+        self._require_str("engine")
+        self._require_dict("provenance")
+        self._require_int("added_cost", optional=True, minimum=0)
+        self._require_bool("optimal", optional=True)
+        self._require(self.error is None or isinstance(self.error, dict),
+                      "error must be an object or null")
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "JobStatus":
+        """Build from :meth:`repro.service.service.Job.snapshot` output."""
+        return cls(
+            job_id=snapshot["job_id"],
+            status=snapshot["status"],
+            fingerprint=snapshot["fingerprint"],
+            circuit_name=snapshot["circuit_name"],
+            arch=snapshot["arch"],
+            engine=snapshot["engine"],
+            provenance=dict(snapshot.get("provenance", {})),
+            added_cost=snapshot.get("added_cost"),
+            optimal=snapshot.get("optimal"),
+            error=snapshot.get("error"),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class ResultPayload(WireMessage):
+    """``GET /v1/jobs/{id}/result`` body: the full mapping result.
+
+    ``result`` is the lossless :meth:`~repro.exact.result.MappingResult.
+    to_dict` rendering (QASM round-trip included), so the receiving side
+    can rebuild the full object with ``MappingResult.from_dict``.
+    """
+
+    TYPE: ClassVar[str] = "result-payload"
+    VERSION: ClassVar[int] = 1
+
+    job_id: str
+    result: Dict[str, Any]
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        self._require_str("job_id")
+        self._require_dict("result")
+        self._require_dict("provenance")
+
+
+@register_message
+@dataclass(frozen=True)
+class ErrorEnvelope(WireMessage):
+    """Any failure crossing the wire: stable code + message + HTTP status."""
+
+    TYPE: ClassVar[str] = "error"
+    VERSION: ClassVar[int] = 1
+
+    error_code: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+    http_status: int = DEFAULT_ERROR_STATUS
+
+    def validate(self) -> None:
+        self._require_str("error_code")
+        self._require_str("message")
+        self._require_dict("details")
+        self._require_int("http_status", minimum=100)
+
+    @classmethod
+    def from_error(cls, error: ServiceError) -> "ErrorEnvelope":
+        """The envelope for a structured service error."""
+        return cls(
+            error_code=error.code,
+            message=error.message,
+            details=_jsonable(error.details),
+            http_status=http_status_for_code(error.code),
+        )
+
+    def to_error(self) -> ServiceError:
+        """Rebuild a (generic) :class:`ServiceError` carrying this code."""
+        rebuilt = ServiceError(self.message, details=dict(self.details))
+        rebuilt.code = self.error_code
+        return rebuilt
+
+
+@register_message
+@dataclass(frozen=True)
+class StatsReport(WireMessage):
+    """``GET /v1/stats`` body: service/store/server counters and gauges."""
+
+    TYPE: ClassVar[str] = "stats-report"
+    VERSION: ClassVar[int] = 1
+
+    role: str
+    stats: Dict[str, Any] = field(default_factory=dict)
+    workers: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        self._require(self.role in ("worker", "supervisor"),
+                      "role must be 'worker' or 'supervisor'")
+        self._require_dict("stats")
+        self._require_dict("workers")
+
+
+@register_message
+@dataclass(frozen=True)
+class HealthReport(WireMessage):
+    """``GET /v1/healthz`` body: liveness plus the load-routing gauges."""
+
+    TYPE: ClassVar[str] = "health-report"
+    VERSION: ClassVar[int] = 1
+
+    ok: bool
+    role: str
+    pid: int
+    queue_depth: int = 0
+    in_flight: int = 0
+    worker_id: Optional[str] = None
+    draining: bool = False
+    workers: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        self._require_bool("ok")
+        self._require(self.role in ("worker", "supervisor"),
+                      "role must be 'worker' or 'supervisor'")
+        self._require_int("pid", minimum=0)
+        self._require_int("queue_depth", minimum=0)
+        self._require_int("in_flight", minimum=0)
+        self._require_str("worker_id", optional=True)
+        self._require_bool("draining")
+        self._require_dict("workers")
+
+
+@register_message
+@dataclass(frozen=True)
+class StreamEvent(WireMessage):
+    """One job state transition pushed over the ``/v1/stream`` WebSocket."""
+
+    TYPE: ClassVar[str] = "stream-event"
+    VERSION: ClassVar[int] = 1
+
+    seq: int
+    job_id: str
+    status: str
+    fingerprint: str
+    circuit_name: str
+    arch: str
+    engine: str
+    added_cost: Optional[int] = None
+    optimal: Optional[bool] = None
+    cache_hit: Optional[bool] = None
+    error_code: Optional[str] = None
+    worker: Optional[str] = None
+
+    def validate(self) -> None:
+        self._require_int("seq", minimum=1)
+        self._require_str("job_id")
+        self._require(self.status in JOB_STATES,
+                      f"status must be one of {', '.join(JOB_STATES)}")
+        self._require_str("fingerprint")
+        self._require_str("circuit_name")
+        self._require_str("arch")
+        self._require_str("engine")
+        self._require_int("added_cost", optional=True, minimum=0)
+        self._require_bool("optimal", optional=True)
+        self._require_bool("cache_hit", optional=True)
+        self._require_str("error_code", optional=True)
+        self._require_str("worker", optional=True)
+
+    @classmethod
+    def from_service_event(
+        cls, event: Mapping[str, Any], *, worker: Optional[str] = None
+    ) -> "StreamEvent":
+        """Build from a :meth:`MappingService.subscribe` queue item."""
+        return cls(
+            seq=event["seq"],
+            job_id=event["job_id"],
+            status=event["status"],
+            fingerprint=event["fingerprint"],
+            circuit_name=event["circuit_name"],
+            arch=event["arch"],
+            engine=event["engine"],
+            added_cost=event.get("added_cost"),
+            optimal=event.get("optimal"),
+            cache_hit=event.get("cache_hit"),
+            error_code=event.get("error_code"),
+            worker=worker,
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class PruneRequest(WireMessage):
+    """``POST /v1/cache/prune`` body: invalidate cached results.
+
+    ``ttl_seconds`` prunes result rows older than the TTL from the shared
+    store; ``flush_memory`` additionally evicts the whole in-memory LRU of
+    the receiving worker (the supervisor broadcasts the request, so *every*
+    worker's LRU drops potentially-stale fingerprints).
+    """
+
+    TYPE: ClassVar[str] = "prune-request"
+    VERSION: ClassVar[int] = 1
+
+    ttl_seconds: Optional[float] = None
+    flush_memory: bool = True
+
+    def validate(self) -> None:
+        self._require_number("ttl_seconds", optional=True, positive=True)
+        self._require_bool("flush_memory")
+
+
+@register_message
+@dataclass(frozen=True)
+class PruneReport(WireMessage):
+    """``POST /v1/cache/prune`` response: what was reclaimed, per worker."""
+
+    TYPE: ClassVar[str] = "prune-report"
+    VERSION: ClassVar[int] = 1
+
+    rows_pruned: int
+    bytes_reclaimed: int
+    memory_dropped: int
+    ttl_seconds: Optional[float] = None
+    cache_dir: Optional[str] = None
+    per_worker: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        self._require_int("rows_pruned", minimum=0)
+        self._require_int("bytes_reclaimed", minimum=0)
+        self._require_int("memory_dropped", minimum=0)
+        self._require_number("ttl_seconds", optional=True, positive=True)
+        self._require_str("cache_dir", optional=True)
+        self._require_dict("per_worker")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort reduction of error details to JSON-ready values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HTTP_STATUS_BY_ERROR_CODE",
+    "DEFAULT_ERROR_STATUS",
+    "http_status_for_code",
+    "ProtocolError",
+    "WireMessage",
+    "register_message",
+    "registered_messages",
+    "to_wire",
+    "from_wire",
+    "from_json",
+    "JOB_STATES",
+    "SubmitRequest",
+    "JobStatus",
+    "ResultPayload",
+    "ErrorEnvelope",
+    "StatsReport",
+    "HealthReport",
+    "StreamEvent",
+    "PruneRequest",
+    "PruneReport",
+]

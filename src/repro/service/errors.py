@@ -79,6 +79,19 @@ class ServiceStateError(ServiceError):
     code = "service-state"
 
 
+class ServiceUnavailable(ServiceError):
+    """The service is shutting down (or overloaded) and cannot take the job.
+
+    Raised for submissions while the service drains, and attached to jobs
+    that were still queued when a drain started: such jobs were *not*
+    solved, but they are not silently lost either — callers observe this
+    structured failure and can retry elsewhere (another worker of a
+    supervisor deployment, or the same worker after its restart).
+    """
+
+    code = "service-unavailable"
+
+
 __all__ = [
     "ServiceError",
     "InvalidResultError",
@@ -87,4 +100,5 @@ __all__ = [
     "RoutingError",
     "StoreError",
     "ServiceStateError",
+    "ServiceUnavailable",
 ]

@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -57,6 +58,7 @@ from repro.service.errors import (
     RoutingError,
     ServiceError,
     ServiceStateError,
+    ServiceUnavailable,
 )
 from repro.service.fingerprint import (
     canonical_options,
@@ -70,6 +72,13 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+
+#: How many recent job completions the rolling latency window keeps.
+LATENCY_WINDOW = 512
+
+#: Per-subscriber event queue capacity; a stalled subscriber loses the
+#: *oldest* events rather than blocking the service.
+SUBSCRIBER_QUEUE_SIZE = 1024
 
 
 @dataclass
@@ -197,6 +206,12 @@ class MappingService:
             "solved": 0,
             "failed": 0,
         }
+        self._stopping = False
+        self._in_flight = 0
+        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._per_engine: Dict[str, Dict[str, int]] = {}
+        self._subscribers: "set[asyncio.Queue]" = set()
+        self._event_seq = itertools.count(1)
 
     @staticmethod
     def _normalise_couplings(couplings) -> "Dict[str, CouplingMap]":
@@ -226,41 +241,65 @@ class MappingService:
         return self
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop the dispatcher.
+        """Stop the service: finish in-flight work, fail whatever never ran.
+
+        Drain semantics (the contract a supervisor's SIGTERM relies on):
+
+        1. New submissions are rejected with :class:`ServiceUnavailable`
+           from the moment ``stop`` is entered.
+        2. Dispatching stops — no queued job is promoted to ``running``
+           any more.
+        3. Every already-*running* batch is awaited to completion (the
+           pipeline offers no safe mid-solve cancellation), and its results
+           are written to the store before the jobs complete — there is
+           nothing left to flush afterwards.
+        4. Jobs still ``queued`` (never dispatched) are failed with a
+           structured :class:`ServiceUnavailable`; no job is ever left in a
+           non-terminal state, so ``result()`` waiters always wake up.
 
         Args:
-            drain: Wait for queued and running jobs to finish first; when
-                off, queued jobs stay ``queued`` forever and running batches
-                are still awaited (the pipeline offers no safe mid-solve
-                cancellation).
+            drain: Kept for API compatibility and recorded in the failure
+                details of queued jobs.  Running batches are awaited either
+                way; ``drain=False`` merely documents that the caller did
+                not expect queued work to survive.
         """
         if self._dispatcher is None:
             return
-        if drain:
-            while True:
-                tasks = list(self._group_tasks)
-                if tasks:
-                    await asyncio.gather(*tasks, return_exceptions=True)
-                    continue
-                if self._queue is not None and not self._queue.empty():
-                    await asyncio.sleep(0.005)
-                    continue
-                # Let a dispatcher that just dequeued a batch create its
-                # group tasks (it does so without yielding), then re-check.
-                await asyncio.sleep(0)
-                if not self._group_tasks and (
-                    self._queue is None or self._queue.empty()
-                ):
-                    break
-        self._dispatcher.cancel()
+        self._stopping = True
         try:
-            await self._dispatcher
-        except asyncio.CancelledError:
-            pass
-        if self._group_tasks:
-            await asyncio.gather(*self._group_tasks, return_exceptions=True)
-        self._dispatcher = None
-        self._queue = None
+            # Stop the dispatcher first so nothing moves from the queue
+            # into solving while we wait for in-flight batches.  A batch is
+            # dequeued and turned into group tasks without an await point,
+            # so cancellation cannot strand a half-dispatched batch.
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            while self._group_tasks:
+                await asyncio.gather(
+                    *list(self._group_tasks), return_exceptions=True
+                )
+            stranded: List[Job] = []
+            if self._queue is not None:
+                while True:
+                    try:
+                        stranded.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+            for job in stranded:
+                self._fail(
+                    job,
+                    ServiceUnavailable(
+                        "service stopped before the job was dispatched; "
+                        "resubmit (to another worker, or after restart)",
+                        details={"job_id": job.job_id, "drain": drain},
+                    ),
+                )
+            self._dispatcher = None
+            self._queue = None
+        finally:
+            self._stopping = False
 
     async def __aenter__(self) -> "MappingService":
         return await self.start()
@@ -331,6 +370,10 @@ class MappingService:
         already holds its fingerprint, or when an identical job is already
         in flight (the two complete together from one solve).
         """
+        if self._stopping:
+            raise ServiceUnavailable(
+                "service is draining and no longer accepts submissions"
+            )
         if self._queue is None:
             raise ServiceStateError("service not started; use 'async with' or start()")
         job_engine = self.engine if engine is None else resolve_mapper_name(engine)
@@ -356,6 +399,8 @@ class MappingService:
         )
         self._jobs[job.job_id] = job
         self._counters["submitted"] += 1
+        self._engine_counter(job_engine, "submitted")
+        self._emit(job)
 
         # The store may do SQLite I/O (and wait on another writer's file
         # lock), so keep it off the event loop.  The coalescing check below
@@ -366,6 +411,7 @@ class MappingService:
         )
         if cached is not None:
             self._counters["cache_hits"] += 1
+            self._engine_counter(job_engine, "cache_hits")
             self._complete(job, cached, cache_hit=True, elapsed=0.0)
             return job.job_id
 
@@ -429,12 +475,104 @@ class MappingService:
         return job.result
 
     def stats(self) -> Dict[str, Any]:
-        """Service-level counters plus the store's counters."""
+        """Service-level counters, load gauges and latency quantiles.
+
+        Besides the lifetime counters (submitted/cache_hits/coalesced/
+        solved/failed) this reports the live load state — ``queue_depth``
+        (jobs accepted but not yet dispatched) and ``in_flight`` (jobs
+        currently solving) — per-engine counter breakdowns, and the rolling
+        p50/p99 latency over the last :data:`LATENCY_WINDOW` completions.
+        """
         stats: Dict[str, Any] = dict(self._counters)
         stats["jobs_tracked"] = len(self._jobs)
+        stats["queue_depth"] = self._queue.qsize() if self._queue is not None else 0
+        stats["in_flight"] = self._in_flight
+        stats["stopping"] = self._stopping
+        stats["per_engine"] = {
+            engine: dict(counters)
+            for engine, counters in sorted(self._per_engine.items())
+        }
+        stats["latency"] = self._latency_summary()
         stats["devices"] = sorted(self.couplings)
         stats["store"] = self.store.stats()
         return stats
+
+    def _latency_summary(self) -> Dict[str, Any]:
+        """Rolling quantiles over recent job completions (terminal states)."""
+        values = sorted(self._latencies)
+        summary: Dict[str, Any] = {
+            "window": LATENCY_WINDOW,
+            "count": len(values),
+        }
+        if not values:
+            return summary
+        # Nearest-rank quantiles: exact observed values, no interpolation.
+        def rank(q: float) -> float:
+            index = max(0, min(len(values) - 1, int(q * len(values) + 0.5) - 1))
+            return values[index]
+
+        summary["p50_seconds"] = rank(0.50)
+        summary["p99_seconds"] = rank(0.99)
+        summary["mean_seconds"] = sum(values) / len(values)
+        summary["max_seconds"] = values[-1]
+        return summary
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+    def subscribe(self) -> "asyncio.Queue":
+        """Subscribe to job state transitions.
+
+        Returns an :class:`asyncio.Queue` that receives one JSON-ready dict
+        per transition (``queued`` → ``running`` → ``done``/``failed``,
+        including instant completions from cache hits and coalescing).  A
+        subscriber that stops consuming loses the *oldest* events once its
+        queue holds :data:`SUBSCRIBER_QUEUE_SIZE` of them; the service never
+        blocks on a slow listener.  Pass the queue to :meth:`unsubscribe`
+        when done.
+        """
+        queue: "asyncio.Queue" = asyncio.Queue(maxsize=SUBSCRIBER_QUEUE_SIZE)
+        self._subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue") -> None:
+        """Detach a queue returned by :meth:`subscribe` (idempotent)."""
+        self._subscribers.discard(queue)
+
+    def _emit(self, job: Job) -> None:
+        """Push one state-transition event to every subscriber."""
+        if not self._subscribers:
+            return
+        event = {
+            "seq": next(self._event_seq),
+            "job_id": job.job_id,
+            "status": job.status,
+            "fingerprint": job.fingerprint,
+            "circuit_name": job.circuit.name,
+            "arch": job.arch_name,
+            "engine": job.engine,
+        }
+        if job.result is not None:
+            event["added_cost"] = job.result.added_cost
+            event["optimal"] = job.result.optimal
+            event["cache_hit"] = bool(job.provenance.get("cache_hit"))
+        if job.error is not None:
+            event["error_code"] = job.error.code
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - racy corner
+                    pass
+                queue.put_nowait(event)
+
+    def _engine_counter(self, engine: str, key: str) -> None:
+        counters = self._per_engine.setdefault(
+            engine, {"submitted": 0, "cache_hits": 0, "solved": 0, "failed": 0}
+        )
+        counters[key] += 1
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -490,7 +628,9 @@ class MappingService:
     async def _map_group(self, coupling: CouplingMap, jobs: List[Job]) -> None:
         for job in jobs:
             job.status = RUNNING
+            self._in_flight += 1
             job.provenance["batch_size"] = len(jobs)
+            self._emit(job)
         pipeline = MappingPipeline(
             coupling,
             engine=jobs[0].engine,
@@ -581,12 +721,18 @@ class MappingService:
     def _complete(
         self, job: Job, result: MappingResult, *, cache_hit: bool, elapsed: float
     ) -> None:
+        if job.status == RUNNING:
+            self._in_flight -= 1
+        if not cache_hit and job.status == RUNNING:
+            self._engine_counter(job.engine, "solved")
         job.result = result
         job.status = DONE
         job.provenance.update(
             {"cache_hit": cache_hit, "elapsed_seconds": elapsed}
         )
+        self._latencies.append(elapsed)
         job.done_event.set()
+        self._emit(job)
         self._release(job)
         for follower in job.followers:
             follower.provenance["batch_size"] = job.provenance.get("batch_size", 1)
@@ -597,11 +743,15 @@ class MappingService:
         job.followers = []
 
     def _fail(self, job: Job, error: ServiceError) -> None:
+        if job.status == RUNNING:
+            self._in_flight -= 1
         job.error = error
         job.status = FAILED
         job.provenance["cache_hit"] = False
         job.done_event.set()
         self._counters["failed"] += 1
+        self._engine_counter(job.engine, "failed")
+        self._emit(job)
         self._release(job)
         for follower in job.followers:
             self._fail(follower, error)
@@ -612,4 +762,13 @@ class MappingService:
             del self._primary_by_fp[job.fingerprint]
 
 
-__all__ = ["Job", "MappingService", "QUEUED", "RUNNING", "DONE", "FAILED"]
+__all__ = [
+    "Job",
+    "MappingService",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "LATENCY_WINDOW",
+    "SUBSCRIBER_QUEUE_SIZE",
+]

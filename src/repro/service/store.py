@@ -535,12 +535,34 @@ class ResultStore:
             ttl_seconds: Override for this sweep (defaults to the store's
                 ``ttl_seconds``).  With neither set, nothing is pruned.
         """
+        return self.prune_report(ttl_seconds)["rows_pruned"]
+
+    def prune_report(self, ttl_seconds: Optional[float] = None) -> Dict[str, Any]:
+        """Eagerly remove expired rows and report what was reclaimed.
+
+        The machine-readable companion of :meth:`prune` — the CLI's
+        ``cache prune`` prints it and the server layer's cross-worker
+        invalidation broadcast forwards it verbatim.
+
+        Returns:
+            A dict with ``rows_pruned`` (disk rows deleted), ``bytes_reclaimed``
+            (total payload size of those rows), ``memory_dropped`` (expired
+            in-memory LRU entries evicted) and ``ttl_seconds`` (the effective
+            TTL of the sweep, ``None`` when nothing could be pruned).
+        """
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive")
+        effective = self.ttl_seconds if ttl_seconds is None else ttl_seconds
         cutoff = self._cutoff(ttl_seconds)
+        report: Dict[str, Any] = {
+            "rows_pruned": 0,
+            "bytes_reclaimed": 0,
+            "memory_dropped": 0,
+            "ttl_seconds": effective,
+            "persistent": self.path is not None,
+        }
         if cutoff is None:
-            return 0
-        removed = 0
+            return report
         stale_keys: List[str] = []
         with self._lock:
             for key, entry in self._memory.items():
@@ -548,16 +570,37 @@ class ResultStore:
                     stale_keys.append(key)
             for key in stale_keys:
                 del self._memory[key]
+        report["memory_dropped"] = len(stale_keys)
         if self.path is not None:
             with self._connect() as conn:
-                cursor = conn.execute(
+                row = conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                    "FROM results WHERE created_at <= ?",
+                    (cutoff,),
+                ).fetchone()
+                conn.execute(
                     "DELETE FROM results WHERE created_at <= ?", (cutoff,)
                 )
-                removed = cursor.rowcount
-        removed = max(removed, len(stale_keys))
+            report["rows_pruned"] = int(row[0])
+            report["bytes_reclaimed"] = int(row[1])
+        dropped = max(report["rows_pruned"], len(stale_keys))
         with self._lock:
-            self._stats["expired_dropped"] += removed
-        return removed
+            self._stats["expired_dropped"] += dropped
+        return report
+
+    def drop_memory(self) -> int:
+        """Evict the whole in-memory tier; returns how many entries it held.
+
+        The disk tier is untouched — the next ``get`` of a still-valid
+        fingerprint re-reads it from SQLite.  This is the cross-*process*
+        invalidation primitive: after one worker prunes (or rewrites) rows
+        in the shared database file, every other worker's LRU may hold
+        stale copies; broadcasting ``drop_memory`` makes them all re-read.
+        """
+        with self._lock:
+            dropped = len(self._memory)
+            self._memory.clear()
+        return dropped
 
     def clear(self) -> int:
         """Drop every cached result (both tiers); returns rows removed."""

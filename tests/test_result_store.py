@@ -355,6 +355,44 @@ class TestTTLExpiry:
         assert store.prune() == 0
         assert len(store) == 1
 
+    def test_prune_report_counts_rows_and_bytes(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        fresh, stale = _result(seed=1), _result(seed=2)
+        store.put(_fingerprint(fresh), fresh)
+        store.put(_fingerprint(stale), stale)
+        import sqlite3, time as _time
+        with sqlite3.connect(str(tmp_path / "r.sqlite")) as conn:
+            conn.execute(
+                "UPDATE results SET created_at = ? WHERE fingerprint = ?",
+                (_time.time() - 120, _fingerprint(stale)),
+            )
+        reopened = ResultStore(tmp_path / "r.sqlite")
+        report = reopened.prune_report(ttl_seconds=60.0)
+        assert report["rows_pruned"] == 1
+        assert report["bytes_reclaimed"] > 0
+        assert report["persistent"] is True
+        assert report["ttl_seconds"] == 60.0
+        # Nothing left to reclaim on a second sweep.
+        again = reopened.prune_report(ttl_seconds=60.0)
+        assert again["rows_pruned"] == 0
+        assert again["bytes_reclaimed"] == 0
+
+    def test_drop_memory_evicts_lru_but_keeps_disk(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        result = _result()
+        fingerprint = _fingerprint(result)
+        store.put(fingerprint, result)
+        assert store.drop_memory() == 1
+        assert store.stats()["memory_entries"] == 0
+        assert store.stats()["disk_entries"] == 1
+        # The next get repopulates from disk: nothing was lost.
+        assert store.get(fingerprint) is not None
+        # Memory-only store: dropping the LRU is a real invalidation.
+        ephemeral = ResultStore()
+        ephemeral.put(fingerprint, result)
+        assert ephemeral.drop_memory() == 1
+        assert ephemeral.get(fingerprint) is None
+
 
 class TestDeleteAndBoundLookup:
     def test_delete_removes_both_tiers(self, tmp_path):

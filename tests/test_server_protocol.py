@@ -1,0 +1,233 @@
+"""Tests for the versioned wire protocol of the network serving layer.
+
+Round-trip identity for every registered message type, strict rejection of
+unknown fields / missing fields / unsupported versions, and the stable
+service-error → HTTP status table.
+"""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    DEFAULT_ERROR_STATUS,
+    HTTP_STATUS_BY_ERROR_CODE,
+    ErrorEnvelope,
+    HealthReport,
+    JobStatus,
+    ProtocolError,
+    PruneReport,
+    PruneRequest,
+    ResultPayload,
+    StatsReport,
+    StreamEvent,
+    SubmitRequest,
+    from_json,
+    from_wire,
+    http_status_for_code,
+    registered_messages,
+)
+from repro.service.errors import (
+    JobNotFoundError,
+    MappingFailedError,
+    RoutingError,
+    ServiceError,
+    ServiceStateError,
+    ServiceUnavailable,
+    StoreError,
+)
+
+#: One representative, fully populated instance per registered message type.
+SAMPLES = [
+    SubmitRequest(
+        qasm="OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n",
+        arch="ibm_qx4",
+        engine="sat",
+        options={"strategy": "odd", "use_subsets": True},
+        circuit_name="example",
+    ),
+    JobStatus(
+        job_id="w1-job-000007",
+        status="done",
+        fingerprint="abc123",
+        circuit_name="example",
+        arch="ibm_qx4",
+        engine="sat",
+        provenance={"cache_hit": False, "elapsed_seconds": 0.25},
+        added_cost=4,
+        optimal=True,
+    ),
+    ResultPayload(
+        job_id="w1-job-000007",
+        result={"schema_version": 1, "objective": 4},
+        provenance={"cache_hit": True},
+    ),
+    ErrorEnvelope(
+        error_code="job-not-found",
+        message="unknown job id 'nope'",
+        details={"job_id": "nope"},
+        http_status=404,
+    ),
+    StatsReport(
+        role="supervisor",
+        stats={"queue_depth": 3},
+        workers={"w0": {"submitted": 5}},
+    ),
+    HealthReport(
+        ok=True,
+        role="worker",
+        pid=4242,
+        queue_depth=2,
+        in_flight=1,
+        worker_id="w0",
+        draining=False,
+    ),
+    StreamEvent(
+        seq=9,
+        job_id="w0-job-000003",
+        status="failed",
+        fingerprint="def456",
+        circuit_name="bad",
+        arch="ibm_qx5",
+        engine="dp",
+        error_code="mapping-failed",
+        worker="w0",
+    ),
+    PruneRequest(ttl_seconds=3600.0, flush_memory=True),
+    PruneReport(
+        rows_pruned=12,
+        bytes_reclaimed=34567,
+        memory_dropped=8,
+        ttl_seconds=3600.0,
+        cache_dir="/tmp/cache",
+        per_worker={"w0": {"rows_pruned": 12}},
+    ),
+]
+
+
+class TestRoundTrip:
+    def test_samples_cover_every_registered_type(self):
+        sampled = {type(message) for message in SAMPLES}
+        registered = set(registered_messages().values())
+        assert sampled == registered
+
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=[type(m).TYPE for m in SAMPLES]
+    )
+    def test_to_json_from_json_identity(self, message):
+        decoded = from_json(message.to_json())
+        assert decoded == message
+        assert type(decoded) is type(message)
+
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=[type(m).TYPE for m in SAMPLES]
+    )
+    def test_envelope_shape(self, message):
+        envelope = message.to_wire()
+        assert set(envelope) == {"type", "version", "payload"}
+        assert envelope["type"] == type(message).TYPE
+        assert envelope["version"] == type(message).VERSION
+        # The envelope is genuinely JSON-ready.
+        json.dumps(envelope)
+
+    def test_defaults_round_trip_when_omitted(self):
+        minimal = from_wire(
+            {"type": "submit-request", "version": 1, "payload": {"qasm": "x"}}
+        )
+        assert minimal == SubmitRequest(qasm="x")
+        assert minimal.options == {}
+
+
+class TestStrictness:
+    def test_unknown_payload_field_rejected(self):
+        envelope = SAMPLES[0].to_wire()
+        envelope["payload"]["surprise"] = 1
+        with pytest.raises(ProtocolError) as info:
+            from_wire(envelope)
+        assert "surprise" in str(info.value)
+        assert info.value.details["unknown_fields"] == ["surprise"]
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            from_wire({"type": "submit-request", "version": 1, "payload": {}})
+        assert "qasm" in str(info.value)
+
+    def test_unsupported_version_lists_supported_ones(self):
+        with pytest.raises(ProtocolError) as info:
+            from_wire(
+                {"type": "submit-request", "version": 99, "payload": {"qasm": "x"}}
+            )
+        assert "unsupported version 99" in str(info.value)
+        assert info.value.details["supported_versions"] == [1]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            from_wire({"type": "no-such-message", "version": 1, "payload": {}})
+        assert "unknown message type" in str(info.value)
+
+    def test_extra_envelope_field_rejected(self):
+        envelope = SAMPLES[0].to_wire()
+        envelope["meta"] = {}
+        with pytest.raises(ProtocolError):
+            from_wire(envelope)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            from_json("{not json")
+
+    def test_field_validation_rejects_wrong_types(self):
+        with pytest.raises(ProtocolError):
+            SubmitRequest(qasm="").to_wire()
+        with pytest.raises(ProtocolError):
+            JobStatus(
+                job_id="j", status="exploded", fingerprint="f",
+                circuit_name="c", arch="a", engine="e",
+            ).to_wire()
+        with pytest.raises(ProtocolError):
+            PruneRequest(ttl_seconds=-5.0).to_wire()
+        with pytest.raises(ProtocolError):
+            HealthReport(ok="yes", role="worker", pid=1).to_wire()
+
+
+class TestErrorMapping:
+    def test_every_builtin_error_code_has_a_row(self):
+        for error_cls in (
+            ServiceError, JobNotFoundError, MappingFailedError, RoutingError,
+            ServiceStateError, ServiceUnavailable, StoreError,
+        ):
+            assert error_cls.code in HTTP_STATUS_BY_ERROR_CODE
+
+    @pytest.mark.parametrize(
+        "code,status",
+        [
+            ("job-not-found", 404),
+            ("routing-failed", 400),
+            ("mapping-failed", 500),
+            ("service-state", 409),
+            ("service-unavailable", 503),
+            ("protocol-error", 400),
+            ("not-found", 404),
+            ("method-not-allowed", 405),
+            ("upstream-failed", 502),
+        ],
+    )
+    def test_status_table(self, code, status):
+        assert http_status_for_code(code) == status
+
+    def test_unknown_code_falls_back_to_500(self):
+        assert http_status_for_code("code-from-the-future") == DEFAULT_ERROR_STATUS
+
+    def test_envelope_from_error_and_back(self):
+        error = JobNotFoundError("unknown job id 'x'", details={"job_id": "x"})
+        envelope = ErrorEnvelope.from_error(error)
+        assert envelope.http_status == 404
+        assert envelope.error_code == "job-not-found"
+        rebuilt = envelope.to_error()
+        assert rebuilt.code == "job-not-found"
+        assert rebuilt.details == {"job_id": "x"}
+        assert str(error.message) in str(rebuilt)
+
+    def test_from_error_reduces_unjsonable_details(self):
+        error = ServiceError("boom", details={"weird": {1, 2}})
+        envelope = ErrorEnvelope.from_error(error)
+        json.dumps(envelope.to_wire())

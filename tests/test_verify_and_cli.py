@@ -382,8 +382,12 @@ class TestCLIBoundsAndPrune:
         with sqlite3.connect(str(tmp_path / "cache" / "results.sqlite")) as conn:
             conn.execute("UPDATE results SET created_at = ?", (_time.time() - 120,))
         assert main(["cache", "prune", "--ttl", "60", "--cache-dir", cache_dir]) == 0
-        out = capsys.readouterr().out
-        assert "1 expired results" in out
+        import json as _json
+
+        report = _json.loads(capsys.readouterr().out)
+        assert report["rows_pruned"] == 1
+        assert report["bytes_reclaimed"] > 0
+        assert report["cache_dir"] == cache_dir
         # Pruned entry is gone: the next run is a miss again.
         assert main([path, "--engine", "dp", "--cache-dir", cache_dir]) == 0
         assert "result cache      : miss" in capsys.readouterr().out
