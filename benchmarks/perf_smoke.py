@@ -24,6 +24,19 @@ the pre-sweep-sharing (PR 4) conflict counts recorded in
 ``pr4_reference_conflicts``, and the Table-1 QX4 sweeps must prune at least
 one family without solving it.
 
+**Split configs** — windowed big-device mapping (``sat_split``): fixed-seed
+random circuits on ``ibm_qx5`` (16 qubits) and ``ibm_tokyo`` (20 qubits),
+each solved window-exact and stitched by the routed synthesizer — the
+devices beyond the permutation-table wall.  The mapped results are
+validated (coupling compliance + cost bookkeeping) and their wall numbers
+ride along in the recorded history.
+
+**Exact-table pin** — after clearing the process caches, small-device flows
+(paper example on QX4 and on ``sweep_grid8``) are re-run and the
+``synthesizer_routed_selected`` counter must stay zero: devices of at most
+8 qubits must keep going through the provably minimal permutation table,
+bit-identical to the pre-synthesis behaviour.
+
 ``--record`` additionally runs the sweep suite a second time with sharing
 and pruning disabled (the ``--no-share --no-prune`` ablation) and appends a
 schema-versioned entry — per-config wall seconds, conflicts, propagations,
@@ -44,17 +57,20 @@ import argparse
 import gc
 import json
 import platform
+import random
 import subprocess
 import sys
 import time
 from pathlib import Path
 
-from repro.arch.cache import shared_permutation_table
-from repro.arch.devices import ibm_qx4, sweep_grid8
+from repro.arch.cache import cache_stats, clear_caches, shared_permutation_table
+from repro.arch.devices import ibm_qx4, ibm_qx5, ibm_tokyo, sweep_grid8
 from repro.benchlib.generators import benchmark_circuit
 from repro.benchlib.paper_example import paper_example_cnot_skeleton
+from repro.circuit.circuit import QuantumCircuit
 from repro.exact.encoding import clear_skeleton_cache
 from repro.exact.sat_mapper import SATMapper
+from repro.exact.splitting import SplitSATMapper
 from repro.pipeline.portfolio import PortfolioMapper
 from repro.sat.solver import solver_backend_provenance
 
@@ -65,8 +81,10 @@ SEED_BOUND = 4
 #: Schema version of the entries appended to BENCH_sweep.json.
 #: v2 adds the ``environment`` stamp (python, platform, solver backend,
 #: git revision) so wall-clock history stays attributable across machines
-#: and backends; v1 entries remain valid (the stamp is additive).
-BENCH_SWEEP_SCHEMA = 2
+#: and backends; v3 adds the ``split_configs`` rows (windowed ``sat_split``
+#: on ibm_qx5 and ibm_tokyo).  Earlier entries remain valid — both
+#: additions are additive.
+BENCH_SWEEP_SCHEMA = 3
 
 
 def _configs():
@@ -114,6 +132,87 @@ def _sweep_configs():
         "ham3_102_grid8": (sweep_grid8, lambda: benchmark_circuit("ham3_102")),
         "3_17_13_grid8": (sweep_grid8, lambda: benchmark_circuit("3_17_13")),
     }
+
+
+def _split_circuit(num_qubits: int, num_cnots: int, seed: int, name: str):
+    """A fixed-seed random H+CNOT circuit (deterministic across runs)."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name)
+    for index in range(num_cnots):
+        control, target = rng.sample(range(num_qubits), 2)
+        if index % 3 == 0:
+            circuit.h(control)
+        circuit.cx(control, target)
+    return circuit
+
+
+def _split_configs():
+    """The windowed big-device benchmark: (architecture, circuit) factories."""
+    return {
+        "qx5_16q_split": (
+            ibm_qx5, lambda: _split_circuit(16, 12, seed=3, name="qx5_16q")
+        ),
+        "tokyo_20q_split": (
+            ibm_tokyo, lambda: _split_circuit(20, 12, seed=2, name="tokyo_20q")
+        ),
+    }
+
+
+def measure_splits():
+    """Run the windowed ``sat_split`` suite on the big devices.
+
+    Every result is validated (coupling compliance and cost bookkeeping
+    recomputed from the mapped gates) — a benchmark row that silently maps
+    incorrectly would poison the wall-clock history.
+    """
+    measurements = {}
+    for name, (arch_factory, circuit_factory) in _split_configs().items():
+        coupling = arch_factory()
+        mapper = SplitSATMapper(
+            coupling, window_size=4, qubit_cap=4, optimizer="core"
+        )
+        gc.collect()
+        start = time.monotonic()
+        result = mapper.map(circuit_factory())
+        elapsed = time.monotonic() - start
+        result.validate(coupling)
+        stats = result.statistics
+        measurements[name] = {
+            "added_cost": result.added_cost,
+            "split_windows": stats["split_windows"],
+            "stitch_swaps_total": stats["stitch_swaps_total"],
+            "solver_conflicts": stats["solver_conflicts"],
+            "solver_iterations": stats["solver_iterations"],
+            "subsets_solved": stats.get("subsets_solved", 0),
+            "wall_seconds": round(elapsed, 4),
+        }
+    return measurements
+
+
+def check_exact_table_pin():
+    """Small devices must keep selecting the exact table, never the router.
+
+    Clears the process-wide caches (and their counters), replays the paper
+    example on the two small benchmark devices, and fails when any
+    synthesizer selection went to the routed backend — the guarantee that
+    ≤8-qubit results stay provably minimal and bit-identical.
+    """
+    failures = []
+    clear_caches()
+    circuit = paper_example_cnot_skeleton()
+    SATMapper(ibm_qx4()).map(circuit)
+    SATMapper(sweep_grid8(), use_subsets=True).map(circuit)
+    stats = cache_stats()
+    if stats["synthesizer_routed_selected"] != 0:
+        failures.append(
+            "exact-table pin: small-device flows selected the routed "
+            f"synthesizer {stats['synthesizer_routed_selected']} time(s)"
+        )
+    if stats["synthesizer_table_selected"] < 1:
+        failures.append(
+            "exact-table pin: no exact-table synthesizer selection recorded"
+        )
+    return failures
 
 
 def measure():
@@ -284,7 +383,7 @@ def _environment_stamp() -> dict:
     return stamp
 
 
-def record_entry(sweep_on, sweep_off, path: Path) -> dict:
+def record_entry(sweep_on, sweep_off, splits, path: Path) -> dict:
     """Append one schema-versioned sweep entry to BENCH_sweep.json."""
     wall_on = round(sum(m["wall_seconds"] for m in sweep_on.values()), 4)
     wall_off = round(sum(m["wall_seconds"] for m in sweep_off.values()), 4)
@@ -292,10 +391,15 @@ def record_entry(sweep_on, sweep_off, path: Path) -> dict:
         "schema_version": BENCH_SWEEP_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "benchmark": "subset sweeps (paper example + Table-1 3-qubit, "
-                     "ibm_qx4 + sweep_grid8)",
+                     "ibm_qx4 + sweep_grid8) + windowed splits "
+                     "(ibm_qx5, ibm_tokyo)",
         "environment": _environment_stamp(),
         "configs": sweep_on,
         "ablation_configs": sweep_off,
+        "split_configs": splits,
+        "split_wall_seconds_total": round(
+            sum(m["wall_seconds"] for m in splits.values()), 4
+        ),
         "wall_seconds_total": wall_on,
         "ablation_wall_seconds_total": wall_off,
         "wall_saving_percent": round(100.0 * (1.0 - wall_on / wall_off), 1)
@@ -358,11 +462,13 @@ def main(argv=None) -> int:
     measurements = measure()
     share, prune = not args.no_share, not args.no_prune
     sweeps = measure_sweeps(share=share, prune=prune)
+    splits = measure_splits()
 
     report = {
         "benchmark": baseline.get("benchmark"),
         "measurements": measurements,
         "sweep_measurements": sweeps,
+        "split_measurements": splits,
         "baseline_max_iterations": {
             name: config["max_iterations"]
             for name, config in baseline["configs"].items()
@@ -394,11 +500,21 @@ def main(argv=None) -> int:
             f"wall={metrics['wall_seconds']:.3f}s"
         )
 
+    for name, metrics in splits.items():
+        print(
+            f"split {name:14s} cost={metrics['added_cost']:4d} "
+            f"windows={metrics['split_windows']} "
+            f"stitch={metrics['stitch_swaps_total']:3d} "
+            f"conflicts={metrics['solver_conflicts']:5d} "
+            f"wall={metrics['wall_seconds']:.3f}s"
+        )
+
     failures = check(measurements, baseline)
     if share and prune:
         failures += check_sweeps(sweeps, baseline)
     else:
         print("sweep ablation flags active: baseline sweep checks skipped")
+    failures += check_exact_table_pin()
 
     if args.record:
         if share and prune:
@@ -406,7 +522,7 @@ def main(argv=None) -> int:
         else:
             ablation = sweeps
             sweeps = measure_sweeps(share=True, prune=True)
-        entry = record_entry(sweeps, ablation, Path(args.bench_history))
+        entry = record_entry(sweeps, ablation, splits, Path(args.bench_history))
         print(
             f"recorded sweep entry: {entry['wall_seconds_total']:.3f}s vs "
             f"{entry['ablation_wall_seconds_total']:.3f}s ablation "

@@ -33,7 +33,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.coupling import CouplingMap
-from repro.arch.diskcache import PermutationDiskStore
+from repro.arch.diskcache import DistanceDiskStore, PermutationDiskStore
 from repro.arch.permutations import PermutationTable
 from repro.arch.subsets import connected_subsets
 
@@ -48,6 +48,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _LOCK = threading.Lock()
 _TABLES: "OrderedDict[_CacheKey, PermutationTable]" = OrderedDict()
 _SUBSETS: "OrderedDict[Tuple[_CacheKey, int], Tuple[Tuple[int, ...], ...]]" = OrderedDict()
+_DISTANCES: "OrderedDict[_CacheKey, Dict[int, Dict[int, int]]]" = OrderedDict()
+_SYNTHESIZERS: "OrderedDict[Tuple[_CacheKey, int], object]" = OrderedDict()
 _STATS = {
     "permutation_table_hits": 0,
     "permutation_table_misses": 0,
@@ -55,6 +57,16 @@ _STATS = {
     "permutation_table_disk_writes": 0,
     "connected_subsets_hits": 0,
     "connected_subsets_misses": 0,
+    "distance_matrix_hits": 0,
+    "distance_matrix_misses": 0,
+    "distance_matrix_disk_hits": 0,
+    "distance_matrix_disk_writes": 0,
+    "synthesizer_hits": 0,
+    "synthesizer_misses": 0,
+    # Backend selections: the perf gate pins that small devices never take
+    # the routed (upper-bound) path where the exact table is available.
+    "synthesizer_table_selected": 0,
+    "synthesizer_routed_selected": 0,
 }
 
 # Explicitly configured cache directory; ``False`` means "not configured,
@@ -156,6 +168,95 @@ def shared_permutation_table(
     return winner
 
 
+def _distance_disk_store() -> Optional[DistanceDiskStore]:
+    cache_dir = get_cache_dir()
+    if cache_dir is None:
+        return None
+    return DistanceDiskStore(cache_dir)
+
+
+def shared_distance_matrix(coupling: CouplingMap) -> Dict[int, Dict[int, int]]:
+    """The (cached) all-pairs shortest-path distance matrix of *coupling*.
+
+    Shared between the heuristics' lookahead and the routed SWAP synthesis
+    backend; callers must treat the returned dictionary as read-only.  A
+    configured cache directory persists the matrix next to the permutation
+    tables so restarted workers skip the all-pairs BFS.
+    """
+    key = coupling.canonical_key()
+    with _LOCK:
+        cached = _DISTANCES.get(key)
+        if cached is not None:
+            _STATS["distance_matrix_hits"] += 1
+            _DISTANCES.move_to_end(key)
+            return cached
+    store = _distance_disk_store()
+    distances = store.load(coupling) if store is not None else None
+    disk_hit = distances is not None
+    if distances is None:
+        distances = coupling.distance_matrix()
+    with _LOCK:
+        _STATS["distance_matrix_misses"] += 1
+        if disk_hit:
+            _STATS["distance_matrix_disk_hits"] += 1
+        winner = _DISTANCES.setdefault(key, distances)
+        _DISTANCES.move_to_end(key)
+        while len(_DISTANCES) > MAX_ENTRIES:
+            _DISTANCES.popitem(last=False)
+    if store is not None and not disk_hit and winner is distances:
+        try:
+            store.save(coupling, distances)
+        except OSError:
+            pass  # a read-only cache directory must not fail the mapping
+        else:
+            with _LOCK:
+                _STATS["distance_matrix_disk_writes"] += 1
+    return winner
+
+
+def shared_synthesizer(coupling: CouplingMap, max_qubits_exhaustive: int = 8):
+    """The (cached) SWAP synthesizer for *coupling*, selected by size.
+
+    Devices of at most *max_qubits_exhaustive* qubits share the exact
+    :class:`~repro.arch.synthesis.TableSynthesizer` built on the cached
+    permutation table; larger devices share a polynomial
+    :class:`~repro.arch.synthesis.RoutedSynthesizer` built on the cached
+    distance matrix.  Selections are counted in :func:`cache_stats`
+    (``synthesizer_table_selected`` / ``synthesizer_routed_selected``) so
+    the perf gates can pin that small devices stay on the exact path.
+    """
+    from repro.arch import synthesis  # local import: synthesis imports this module
+
+    key = (coupling.canonical_key(), max_qubits_exhaustive)
+    with _LOCK:
+        cached = _SYNTHESIZERS.get(key)
+        if cached is not None:
+            _STATS["synthesizer_hits"] += 1
+            _SYNTHESIZERS.move_to_end(key)
+            return cached
+    use_table = coupling.num_qubits <= max_qubits_exhaustive
+    if use_table:
+        table = shared_permutation_table(
+            coupling, max_qubits_exhaustive=max_qubits_exhaustive
+        )
+        built = synthesis.TableSynthesizer(coupling, table=table)
+    else:
+        built = synthesis.RoutedSynthesizer(
+            coupling, distances=shared_distance_matrix(coupling)
+        )
+    with _LOCK:
+        _STATS["synthesizer_misses"] += 1
+        if use_table:
+            _STATS["synthesizer_table_selected"] += 1
+        else:
+            _STATS["synthesizer_routed_selected"] += 1
+        winner = _SYNTHESIZERS.setdefault(key, built)
+        _SYNTHESIZERS.move_to_end(key)
+        while len(_SYNTHESIZERS) > MAX_ENTRIES:
+            _SYNTHESIZERS.popitem(last=False)
+    return winner
+
+
 def shared_connected_subsets(coupling: CouplingMap, size: int) -> List[Tuple[int, ...]]:
     """Memoised :func:`~repro.arch.subsets.connected_subsets`.
 
@@ -185,10 +286,16 @@ def cache_stats() -> Dict[str, int]:
         stats = dict(_STATS)
         stats["permutation_tables_cached"] = len(_TABLES)
         stats["connected_subset_lists_cached"] = len(_SUBSETS)
+        stats["distance_matrices_cached"] = len(_DISTANCES)
+        stats["synthesizers_cached"] = len(_SYNTHESIZERS)
     store = _disk_store()
     if store is not None:
         stats["permutation_tables_on_disk"] = len(store.entries())
         stats["disk_cache_bytes"] = store.size_bytes()
+    distance_store = _distance_disk_store()
+    if distance_store is not None:
+        stats["distance_matrices_on_disk"] = len(distance_store.entries())
+        stats["distance_cache_bytes"] = distance_store.size_bytes()
     return stats
 
 
@@ -197,6 +304,8 @@ def clear_caches() -> None:
     with _LOCK:
         _TABLES.clear()
         _SUBSETS.clear()
+        _DISTANCES.clear()
+        _SYNTHESIZERS.clear()
         for key in _STATS:
             _STATS[key] = 0
 
@@ -208,6 +317,8 @@ __all__ = [
     "reset_cache_dir",
     "get_cache_dir",
     "shared_permutation_table",
+    "shared_distance_matrix",
+    "shared_synthesizer",
     "shared_connected_subsets",
     "cache_stats",
     "clear_caches",

@@ -93,6 +93,51 @@ def swap_transposition(size: int, edge: SwapEdge) -> Permutation:
     return tuple(perm)
 
 
+def nearest_free_completion(
+    fixed: Dict[int, int],
+    size: int,
+    distances: Dict[int, Dict[int, int]],
+) -> Optional[Permutation]:
+    """Complete a partial permutation by nearest-free-destination matching.
+
+    *fixed* maps source positions to their forced destinations; every other
+    source is matched greedily (in ascending source order) to the nearest
+    still-free destination by coupling-graph distance, preferring staying put
+    on ties.  The greedy matching is an upper-bound heuristic, not an optimal
+    assignment — callers needing the minimum must still search.
+
+    Returns:
+        The completed permutation, or ``None`` when some free source has no
+        reachable free destination (disconnected graph).
+    """
+    used = set(fixed.values())
+    free_destinations = [i for i in range(size) if i not in used]
+    perm: List[int] = [-1] * size
+    for source, destination in fixed.items():
+        perm[source] = destination
+    for source in range(size):
+        if perm[source] != -1:
+            continue
+        row = distances.get(source, {})
+        best = None
+        best_key = None
+        for destination in free_destinations:
+            hops = row.get(destination)
+            if hops is None:
+                continue
+            # Prefer closer destinations; on ties prefer staying put, then
+            # the smallest index — fully deterministic.
+            key = (hops, 0 if destination == source else 1, destination)
+            if best_key is None or key < best_key:
+                best = destination
+                best_key = key
+        if best is None:
+            return None
+        perm[source] = best
+        free_destinations.remove(best)
+    return tuple(perm)
+
+
 def minimal_swap_sequences(
     coupling: CouplingMap,
     max_permutations: Optional[int] = None,
@@ -157,6 +202,7 @@ class PermutationTable:
         self.coupling = coupling
         self.size = coupling.num_qubits
         self._sequences = minimal_swap_sequences(coupling)
+        self._distance_matrix: Optional[Dict[int, Dict[int, int]]] = None
 
     @classmethod
     def from_sequences(
@@ -177,6 +223,7 @@ class PermutationTable:
             tuple(perm): [tuple(edge) for edge in seq]
             for perm, seq in sequences.items()
         }
+        table._distance_matrix = None
         return table
 
     def sequences(self) -> Dict[Permutation, List[SwapEdge]]:
@@ -212,12 +259,8 @@ class PermutationTable:
     # ------------------------------------------------------------------
     # Mapping transitions
     # ------------------------------------------------------------------
-    def consistent_permutations(self, old: Mapping, new: Mapping) -> Iterator[Permutation]:
-        """All full permutations ``pi`` with ``pi[old[j]] == new[j]`` for every ``j``.
-
-        For total mappings there is exactly one; for partial mappings the
-        unmapped physical qubits may be permuted freely among themselves.
-        """
+    def _fixed_assignments(self, old: Mapping, new: Mapping) -> Dict[int, int]:
+        """The source-to-destination constraints implied by a mapping pair."""
         if len(old) != len(new):
             raise ValueError("mappings must have the same length")
         fixed: Dict[int, int] = {}
@@ -226,6 +269,55 @@ class PermutationTable:
             if source in fixed and fixed[source] != destination:
                 raise ValueError("old mapping is not injective")
             fixed[source] = destination
+        return fixed
+
+    def _distances(self) -> Dict[int, Dict[int, int]]:
+        if self._distance_matrix is None:
+            self._distance_matrix = self.coupling.distance_matrix()
+        return self._distance_matrix
+
+    def _transition_lower_bound(self, fixed: Dict[int, int]) -> int:
+        """A reachable lower bound on the SWAPs of any consistent completion.
+
+        Every SWAP moves two states one edge each, so the total graph
+        distance still to travel drops by at most two per SWAP; a single
+        state's remaining distance drops by at most one.  Fixed states must
+        travel at least ``d(source, destination)``; free states at least the
+        distance to their *nearest* free destination (a valid per-state
+        minimum even though the joint assignment may not achieve all of
+        them simultaneously).
+        """
+        distances = self._distances()
+        used = set(fixed.values())
+        free_destinations = [i for i in range(self.size) if i not in used]
+        total = 0
+        worst = 0
+        for source in range(self.size):
+            if source in fixed:
+                hops = distances[source].get(fixed[source])
+                if hops is None:
+                    # Unreachable transition; the caller's scan will raise.
+                    return 0
+            else:
+                reachable = [
+                    distances[source][dest]
+                    for dest in free_destinations
+                    if dest in distances[source]
+                ]
+                if not reachable:
+                    return 0
+                hops = min(reachable)
+            total += hops
+            worst = max(worst, hops)
+        return max(worst, (total + 1) // 2)
+
+    def consistent_permutations(self, old: Mapping, new: Mapping) -> Iterator[Permutation]:
+        """All full permutations ``pi`` with ``pi[old[j]] == new[j]`` for every ``j``.
+
+        For total mappings there is exactly one; for partial mappings the
+        unmapped physical qubits may be permuted freely among themselves.
+        """
+        fixed = self._fixed_assignments(old, new)
         free_sources = [i for i in range(self.size) if i not in fixed]
         used_destinations = set(fixed.values())
         free_destinations = [i for i in range(self.size) if i not in used_destinations]
@@ -237,25 +329,28 @@ class PermutationTable:
                 perm[source] = destination
             yield tuple(perm)
 
-    def transition_cost(self, old: Mapping, new: Mapping) -> int:
-        """Minimal number of SWAPs turning mapping *old* into mapping *new*."""
-        best = None
-        for perm in self.consistent_permutations(old, new):
-            if perm not in self._sequences:
-                continue
-            count = len(self._sequences[perm])
-            if best is None or count < best:
-                best = count
-                if best == 0:
-                    break
-        if best is None:
-            raise ValueError("no permutation realises the requested transition")
-        return best
+    def _best_transition(
+        self, old: Mapping, new: Mapping
+    ) -> Tuple[Permutation, int]:
+        """The cheapest consistent completion and its SWAP count.
 
-    def transition_sequence(self, old: Mapping, new: Mapping) -> List[SwapEdge]:
-        """A minimal SWAP-edge sequence turning mapping *old* into mapping *new*."""
-        best_perm = None
-        best_count = None
+        Completing a partial transition is no longer a blind scan over
+        ``free!`` completions: a nearest-free-destination matching is tried
+        first and accepted outright when it meets the distance lower bound,
+        and the exhaustive fallback stops as soon as any completion does.
+        Minimality is unaffected — the scan only ever stops at a proven
+        lower bound.
+        """
+        fixed = self._fixed_assignments(old, new)
+        lower_bound = self._transition_lower_bound(fixed)
+        best_perm: Optional[Permutation] = None
+        best_count: Optional[int] = None
+        candidate = nearest_free_completion(fixed, self.size, self._distances())
+        if candidate is not None and candidate in self._sequences:
+            best_perm = candidate
+            best_count = len(self._sequences[candidate])
+            if best_count <= lower_bound:
+                return best_perm, best_count
         for perm in self.consistent_permutations(old, new):
             if perm not in self._sequences:
                 continue
@@ -263,10 +358,19 @@ class PermutationTable:
             if best_count is None or count < best_count:
                 best_count = count
                 best_perm = perm
-                if best_count == 0:
+                if best_count <= lower_bound:
                     break
-        if best_perm is None:
+        if best_perm is None or best_count is None:
             raise ValueError("no permutation realises the requested transition")
+        return best_perm, best_count
+
+    def transition_cost(self, old: Mapping, new: Mapping) -> int:
+        """Minimal number of SWAPs turning mapping *old* into mapping *new*."""
+        return self._best_transition(old, new)[1]
+
+    def transition_sequence(self, old: Mapping, new: Mapping) -> List[SwapEdge]:
+        """A minimal SWAP-edge sequence turning mapping *old* into mapping *new*."""
+        best_perm, _ = self._best_transition(old, new)
         return list(self._sequences[best_perm])
 
 
@@ -281,6 +385,7 @@ __all__ = [
     "apply_permutation",
     "permutation_between",
     "swap_transposition",
+    "nearest_free_completion",
     "minimal_swap_sequences",
     "PermutationTable",
 ]

@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds for the SAT engine",
     )
     parser.add_argument(
+        "--split-window", type=int, default=None, metavar="N",
+        help="solve the circuit in windows of N CNOTs, each exactly on its "
+        "active-qubit sub-coupling, stitching windows with synthesized "
+        "permutations (the scalability path for big devices such as "
+        "ibm_qx5/ibm_tokyo; implies the sat_split engine, result is an "
+        "upper bound)",
+    )
+    parser.add_argument(
         "--trials", type=int, default=5,
         help="number of trials for the stochastic heuristic (default 5)",
     )
@@ -182,13 +190,16 @@ def _engine_options(engine: str, args: argparse.Namespace) -> Dict[str, Any]:
     without matching flags (custom engines, heuristics) keep working.
     """
     options: Dict[str, Any] = {}
-    if engine in ("sat", "dp", "portfolio"):
+    if engine in ("sat", "dp", "portfolio", "sat_split"):
         options["strategy"] = args.strategy
     if engine in ("sat", "portfolio"):
         options["use_subsets"] = args.subsets
+    if engine in ("sat", "portfolio", "sat_split"):
         options["time_limit"] = args.time_limit
         if getattr(args, "optimizer", None) is not None:
             options["optimizer"] = args.optimizer
+    if engine == "sat_split" and getattr(args, "split_window", None) is not None:
+        options["window_size"] = args.split_window
     if engine == "stochastic":
         options["trials"] = args.trials
     return options
@@ -220,10 +231,10 @@ def _validate_optimizer(parser: argparse.ArgumentParser, args: argparse.Namespac
                 f"unknown --optimizer {optimizer!r}; choose one of "
                 f"{', '.join(valid)} (see --list-optimizers)"
             )
-    if engine not in ("sat", "portfolio"):
+    if engine not in ("sat", "portfolio", "sat_split"):
         parser.error(
-            f"--optimizer only applies to the sat and portfolio engines "
-            f"(got engine {engine!r})"
+            f"--optimizer only applies to the sat, sat_split and portfolio "
+            f"engines (got engine {engine!r})"
         )
 
 
@@ -323,6 +334,16 @@ def _run_map(argv: Sequence[str]) -> int:
         engine = resolve_mapper_name(args.engine)
     except KeyError as error:
         parser.error(str(error))
+    if args.split_window is not None:
+        if args.split_window < 1:
+            parser.error("--split-window must be at least 1")
+        if engine == "sat":
+            engine = "sat_split"
+        elif engine != "sat_split":
+            parser.error(
+                "--split-window only applies to the sat / sat_split engines "
+                f"(got engine {engine!r})"
+            )
     _validate_optimizer(parser, args, engine)
     try:
         coupling = get_architecture(args.arch)

@@ -51,6 +51,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.cache import shared_permutation_table
 from repro.arch.coupling import CouplingMap
 from repro.arch.permutations import Permutation, PermutationTable
 from repro.exact.cost import REVERSAL_COST, SWAP_COST
@@ -507,7 +508,9 @@ def build_encoding(
                 raise EncodingError(f"permutation spot {spot} out of range")
 
     if permutation_table is None:
-        permutation_table = PermutationTable(coupling)
+        # The shared cache, not a fresh BFS per call: encodings for the same
+        # (sub-)coupling are built once per process and reused.
+        permutation_table = shared_permutation_table(coupling)
 
     # ------------------------------------------------------------------
     # Structural blocks: the x block is appended verbatim (shared clause

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.cache import shared_synthesizer
 from repro.arch.coupling import CouplingError, CouplingMap
-from repro.arch.permutations import PermutationTable
+from repro.arch.synthesis import PermutationSynthesizer
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gates import Barrier, CNOTGate, Measure
 from repro.exact.cost import CostBreakdown
@@ -84,12 +85,18 @@ def _emit_cnot(circuit: QuantumCircuit, coupling: CouplingMap,
 
 def _swap_sequence(old: Tuple[int, ...], new: Tuple[int, ...],
                    coupling: CouplingMap,
-                   table: Optional[PermutationTable]) -> List[Tuple[int, int]]:
-    """Minimal SWAP-edge sequence turning mapping *old* into mapping *new*."""
+                   table: Optional[PermutationSynthesizer]) -> List[Tuple[int, int]]:
+    """SWAP-edge sequence turning mapping *old* into mapping *new*.
+
+    Minimal when the provider is exact (``optimal=True``, devices of at most
+    8 qubits); an upper bound from the routed synthesizer on larger devices.
+    The fallback resolves through the process-wide cache, so an omitted
+    provider never re-runs the exhaustive BFS per call.
+    """
     if old == new:
         return []
     if table is None:
-        table = PermutationTable(coupling)
+        table = shared_synthesizer(coupling)
     return table.transition_sequence(old, new)
 
 
@@ -98,7 +105,7 @@ def reconstruct_circuit(
     schedule: MappingSchedule,
     coupling: CouplingMap,
     decompose_swaps: bool = True,
-    permutation_table: Optional[PermutationTable] = None,
+    permutation_table: Optional[PermutationSynthesizer] = None,
 ) -> Tuple[QuantumCircuit, CostBreakdown]:
     """Build the architecture-compliant circuit realising *schedule*.
 
@@ -108,8 +115,10 @@ def reconstruct_circuit(
         coupling: Target architecture.
         decompose_swaps: Emit SWAPs as their 7-gate decomposition (default)
             instead of opaque ``swap`` gates.
-        permutation_table: Optional pre-computed SWAP table for *coupling*
-            (built on demand otherwise).
+        permutation_table: Optional SWAP provider for *coupling* — an exact
+            :class:`~repro.arch.permutations.PermutationTable` or any
+            :class:`~repro.arch.synthesis.PermutationSynthesizer`; resolved
+            from the shared cache by device size otherwise.
 
     Returns:
         The mapped circuit and its :class:`CostBreakdown`.
@@ -184,7 +193,7 @@ def build_result(
     num_permutation_spots: Optional[int] = None,
     statistics: Optional[Dict[str, float]] = None,
     decompose_swaps: bool = True,
-    permutation_table: Optional[PermutationTable] = None,
+    permutation_table: Optional[PermutationSynthesizer] = None,
 ) -> MappingResult:
     """Convenience helper assembling a :class:`MappingResult` from a schedule."""
     mapped, cost = reconstruct_circuit(

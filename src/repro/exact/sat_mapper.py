@@ -70,7 +70,11 @@ from repro.exact.sweep import (
     structural_lower_bound,
     translate_schedule,
 )
-from repro.arch.cache import shared_connected_subsets, shared_permutation_table
+from repro.arch.cache import (
+    shared_connected_subsets,
+    shared_permutation_table,
+    shared_synthesizer,
+)
 from repro.arch.permutations import invert_permutation
 from repro.sat.optimize import (
     OptimizationResult,
@@ -1010,14 +1014,13 @@ class SATMapper:
             statistics["seeded_upper_bound"] = upper_bound
         if extra_statistics:
             statistics.update(extra_statistics)
-        # Reconstruction needs SWAP sequences on the full device; reuse the
-        # process-wide table when the device is small enough to enumerate
-        # (build_result's lazy fallback applies the same size guard, and only
-        # when a swap sequence is actually required).
-        table = (
-            shared_permutation_table(self.coupling)
-            if self.coupling.num_qubits <= 8 else None
-        )
+        # Reconstruction needs SWAP sequences on the full device: the exact
+        # table below 8 qubits, the polynomial routed synthesizer above.  A
+        # routed reconstruction realises the schedule with upper-bound SWAP
+        # sequences, so the result can no longer claim proven minimality.
+        synthesizer = shared_synthesizer(self.coupling)
+        if not synthesizer.optimal:
+            statistics["routed_reconstruction"] = 1
         return build_result(
             circuit,
             schedule,
@@ -1025,12 +1028,12 @@ class SATMapper:
             engine="sat",
             strategy=self.strategy.name,
             objective=best.objective,
-            optimal=proven_minimal,
+            optimal=proven_minimal and synthesizer.optimal,
             runtime_seconds=runtime_seconds,
             num_permutation_spots=len(spots),
             statistics=statistics,
             decompose_swaps=self.decompose_swaps,
-            permutation_table=table,
+            permutation_table=synthesizer,
         )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.arch.cache import shared_distance_matrix
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.heuristic.base import HeuristicMapper, _MappingTrace
@@ -50,7 +51,9 @@ class SabreLiteMapper(HeuristicMapper):
         self.lookahead_weight = lookahead_weight
         self.use_greedy_layout = use_greedy_layout
         self.seed = seed
-        self._distances = coupling.distance_matrix()
+        # Shared per-architecture matrix: the lookahead reads it, never
+        # writes, so heuristics and the routed synthesizer share one copy.
+        self._distances = shared_distance_matrix(coupling)
 
     # ------------------------------------------------------------------
     def _distance(self, trace: _MappingTrace, control: int, target: int) -> int:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arch.cache import shared_distance_matrix
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.layers import front_layers
@@ -55,7 +56,7 @@ class StochasticSwapMapper(HeuristicMapper):
         self.seed = seed
         self.randomize_initial_layout = randomize_initial_layout
         self.max_swaps_per_layer = max_swaps_per_layer
-        self._distances = coupling.distance_matrix()
+        self._distances = shared_distance_matrix(coupling)
 
     # ------------------------------------------------------------------
     def _layer_distance(self, trace: _MappingTrace,

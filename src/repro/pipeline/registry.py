@@ -222,6 +222,13 @@ def _build_portfolio_mapper(coupling: CouplingMap, **options: Any) -> Mapper:
     return PortfolioMapper(coupling, **_resolved_strategy(options))
 
 
+@register_mapper("sat_split", aliases=("split",))
+def _build_split_sat_mapper(coupling: CouplingMap, **options: Any) -> Mapper:
+    from repro.exact.splitting import SplitSATMapper
+
+    return SplitSATMapper(coupling, **_resolved_strategy(options))
+
+
 __all__ = [
     "Mapper",
     "MapperFactory",

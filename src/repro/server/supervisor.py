@@ -20,7 +20,10 @@ result store), binds the public port itself, and:
   its in-memory LRU so no stale fingerprint is served from memory;
 * **fans in** the workers' ``/v1/stream`` WebSockets into a single public
   ``/v1/stream`` (job ids rewritten to their namespaced form), reconnecting
-  whenever a worker restarts;
+  whenever a worker restarts; every public envelope carries a monotonically
+  increasing ``seq`` and the last :data:`STREAM_REPLAY_SIZE` envelopes are
+  retained, so a subscriber that reconnects with ``?since=<seq>`` replays
+  the transitions it missed before resuming live delivery;
 * **drains** on SIGTERM: the public socket closes first, then every worker
   gets SIGTERM and finishes in-flight jobs before the supervisor exits.
 
@@ -40,8 +43,9 @@ import socket
 import sys
 import tempfile
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.server import wire
 from repro.server.protocol import (
@@ -67,6 +71,8 @@ DRAIN_TIMEOUT = 60.0
 UPSTREAM_TIMEOUT = 300.0
 #: Capacity of each public stream subscriber queue (drop-oldest beyond it).
 SUBSCRIBER_QUEUE_SIZE = 1024
+#: Recent stream envelopes retained for ``?since=<seq>`` catch-up replay.
+STREAM_REPLAY_SIZE = 4096
 
 
 def _free_port(host: str = "127.0.0.1") -> int:
@@ -177,6 +183,10 @@ class Supervisor:
         self._server: Optional[asyncio.AbstractServer] = None
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._subscribers: set = set()
+        self._stream_seq = 0
+        self._stream_replay: Deque[Dict[str, Any]] = deque(
+            maxlen=STREAM_REPLAY_SIZE
+        )
         self._requests_served = 0
 
     # ------------------------------------------------------------------
@@ -665,18 +675,27 @@ class Supervisor:
             await asyncio.sleep(HEARTBEAT_INTERVAL)
 
     def _broadcast(self, envelope: Dict[str, Any]) -> None:
+        self._stream_seq += 1
+        envelope = dict(envelope)
+        envelope["seq"] = self._stream_seq
+        self._stream_replay.append(envelope)
         for queue in list(self._subscribers):
+            self._enqueue(queue, envelope)
+
+    @staticmethod
+    def _enqueue(queue: asyncio.Queue, envelope: Dict[str, Any]) -> None:
+        """Drop-oldest enqueue shared by live fan-out and replay."""
+        try:
+            queue.put_nowait(envelope)
+        except asyncio.QueueFull:
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - race
+                pass
             try:
                 queue.put_nowait(envelope)
-            except asyncio.QueueFull:
-                try:
-                    queue.get_nowait()
-                except asyncio.QueueEmpty:  # pragma: no cover - race
-                    pass
-                try:
-                    queue.put_nowait(envelope)
-                except asyncio.QueueFull:  # pragma: no cover - race
-                    pass
+            except asyncio.QueueFull:  # pragma: no cover - race
+                pass
 
     async def _handle_stream(
         self,
@@ -699,6 +718,24 @@ class Supervisor:
             )
             await writer.drain()
             return
+        cursor: Optional[int] = None
+        if "since" in request.query:
+            try:
+                cursor = int(request.query["since"])
+            except ValueError:
+                writer.write(
+                    wire.json_response(
+                        400,
+                        ErrorEnvelope(
+                            error_code="protocol-error",
+                            message="since must be an integer sequence number",
+                            http_status=400,
+                        ).to_wire(),
+                        keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
         writer.write(
             wire.serialize_response(
                 101,
@@ -713,6 +750,13 @@ class Supervisor:
         ws = wire.WebSocketConnection(reader, writer, client=False)
         queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_QUEUE_SIZE)
         self._subscribers.add(queue)
+        if cursor is not None:
+            # Replay the retained tail before any live event: registration
+            # and replay happen without an await in between, so no broadcast
+            # can interleave and ordering by seq is preserved.
+            for envelope in list(self._stream_replay):
+                if envelope["seq"] > cursor:
+                    self._enqueue(queue, envelope)
         receive_task = asyncio.ensure_future(ws.receive())
         event_task = asyncio.ensure_future(queue.get())
         try:

@@ -135,3 +135,58 @@ class TestPermutationTable:
         consistent = list(table.consistent_permutations((0, 1, 2), (0, 1, 2)))
         # The two unused physical qubits (3, 4) may stay or swap: 2 completions.
         assert len(consistent) == 2
+
+
+class TestTransitionEarlyExit:
+    """Partial-mapping transitions must not scan every ``free!`` completion."""
+
+    def _counting_table(self, coupling):
+        table = PermutationTable(coupling)
+        consumed = {"count": 0}
+        original = table.consistent_permutations
+
+        def counting(old, new):
+            for perm in original(old, new):
+                consumed["count"] += 1
+                yield perm
+
+        table.consistent_permutations = counting
+        return table, consumed
+
+    def test_adjacent_swap_skips_enumeration_on_grid8(self):
+        from repro.arch.devices import sweep_grid8
+
+        table, consumed = self._counting_table(sweep_grid8())
+        # Two logicals trade places along a coupled edge; six physicals are
+        # free, so the old code scanned up to 6! = 720 completions.  The
+        # nearest-free matching meets the distance lower bound immediately.
+        assert table.transition_cost((0, 1), (1, 0)) == 1
+        assert consumed["count"] == 0
+
+    def test_enumeration_stops_at_lower_bound(self):
+        from repro.arch.devices import sweep_grid8
+
+        table, consumed = self._counting_table(sweep_grid8())
+        # A longer move with many free qubits: whatever path the scan takes,
+        # it must stop far short of the factorial completion count.
+        cost = table.transition_cost((0,), (7,))
+        assert cost >= 3  # 0 and 7 are three edges apart on the grid
+        assert consumed["count"] < 720  # 7 free qubits -> 5040 completions
+
+    def test_early_exit_preserves_minimality(self):
+        # Differential check against a blind scan over all completions.
+        table = PermutationTable(ibm_qx4())
+        for old, new in [
+            ((0, 1), (1, 0)),
+            ((0,), (4,)),
+            ((0, 2), (3, 1)),
+            ((1, 3, 4), (4, 0, 2)),
+        ]:
+            brute = min(
+                table.swaps(perm)
+                for perm in table.consistent_permutations(old, new)
+                if table.reachable(perm)
+            )
+            assert table.transition_cost(old, new) == brute
+            sequence = table.transition_sequence(old, new)
+            assert len(sequence) == brute

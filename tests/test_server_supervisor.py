@@ -128,6 +128,91 @@ class TestSupervisorEndToEnd:
 
         run(scenario())
 
+    def test_stream_reconnect_catches_up_via_since_cursor(self, tmp_path):
+        """A late subscriber replays missed transitions with ``?since=<seq>``.
+
+        The first job runs to completion with *no* subscriber attached; a
+        fresh connection with ``?since=0`` then replays the full retained
+        ring (queued → done for the first job), and a reconnect carrying
+        the last seen cursor receives only the second job's transitions.
+        """
+
+        async def scenario():
+            async with Supervisor(
+                workers=1, engine="dp", cache_dir=str(tmp_path)
+            ) as supervisor:
+                port = supervisor.port
+                paper_qasm = to_qasm(paper_example_circuit())
+
+                _status, envelope = await _request(
+                    port, "POST", "/v1/jobs",
+                    _submit_body(paper_qasm, "before_subscribe"),
+                )
+                first_id = envelope["payload"]["job_id"]
+                status, _envelope = await _request(
+                    port, "GET", f"/v1/jobs/{first_id}/result?wait=120"
+                )
+                assert status == 200
+
+                # Give the fan-in pump a moment to mirror the transitions
+                # into the replay ring.
+                deadline = time.monotonic() + 10
+                while supervisor._stream_seq == 0:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.05)
+
+                # Late subscriber: the job already finished, yet ?since=0
+                # replays its whole history in seq order.
+                stream = await wire.open_websocket(
+                    "127.0.0.1", port, "/v1/stream?since=0"
+                )
+                statuses = []
+                last_seq = 0
+                while "done" not in statuses:
+                    message = await asyncio.wait_for(
+                        stream.receive(), timeout=10
+                    )
+                    assert message is not None
+                    event = json.loads(message)
+                    assert event["seq"] > last_seq
+                    last_seq = event["seq"]
+                    if event["payload"]["job_id"] == first_id:
+                        statuses.append(event["payload"]["status"])
+                await stream.close()
+                assert statuses[0] == "queued"
+                assert statuses[-1] == "done"
+
+                # Second job while disconnected, then reconnect with the
+                # last seen cursor: only newer transitions arrive.
+                _status, envelope = await _request(
+                    port, "POST", "/v1/jobs",
+                    _submit_body(QASM_SECOND, "after_reconnect"),
+                )
+                second_id = envelope["payload"]["job_id"]
+                status, _envelope = await _request(
+                    port, "GET", f"/v1/jobs/{second_id}/result?wait=120"
+                )
+                assert status == 200
+
+                stream = await wire.open_websocket(
+                    "127.0.0.1", port, f"/v1/stream?since={last_seq}"
+                )
+                catch_up = []
+                while "done" not in catch_up:
+                    message = await asyncio.wait_for(
+                        stream.receive(), timeout=10
+                    )
+                    assert message is not None
+                    event = json.loads(message)
+                    assert event["seq"] > last_seq
+                    assert event["payload"]["job_id"] == second_id
+                    catch_up.append(event["payload"]["status"])
+                await stream.close()
+                assert catch_up[0] == "queued"
+                assert catch_up[-1] == "done"
+
+        run(scenario())
+
     def test_routing_spreads_and_stats_aggregate(self, tmp_path):
         async def scenario():
             async with Supervisor(

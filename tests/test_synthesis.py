@@ -1,0 +1,189 @@
+"""Differential tests of path-routed SWAP synthesis against the exact table.
+
+Two properties anchor the routed backend:
+
+* **Soundness** — replaying a synthesised sequence realises exactly the
+  requested permutation, and every emitted SWAP is a coupling edge.
+* **Honest upper bound** — the routed count never beats the provably
+  minimal ``swaps(pi)`` of the exhaustive table, checked exhaustively on
+  the qx4 device and on every connected subset of up to 5 qubits of qx4
+  and the sweep grid.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.arch.cache import (
+    cache_stats,
+    clear_caches,
+    shared_distance_matrix,
+    shared_synthesizer,
+)
+from repro.arch.devices import ibm_qx4, ibm_qx5, ibm_tokyo, sweep_grid8
+from repro.arch.permutations import PermutationTable, nearest_free_completion
+from repro.arch.subsets import connected_subsets
+from repro.arch.synthesis import (
+    EXHAUSTIVE_SYNTHESIS_MAX_QUBITS,
+    PermutationSynthesizer,
+    RoutedSynthesizer,
+    SynthesisError,
+    TableSynthesizer,
+    replay_swap_sequence,
+    synthesizer_for,
+)
+
+
+def _random_permutations(size, count, seed):
+    rng = random.Random(seed)
+    perms = []
+    for _ in range(count):
+        perm = list(range(size))
+        rng.shuffle(perm)
+        perms.append(tuple(perm))
+    return perms
+
+
+class TestRoutedSoundness:
+    def test_qx4_all_permutations_realized(self):
+        coupling = ibm_qx4()
+        routed = RoutedSynthesizer(coupling)
+        edges = set(coupling.undirected_edges)
+        for perm in itertools.permutations(range(coupling.num_qubits)):
+            sequence = routed.swap_sequence(perm)
+            assert replay_swap_sequence(coupling.num_qubits, sequence) == perm
+            assert all(tuple(sorted(swap)) in edges for swap in sequence)
+
+    @pytest.mark.parametrize("factory,samples", [(ibm_qx5, 40), (ibm_tokyo, 40)])
+    def test_large_devices_random_permutations_realized(self, factory, samples):
+        coupling = factory()
+        routed = RoutedSynthesizer(coupling)
+        edges = set(coupling.undirected_edges)
+        for perm in _random_permutations(coupling.num_qubits, samples, seed=7):
+            sequence = routed.swap_sequence(perm)
+            assert replay_swap_sequence(coupling.num_qubits, sequence) == perm
+            assert all(tuple(sorted(swap)) in edges for swap in sequence)
+
+    def test_partial_transition_replay(self):
+        coupling = ibm_qx5()
+        routed = RoutedSynthesizer(coupling)
+        # Three logicals mapped, thirteen physicals free.
+        old = (0, 5, 9)
+        new = (2, 5, 12)
+        sequence = routed.transition_sequence(old, new)
+        perm = replay_swap_sequence(coupling.num_qubits, sequence)
+        assert tuple(perm[source] for source in old) == new
+
+    def test_identity_is_free(self):
+        coupling = ibm_tokyo()
+        routed = RoutedSynthesizer(coupling)
+        identity = tuple(range(coupling.num_qubits))
+        assert routed.swap_sequence(identity) == []
+        assert routed.swaps(identity) == 0
+
+    def test_invalid_permutation_rejected(self):
+        routed = RoutedSynthesizer(ibm_qx4())
+        with pytest.raises(SynthesisError):
+            routed.swap_sequence((0, 0, 1, 2, 3))
+        with pytest.raises(SynthesisError):
+            routed.swap_sequence((0, 1, 2))
+
+
+class TestRoutedNeverBeatsExact:
+    @pytest.mark.parametrize("factory", [ibm_qx4, sweep_grid8])
+    def test_connected_small_subsets(self, factory):
+        """On every connected ≤5-qubit subset, routed >= exact for all pi."""
+        coupling = factory()
+        for size in range(2, 6):
+            for subset in connected_subsets(coupling, size):
+                sub = coupling.subgraph(subset)
+                table = PermutationTable(sub)
+                routed = RoutedSynthesizer(sub, sub.distance_matrix())
+                for perm in itertools.permutations(range(size)):
+                    assert routed.swaps(perm) >= table.swaps(perm)
+
+    def test_whole_qx4_device(self):
+        coupling = ibm_qx4()
+        table = PermutationTable(coupling)
+        routed = RoutedSynthesizer(coupling)
+        strictly_worse = 0
+        for perm in itertools.permutations(range(coupling.num_qubits)):
+            exact = table.swaps(perm)
+            upper = routed.swaps(perm)
+            assert upper >= exact
+            strictly_worse += upper > exact
+        # The bound is honest but not tight: greedy routing loses on some.
+        assert strictly_worse > 0
+
+
+class TestBackendSelection:
+    def test_synthesizer_for_small_device(self):
+        synth = synthesizer_for(ibm_qx4())
+        assert isinstance(synth, TableSynthesizer)
+        assert synth.optimal is True
+        assert isinstance(synth, PermutationSynthesizer)
+
+    def test_synthesizer_for_large_device(self):
+        synth = synthesizer_for(ibm_qx5())
+        assert isinstance(synth, RoutedSynthesizer)
+        assert synth.optimal is False
+        assert isinstance(synth, PermutationSynthesizer)
+
+    def test_threshold_is_configurable(self):
+        # Lowering the cap forces the routed backend even on tiny devices.
+        assert isinstance(
+            synthesizer_for(ibm_qx4(), max_qubits_exhaustive=3),
+            RoutedSynthesizer,
+        )
+
+    def test_shared_synthesizer_memoises_and_counts(self):
+        clear_caches()
+        first = shared_synthesizer(ibm_qx4())
+        second = shared_synthesizer(ibm_qx4())
+        assert first is second
+        big = shared_synthesizer(ibm_tokyo())
+        assert isinstance(big, RoutedSynthesizer)
+        stats = cache_stats()
+        assert stats["synthesizer_table_selected"] == 1
+        assert stats["synthesizer_routed_selected"] == 1
+        assert stats["synthesizer_hits"] == 1
+
+    def test_shared_distance_matrix_matches_direct(self):
+        clear_caches()
+        coupling = ibm_qx5()
+        assert shared_distance_matrix(coupling) == coupling.distance_matrix()
+
+    def test_table_synthesizer_matches_table(self):
+        coupling = ibm_qx4()
+        table = PermutationTable(coupling)
+        synth = TableSynthesizer(coupling, table)
+        for perm in ((1, 0, 2, 3, 4), (2, 0, 1, 3, 4)):
+            assert synth.swaps(perm) == table.swaps(perm)
+            assert synth.swap_sequence(perm) == table.swap_sequence(perm)
+        assert synth.transition_cost((0, 1), (1, 0)) == table.transition_cost(
+            (0, 1), (1, 0)
+        )
+
+
+class TestNearestFreeCompletion:
+    def test_total_mapping_needs_no_completion(self):
+        distances = ibm_qx4().distance_matrix()
+        fixed = {0: 1, 1: 0, 2: 2, 3: 3, 4: 4}
+        assert nearest_free_completion(fixed, 5, distances) == (1, 0, 2, 3, 4)
+
+    def test_free_states_prefer_staying_put(self):
+        distances = ibm_qx5().distance_matrix()
+        completion = nearest_free_completion({0: 1, 1: 0}, 16, distances)
+        assert completion is not None
+        assert completion[0] == 1 and completion[1] == 0
+        # Everything unconstrained stays in place (identity is nearest).
+        assert all(completion[q] == q for q in range(2, 16))
+
+    def test_unreachable_returns_none(self):
+        # Two disconnected components: 0-1 and 2-3.
+        from repro.arch.coupling import CouplingMap
+
+        split = CouplingMap(4, [(0, 1), (2, 3)], name="split")
+        distances = split.distance_matrix()
+        assert nearest_free_completion({0: 2}, 4, distances) is None

@@ -109,6 +109,31 @@ class TestCLI:
         )
         assert exit_code == 0
 
+    def test_split_window_promotes_sat_engine(self, tmp_path, capsys):
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        circuit.cx(4, 5)
+        circuit.cx(0, 5)
+        path = self._write_qasm(tmp_path, circuit)
+        exit_code = main(
+            [path, "--arch", "ibm_qx5", "--engine", "sat",
+             "--split-window", "2", "--verify"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine            : sat_split" in captured
+        assert "equivalence check : passed" in captured
+
+    def test_split_window_rejects_other_engines(self, tmp_path):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        path = self._write_qasm(tmp_path, circuit)
+        with pytest.raises(SystemExit):
+            main([path, "--engine", "dp", "--split-window", "4"])
+        with pytest.raises(SystemExit):
+            main([path, "--engine", "sat", "--split-window", "0"])
+
     def test_unknown_architecture_errors(self, tmp_path):
         circuit = QuantumCircuit(2)
         circuit.cx(0, 1)
