@@ -2,7 +2,7 @@
 """Solver micro-benchmarks: branching-design justification and propagation.
 
 Not collected by the CI benchmark job (which only picks up ``bench_*.py``);
-run it by hand.  Two sections:
+run it by hand.  Three sections:
 
 ``branching``
     The measured-churn justification for the indexed VSIDS order heap that
@@ -36,20 +36,37 @@ run it by hand.  Two sections:
     (``--backend auto|pure|compiled``).  This is the number behind the
     props/sec acceptance gate tracked in ``benchmarks/BENCH_sweep.json``.
 
+``artifacts``
+    Per-stage overhead of the solve-artifact round trip (PR 9): export the
+    live session's shared-layer learned clauses, re-base them to template
+    numbering (``clauses_to_template``), persist and re-load them through a
+    disk-backed ``ResultStore`` artifact row, build the template→target
+    translation table (``template_clause_remap``) and import into a fresh
+    same-skeleton session.  Real solves export few shared-layer clauses, so
+    the batch is padded to ``--clauses`` (default 1000) by *weakening* the
+    real exports — a superset of an implied clause is still implied, so
+    every padded clause remains legal warm-start material.  Each stage is
+    reported as wall time and normalised per 1k clauses, keeping the
+    seeding cost visible next to propagation throughput.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/micro_solver.py branching
     PYTHONPATH=src python benchmarks/micro_solver.py propagation --backend pure
     PYTHONPATH=src python benchmarks/micro_solver.py branching \
         --circuit ham3_102 --device qx4 --repeat 3
+    PYTHONPATH=src python benchmarks/micro_solver.py artifacts --clauses 2000
 """
 
 from __future__ import annotations
 
 import argparse
 import heapq
+import itertools
 import sys
+import tempfile
 import time
+from pathlib import Path
 from typing import Optional
 
 import repro.sat.session as session_module
@@ -58,9 +75,15 @@ from repro.arch.devices import ibm_qx4, sweep_grid8
 from repro.benchlib.generators import benchmark_circuit
 from repro.benchlib.paper_example import paper_example_cnot_skeleton
 from repro.exact.encoding import build_encoding, clear_skeleton_cache
+from repro.exact.sweep import (
+    artifact_key,
+    clauses_to_template,
+    template_clause_remap,
+)
 from repro.sat._backend import available_backends, backend_module
 from repro.sat._solver_core import CDCLSolver as _PureCDCL
 from repro.sat.optimize import OptimizingSolver
+from repro.service.store import ResultStore
 
 _DEVICES = {"qx4": ibm_qx4, "grid8": sweep_grid8}
 
@@ -375,10 +398,160 @@ def run_propagation(args) -> int:
     return status
 
 
+# ----------------------------------------------------------------------
+# Artifact round-trip (solve-artifact warm-start overhead)
+# ----------------------------------------------------------------------
+def _weakened_batch(exported, x_var_limit: int, count: int):
+    """Pad real exported clauses to *count* by weakening.
+
+    Any superset of an implied clause is implied, so appending two fresh
+    x-block literals to a real export yields a distinct clause that is
+    still legal warm-start material — the batch exercises the exact code
+    paths (template rebase, store row, remap, import) with realistic
+    literal distributions at a controlled size.
+    """
+    batch = [list(clause) for clause in exported[:count]]
+    if not exported:
+        return batch
+    bases = itertools.cycle(exported)
+    pairs = itertools.combinations(range(1, x_var_limit + 1), 2)
+    for first, second in pairs:
+        if len(batch) >= count:
+            break
+        base = next(bases)
+        used = {abs(literal) for literal in base}
+        if first in used or second in used:
+            continue
+        batch.append(list(base) + [-first, -second])
+    return batch
+
+
+def run_artifacts(args) -> int:
+    encoding = _build_instance(args.circuit, args.device)
+    device = _DEVICES[args.device]()
+    if args.circuit == "paper":
+        circuit = paper_example_cnot_skeleton()
+    else:
+        circuit = benchmark_circuit(args.circuit)
+    gates = circuit.cnot_pairs()
+    spots = list(range(len(gates)))
+
+    # One real solve accumulates the learned clauses the export draws from.
+    optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
+    session = optimizer.make_session()
+    result = optimizer.minimize(session=session)
+    print(
+        f"instance: {args.circuit} on {args.device} "
+        f"({encoding.cnf.num_vars} vars, {len(encoding.cnf.clauses)} clauses, "
+        f"minimum {result.objective} in {result.conflicts} conflicts)"
+    )
+
+    start = time.perf_counter()
+    exported = session.export_learned(var_ok=encoding.is_shared_variable)
+    export_wall = time.perf_counter() - start
+    if not exported:
+        print("no shared-layer clauses exported; nothing to measure")
+        return 1
+    batch = _weakened_batch(exported, encoding.x_var_limit, args.clauses)
+    spot_var_count = encoding.spot_var_end - encoding.spot_var_start
+    print(
+        f"real export: {len(exported)} shared-layer clauses in "
+        f"{export_wall * 1e6:.0f} us; batch padded to {len(batch)} by "
+        "weakening (supersets of implied clauses stay implied)\n"
+    )
+
+    key = artifact_key(gates, circuit.num_qubits, device, spots)
+    repeat = max(1, args.repeat)
+    stages = {}
+
+    def _best(stage, thunk):
+        best = None
+        value = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            value = thunk()
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+        stages[stage] = best
+        return value
+
+    template = _best(
+        "to_template",
+        lambda: clauses_to_template(
+            batch, encoding.x_var_limit, encoding.spot_var_start
+        ),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "artifacts.sqlite3")
+        payloads = [
+            {
+                "version": 1,
+                "x_var_limit": encoding.x_var_limit,
+                "spot_var_count": spot_var_count,
+                "clauses": template,
+                "bounds": {},
+                "schedule": None,
+                "objective": None,
+            }
+            for _ in range(repeat)
+        ]
+        # A fresh key per repetition: put_artifact merges into existing
+        # rows, and a merge over an ever-growing row would not measure the
+        # first-write path the sweep actually takes.
+        keys = [f"{key}#{index}" for index in range(repeat)]
+        puts = iter(range(repeat))
+        _best(
+            "store_put",
+            lambda: store.put_artifact(keys[next(puts)], payloads[0]),
+        )
+        # Read through a memory-tier-less handle: the fresh-worker path
+        # (``ArtifactCache`` reopens the database the same way), so the
+        # JSON parse + SQLite read are actually on the clock.
+        reader = ResultStore(store.path, max_memory_entries=0)
+        loaded = _best("store_get", lambda: reader.get_artifact(keys[0]))
+        assert loaded is not None and len(loaded["clauses"]) == len(batch)
+
+    remap = _best(
+        "remap_build",
+        lambda: template_clause_remap(
+            encoding.x_var_limit, spot_var_count, encoding
+        ),
+    )
+
+    # A fresh same-skeleton session per repetition: imports dedupe, so a
+    # second import into the same solver would measure the dedupe path.
+    targets = []
+    for _ in range(repeat):
+        fresh = _build_instance(args.circuit, args.device)
+        targets.append(OptimizingSolver(fresh.cnf, fresh.objective).make_session())
+    sessions = iter(targets)
+    imported = _best(
+        "import",
+        lambda: next(sessions).import_clauses(
+            [tuple(clause) for clause in loaded["clauses"]], remap=remap
+        ),
+    )
+
+    per_1k = 1000.0 / len(batch)
+    print(f"{'stage':>12} {'wall (ms)':>10} {'ms per 1k clauses':>18}")
+    for stage, wall in stages.items():
+        print(f"{stage:>12} {wall * 1e3:>10.3f} {wall * 1e3 * per_1k:>18.3f}")
+    total = sum(stages.values())
+    print(f"{'round-trip':>12} {total * 1e3:>10.3f} {total * 1e3 * per_1k:>18.3f}")
+    print(
+        f"\nimported {imported}/{len(batch)} clauses into a fresh "
+        "same-skeleton session (best of "
+        f"{repeat} repetition{'s' if repeat != 1 else ''} per stage)."
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "section", choices=("branching", "propagation"),
+        "section", choices=("branching", "propagation", "artifacts"),
         help="which micro-benchmark to run",
     )
     parser.add_argument(
@@ -397,9 +570,16 @@ def main(argv=None) -> int:
         "--backend", default="auto", choices=("auto", "pure", "compiled"),
         help="propagation section only: solver backend (default: auto)",
     )
+    parser.add_argument(
+        "--clauses", type=int, default=1000,
+        help="artifacts section only: batch size the round trip is "
+        "measured on (default: 1000)",
+    )
     args = parser.parse_args(argv)
     if args.section == "branching":
         return run_branching(args)
+    if args.section == "artifacts":
+        return run_artifacts(args)
     return run_propagation(args)
 
 

@@ -31,6 +31,15 @@ devices beyond the permutation-table wall.  The mapped results are
 validated (coupling compliance + cost bookkeeping) and their wall numbers
 ride along in the recorded history.
 
+**Artifact configs** — the warm-start round trip of the solve-artifact
+store: the ``3_17_13`` sweep on ``sweep_grid8`` runs twice against one
+shared (temporary) :class:`~repro.service.store.ResultStore`.  The cold run
+populates the artifact table (learned clauses, per-family lower bounds,
+best schedules keyed by encoding skeleton); the warm run must hit at least
+one artifact row and finish with *strictly fewer* sweep conflicts than the
+cold run — the guard that keeps the service's learning loop bought.
+``--warm-start-only`` runs just this section (the CI ``warm-start`` job).
+
 **Exact-table pin** — after clearing the process caches, small-device flows
 (paper example on QX4 and on ``sweep_grid8``) are re-run and the
 ``synthesizer_routed_selected`` counter must stay zero: devices of at most
@@ -60,12 +69,13 @@ import platform
 import random
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.arch.cache import cache_stats, clear_caches, shared_permutation_table
 from repro.arch.devices import ibm_qx4, ibm_qx5, ibm_tokyo, sweep_grid8
-from repro.benchlib.generators import benchmark_circuit
+from repro.benchlib.generators import benchmark_circuit, random_cnot_circuit
 from repro.benchlib.paper_example import paper_example_cnot_skeleton
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.encoding import clear_skeleton_cache
@@ -82,9 +92,12 @@ SEED_BOUND = 4
 #: v2 adds the ``environment`` stamp (python, platform, solver backend,
 #: git revision) so wall-clock history stays attributable across machines
 #: and backends; v3 adds the ``split_configs`` rows (windowed ``sat_split``
-#: on ibm_qx5 and ibm_tokyo).  Earlier entries remain valid — both
-#: additions are additive.
-BENCH_SWEEP_SCHEMA = 3
+#: on ibm_qx5 and ibm_tokyo); v4 adds the ``artifact_configs`` cold/warm
+#: rows (grid8 sweep twice against one shared solve-artifact store, with
+#: the seeding hit counters) and the fixed-seed ``corpus_*`` sweep rows
+#: from the :mod:`repro.benchlib` generators.  Earlier entries remain
+#: valid — every addition is additive.
+BENCH_SWEEP_SCHEMA = 4
 
 
 def _configs():
@@ -131,6 +144,13 @@ def _sweep_configs():
         "ex-1_166_grid8": (sweep_grid8, lambda: benchmark_circuit("ex-1_166")),
         "ham3_102_grid8": (sweep_grid8, lambda: benchmark_circuit("ham3_102")),
         "3_17_13_grid8": (sweep_grid8, lambda: benchmark_circuit("3_17_13")),
+        # Fixed-seed corpus row from the benchlib generators: a chained
+        # random CNOT netlist (MQT-style reversible structure) swept on the
+        # 8-qubit grid — the suite's guard that the sweep machinery keeps
+        # working off the hand-picked Table-1 circuits too.
+        "corpus_rand3x10_grid8": (
+            sweep_grid8, lambda: random_cnot_circuit(3, 10, seed=7)
+        ),
     }
 
 
@@ -285,6 +305,69 @@ def measure_sweeps(share: bool = True, prune: bool = True):
     return measurements
 
 
+def measure_artifacts(circuit_name: str = "3_17_13"):
+    """Cold-then-warm sweep against one shared solve-artifact store.
+
+    Both runs map the same circuit on ``sweep_grid8`` with a fresh mapper;
+    the only state carried between them is the artifact table of a
+    temporary :class:`~repro.service.store.ResultStore` (learned clauses,
+    per-family lower bounds and best schedules keyed by encoding
+    skeleton).  The warm run's conflict saving is therefore attributable
+    to artifact seeding alone.
+    """
+    from repro.service.store import ArtifactCache, ResultStore
+
+    shared_permutation_table(sweep_grid8())
+    measurements = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(ResultStore.at(tmp))
+        for phase in ("cold", "warm"):
+            clear_skeleton_cache()
+            mapper = SATMapper(sweep_grid8(), use_subsets=True)
+            gc.collect()
+            start = time.monotonic()
+            result = mapper.map(benchmark_circuit(circuit_name), artifacts=cache)
+            elapsed = time.monotonic() - start
+            stats = result.statistics
+            measurements[phase] = {
+                "added_cost": result.added_cost,
+                "solver_conflicts": stats["solver_conflicts"],
+                "solver_iterations": stats["solver_iterations"],
+                "families_pruned": stats.get("families_pruned", 0),
+                "artifact_hits": stats.get("artifact_hits", 0),
+                "artifact_misses": stats.get("artifact_misses", 0),
+                "artifact_clauses_imported": stats.get(
+                    "artifact_clauses_imported", 0
+                ),
+                "artifact_bounds_used": stats.get("artifact_bounds_used", 0),
+                "artifact_models_used": stats.get("artifact_models_used", 0),
+                "wall_seconds": round(elapsed, 4),
+            }
+    return measurements
+
+
+def check_artifacts(measurements):
+    """The warm run must hit the store and strictly beat the cold run."""
+    failures = []
+    cold, warm = measurements["cold"], measurements["warm"]
+    if warm["added_cost"] != cold["added_cost"]:
+        failures.append(
+            "artifacts: warm run changed the proven minimum "
+            f"({warm['added_cost']} != {cold['added_cost']})"
+        )
+    if warm["solver_conflicts"] >= cold["solver_conflicts"]:
+        failures.append(
+            "artifacts: warm-start conflicts not strictly below the cold "
+            f"run ({warm['solver_conflicts']} >= {cold['solver_conflicts']})"
+        )
+    if warm["artifact_hits"] < 1:
+        failures.append(
+            "artifacts: warm run recorded no artifact-store hit "
+            f"(hits={warm['artifact_hits']})"
+        )
+    return failures
+
+
 def check(measurements, baseline):
     """Compare engine-config measurements against the baseline."""
     failures = []
@@ -383,20 +466,27 @@ def _environment_stamp() -> dict:
     return stamp
 
 
-def record_entry(sweep_on, sweep_off, splits, path: Path) -> dict:
+def record_entry(sweep_on, sweep_off, splits, artifacts, path: Path) -> dict:
     """Append one schema-versioned sweep entry to BENCH_sweep.json."""
     wall_on = round(sum(m["wall_seconds"] for m in sweep_on.values()), 4)
     wall_off = round(sum(m["wall_seconds"] for m in sweep_off.values()), 4)
+    cold_conflicts = artifacts["cold"]["solver_conflicts"]
+    warm_conflicts = artifacts["warm"]["solver_conflicts"]
     entry = {
         "schema_version": BENCH_SWEEP_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "benchmark": "subset sweeps (paper example + Table-1 3-qubit, "
-                     "ibm_qx4 + sweep_grid8) + windowed splits "
-                     "(ibm_qx5, ibm_tokyo)",
+        "benchmark": "subset sweeps (paper example + Table-1 3-qubit + "
+                     "benchlib corpus, ibm_qx4 + sweep_grid8) + windowed "
+                     "splits (ibm_qx5, ibm_tokyo) + artifact warm start "
+                     "(3_17_13 on sweep_grid8, shared store)",
         "environment": _environment_stamp(),
         "configs": sweep_on,
         "ablation_configs": sweep_off,
         "split_configs": splits,
+        "artifact_configs": artifacts,
+        "artifact_conflict_saving_percent": round(
+            100.0 * (1.0 - warm_conflicts / cold_conflicts), 1
+        ) if cold_conflicts > 0 else 0.0,
         "split_wall_seconds_total": round(
             sum(m["wall_seconds"] for m in splits.values()), 4
         ),
@@ -418,7 +508,8 @@ def record_entry(sweep_on, sweep_off, splits, path: Path) -> dict:
     if path.exists():
         history = json.loads(path.read_text())
     else:
-        history = {"schema_version": BENCH_SWEEP_SCHEMA, "entries": []}
+        history = {"entries": []}
+    history["schema_version"] = BENCH_SWEEP_SCHEMA
     history["entries"].append(entry)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return entry
@@ -456,19 +547,54 @@ def main(argv=None) -> int:
         help="ablation: disable lower-bound family pruning in the sweep "
         "configs",
     )
+    parser.add_argument(
+        "--warm-start-only", action="store_true",
+        help="run only the artifact cold/warm section (the CI warm-start "
+        "job): grid8 sweep twice against one shared solve-artifact store; "
+        "fails unless the warm run hits the store and finishes with "
+        "strictly fewer conflicts",
+    )
     args = parser.parse_args(argv)
+
+    if args.warm_start_only:
+        artifacts = measure_artifacts()
+        for phase in ("cold", "warm"):
+            metrics = artifacts[phase]
+            print(
+                f"artifact {phase:4s} cost={metrics['added_cost']:3d} "
+                f"conflicts={metrics['solver_conflicts']:5d} "
+                f"hits={metrics['artifact_hits']} "
+                f"clauses={metrics['artifact_clauses_imported']:3d} "
+                f"bounds={metrics['artifact_bounds_used']} "
+                f"models={metrics['artifact_models_used']} "
+                f"wall={metrics['wall_seconds']:.3f}s"
+            )
+        failures = check_artifacts(artifacts)
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps({"artifact_measurements": artifacts}, indent=2)
+                + "\n"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("warm start OK: artifact seeding strictly reduced conflicts")
+        return 0
 
     baseline = json.loads(Path(args.baseline).read_text())
     measurements = measure()
     share, prune = not args.no_share, not args.no_prune
     sweeps = measure_sweeps(share=share, prune=prune)
     splits = measure_splits()
+    artifacts = measure_artifacts()
 
     report = {
         "benchmark": baseline.get("benchmark"),
         "measurements": measurements,
         "sweep_measurements": sweeps,
         "split_measurements": splits,
+        "artifact_measurements": artifacts,
         "baseline_max_iterations": {
             name: config["max_iterations"]
             for name, config in baseline["configs"].items()
@@ -509,11 +635,23 @@ def main(argv=None) -> int:
             f"wall={metrics['wall_seconds']:.3f}s"
         )
 
+    for phase, metrics in artifacts.items():
+        print(
+            f"artifact {phase:4s}      cost={metrics['added_cost']:3d} "
+            f"conflicts={metrics['solver_conflicts']:5d} "
+            f"hits={metrics['artifact_hits']} "
+            f"clauses={metrics['artifact_clauses_imported']:3d} "
+            f"bounds={metrics['artifact_bounds_used']} "
+            f"models={metrics['artifact_models_used']} "
+            f"wall={metrics['wall_seconds']:.3f}s"
+        )
+
     failures = check(measurements, baseline)
     if share and prune:
         failures += check_sweeps(sweeps, baseline)
     else:
         print("sweep ablation flags active: baseline sweep checks skipped")
+    failures += check_artifacts(artifacts)
     failures += check_exact_table_pin()
 
     if args.record:
@@ -522,13 +660,17 @@ def main(argv=None) -> int:
         else:
             ablation = sweeps
             sweeps = measure_sweeps(share=True, prune=True)
-        entry = record_entry(sweeps, ablation, splits, Path(args.bench_history))
+        entry = record_entry(
+            sweeps, ablation, splits, artifacts, Path(args.bench_history)
+        )
         print(
             f"recorded sweep entry: {entry['wall_seconds_total']:.3f}s vs "
             f"{entry['ablation_wall_seconds_total']:.3f}s ablation "
             f"({entry['wall_saving_percent']:.1f}% wall saved, "
             f"{entry['conflicts_total']} vs "
-            f"{entry['ablation_conflicts_total']} conflicts)"
+            f"{entry['ablation_conflicts_total']} conflicts; warm start "
+            f"saved {entry['artifact_conflict_saving_percent']:.1f}% "
+            "of sweep conflicts)"
         )
         report["bench_sweep_entry"] = entry
 

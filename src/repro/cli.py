@@ -24,6 +24,8 @@ Examples::
     repro-map listen --port 8137 --workers 4 --arch qx4 --arch qx5
     repro-map cache stats --cache-dir ~/.repro
     repro-map cache stats --url 127.0.0.1:8137
+    repro-map cache artifacts --cache-dir ~/.repro
+    repro-map cache artifacts --url 127.0.0.1:8137
     repro-map cache prune --ttl 3600 --cache-dir ~/.repro
     repro-map cache prune --url 127.0.0.1:8137
     repro-map cache clear --cache-dir ~/.repro
@@ -160,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed only the objective bound from cached results, never the "
         "cached schedule as an incumbent model (model seeding is on "
         "whenever bound seeding is)",
+    )
+    parser.add_argument(
+        "--no-artifact-seeding", action="store_true",
+        help="do not warm-start the SAT engine from stored solve artifacts "
+        "(learned clauses, per-family lower bounds, phase/model snapshots) "
+        "of structurally identical past jobs (artifact seeding is on "
+        "whenever --cache-dir is active)",
     )
     parser.add_argument(
         "--output", default=None, help="write the mapped circuit to this QASM file"
@@ -375,6 +384,10 @@ def _run_map(argv: Sequence[str]) -> int:
                 StoreBoundProvider if args.no_model_seeding else ModelProvider
             )
             providers.append(provider_cls(store, couplings=[coupling]))
+        if store is not None and not args.no_artifact_seeding:
+            from repro.pipeline.bounds import ClauseProvider
+
+            providers.append(ClauseProvider(store, couplings=[coupling]))
         if args.upper_bound is not None:
             from repro.pipeline.bounds import StaticBoundProvider
 
@@ -440,6 +453,15 @@ def _run_map(argv: Sequence[str]) -> int:
         source = result.statistics.get("seeded_model_source", "same")
         print(f"model seeded      : cost {seeded_model} ({source} hit, "
               "replayed as incumbent)")
+    if result.statistics.get("artifact_seeding") and not cache_hit:
+        hits = result.statistics.get("artifact_hits", 0)
+        print(
+            "artifact seeding  : "
+            f"{hits} family hit(s), "
+            f"{result.statistics.get('artifact_clauses_imported', 0)} clause(s), "
+            f"{result.statistics.get('artifact_bounds_used', 0)} bound(s), "
+            f"{result.statistics.get('artifact_models_used', 0)} model(s) used"
+        )
     for note in result.statistics.get("seed_notes", []) if not cache_hit else []:
         print(f"seed note         : {note}")
     if args.explain:
@@ -463,9 +485,11 @@ def _build_cache_parser() -> argparse.ArgumentParser:
         prog="repro-map cache",
         description="Inspect, clear or prune the per-architecture artefact "
         "caches and the persistent result store (locally, or on a running "
-        "server via --url).",
+        "server via --url).  'artifacts' summarises the solve-artifact "
+        "table (warm-start rows keyed by encoding skeleton): row count "
+        "and payload bytes locally, plus seeding hit rates via --url.",
     )
-    parser.add_argument("action", choices=["stats", "clear", "prune"])
+    parser.add_argument("action", choices=["stats", "clear", "prune", "artifacts"])
     parser.add_argument(
         "--cache-dir", default=None,
         help="cache directory (defaults to $REPRO_CACHE_DIR; without one "
@@ -545,6 +569,46 @@ def _run_cache(argv: Sequence[str]) -> int:
         report = ResultStore.at(cache_dir).prune_report(ttl_seconds=args.ttl)
         report["cache_dir"] = cache_dir
         print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "artifacts":
+        if args.url is not None:
+            status, envelope = _http_json("GET", args.url, "/v1/stats")
+            payload = envelope.get("payload", {})
+            summary: Dict[str, Any] = {}
+            per_worker = payload.get("workers") or {}
+            if not per_worker and isinstance(payload.get("stats"), dict):
+                stats = payload["stats"]
+                worker_id = stats.get("server", {}).get("worker_id", "w0")
+                per_worker = {worker_id: stats}
+            for worker_id, stats in sorted(per_worker.items()):
+                if not isinstance(stats, dict):
+                    continue
+                store_stats = stats.get("store", {})
+                summary[worker_id] = {
+                    "artifact_rows": store_stats.get("artifact_rows", 0),
+                    "artifact_bytes": store_stats.get("artifact_bytes", 0),
+                    "artifact_seeding": stats.get("artifact_seeding", {}),
+                }
+            print(_json.dumps(summary, indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        cache_dir = _activate_cache_dir(args.cache_dir)
+        if cache_dir is None:
+            parser.error(
+                "cache artifacts needs a persistent store "
+                "(use --cache-dir, REPRO_CACHE_DIR, or --url)"
+            )
+        from repro.service.store import ResultStore
+
+        rows, payload_bytes = ResultStore.at(cache_dir).artifact_rows()
+        print(_json.dumps(
+            {
+                "cache_dir": cache_dir,
+                "artifact_rows": rows,
+                "artifact_bytes": payload_bytes,
+            },
+            indent=2, sort_keys=True,
+        ))
         return 0
 
     if args.action == "stats":
@@ -643,6 +707,12 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="seed only objective bounds from cached results, never cached "
         "schedules as incumbent models",
     )
+    parser.add_argument(
+        "--no-artifact-seeding", action="store_true",
+        help="do not warm-start exact solves from stored solve artifacts "
+        "(learned clauses, per-family lower bounds, phase/model snapshots) "
+        "of structurally identical past jobs",
+    )
     return parser
 
 
@@ -675,6 +745,7 @@ async def _serve_batch(args: argparse.Namespace) -> int:
         executor=args.executor,
         seed_bounds=not args.no_bound_seeding,
         seed_models=not args.no_model_seeding,
+        seed_artifacts=not args.no_artifact_seeding,
     ) as service:
         job_ids = await service.submit_many(circuits)
         for job_id in job_ids:

@@ -63,11 +63,15 @@ from repro.exact.reconstruction import build_result, default_schedule
 from repro.exact.result import MappingResult, MappingSchedule, schedule_is_valid
 from repro.exact.strategies import AllGatesStrategy, PermutationStrategy
 from repro.exact.sweep import (
+    artifact_key,
     clause_is_implied,
+    clauses_to_template,
+    directed_edges_key,
     encoding_variable_remap,
     find_edge_embedding,
     schedule_cost,
     structural_lower_bound,
+    template_clause_remap,
     translate_schedule,
 )
 from repro.arch.cache import (
@@ -270,15 +274,236 @@ class SweepContext:
     :meth:`note_family` and query :meth:`lower_bound_for` before touching
     the next one; the sequential loop additionally pulls translated learned
     clauses via :meth:`import_into`.
+
+    With an *artifacts* cache (see
+    :class:`repro.service.store.ArtifactCache` — duck-typed here as
+    anything with ``load(key)``/``save(key, payload)``) and the instance
+    shape (*gates*, *num_logical*, *spots*), the context additionally
+    consults **persisted solve artifacts** from structurally identical past
+    jobs: learned clauses (:meth:`artifact_import_into`), proven lower
+    bounds (:meth:`artifact_lower_bound`, directed-orientation matched) and
+    incumbent schedules (:meth:`artifact_incumbent`, re-costed), and writes
+    this sweep's harvest back via :meth:`save_artifacts`.  Every artifact
+    consumption is shape-checked against the live encoding; a corrupt or
+    mismatched row degrades to bound-only seeding with a note in
+    :attr:`artifact_notes`, never to an error.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        gates: Optional[Sequence[Tuple[int, int]]] = None,
+        num_logical: Optional[int] = None,
+        spots: Optional[Sequence[int]] = None,
+        artifacts=None,
+    ) -> None:
         self.records: List[_FamilyRecord] = []
         self._embeddings: Dict[Tuple, Optional[Tuple[int, ...]]] = {}
         self.clauses_exported = 0
         self.clauses_imported = 0
         self.families_pruned = 0
         self.models_transferred = 0
+        self.gates = [tuple(gate) for gate in gates] if gates else None
+        self.num_logical = num_logical
+        self.spots = list(spots) if spots is not None else None
+        self.artifacts = artifacts
+        self.artifact_clauses_imported = 0
+        self.artifact_bounds_used = 0
+        self.artifact_models_used = 0
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+        self.artifact_notes: List[str] = []
+        self._artifact_rows: Dict[str, Optional[Dict]] = {}
+
+    # ------------------------------------------------------------------
+    # Persisted artifacts (cross-job warm starts)
+    # ------------------------------------------------------------------
+    def _artifact_for(
+        self, sub_coupling: CouplingMap
+    ) -> Tuple[Optional[str], Optional[Dict]]:
+        """The (cached) artifact row for one family, with hit/miss counting."""
+        if (
+            self.artifacts is None
+            or self.gates is None
+            or self.num_logical is None
+            or self.spots is None
+        ):
+            return None, None
+        key = artifact_key(self.gates, self.num_logical, sub_coupling, self.spots)
+        if key not in self._artifact_rows:
+            try:
+                payload = self.artifacts.load(key)
+            except Exception:  # noqa: BLE001 - seeding must never fail a solve
+                payload = None
+            self._artifact_rows[key] = payload
+            if payload is None:
+                self.artifact_misses += 1
+            else:
+                self.artifact_hits += 1
+        return key, self._artifact_rows[key]
+
+    def artifact_lower_bound(self, sub_coupling: CouplingMap) -> Optional[float]:
+        """A persisted proven lower bound for this family, or ``None``.
+
+        Only bound entries proven under *exactly* this family's directed
+        edge set apply — same-key families with another CNOT orientation
+        pay different reversal costs, so their bounds do not transfer.
+        """
+        _, payload = self._artifact_for(sub_coupling)
+        if payload is None:
+            return None
+        bound = payload["bounds"].get(directed_edges_key(sub_coupling))
+        if bound is None:
+            return None
+        return float(bound)
+
+    def artifact_incumbent(
+        self,
+        sub_coupling: CouplingMap,
+        table,
+        bound: Optional[int],
+    ) -> Optional[Tuple[List[Tuple[int, ...]], int]]:
+        """A persisted schedule for this family, re-costed, or ``None``.
+
+        Placement validity follows from skeleton-key equality (local
+        indices mean the same physical structure); the reversal cost does
+        not, so the schedule is re-costed against this family's directed
+        edges via :func:`repro.exact.sweep.schedule_cost` — a schedule that
+        fails the re-costing (corrupt row) is dropped with a note.
+        """
+        _, payload = self._artifact_for(sub_coupling)
+        if payload is None or payload.get("schedule") is None:
+            return None
+        if self.gates is None:
+            return None
+        mappings = [tuple(mapping) for mapping in payload["schedule"]]
+        cost = schedule_cost(sub_coupling, table, self.gates, mappings)
+        if cost is None:
+            self.artifact_notes.append(
+                "persisted schedule does not place this family's gates on "
+                "coupled pairs; model seeding skipped for this family"
+            )
+            return None
+        if bound is not None and cost > bound:
+            return None
+        return mappings, cost
+
+    def artifact_import_into(
+        self, sub_coupling: CouplingMap, state: "_FamilyState"
+    ) -> int:
+        """Inject persisted learned clauses into *state*'s session.
+
+        The clauses arrive in template numbering; skeleton-key equality
+        makes the translation a constant shift
+        (:func:`repro.exact.sweep.template_clause_remap`).  A row whose
+        variable-block shape disagrees with the live encoding (a corrupt or
+        foreign row) contributes nothing — its bounds and schedule are
+        still semantically validated elsewhere, so seeding degrades to
+        bound-only with a note.  With ``REPRO_CHECK_IMPORTS`` set, every
+        clause is verified implied by the target formula via refutation.
+        """
+        if state.encoding is None or state.session is None:
+            return 0
+        _, payload = self._artifact_for(sub_coupling)
+        if payload is None or not payload["clauses"]:
+            return 0
+        encoding = state.encoding
+        spot_var_count = encoding.spot_var_end - encoding.spot_var_start
+        if (
+            payload["x_var_limit"] != encoding.x_var_limit
+            or payload["spot_var_count"] != spot_var_count
+        ):
+            self.artifact_notes.append(
+                f"artifact row has variable blocks "
+                f"({payload['x_var_limit']}, {payload['spot_var_count']}) "
+                f"but the live encoding has ({encoding.x_var_limit}, "
+                f"{spot_var_count}); clauses dropped, bound-only seeding"
+            )
+            return 0
+        remap = template_clause_remap(
+            payload["x_var_limit"], payload["spot_var_count"], encoding
+        )
+        clauses = [tuple(clause) for clause in payload["clauses"]]
+        if os.environ.get("REPRO_CHECK_IMPORTS"):
+            for clause in clauses:
+                mapped = [
+                    remap[abs(l)] if l > 0 else -remap[abs(l)]
+                    for l in clause
+                    if abs(l) in remap
+                ]
+                if len(mapped) != len(clause):
+                    continue
+                if not clause_is_implied(encoding.cnf, mapped):
+                    raise AssertionError(
+                        f"artifact clause {clause} (mapped {mapped}) is not "
+                        f"implied by the target family's formula"
+                    )
+        imported = state.session.import_clauses(clauses, remap=remap)
+        self.artifact_clauses_imported += imported
+        return imported
+
+    def save_artifacts(self) -> int:
+        """Persist every processed family's harvest; returns rows written.
+
+        Per family: exported learned clauses re-based to template numbering,
+        the proven lower bound keyed by the directed edge set it was proven
+        under, and the best local schedule.  Families with nothing useful
+        (no clauses, no positive bound, no schedule) write nothing.  Write
+        failures are swallowed — persisting artifacts is best-effort.
+        """
+        if self.artifacts is None or self.gates is None:
+            return 0
+        written = 0
+        for record in self.records:
+            key, _ = self._artifact_for(record.plan.sub_coupling)
+            if key is None:
+                continue
+            clauses: List[List[int]] = []
+            x_var_limit = len(self.gates) * self.num_logical * (
+                record.plan.sub_coupling.num_qubits
+            )
+            spot_var_count = 0
+            shared = record.shared_vars
+            if record.exported and shared is not None:
+                clauses = clauses_to_template(
+                    record.exported, shared.x_var_limit, shared.spot_var_start
+                )
+                x_var_limit = shared.x_var_limit
+                spot_var_count = shared.spot_var_end - shared.spot_var_start
+            bounds: Dict[str, float] = {}
+            if record.lower_bound is not None and record.lower_bound > 0:
+                bounds[directed_edges_key(record.plan.sub_coupling)] = (
+                    record.lower_bound
+                )
+            payload = {
+                "version": 1,
+                "x_var_limit": x_var_limit,
+                "spot_var_count": spot_var_count,
+                "clauses": clauses,
+                "bounds": bounds,
+                "schedule": (
+                    [list(mapping) for mapping in record.schedule]
+                    if record.schedule is not None else None
+                ),
+                "objective": record.schedule_objective,
+            }
+            if not clauses and not bounds and payload["schedule"] is None:
+                continue
+            try:
+                self.artifacts.save(key, payload)
+                written += 1
+            except Exception:  # noqa: BLE001 - best-effort persistence
+                continue
+        return written
+
+    def artifact_statistics(self) -> Dict[str, int]:
+        """The artifact hit-rate counters of this sweep (always complete)."""
+        return {
+            "artifact_clauses_imported": self.artifact_clauses_imported,
+            "artifact_bounds_used": self.artifact_bounds_used,
+            "artifact_models_used": self.artifact_models_used,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+        }
 
     # ------------------------------------------------------------------
     def note_family(
@@ -555,6 +780,20 @@ class SATMapper:
         (see :meth:`map`).
         """
         return self.accepts_external_bound
+
+    @property
+    def accepts_artifacts(self) -> bool:
+        """Whether a persisted solve-artifact cache may warm-start this mapper.
+
+        Always true — and deliberately *not* tied to
+        :attr:`accepts_external_bound`: artifact material is keyed by the
+        encoding skeleton of each individual subset family (gates × n × m ×
+        spots × undirected edges), so clauses, bounds and schedules apply
+        *within* the family they were harvested from, restricted search
+        space or not.  The global-bound safety argument that makes sweeps
+        reject external bounds simply never arises.
+        """
+        return True
 
     def validate_schedule(
         self, circuit: QuantumCircuit, mappings: Sequence[Tuple[int, ...]]
@@ -879,6 +1118,8 @@ class SATMapper:
         subset: Tuple[int, ...],
         time_limit: Optional[float] = None,
         upper_bound: Optional[int] = None,
+        incumbent: Optional[Tuple[List[Tuple[int, ...]], int]] = None,
+        artifacts=None,
     ) -> SubsetOutcome:
         """Solve the mapping instance restricted to one physical-qubit subset.
 
@@ -892,6 +1133,15 @@ class SATMapper:
                 before the first solve (heuristic seeding / incumbent
                 tightening); a ``"unsat"`` outcome then only means "nothing
                 at most this cheap in this subset".
+            incumbent: Optional ``(subset-local mappings, objective)`` warm
+                start — the parallel fan-out's cross-family model transfer,
+                resolved by the parent from already-finished families.
+            artifacts: Optional picklable artifact-cache handle (see
+                :class:`repro.service.store.ArtifactCache`): the family's
+                persisted clauses seed the fresh session, its persisted
+                schedule competes with *incumbent*, and this solve's harvest
+                is merged back after the run.  Hit-rate counters land in the
+                outcome's ``statistics``.
 
         Returns:
             The :class:`SubsetOutcome` with mappings translated back to
@@ -901,7 +1151,44 @@ class SATMapper:
         if not sub_coupling.is_connected():
             return SubsetOutcome(subset=tuple(subset), status="unsat")
         state = self._family_state(sub_coupling, gates, num_logical, spots)
-        return self._solve_family(state, tuple(subset), time_limit, upper_bound)
+        context: Optional[SweepContext] = None
+        if artifacts is not None:
+            context = SweepContext(
+                gates=gates, num_logical=num_logical, spots=spots,
+                artifacts=artifacts,
+            )
+            assert state.encoding is not None
+            context.artifact_import_into(sub_coupling, state)
+            transfer = context.artifact_incumbent(
+                sub_coupling, state.encoding.permutation_table, bound=upper_bound
+            )
+            if transfer is not None and (
+                incumbent is None or transfer[1] < incumbent[1]
+            ):
+                incumbent = transfer
+                context.artifact_models_used += 1
+        outcome = self._solve_family(
+            state, tuple(subset), time_limit, upper_bound, incumbent=incumbent
+        )
+        if context is not None:
+            # Harvest this family's clauses/bound/schedule into the shared
+            # store — the cross-process counterpart of the sequential
+            # sweep's end-of-run save (each worker writes its own family).
+            plan = FamilyPlan(
+                indices=[0],
+                key=sub_coupling.canonical_key(),
+                sub_coupling=sub_coupling,
+                heuristic_lower_bound=0,
+                connected=True,
+            )
+            self._finish_family(context, plan, state, outcome)
+            context.save_artifacts()
+            outcome.statistics.update(context.artifact_statistics())
+            if context.artifact_notes:
+                outcome.statistics["artifact_notes"] = list(
+                    context.artifact_notes
+                )
+        return outcome
 
     # ------------------------------------------------------------------
     # Result assembly (shared with the batch pipeline)
@@ -1043,6 +1330,7 @@ class SATMapper:
         upper_bound: Optional[int] = None,
         initial_model: Optional[Sequence[Tuple[int, ...]]] = None,
         initial_objective: Optional[int] = None,
+        artifacts=None,
     ) -> MappingResult:
         """Map *circuit* to the architecture with minimal added cost.
 
@@ -1066,6 +1354,14 @@ class SATMapper:
                 (restricted search spaces).
             initial_objective: Added cost of *initial_model* (required with
                 it).
+            artifacts: Optional solve-artifact cache handle (see
+                :class:`repro.service.store.ArtifactCache`).  Families
+                warm-start from persisted clauses/bounds/schedules of
+                structurally identical past jobs, and this run's harvest is
+                merged back on completion.  Hit rates are reported under
+                ``artifact_*`` statistics keys.  ``None`` (the default)
+                solves cold — results never change either way, only the
+                work needed to reach them.
 
         Raises:
             SATMapperError: If no valid mapping exists within the bound (or
@@ -1111,7 +1407,12 @@ class SATMapper:
 
         subsets = self.candidate_subsets(num_logical)
         plans = self.plan_families(subsets, gates)
-        context = SweepContext()
+        context = SweepContext(
+            gates=gates,
+            num_logical=num_logical,
+            spots=spots,
+            artifacts=artifacts if self.accepts_artifacts else None,
+        )
         outcomes: List[SubsetOutcome] = []
         best: Optional[SubsetOutcome] = None
         bound = upper_bound
@@ -1134,8 +1435,16 @@ class SATMapper:
                 budget_exhausted = True
                 break
             if self.prune_families and bound is not None:
-                proven = context.lower_bound_for(plan)
+                in_sweep = context.lower_bound_for(plan)
+                proven = in_sweep
+                persisted = context.artifact_lower_bound(plan.sub_coupling)
+                if persisted is not None and persisted > proven:
+                    proven = persisted
                 if proven > bound:
+                    if in_sweep <= bound:
+                        # Only the persisted bound prunes this family — the
+                        # in-sweep embedding bound alone would not have.
+                        context.artifact_bounds_used += 1
                     # The family provably holds nothing at most `bound`:
                     # skip it — and all its members — without solving.  The
                     # bound may serve as an embedding source for later
@@ -1155,6 +1464,7 @@ class SATMapper:
             state = self._family_state(plan.sub_coupling, gates, num_logical, spots)
             if self.share_clauses:
                 context.import_into(plan, state)
+            context.artifact_import_into(plan.sub_coupling, state)
             representative = tuple(subsets[plan.indices[0]])
             # The incumbent schedule is device-indexed, so it only seeds
             # the full-device instance (the only one that exists when
@@ -1189,6 +1499,31 @@ class SATMapper:
                             pass
                     else:
                         seed = transfer
+            if state.encoding is not None:
+                # A persisted schedule from a structurally identical past job
+                # competes with the in-sweep transfer: the cheaper one seeds.
+                # Like the transfer, a persisted model above the sweep bound
+                # still seeds the solver's phases (pure search hint).
+                persisted_model = context.artifact_incumbent(
+                    plan.sub_coupling, state.encoding.permutation_table,
+                    bound=None,
+                )
+                if persisted_model is not None and (
+                    seed is None or persisted_model[1] < seed[1]
+                ):
+                    if bound is not None and persisted_model[1] > bound:
+                        try:
+                            state.session.seed_phases(
+                                state.encoding.assignment_from_schedule(
+                                    persisted_model[0]
+                                )
+                            )
+                            context.artifact_models_used += 1
+                        except EncodingError:
+                            pass
+                    else:
+                        seed = persisted_model
+                        context.artifact_models_used += 1
             outcome = self._solve_family(
                 state, representative, remaining, bound, incumbent=seed
             )
@@ -1236,6 +1571,11 @@ class SATMapper:
                     else min(bound, incumbent_bound)
                 )
 
+        # Persist this sweep's harvest before the no-solution check — proven
+        # unsatisfiability (infinite bounds) is exactly what saves the next
+        # structurally identical job the most work.
+        context.save_artifacts()
+
         if best is None:
             raise SATMapperError.no_solution(budget_exhausted)
 
@@ -1256,6 +1596,12 @@ class SATMapper:
                 "models_transferred": context.models_transferred,
                 "clause_sharing": int(self.share_clauses),
                 "family_pruning": int(self.prune_families),
+                "artifact_seeding": int(context.artifacts is not None),
+                **context.artifact_statistics(),
+                **(
+                    {"artifact_notes": list(context.artifact_notes)}
+                    if context.artifact_notes else {}
+                ),
             },
         )
         return result

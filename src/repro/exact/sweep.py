@@ -43,6 +43,7 @@ runs that check on every imported clause when the environment variable
 from __future__ import annotations
 
 import itertools
+import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.coupling import CouplingMap
@@ -267,6 +268,91 @@ def schedule_cost(
     return total
 
 
+def artifact_key(
+    gates: Sequence[Tuple[int, int]],
+    num_logical: int,
+    coupling: CouplingMap,
+    spots: Sequence[int],
+) -> str:
+    """Canonical store key of one instance shape's encoding skeleton.
+
+    The JSON rendering of the exact tuple
+    :func:`repro.exact.encoding._shared_skeleton` keys its cache by —
+    ``(gates, n, m, spots, undirected edge set)``.  Two encodings with equal
+    keys are built by the same deterministic construction, so their x blocks
+    are numbered identically and their spot blocks are identical up to a
+    constant shift: learned clauses persisted under this key transfer
+    between them by pure index arithmetic (see :func:`clauses_to_template`
+    / :func:`template_clause_remap`), across sweeps, jobs and processes.
+    """
+    key = (
+        [list(gate) for gate in gates],
+        num_logical,
+        coupling.num_qubits,
+        list(spots),
+        [list(edge) for edge in sorted(coupling.undirected_edges)],
+    )
+    return json.dumps(key, separators=(",", ":"))
+
+
+def directed_edges_key(coupling: CouplingMap) -> str:
+    """Canonical rendering of a coupling's *directed* edge set.
+
+    Artifact lower bounds are only valid for the exact directed orientation
+    they were proven under (reversal costs differ between orientations even
+    when the undirected structure — and therefore the skeleton key — is the
+    same), so bound entries in an artifact row are keyed by this string.
+    """
+    return json.dumps(
+        [list(edge) for edge in sorted(coupling.edges)], separators=(",", ":")
+    )
+
+
+def clauses_to_template(
+    clauses: Sequence[Sequence[int]],
+    x_var_limit: int,
+    spot_var_start: int,
+) -> List[List[int]]:
+    """Re-base shared-layer clauses from encoding to *template* numbering.
+
+    Template numbering is the skeleton's own: x variables ``1 ..
+    x_var_limit`` verbatim, spot variables directly after them.  It is the
+    common currency of persisted artifact rows — every encoding of the same
+    skeleton key converts to and from it with one constant shift,
+    regardless of how large its (non-shared) edge block was.
+    """
+    shift = spot_var_start - x_var_limit
+    rebased: List[List[int]] = []
+    for clause in clauses:
+        literals: List[int] = []
+        for literal in clause:
+            var = abs(literal)
+            if var > x_var_limit:
+                var -= shift
+            literals.append(var if literal > 0 else -var)
+        rebased.append(literals)
+    return rebased
+
+
+def template_clause_remap(
+    x_var_limit: int, spot_var_count: int, target
+) -> Dict[int, int]:
+    """Template variable -> *target*-encoding variable translation table.
+
+    The inverse direction of :func:`clauses_to_template`, shaped like the
+    tables :func:`encoding_variable_remap` produces so
+    :meth:`repro.sat.session.SolveSession.import_clauses` consumes both
+    interchangeably.  Valid only when *target* instantiates the same
+    skeleton key the template numbering came from and the block shapes
+    match — callers must check ``x_var_limit`` and ``spot_var_count``
+    against the target first and degrade to bound-only seeding otherwise.
+    """
+    remap = {var: var for var in range(1, x_var_limit + 1)}
+    for offset in range(1, spot_var_count + 1):
+        remap[x_var_limit + offset] = target.spot_var_start + offset
+    return remap
+
+
 def clause_is_implied(cnf: CNF, clause: Sequence[int]) -> bool:
     """Whether *clause* is a logical consequence of *cnf*.
 
@@ -282,10 +368,14 @@ def clause_is_implied(cnf: CNF, clause: Sequence[int]) -> bool:
 
 __all__ = [
     "MAX_EMBEDDING_QUBITS",
-    "structural_lower_bound",
-    "find_edge_embedding",
-    "encoding_variable_remap",
-    "translate_schedule",
-    "schedule_cost",
+    "artifact_key",
     "clause_is_implied",
+    "clauses_to_template",
+    "directed_edges_key",
+    "encoding_variable_remap",
+    "find_edge_embedding",
+    "schedule_cost",
+    "structural_lower_bound",
+    "template_clause_remap",
+    "translate_schedule",
 ]

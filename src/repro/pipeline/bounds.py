@@ -15,7 +15,11 @@ objective bound (see ``OptimizingSolver.minimize(upper_bound=...)``).  A
 * :class:`ModelProvider` — the *schedule* of the cheapest stored result,
   replayed as an initial incumbent model: the exact solver then starts with
   a feasible solution in hand and only has to prove (or beat) it, instead
-  of rediscovering it probe by probe.
+  of rediscovering it probe by probe,
+* :class:`ClauseProvider` — a handle into the store's **solve-artifact
+  table** (learned clauses, proven family lower bounds, best schedules,
+  keyed by encoding skeleton rather than circuit fingerprint), so even a
+  never-seen circuit warm-starts from structurally identical past jobs.
 
 A :class:`BoundProviderChain` queries every provider and keeps the tightest
 bound (:meth:`~BoundProviderChain.resolve`); the richer
@@ -250,6 +254,52 @@ class ModelProvider(StoreBoundProvider):
         return best, notes
 
 
+class ClauseProvider(StoreBoundProvider):
+    """Solve-artifact seeding from the store's artifact table.
+
+    Shares the store/couplings plumbing of :class:`StoreBoundProvider` but
+    contributes **no result-table bound of its own** (a
+    :class:`ModelProvider`/:class:`StoreBoundProvider` in the same chain
+    covers that) — so bound seeding and artifact seeding stay independently
+    switchable.  Its contribution is :meth:`artifact_cache`: a picklable
+    :class:`~repro.service.store.ArtifactCache` handle to the store's
+    solve-artifact tier.  Unlike the result-table providers, which key on
+    the *circuit fingerprint* (the identical circuit must have been seen
+    before), artifact rows key on the **encoding skeleton** (gate sequence
+    × qubit counts × permutation spots × undirected edge set) — so a fresh
+    worker on a never-seen circuit still warm-starts whenever *any* past
+    job anywhere in the fleet solved a structurally identical instance.
+    The cache itself cannot tell whether a row exists for this circuit
+    (keys are computed per subset family inside the sweep), so the handle
+    is always offered; hit/miss counting happens at the consumer.
+    """
+
+    name = "artifact"
+
+    def upper_bound(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Optional[int]:
+        return None
+
+    def artifact_cache(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Tuple[Optional[Any], List[str]]:
+        """A seeding handle into the store's artifact tier, plus notes.
+
+        Returns:
+            ``(cache, notes)`` — *cache* is ``None`` when the store exposes
+            no artifact tier (e.g. a bare ``best_added_cost`` stub).
+        """
+        from repro.service.store import ArtifactCache
+
+        if not hasattr(self.store, "get_artifact"):
+            return None, [
+                "artifact provider: store exposes no artifact tier; "
+                "skipping artifact seeding"
+            ]
+        return ArtifactCache(self.store), []
+
+
 @dataclass
 class SeedResolution:
     """Everything the chain knows about warm-starting one solve.
@@ -261,12 +311,20 @@ class SeedResolution:
             one that is at least as cheap as no bound at all (a model seed
             worse than the resolved bound is dropped — the bound alone is
             stronger).
+        artifacts: A solve-artifact cache handle
+            (:class:`~repro.service.store.ArtifactCache`-shaped) for
+            skeleton-keyed clause/bound/model seeding inside the sweep, or
+            ``None`` when no provider offers one.
+        artifact_provider: Name of the provider that supplied
+            :attr:`artifacts`.
         notes: Provenance notes, e.g. why a cached schedule was rejected.
     """
 
     bound: Optional[int] = None
     provider: Optional[str] = None
     model: Optional[ModelSeed] = None
+    artifacts: Optional[Any] = None
+    artifact_provider: Optional[str] = None
     notes: List[str] = field(default_factory=list)
 
 
@@ -334,10 +392,32 @@ class BoundProviderChain:
         resolution.model = best_seed
         return resolution
 
+    def resolve_artifacts(
+        self, circuit: QuantumCircuit, coupling: CouplingMap
+    ) -> Tuple[Optional[Any], Optional[str], List[str]]:
+        """A solve-artifact cache handle from the first provider offering one.
+
+        Providers exposing an ``artifact_cache`` method (duck-typed — see
+        :class:`ClauseProvider`) are asked in order; the first non-``None``
+        handle wins.  Returns ``(cache, provider_name, notes)``.
+        """
+        notes: List[str] = []
+        for candidate in self.providers:
+            source = getattr(candidate, "artifact_cache", None)
+            if source is None:
+                continue
+            cache, cache_notes = source(circuit, coupling)
+            notes.extend(cache_notes)
+            if cache is not None:
+                name = getattr(candidate, "name", type(candidate).__name__)
+                return cache, name, notes
+        return None, None, notes
+
 
 __all__ = [
     "BoundProvider",
     "BoundProviderChain",
+    "ClauseProvider",
     "HeuristicBoundProvider",
     "ModelProvider",
     "ModelSeed",

@@ -24,7 +24,14 @@ Mapping engines that can exploit an externally known objective bound
 (``mapper.accepts_external_bound``) are seeded through an optional
 :class:`~repro.pipeline.bounds.BoundProviderChain` — cached incumbents from
 a result store, a caller-supplied bound, or a heuristic run — before any
-solver starts.
+solver starts.  Engines that consume **solve artifacts**
+(``mapper.accepts_artifacts``) additionally receive a picklable
+skeleton-keyed cache handle resolved from the chain's
+:class:`~repro.pipeline.bounds.ClauseProvider`, so sweeps warm-start from
+structurally identical past jobs; the subset fan-out dispatches families
+*rolling* (slots refill in plan order) so each family also gets the
+cheapest already-found schedule replayed as its first incumbent — the
+parallel counterpart of the sequential sweep's cross-family model transfer.
 
 The pure-Python SAT solver holds the GIL, so ``executor="process"`` is the
 choice for real speed-ups; ``executor="thread"`` (the default) still
@@ -44,6 +51,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.arch.cache import shared_permutation_table
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
@@ -63,13 +71,14 @@ def _map_with_bound(
     upper_bound: Optional[int],
     model_mappings: Optional[Sequence[Tuple[int, ...]]] = None,
     model_objective: Optional[int] = None,
+    artifacts=None,
 ):
-    """Map through *mapper*, seeding bound and model only where safe.
+    """Map through *mapper*, seeding bound, model and artifacts only where safe.
 
-    Engines opt in via ``accepts_external_bound`` (objective bound) and
-    ``accepts_initial_model`` (incumbent schedule); everything else is
-    mapped unseeded, so heuristics and restricted exact searches are
-    unaffected.
+    Engines opt in via ``accepts_external_bound`` (objective bound),
+    ``accepts_initial_model`` (incumbent schedule) and ``accepts_artifacts``
+    (skeleton-keyed solve-artifact cache); everything else is mapped
+    unseeded, so heuristics and restricted exact searches are unaffected.
     """
     kwargs = {}
     if upper_bound is not None and getattr(mapper, "accepts_external_bound", False):
@@ -81,6 +90,8 @@ def _map_with_bound(
     ):
         kwargs["initial_model"] = model_mappings
         kwargs["initial_objective"] = model_objective
+    if artifacts is not None and getattr(mapper, "accepts_artifacts", False):
+        kwargs["artifacts"] = artifacts
     return mapper.map(circuit, **kwargs)
 
 
@@ -120,13 +131,16 @@ def _map_circuit_task(
     upper_bound: Optional[int] = None,
     model_mappings: Optional[Tuple[Tuple[int, ...], ...]] = None,
     model_objective: Optional[int] = None,
+    artifacts=None,
 ) -> Tuple[str, Any, Optional[str], float]:
     """Worker task: map one circuit with a freshly built engine.
 
     *upper_bound* and the model seed are plain integers/tuples resolved by
     the parent (bound providers hold locks and store handles, so they never
     cross into workers); they are only asserted on engines that declare
-    ``accepts_external_bound`` / ``accepts_initial_model``.
+    ``accepts_external_bound`` / ``accepts_initial_model``.  *artifacts* is
+    a picklable :class:`~repro.service.store.ArtifactCache` handle (it
+    carries only the database path and reopens lazily on the far side).
 
     Returns a plain tuple ``(status, payload, error_type, elapsed)`` instead
     of raising, so process workers never have to pickle tracebacks.
@@ -135,7 +149,8 @@ def _map_circuit_task(
     try:
         mapper = get_mapper(engine, coupling, **options)
         result = _map_with_bound(
-            mapper, circuit, upper_bound, model_mappings, model_objective
+            mapper, circuit, upper_bound, model_mappings, model_objective,
+            artifacts=artifacts,
         )
         return ("ok", result, None, time.monotonic() - start)
     except Exception as error:  # noqa: BLE001 - converted to a structured failure
@@ -150,6 +165,8 @@ def _solve_subset_task(
     subset: Tuple[int, ...],
     deadline: Optional[float],
     upper_bound: Optional[int],
+    incumbent: Optional[Tuple[List[Tuple[int, ...]], int]] = None,
+    artifacts=None,
 ) -> SubsetOutcome:
     """Worker task: solve one SAT subset instance.
 
@@ -157,6 +174,11 @@ def _solve_subset_task(
     dequeued late in a crowded pool gets only the time that is actually left
     of the overall budget, not the full budget again.  (``CLOCK_MONOTONIC``
     is system-wide, so the comparison also holds in process-pool workers.)
+
+    *incumbent* is the parent-resolved cross-family model transfer
+    (subset-local mappings plus objective) and *artifacts* the picklable
+    solve-artifact cache handle — both pure warm starts that never change
+    the outcome, only how fast it is reached.
     """
     if deadline is not None:
         time_limit = deadline - time.monotonic()
@@ -167,6 +189,7 @@ def _solve_subset_task(
     return mapper.solve_subset(
         gates, num_logical, spots, subset,
         time_limit=time_limit, upper_bound=upper_bound,
+        incumbent=incumbent, artifacts=artifacts,
     )
 
 
@@ -228,22 +251,39 @@ class MappingPipeline:
 
         Providers run in the calling thread (they may touch a result store);
         the resolved plain values are what travel into worker tasks.  The
-        model seed is only resolved for mappers that can replay it.
+        model seed is only resolved for mappers that can replay it, and the
+        solve-artifact cache handle only for mappers that consume one —
+        notably the subset sweep, which rejects global bounds
+        (``accepts_external_bound`` is false there) but still accepts
+        artifacts, because artifact material is applied per family key.
         """
         if self.bounds is None:
             return SeedResolution()
-        if not getattr(mapper, "accepts_external_bound", False):
-            return SeedResolution()
-        if getattr(mapper, "accepts_initial_model", False):
-            return self.bounds.resolve_seed(circuit, self.coupling)
-        bound, provider = self.bounds.resolve(circuit, self.coupling)
-        return SeedResolution(bound=bound, provider=provider)
+        resolution = SeedResolution()
+        if getattr(mapper, "accepts_external_bound", False):
+            if getattr(mapper, "accepts_initial_model", False):
+                resolution = self.bounds.resolve_seed(circuit, self.coupling)
+            else:
+                bound, provider = self.bounds.resolve(circuit, self.coupling)
+                resolution = SeedResolution(bound=bound, provider=provider)
+        if getattr(mapper, "accepts_artifacts", False):
+            cache, provider, notes = self.bounds.resolve_artifacts(
+                circuit, self.coupling
+            )
+            resolution.artifacts = cache
+            resolution.artifact_provider = provider
+            resolution.notes.extend(notes)
+        return resolution
 
     @staticmethod
     def _annotate_seed(result: MappingResult, seed: SeedResolution) -> None:
         if seed.bound is not None and seed.provider is not None:
             result.statistics.setdefault("bound_provider", seed.provider)
             result.statistics.setdefault("external_bound", seed.bound)
+        if seed.artifacts is not None and seed.artifact_provider is not None:
+            result.statistics.setdefault(
+                "artifact_provider", seed.artifact_provider
+            )
         if seed.model is not None:
             result.statistics.setdefault("model_provider", seed.model.provider)
             result.statistics.setdefault(
@@ -277,20 +317,24 @@ class MappingPipeline:
         with a provider-resolved upper bound where the engine allows it).
         """
         mapper = self.create_mapper()
+        seed = self._resolve_seed(mapper, circuit)
         if (
             self.workers > 1
             and isinstance(mapper, SATMapper)
             and mapper.use_subsets
         ):
-            return self._map_subsets_parallel(mapper, circuit)
-        seed = self._resolve_seed(mapper, circuit)
-        result = _map_with_bound(
-            mapper,
-            circuit,
-            seed.bound,
-            seed.model.mappings if seed.model is not None else None,
-            seed.model.objective if seed.model is not None else None,
-        )
+            result = self._map_subsets_parallel(
+                mapper, circuit, artifacts=seed.artifacts
+            )
+        else:
+            result = _map_with_bound(
+                mapper,
+                circuit,
+                seed.bound,
+                seed.model.mappings if seed.model is not None else None,
+                seed.model.objective if seed.model is not None else None,
+                artifacts=seed.artifacts,
+            )
         self._annotate_seed(result, seed)
         return result
 
@@ -298,6 +342,7 @@ class MappingPipeline:
         self,
         mapper: SATMapper,
         circuit: QuantumCircuit,
+        artifacts=None,
     ) -> MappingResult:
         start = time.monotonic()
         gates, spots = mapper.cnot_instance(circuit)
@@ -305,7 +350,7 @@ class MappingPipeline:
             return mapper.map(circuit)
         subsets = mapper.candidate_subsets(circuit.num_qubits)
         if len(subsets) <= 1:
-            return mapper.map(circuit)
+            return _map_with_bound(mapper, circuit, None, artifacts=artifacts)
 
         budget = mapper.time_limit
         deadline = None if budget is None else start + budget
@@ -316,7 +361,15 @@ class MappingPipeline:
         # bound, then first appearance) — the same order the sequential loop
         # walks, so pruning decisions transfer between the two paths.
         plans = mapper.plan_families(subsets, gates)
-        context = SweepContext()
+        context = SweepContext(
+            gates=gates,
+            num_logical=circuit.num_qubits,
+            spots=spots,
+            artifacts=(
+                artifacts
+                if getattr(mapper, "accepts_artifacts", False) else None
+            ),
+        )
         outcomes_by_plan: Dict[int, SubsetOutcome] = {}
         pruned_plans: Dict[int, float] = {}
         connected = [
@@ -324,20 +377,103 @@ class MappingPipeline:
             for position, plan in enumerate(plans)
             if plan.connected
         ]
-        with self._make_executor(
-            min(self.workers, max(1, len(connected)))
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _solve_subset_task,
-                    mapper, gates, circuit.num_qubits, spots,
-                    subsets[plan.indices[0]], deadline, None,
-                ): position
-                for position, plan in connected
-            }
-            pending = set(futures)
+        workers = min(self.workers, max(1, len(connected)))
+        futures: Dict[Any, int] = {}
+        with self._make_executor(workers) as pool:
+            pending: set = set()
+            queue_index = 0
             zero_position: Optional[int] = None
             best_objective: Optional[int] = None
+
+            def prefix_state(position: int) -> Tuple[bool, Optional[int]]:
+                """Whether every earlier-ordered family is decided, and the
+                cheapest objective among the decided prefix."""
+                resolved = all(
+                    earlier in outcomes_by_plan
+                    or earlier in pruned_plans
+                    or not plans[earlier].connected
+                    for earlier in range(position)
+                )
+                best = min(
+                    (
+                        outcomes_by_plan[earlier].objective
+                        for earlier in range(position)
+                        if earlier in outcomes_by_plan
+                        and outcomes_by_plan[earlier].is_satisfiable
+                    ),
+                    default=None,
+                )
+                return resolved, best
+
+            def submit_ready() -> None:
+                """Fill free worker slots with families, in plan order.
+
+                Submission is rolling rather than upfront so that each
+                family is dispatched with the best warm start known *now*:
+                a cross-family model transfer from already-finished
+                families (the sequential sweep's incumbent replay, closed
+                here for the fan-out) and the solve-artifact cache handle.
+                Pruning happens at submit time, and only when the decision
+                is reproducible from plan-order-prefix information — every
+                earlier-ordered family already decided, the incumbent and
+                the transferred bounds drawn from those alone.  That is
+                exactly the information the sequential sweep has at the
+                same point, so the two paths prune the same families
+                (a family dispatched before its prefix resolved simply
+                solves — parallel may prune fewer, never different ones).
+                """
+                nonlocal queue_index
+                while queue_index < len(connected) and len(pending) < workers:
+                    position, plan = connected[queue_index]
+                    if zero_position is not None and position > zero_position:
+                        # A zero-cost mapping is globally minimal; families
+                        # ordered after the earliest zero can never win.
+                        queue_index += 1
+                        continue
+                    prefix_resolved, prefix_best = prefix_state(position)
+                    if (
+                        mapper.prune_families
+                        and prefix_resolved
+                        and prefix_best is not None
+                    ):
+                        bound = prefix_best - 1
+                        in_sweep = context.lower_bound_for(
+                            plan, before=position
+                        )
+                        proven = in_sweep
+                        persisted = context.artifact_lower_bound(
+                            plan.sub_coupling
+                        )
+                        if persisted is not None and persisted > proven:
+                            proven = persisted
+                        if proven > bound:
+                            if in_sweep <= bound:
+                                context.artifact_bounds_used += 1
+                            pruned_plans[position] = proven
+                            context.note_family(
+                                plan, lower_bound=proven, position=position
+                            )
+                            context.families_pruned += 1
+                            queue_index += 1
+                            continue
+                    incumbent = None
+                    if mapper.share_clauses:
+                        incumbent = context.incumbent_for(
+                            plan, gates,
+                            shared_permutation_table(plan.sub_coupling),
+                            bound=None,
+                        )
+                    future = pool.submit(
+                        _solve_subset_task,
+                        mapper, gates, circuit.num_qubits, spots,
+                        subsets[plan.indices[0]], deadline, None,
+                        incumbent, context.artifacts,
+                    )
+                    futures[future] = position
+                    pending.add(future)
+                    queue_index += 1
+
+            submit_ready()
             while pending:
                 remaining = None
                 if deadline is not None:
@@ -353,6 +489,20 @@ class MappingPipeline:
                     outcome = future.result()
                     outcomes_by_plan[position] = outcome
                     plan = plans[position]
+                    schedule = None
+                    if outcome.mappings is not None:
+                        # The worker reports device-indexed mappings; the
+                        # context records subset-local schedules (the form
+                        # transfers translate), so convert back through the
+                        # representative subset's qubit order.
+                        to_local = {
+                            qubit: index
+                            for index, qubit in enumerate(outcome.subset)
+                        }
+                        schedule = [
+                            tuple(to_local[qubit] for qubit in mapping)
+                            for mapping in outcome.mappings
+                        ]
                     context.note_family(
                         plan,
                         lower_bound=(
@@ -360,6 +510,11 @@ class MappingPipeline:
                             if outcome.status == "optimal"
                             else float("inf") if outcome.status == "unsat"
                             else None
+                        ),
+                        schedule=schedule,
+                        schedule_objective=(
+                            outcome.objective
+                            if outcome.is_satisfiable else None
                         ),
                         position=position,
                     )
@@ -385,50 +540,7 @@ class MappingPipeline:
                         else:
                             future.cancel()
                     pending = keep
-                elif mapper.prune_families and best_objective is not None:
-                    # Family pruning, parallel flavour: a queued (not yet
-                    # running) family is cancelled only when the decision is
-                    # reproducible from plan-order-prefix information —
-                    # every earlier-ordered family already resolved, the
-                    # incumbent and the transferred bounds drawn from those
-                    # alone.  That is exactly the information the sequential
-                    # sweep has at the same point, so the two paths prune
-                    # the same families (cancellation of a running task is
-                    # impossible, so parallel may prune fewer — never
-                    # different ones).
-                    keep = set()
-                    for future in sorted(pending, key=futures.get):
-                        position = futures[future]
-                        plan = plans[position]
-                        prefix_resolved = all(
-                            earlier in outcomes_by_plan
-                            or earlier in pruned_plans
-                            or not plans[earlier].connected
-                            for earlier in range(position)
-                        )
-                        prefix_best = min(
-                            (
-                                outcomes_by_plan[earlier].objective
-                                for earlier in range(position)
-                                if earlier in outcomes_by_plan
-                                and outcomes_by_plan[earlier].is_satisfiable
-                            ),
-                            default=None,
-                        )
-                        if not prefix_resolved or prefix_best is None:
-                            keep.add(future)
-                            continue
-                        bound = prefix_best - 1
-                        proven = context.lower_bound_for(plan, before=position)
-                        if proven > bound and future.cancel():
-                            pruned_plans[position] = proven
-                            context.note_family(
-                                plan, lower_bound=proven, position=position
-                            )
-                            context.families_pruned += 1
-                        else:
-                            keep.add(future)
-                    pending = keep
+                submit_ready()
             for future in pending:
                 future.cancel()
         # The executor shutdown above waited for in-flight tasks, so harvest
@@ -490,6 +602,18 @@ class MappingPipeline:
         best = SATMapper.select_best_outcome(ordered)
         if best is None:
             raise SATMapperError.no_solution(budget_exhausted)
+        # Artifact hit rates: each worker counted its own family's loads and
+        # imports (reported through the outcome statistics); the parent
+        # context counted the bound lookups of its submit-time prune checks.
+        # Both are real cache traffic, so the job-level counters are the sum.
+        artifact_stats = context.artifact_statistics()
+        artifact_notes = list(context.artifact_notes)
+        for outcome in outcomes_by_plan.values():
+            for key in artifact_stats:
+                artifact_stats[key] += outcome.statistics.get(key, 0)
+            artifact_notes.extend(outcome.statistics.get("artifact_notes", ()))
+        if artifact_notes:
+            artifact_stats["artifact_notes"] = artifact_notes
         return mapper.build_mapping_result(
             circuit,
             best,
@@ -503,8 +627,11 @@ class MappingPipeline:
                 "families_pruned": context.families_pruned,
                 "clauses_exported": 0,
                 "clauses_imported": 0,
+                "models_transferred": context.models_transferred,
                 "clause_sharing": 0,
                 "family_pruning": int(mapper.prune_families),
+                "artifact_seeding": int(context.artifacts is not None),
+                **artifact_stats,
             },
         )
 
@@ -538,7 +665,9 @@ class MappingPipeline:
         seeds: List[SeedResolution] = [SeedResolution() for _ in batch]
         if self.bounds is not None and batch:
             probe = self.create_mapper()
-            if getattr(probe, "accepts_external_bound", False):
+            if getattr(probe, "accepts_external_bound", False) or getattr(
+                probe, "accepts_artifacts", False
+            ):
                 seeds = [
                     self._resolve_seed(probe, circuit) for circuit in batch
                 ]
@@ -551,6 +680,7 @@ class MappingPipeline:
                 seed.bound,
                 model.mappings if model is not None else None,
                 model.objective if model is not None else None,
+                seed.artifacts,
             )
 
         if pool_size <= 1 or len(batch) <= 1:

@@ -367,11 +367,16 @@ class JobServer:
                       "memory_dropped": 0, "ttl_seconds": None}
         memory_dropped = pruned["memory_dropped"]
         if message.flush_memory:
+            # Result LRU only — disk-backed artifact rows survive the
+            # broadcast (they are skeleton-keyed facts, never stale the way
+            # a fingerprinted result can be) and are TTL-pruned above.
             memory_dropped += store.drop_memory()
         report = PruneReport(
             rows_pruned=pruned["rows_pruned"],
             bytes_reclaimed=pruned["bytes_reclaimed"],
             memory_dropped=memory_dropped,
+            artifact_rows_pruned=pruned.get("artifact_rows_pruned", 0),
+            artifact_bytes_reclaimed=pruned.get("artifact_bytes_reclaimed", 0),
             ttl_seconds=message.ttl_seconds,
             cache_dir=self.cache_dir,
         )

@@ -575,6 +575,8 @@ class PruneReport(WireMessage):
     rows_pruned: int
     bytes_reclaimed: int
     memory_dropped: int
+    artifact_rows_pruned: int = 0
+    artifact_bytes_reclaimed: int = 0
     ttl_seconds: Optional[float] = None
     cache_dir: Optional[str] = None
     per_worker: Dict[str, Any] = field(default_factory=dict)
@@ -583,6 +585,8 @@ class PruneReport(WireMessage):
         self._require_int("rows_pruned", minimum=0)
         self._require_int("bytes_reclaimed", minimum=0)
         self._require_int("memory_dropped", minimum=0)
+        self._require_int("artifact_rows_pruned", minimum=0)
+        self._require_int("artifact_bytes_reclaimed", minimum=0)
         self._require_number("ttl_seconds", optional=True, positive=True)
         self._require_str("cache_dir", optional=True)
         self._require_dict("per_worker")

@@ -607,6 +607,7 @@ class Supervisor:
             raise ServiceUnavailable("no healthy worker to prune through")
         per_worker: Dict[str, Any] = {}
         rows_pruned = bytes_reclaimed = memory_dropped = 0
+        artifact_rows_pruned = artifact_bytes_reclaimed = 0
         # The first worker prunes the shared SQLite rows; every worker —
         # including that one — then flushes its in-memory LRU so no stale
         # fingerprint survives anywhere.  This is the cross-worker cache
@@ -629,10 +630,18 @@ class Supervisor:
             rows_pruned += int(payload.get("rows_pruned", 0))
             bytes_reclaimed += int(payload.get("bytes_reclaimed", 0))
             memory_dropped += int(payload.get("memory_dropped", 0))
+            artifact_rows_pruned += int(
+                payload.get("artifact_rows_pruned", 0)
+            )
+            artifact_bytes_reclaimed += int(
+                payload.get("artifact_bytes_reclaimed", 0)
+            )
         report = PruneReport(
             rows_pruned=rows_pruned,
             bytes_reclaimed=bytes_reclaimed,
             memory_dropped=memory_dropped,
+            artifact_rows_pruned=artifact_rows_pruned,
+            artifact_bytes_reclaimed=artifact_bytes_reclaimed,
             ttl_seconds=message.ttl_seconds,
             cache_dir=self.cache_dir,
             per_worker=per_worker,

@@ -27,7 +27,13 @@ Four layers keep repeated work off the solvers:
    the target coupling map) replayed as the solver's initial incumbent
    *model*, so a resubmitted circuit needs only the final optimality probe
    instead of a full descent.  Schedules that do not transfer degrade to
-   bound-only seeding with a provenance note.
+   bound-only seeding with a provenance note.  Exact subset sweeps are
+   additionally handed a **solve-artifact cache** handle (a
+   :class:`~repro.pipeline.bounds.ClauseProvider` over the store's
+   skeleton-keyed artifact table), so even a circuit the fleet has never
+   seen warm-starts from the learned clauses, proven family bounds and
+   best schedules of structurally identical past jobs; per-job hit rates
+   land in provenance and aggregate in :meth:`MappingService.stats`.
 
 The service can front **multiple coupling maps** (the first step toward
 device sharding): register several devices and each submission is routed to
@@ -48,7 +54,12 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.arch.coupling import CouplingMap
 from repro.circuit.circuit import QuantumCircuit
 from repro.exact.result import MappingResult
-from repro.pipeline.bounds import BoundProvider, ModelProvider, StoreBoundProvider
+from repro.pipeline.bounds import (
+    BoundProvider,
+    ClauseProvider,
+    ModelProvider,
+    StoreBoundProvider,
+)
 from repro.pipeline.pipeline import MappingPipeline
 from repro.pipeline.registry import resolve_mapper_name
 from repro.service.errors import (
@@ -153,6 +164,13 @@ class MappingService:
             (validated against the target coupling map first; sub-
             architecture hits that do not transfer degrade to bound-only
             seeding).  Ignored when explicit *bound_providers* are given.
+        seed_artifacts: Whether exact sweeps warm-start from the store's
+            **solve-artifact table** (learned clauses, proven family lower
+            bounds and best schedules, keyed by encoding skeleton — so even
+            never-seen circuits benefit from structurally identical past
+            jobs) via a default :class:`~repro.pipeline.bounds.ClauseProvider`.
+            Independent of *seed_bounds*; ignored when explicit
+            *bound_providers* are given.
 
     Example:
         >>> async with MappingService(ibm_qx4(), engine="dp") as service:
@@ -171,6 +189,7 @@ class MappingService:
         bound_providers: Optional[Sequence[BoundProvider]] = None,
         seed_bounds: bool = True,
         seed_models: bool = True,
+        seed_artifacts: bool = True,
     ):
         self.couplings = self._normalise_couplings(couplings)
         self.engine = resolve_mapper_name(engine)
@@ -180,19 +199,26 @@ class MappingService:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
         self.executor = executor
-        if not seed_bounds:
-            self.bound_providers: List[BoundProvider] = []
-        elif bound_providers is not None:
-            self.bound_providers = list(bound_providers)
+        if bound_providers is not None:
+            self.bound_providers: List[BoundProvider] = list(bound_providers)
         else:
-            # ModelProvider extends the plain store lookup with schedule
-            # replay, so one provider covers both seeding layers.
-            provider_cls = ModelProvider if seed_models else StoreBoundProvider
-            self.bound_providers = [
-                provider_cls(
-                    self.store, couplings=list(self.couplings.values())
+            self.bound_providers = []
+            devices = list(self.couplings.values())
+            if seed_bounds:
+                # ModelProvider extends the plain store lookup with schedule
+                # replay, so one provider covers both seeding layers.
+                provider_cls = (
+                    ModelProvider if seed_models else StoreBoundProvider
                 )
-            ]
+                self.bound_providers.append(
+                    provider_cls(self.store, couplings=devices)
+                )
+            if seed_artifacts:
+                # ClauseProvider contributes no bound of its own, so
+                # artifact seeding switches independently of bound seeding.
+                self.bound_providers.append(
+                    ClauseProvider(self.store, couplings=devices)
+                )
         self._jobs: Dict[str, Job] = {}
         self._primary_by_fp: Dict[str, Job] = {}
         self._queue: Optional["asyncio.Queue[Job]"] = None
@@ -208,6 +234,15 @@ class MappingService:
         }
         self._stopping = False
         self._in_flight = 0
+        # Fleet-learning visibility: lifetime sums of per-job artifact
+        # hit-rate counters (see SweepContext.artifact_statistics).
+        self._artifact_totals: Dict[str, int] = {
+            "artifact_hits": 0,
+            "artifact_misses": 0,
+            "artifact_clauses_imported": 0,
+            "artifact_bounds_used": 0,
+            "artifact_models_used": 0,
+        }
         self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
         self._per_engine: Dict[str, Dict[str, int]] = {}
         self._subscribers: "set[asyncio.Queue]" = set()
@@ -494,6 +529,7 @@ class MappingService:
         }
         stats["latency"] = self._latency_summary()
         stats["devices"] = sorted(self.couplings)
+        stats["artifact_seeding"] = dict(self._artifact_totals)
         stats["store"] = self.store.stats()
         return stats
 
@@ -699,6 +735,18 @@ class MappingService:
                     )
                 if "seed_notes" in statistics:
                     job.provenance["seed_notes"] = statistics["seed_notes"]
+                if statistics.get("artifact_seeding"):
+                    job.provenance["artifact_provider"] = statistics.get(
+                        "artifact_provider"
+                    )
+                    for key in self._artifact_totals:
+                        count = int(statistics.get(key, 0))
+                        job.provenance[key] = count
+                        self._artifact_totals[key] += count
+                    if "artifact_notes" in statistics:
+                        job.provenance["artifact_notes"] = statistics[
+                            "artifact_notes"
+                        ]
                 self._complete(
                     job, item.result, cache_hit=False,
                     elapsed=item.elapsed_seconds or elapsed,

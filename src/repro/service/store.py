@@ -34,6 +34,25 @@ Validation
 once would otherwise be served forever.  Corrupt rows discovered on ``get``
 (schema drift, truncated payloads) are dropped and reported as misses, so a
 stale cache file degrades to extra solving work, never to an error.
+
+Solve artifacts
+---------------
+Besides finished results, the store persists **solve artifacts**: the
+cross-job warm-start material of the SAT subset sweep, one row per encoding
+skeleton key (``gates × n × m × spots × undirected edge set`` — the exact
+key :class:`repro.exact.encoding.EncodingSkeleton` canonicalises).  A row
+holds learned clauses in *template numbering* (x block verbatim, spot block
+re-based to start right after it — the numbering every same-key encoding
+shares up to a constant shift), proven lower bounds keyed by the *directed*
+edge set they were proven under (reversal costs differ between
+orientations, so bounds only transfer on an exact directed match), and the
+best known schedule in family-local indices.  :meth:`put_artifact` merges
+into an existing row (clause union, per-orientation bound maximum, cheapest
+schedule); :meth:`get_artifact` applies the TTL and drops corrupt rows as
+misses, exactly like results.  :class:`ArtifactCache` is the picklable
+handle the solving layers carry: it survives crossing into process-pool
+workers by re-opening the database from its path (a memory-only store
+degrades to no artifact seeding on the far side).
 """
 
 from __future__ import annotations
@@ -71,10 +90,30 @@ CREATE TABLE IF NOT EXISTS results (
 )
 """
 
+_ARTIFACT_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    skeleton_key TEXT PRIMARY KEY,
+    payload      TEXT NOT NULL,
+    created_at   REAL NOT NULL
+)
+"""
+
 #: Columns added after the first release; legacy database files are
 #: migrated in place on open (rows keep NULLs — they still serve exact
 #: fingerprint hits, just not bound lookups).
 _MIGRATED_COLUMNS = ("circuit_fp", "arch_fp")
+
+#: Payload schema version of artifact rows; rows with another version are
+#: dropped as corrupt (forward compatibility: a downgraded worker must not
+#: misread a newer row).
+ARTIFACT_PAYLOAD_VERSION = 1
+
+#: Clause-union cap per artifact row: merges keep the freshest clauses and
+#: the row's serialised size stays bounded under long-running fleets.
+MAX_ARTIFACT_CLAUSES = 4096
+
+#: Per-orientation bound entries kept per artifact row.
+MAX_ARTIFACT_BOUNDS = 8
 
 
 class _MemoryEntry:
@@ -132,6 +171,11 @@ class ResultStore:
         self.ttl_seconds = ttl_seconds
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, _MemoryEntry]" = OrderedDict()
+        #: Artifact memory tier: ``skeleton_key -> (payload, created_at)``.
+        #: Serves memory-only stores and caches hot rows in front of SQLite.
+        self._artifact_memory: "OrderedDict[str, Tuple[Dict[str, Any], float]]" = (
+            OrderedDict()
+        )
         self._stats = {
             "memory_hits": 0,
             "disk_hits": 0,
@@ -140,11 +184,17 @@ class ResultStore:
             "invalid_rejected": 0,
             "corrupt_dropped": 0,
             "expired_dropped": 0,
+            "artifact_hits": 0,
+            "artifact_misses": 0,
+            "artifact_puts": 0,
+            "artifact_corrupt_dropped": 0,
+            "artifact_expired_dropped": 0,
         }
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self._connect() as conn:
                 conn.execute(_SCHEMA)
+                conn.execute(_ARTIFACT_SCHEMA)
                 existing = {
                     row[1] for row in conn.execute("PRAGMA table_info(results)")
                 }
@@ -447,6 +497,158 @@ class ResultStore:
         return best
 
     # ------------------------------------------------------------------
+    # Solve artifacts (cross-job warm starts)
+    # ------------------------------------------------------------------
+    def get_artifact(self, skeleton_key: str) -> Optional[Dict[str, Any]]:
+        """The artifact payload for one encoding skeleton key, or ``None``.
+
+        Applies the TTL and drops corrupt or schema-mismatched rows exactly
+        like :meth:`get` does for results: a bad row reads as a miss (cold
+        solving) and is deleted, never served.
+        """
+        with self._lock:
+            entry = self._artifact_memory.get(skeleton_key)
+            if entry is not None:
+                if self._expired(entry[1]):
+                    del self._artifact_memory[skeleton_key]
+                    self._stats["artifact_expired_dropped"] += 1
+                else:
+                    self._artifact_memory.move_to_end(skeleton_key)
+                    self._stats["artifact_hits"] += 1
+                    return entry[0]
+        if self.path is not None:
+            with self._connect() as conn:
+                row = conn.execute(
+                    "SELECT payload, created_at FROM artifacts "
+                    "WHERE skeleton_key = ?",
+                    (skeleton_key,),
+                ).fetchone()
+            if row is not None:
+                if self._expired(row[1]):
+                    self._delete_artifact_row(skeleton_key)
+                    with self._lock:
+                        self._stats["artifact_expired_dropped"] += 1
+                        self._stats["artifact_misses"] += 1
+                    return None
+                try:
+                    payload = json.loads(row[0])
+                except ValueError:
+                    payload = None
+                if not _valid_artifact(payload):
+                    self._delete_artifact_row(skeleton_key)
+                    with self._lock:
+                        self._stats["artifact_corrupt_dropped"] += 1
+                        self._stats["artifact_misses"] += 1
+                    return None
+                self._artifact_memory_put(skeleton_key, payload, row[1])
+                with self._lock:
+                    self._stats["artifact_hits"] += 1
+                return payload
+        with self._lock:
+            self._stats["artifact_misses"] += 1
+        return None
+
+    def put_artifact(self, skeleton_key: str, payload: Dict[str, Any]) -> None:
+        """Merge *payload* into the artifact row for *skeleton_key*.
+
+        Merging (clause union up to :data:`MAX_ARTIFACT_CLAUSES`, maximum
+        bound per directed orientation, cheapest schedule) happens inside
+        one ``BEGIN IMMEDIATE`` transaction, so concurrent workers writing
+        the same family fold their contributions instead of overwriting
+        each other.  A payload that fails the shape check is rejected
+        silently (counted under ``invalid_rejected``) — the artifact path
+        is an optimisation and must never fail a solve.
+        """
+        payload = dict(payload)
+        payload.setdefault("version", ARTIFACT_PAYLOAD_VERSION)
+        if not _valid_artifact(payload):
+            with self._lock:
+                self._stats["invalid_rejected"] += 1
+            return
+        created_at = time.time()
+        merged = payload
+        if self.path is not None:
+            try:
+                conn = self._connect()
+                try:
+                    conn.execute("BEGIN IMMEDIATE")
+                    row = conn.execute(
+                        "SELECT payload, created_at FROM artifacts "
+                        "WHERE skeleton_key = ?",
+                        (skeleton_key,),
+                    ).fetchone()
+                    if row is not None and not self._expired(row[1]):
+                        try:
+                            existing = json.loads(row[0])
+                        except ValueError:
+                            existing = None
+                        if _valid_artifact(existing):
+                            merged = _merge_artifacts(existing, payload)
+                    conn.execute(
+                        "INSERT OR REPLACE INTO artifacts "
+                        "(skeleton_key, payload, created_at) VALUES (?, ?, ?)",
+                        (skeleton_key, json.dumps(merged), created_at),
+                    )
+                    conn.commit()
+                finally:
+                    conn.close()
+            except sqlite3.Error as error:
+                raise StoreError(
+                    f"failed to persist solve artifact: {error}",
+                    details={"skeleton_key": skeleton_key, "path": str(self.path)},
+                ) from error
+        else:
+            with self._lock:
+                entry = self._artifact_memory.get(skeleton_key)
+            if entry is not None and not self._expired(entry[1]):
+                merged = _merge_artifacts(entry[0], payload)
+        self._artifact_memory_put(skeleton_key, merged, created_at)
+        with self._lock:
+            self._stats["artifact_puts"] += 1
+
+    def _artifact_memory_put(
+        self, skeleton_key: str, payload: Dict[str, Any], created_at: float
+    ) -> None:
+        if self.max_memory_entries == 0 and self.path is not None:
+            return
+        with self._lock:
+            self._artifact_memory[skeleton_key] = (payload, created_at)
+            self._artifact_memory.move_to_end(skeleton_key)
+            limit = max(1, self.max_memory_entries)
+            while len(self._artifact_memory) > limit:
+                self._artifact_memory.popitem(last=False)
+
+    def _delete_artifact_row(self, skeleton_key: str) -> None:
+        if self.path is not None:
+            with self._connect() as conn:
+                conn.execute(
+                    "DELETE FROM artifacts WHERE skeleton_key = ?",
+                    (skeleton_key,),
+                )
+
+    def artifact_rows(self) -> Tuple[int, int]:
+        """``(row count, payload bytes)`` of the non-expired artifact tier."""
+        cutoff = self._cutoff()
+        if self.path is None:
+            with self._lock:
+                rows = [
+                    payload
+                    for payload, created_at in self._artifact_memory.values()
+                    if cutoff is None or created_at > cutoff
+                ]
+            return len(rows), sum(len(json.dumps(p)) for p in rows)
+        query = (
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) FROM artifacts"
+        )
+        params: Tuple[Any, ...] = ()
+        if cutoff is not None:
+            query += " WHERE created_at > ?"
+            params = (cutoff,)
+        with self._connect() as conn:
+            row = conn.execute(query, params).fetchone()
+        return int(row[0]), int(row[1])
+
+    # ------------------------------------------------------------------
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
             entry = self._memory.get(fingerprint)
@@ -547,8 +749,10 @@ class ResultStore:
         Returns:
             A dict with ``rows_pruned`` (disk rows deleted), ``bytes_reclaimed``
             (total payload size of those rows), ``memory_dropped`` (expired
-            in-memory LRU entries evicted) and ``ttl_seconds`` (the effective
-            TTL of the sweep, ``None`` when nothing could be pruned).
+            in-memory LRU entries evicted), ``artifact_rows_pruned`` /
+            ``artifact_bytes_reclaimed`` (same sweep over the solve-artifact
+            table) and ``ttl_seconds`` (the effective TTL of the sweep,
+            ``None`` when nothing could be pruned).
         """
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive")
@@ -558,18 +762,26 @@ class ResultStore:
             "rows_pruned": 0,
             "bytes_reclaimed": 0,
             "memory_dropped": 0,
+            "artifact_rows_pruned": 0,
+            "artifact_bytes_reclaimed": 0,
             "ttl_seconds": effective,
             "persistent": self.path is not None,
         }
         if cutoff is None:
             return report
         stale_keys: List[str] = []
+        stale_artifacts: List[str] = []
         with self._lock:
             for key, entry in self._memory.items():
                 if entry.created_at <= cutoff:
                     stale_keys.append(key)
             for key in stale_keys:
                 del self._memory[key]
+            for key, (_, created_at) in self._artifact_memory.items():
+                if created_at <= cutoff:
+                    stale_artifacts.append(key)
+            for key in stale_artifacts:
+                del self._artifact_memory[key]
         report["memory_dropped"] = len(stale_keys)
         if self.path is not None:
             with self._connect() as conn:
@@ -581,11 +793,26 @@ class ResultStore:
                 conn.execute(
                     "DELETE FROM results WHERE created_at <= ?", (cutoff,)
                 )
+                artifact_row = conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                    "FROM artifacts WHERE created_at <= ?",
+                    (cutoff,),
+                ).fetchone()
+                conn.execute(
+                    "DELETE FROM artifacts WHERE created_at <= ?", (cutoff,)
+                )
             report["rows_pruned"] = int(row[0])
             report["bytes_reclaimed"] = int(row[1])
+            report["artifact_rows_pruned"] = int(artifact_row[0])
+            report["artifact_bytes_reclaimed"] = int(artifact_row[1])
+        else:
+            report["artifact_rows_pruned"] = len(stale_artifacts)
         dropped = max(report["rows_pruned"], len(stale_keys))
         with self._lock:
             self._stats["expired_dropped"] += dropped
+            self._stats["artifact_expired_dropped"] += max(
+                report["artifact_rows_pruned"], len(stale_artifacts)
+            )
         return report
 
     def drop_memory(self) -> int:
@@ -600,18 +827,29 @@ class ResultStore:
         with self._lock:
             dropped = len(self._memory)
             self._memory.clear()
+            if self.path is not None:
+                # Artifact rows on disk survive (they re-read on the next
+                # lookup); a memory-only store has no disk tier to re-read
+                # from, so its artifacts are deliberately kept.
+                self._artifact_memory.clear()
         return dropped
 
     def clear(self) -> int:
-        """Drop every cached result (both tiers); returns rows removed."""
+        """Drop every cached result and artifact (both tiers).
+
+        Returns the number of *result* rows removed (the historical
+        contract); artifact rows are cleared alongside.
+        """
         removed = 0
         if self.path is not None:
             with self._connect() as conn:
                 removed = conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
                 conn.execute("DELETE FROM results")
+                conn.execute("DELETE FROM artifacts")
         with self._lock:
             removed = max(removed, len(self._memory))
             self._memory.clear()
+            self._artifact_memory.clear()
         return removed
 
     def stats(self) -> Dict[str, int]:
@@ -623,12 +861,176 @@ class ResultStore:
         stats["ttl_seconds"] = self.ttl_seconds
         if self.path is not None:
             stats["disk_entries"] = len(self)
+        rows, size = self.artifact_rows()
+        stats["artifact_rows"] = rows
+        stats["artifact_bytes"] = size
         return stats
 
 
+def _valid_artifact(payload) -> bool:
+    """Shape check of one artifact payload (shared by read and write).
+
+    Cheap structural validation only — semantic checks (does the bound's
+    orientation match, does the schedule re-cost) belong to the consumer,
+    which knows the target instance.
+    """
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("version") != ARTIFACT_PAYLOAD_VERSION:
+        return False
+    x_var_limit = payload.get("x_var_limit")
+    spot_var_count = payload.get("spot_var_count")
+    if not isinstance(x_var_limit, int) or x_var_limit < 0:
+        return False
+    if not isinstance(spot_var_count, int) or spot_var_count < 0:
+        return False
+    clauses = payload.get("clauses")
+    if not isinstance(clauses, list):
+        return False
+    limit = x_var_limit + spot_var_count
+    for clause in clauses:
+        if not isinstance(clause, list) or not clause:
+            return False
+        for literal in clause:
+            if not isinstance(literal, int) or literal == 0:
+                return False
+            if abs(literal) > limit:
+                return False
+    bounds = payload.get("bounds")
+    if not isinstance(bounds, dict):
+        return False
+    for edges, bound in bounds.items():
+        if not isinstance(edges, str):
+            return False
+        if not isinstance(bound, (int, float)) or isinstance(bound, bool):
+            return False
+    schedule = payload.get("schedule")
+    if schedule is not None:
+        if not isinstance(schedule, list) or not schedule:
+            return False
+        for mapping in schedule:
+            if not isinstance(mapping, list) or not all(
+                isinstance(q, int) for q in mapping
+            ):
+                return False
+        if not isinstance(payload.get("objective"), int):
+            return False
+    return True
+
+
+def _merge_artifacts(
+    existing: Dict[str, Any], incoming: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Fold *incoming* into *existing* (both pre-validated).
+
+    Clause union keeps existing clauses first and caps the total; bounds
+    take the per-orientation maximum (both are proven, the higher prunes
+    more); the cheaper schedule wins.  Clause blocks only merge when both
+    payloads agree on the variable-block boundaries: a clause-free payload
+    (bound-only harvest, e.g. from a pruned family) adopts the other side's
+    clause block untouched, while a genuine boundary conflict between two
+    clause-bearing payloads means one came from an incompatible encoding
+    build — the incoming payload then replaces the clause block outright
+    rather than merging garbage.
+    """
+    merged = dict(existing)
+    boundaries_match = (
+        existing.get("x_var_limit") == incoming.get("x_var_limit")
+        and existing.get("spot_var_count") == incoming.get("spot_var_count")
+    )
+    if not incoming["clauses"]:
+        pass  # keep the existing clause block and boundaries
+    elif not existing["clauses"] or not boundaries_match:
+        merged["x_var_limit"] = incoming["x_var_limit"]
+        merged["spot_var_count"] = incoming["spot_var_count"]
+        merged["clauses"] = list(incoming["clauses"])[:MAX_ARTIFACT_CLAUSES]
+    else:
+        seen = {tuple(clause) for clause in existing["clauses"]}
+        clauses = list(existing["clauses"])
+        for clause in incoming["clauses"]:
+            if tuple(clause) not in seen and len(clauses) < MAX_ARTIFACT_CLAUSES:
+                seen.add(tuple(clause))
+                clauses.append(clause)
+        merged["clauses"] = clauses
+    bounds = dict(existing["bounds"])
+    for edges, bound in incoming["bounds"].items():
+        if edges not in bounds or bound > bounds[edges]:
+            bounds[edges] = bound
+    if len(bounds) > MAX_ARTIFACT_BOUNDS:
+        bounds = dict(
+            sorted(bounds.items(), key=lambda item: -item[1])[:MAX_ARTIFACT_BOUNDS]
+        )
+    merged["bounds"] = bounds
+    if incoming.get("schedule") is not None and (
+        existing.get("schedule") is None
+        or incoming["objective"] < existing["objective"]
+    ):
+        merged["schedule"] = incoming["schedule"]
+        merged["objective"] = incoming["objective"]
+    return merged
+
+
+class ArtifactCache:
+    """Picklable handle to a store's solve-artifact tier.
+
+    The solving layers (:class:`repro.exact.sat_mapper.SweepContext`, the
+    parallel subset fan-out) carry this object instead of the full
+    :class:`ResultStore`: it exposes exactly the two artifact operations,
+    and it survives crossing into process-pool workers — pickling drops the
+    live store and keeps the database path, and the far side lazily
+    re-opens its own connection-per-operation store.  A memory-only store
+    has no path to re-open, so on the far side every lookup misses and
+    every save is dropped: artifact seeding silently degrades to cold
+    solving, never to an error.
+    """
+
+    def __init__(self, store: Optional[ResultStore]):
+        self._store = store
+        self.path = None if store is None or store.path is None else str(store.path)
+        self.ttl_seconds = None if store is None else store.ttl_seconds
+
+    def __getstate__(self):
+        return {"path": self.path, "ttl_seconds": self.ttl_seconds}
+
+    def __setstate__(self, state):
+        self._store = None
+        self.path = state["path"]
+        self.ttl_seconds = state["ttl_seconds"]
+
+    def _backing(self) -> Optional[ResultStore]:
+        if self._store is None and self.path is not None:
+            # Re-opened lazily after crossing a process boundary; the
+            # memory tier is disabled — worker processes are short-lived
+            # and must see other workers' merges immediately.
+            self._store = ResultStore(
+                self.path,
+                max_memory_entries=0,
+                ttl_seconds=self.ttl_seconds,
+            )
+        return self._store
+
+    def load(self, skeleton_key: str) -> Optional[Dict[str, Any]]:
+        """The artifact payload for *skeleton_key*, or ``None``."""
+        store = self._backing()
+        if store is None:
+            return None
+        return store.get_artifact(skeleton_key)
+
+    def save(self, skeleton_key: str, payload: Dict[str, Any]) -> None:
+        """Merge *payload* into the row for *skeleton_key* (best effort)."""
+        store = self._backing()
+        if store is None:
+            return
+        store.put_artifact(skeleton_key, payload)
+
+
 __all__ = [
+    "ArtifactCache",
     "ResultStore",
+    "ARTIFACT_PAYLOAD_VERSION",
     "DEFAULT_MEMORY_ENTRIES",
+    "MAX_ARTIFACT_BOUNDS",
+    "MAX_ARTIFACT_CLAUSES",
     "RESULTS_DB_NAME",
     "SQLITE_TIMEOUT_SECONDS",
 ]

@@ -1,0 +1,502 @@
+"""Tests for the fleet-wide solve-artifact cache (cross-job warm starts).
+
+Covers the solve-artifact tier of :class:`repro.service.store.ResultStore`
+and its consumers:
+
+* store semantics — merge (clause union, per-orientation bound maximum,
+  cheapest schedule), TTL expiry, prune sweep, corrupt-row handling,
+  memory/disk tier interplay, pickling of the :class:`ArtifactCache`
+  handle,
+* the *correctness invariant* — every clause persisted under a skeleton
+  key is implied by a fresh same-key target instance (refutation via
+  :func:`repro.exact.sweep.clause_is_implied`), and a warm sweep under
+  ``REPRO_CHECK_IMPORTS=1`` runs clean,
+* degradation — empty store, corrupt rows, shape-mismatched rows and
+  wrong skeleton keys all fall back to the cold behaviour (same proven
+  minima) with truthful provenance notes,
+* the :class:`ClauseProvider` / :meth:`BoundProviderChain.resolve_artifacts`
+  plumbing, parallel-vs-sequential agreement, and the service-level hit
+  counters stamped into job provenance and ``MappingService.stats()``.
+"""
+
+import asyncio
+import json
+import pickle
+import sqlite3
+import time
+
+from repro.arch.coupling import CouplingMap
+from repro.arch.devices import ibm_qx4
+from repro.benchlib.paper_example import paper_example_cnot_skeleton
+from repro.exact.encoding import build_encoding, clear_skeleton_cache
+from repro.exact.sat_mapper import SATMapper
+from repro.exact.sweep import clause_is_implied, template_clause_remap
+from repro.pipeline.bounds import BoundProviderChain, ClauseProvider
+from repro.pipeline.pipeline import MappingPipeline
+from repro.service.service import MappingService
+from repro.service.store import (
+    ARTIFACT_PAYLOAD_VERSION,
+    ArtifactCache,
+    MAX_ARTIFACT_CLAUSES,
+    ResultStore,
+)
+
+PAPER_MINIMAL_COST = 4
+
+
+def _payload(**overrides):
+    """A small, valid artifact payload (vars 1..6: x block 4, spot block 2)."""
+    payload = {
+        "version": ARTIFACT_PAYLOAD_VERSION,
+        "x_var_limit": 4,
+        "spot_var_count": 2,
+        "clauses": [[1, -2], [3, 4]],
+        "bounds": {"[[0,1]]": 2},
+        "schedule": None,
+        "objective": None,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _cold_run(store, circuit=None):
+    """One subset sweep of the paper circuit on qx4, artifacts in *store*."""
+    clear_skeleton_cache()
+    return SATMapper(ibm_qx4(), use_subsets=True).map(
+        circuit or paper_example_cnot_skeleton(),
+        artifacts=ArtifactCache(store),
+    )
+
+
+# ----------------------------------------------------------------------
+# Store tier
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_roundtrip_and_fresh_process_reopen(self, tmp_path):
+        path = tmp_path / "artifacts.sqlite"
+        store = ResultStore(path)
+        store.put_artifact("key", _payload())
+        assert store.get_artifact("key")["clauses"] == [[1, -2], [3, 4]]
+        fresh = ResultStore(path)
+        assert fresh.get_artifact("key")["bounds"] == {"[[0,1]]": 2}
+
+    def test_memory_only_store_roundtrips(self):
+        store = ResultStore()
+        store.put_artifact("key", _payload())
+        assert store.get_artifact("key") is not None
+        assert store.stats()["artifact_puts"] == 1
+
+    def test_merge_unions_clauses_and_maxes_bounds(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put_artifact("key", _payload(bounds={"A": 2}))
+        store.put_artifact(
+            "key",
+            _payload(clauses=[[1, -2], [5, 6]], bounds={"A": 1, "B": 7}),
+        )
+        merged = store.get_artifact("key")
+        assert merged["clauses"] == [[1, -2], [3, 4], [5, 6]]
+        # Both bounds are proven, so the higher one wins per orientation.
+        assert merged["bounds"] == {"A": 2, "B": 7}
+
+    def test_merge_keeps_cheapest_schedule(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put_artifact(
+            "key", _payload(schedule=[[0, 1, 2]], objective=5)
+        )
+        store.put_artifact(
+            "key", _payload(schedule=[[2, 1, 0]], objective=3)
+        )
+        store.put_artifact(
+            "key", _payload(schedule=[[1, 0, 2]], objective=9)
+        )
+        merged = store.get_artifact("key")
+        assert merged["schedule"] == [[2, 1, 0]]
+        assert merged["objective"] == 3
+
+    def test_bound_only_merge_keeps_clause_block(self, tmp_path):
+        """A bound-only harvest (e.g. from a pruned family) must not clobber
+        a clause-bearing row even though its block boundaries disagree."""
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put_artifact("key", _payload())
+        store.put_artifact(
+            "key",
+            _payload(
+                x_var_limit=10, spot_var_count=0, clauses=[],
+                bounds={"C": 9},
+            ),
+        )
+        merged = store.get_artifact("key")
+        assert merged["x_var_limit"] == 4
+        assert merged["clauses"] == [[1, -2], [3, 4]]
+        assert merged["bounds"]["C"] == 9
+
+    def test_clause_union_is_capped(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        limit = MAX_ARTIFACT_CLAUSES
+        big = [[1, -2, (3 if i % 2 else 4), (6 if i % 3 else 5)]
+               for i in range(4)]
+        store.put_artifact("key", _payload(clauses=[[1]] * 1))
+        store.put_artifact("key", _payload(clauses=big))
+        merged = store.get_artifact("key")
+        assert len(merged["clauses"]) <= limit
+
+    def test_invalid_payload_rejected_on_put(self):
+        store = ResultStore()
+        store.put_artifact("key", {"version": ARTIFACT_PAYLOAD_VERSION})
+        assert store.get_artifact("key") is None
+        stats = store.stats()
+        assert stats["invalid_rejected"] == 1
+        assert stats["artifact_puts"] == 0
+
+    def test_corrupt_row_dropped_as_miss(self, tmp_path):
+        path = tmp_path / "a.sqlite"
+        store = ResultStore(path, max_memory_entries=0)
+        store.put_artifact("key", _payload())
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE artifacts SET payload = ? WHERE skeleton_key = ?",
+                ("{ not json", "key"),
+            )
+        assert store.get_artifact("key") is None
+        assert store.stats()["artifact_corrupt_dropped"] == 1
+        with sqlite3.connect(path) as conn:
+            count = conn.execute("SELECT COUNT(*) FROM artifacts").fetchone()[0]
+        assert count == 0  # the bad row is deleted, not served again
+
+    def test_foreign_version_dropped_as_corrupt(self, tmp_path):
+        path = tmp_path / "a.sqlite"
+        store = ResultStore(path, max_memory_entries=0)
+        store.put_artifact("key", _payload())
+        newer = _payload(version=ARTIFACT_PAYLOAD_VERSION + 1)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE artifacts SET payload = ? WHERE skeleton_key = ?",
+                (json.dumps(newer), "key"),
+            )
+        assert store.get_artifact("key") is None
+        assert store.stats()["artifact_corrupt_dropped"] == 1
+
+    def test_ttl_expires_artifacts(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite", ttl_seconds=0.05)
+        store.put_artifact("key", _payload())
+        assert store.get_artifact("key") is not None
+        time.sleep(0.15)
+        assert store.get_artifact("key") is None
+        assert store.stats()["artifact_expired_dropped"] >= 1
+
+    def test_prune_report_covers_artifact_rows(self, tmp_path):
+        path = tmp_path / "a.sqlite"
+        store = ResultStore(path, max_memory_entries=0)
+        store.put_artifact("old", _payload())
+        store.put_artifact("new", _payload())
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE artifacts SET created_at = created_at - 1000 "
+                "WHERE skeleton_key = 'old'"
+            )
+        report = store.prune_report(ttl_seconds=500)
+        assert report["artifact_rows_pruned"] == 1
+        assert report["artifact_bytes_reclaimed"] > 0
+        assert store.get_artifact("old") is None
+        assert store.get_artifact("new") is not None
+
+    def test_stats_and_clear_cover_artifacts(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put_artifact("key", _payload())
+        stats = store.stats()
+        assert stats["artifact_rows"] == 1
+        assert stats["artifact_bytes"] > 0
+        store.clear()
+        assert store.get_artifact("key") is None
+        assert store.stats()["artifact_rows"] == 0
+
+    def test_drop_memory_keeps_disk_artifacts(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put_artifact("key", _payload())
+        store.drop_memory()
+        assert store.get_artifact("key") is not None
+
+    def test_drop_memory_keeps_memory_only_artifacts(self):
+        # A memory-only store has no disk tier to re-read from; flushing
+        # its artifact memory would silently lose fleet knowledge.
+        store = ResultStore()
+        store.put_artifact("key", _payload())
+        store.drop_memory()
+        assert store.get_artifact("key") is not None
+
+    def test_artifact_cache_pickles_through_path(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put_artifact("key", _payload())
+        cache = pickle.loads(pickle.dumps(ArtifactCache(store)))
+        assert cache.load("key")["clauses"] == [[1, -2], [3, 4]]
+        cache.save("other", _payload())
+        assert store.get_artifact("other") is not None
+
+    def test_memory_only_cache_degrades_after_pickling(self):
+        store = ResultStore()
+        store.put_artifact("key", _payload())
+        cache = pickle.loads(pickle.dumps(ArtifactCache(store)))
+        # No path to re-open on the far side: seeding degrades to cold.
+        assert cache.load("key") is None
+        cache.save("key", _payload())  # silently dropped, never an error
+
+
+# ----------------------------------------------------------------------
+# Correctness invariant: persisted clauses are implied at the target
+# ----------------------------------------------------------------------
+class TestImplicationProperty:
+    def _populated_store(self, tmp_path):
+        store = ResultStore(tmp_path / "artifacts.sqlite")
+        cold = _cold_run(store)
+        assert cold.added_cost == PAPER_MINIMAL_COST
+        return store, cold
+
+    def test_every_persisted_clause_is_implied_in_same_key_target(
+        self, tmp_path
+    ):
+        """Property-style: for each artifact row, rebuild a fresh target
+        instance of the same skeleton key and refute every clause."""
+        store, _ = self._populated_store(tmp_path)
+        with sqlite3.connect(store.path) as conn:
+            keys = [
+                row[0]
+                for row in conn.execute("SELECT skeleton_key FROM artifacts")
+            ]
+        assert keys
+        checked = 0
+        for key in keys:
+            gates, num_logical, num_physical, spots, undirected = (
+                json.loads(key)
+            )
+            payload = store.get_artifact(key)
+            assert payload is not None
+            if not payload["clauses"]:
+                continue
+            # Any coupling with this undirected edge set instantiates the
+            # same skeleton; the bidirectional completion is the adversarial
+            # choice (maximally different edge block from the home device).
+            coupling = CouplingMap(
+                num_physical,
+                [(a, b) for a, b in undirected]
+                + [(b, a) for a, b in undirected],
+            )
+            clear_skeleton_cache()
+            encoding = build_encoding(
+                [tuple(gate) for gate in gates], num_logical, coupling,
+                permutation_spots=spots,
+            )
+            assert payload["x_var_limit"] == encoding.x_var_limit
+            assert payload["spot_var_count"] == (
+                encoding.spot_var_end - encoding.spot_var_start
+            )
+            remap = template_clause_remap(
+                payload["x_var_limit"], payload["spot_var_count"], encoding
+            )
+            for clause in payload["clauses"]:
+                mapped = [
+                    remap[abs(lit)] if lit > 0 else -remap[abs(lit)]
+                    for lit in clause
+                ]
+                assert clause_is_implied(encoding.cnf, mapped), (
+                    f"artifact clause {clause} not implied under key {key}"
+                )
+                checked += 1
+        assert checked >= 1
+
+    def test_warm_sweep_clean_under_import_checking(
+        self, tmp_path, monkeypatch
+    ):
+        store, cold = self._populated_store(tmp_path)
+        monkeypatch.setenv("REPRO_CHECK_IMPORTS", "1")
+        warm = _cold_run(store)  # second run over the same store is warm
+        assert warm.added_cost == cold.added_cost
+        assert warm.statistics["artifact_hits"] >= 1
+        assert warm.statistics["artifact_clauses_imported"] >= 1
+        # The headline of the whole exercise: strictly fewer conflicts.
+        assert (
+            warm.statistics["solver_conflicts"]
+            < cold.statistics["solver_conflicts"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Degradation: every bad input falls back to cold behaviour
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_empty_store_matches_cold_solving(self, tmp_path):
+        clear_skeleton_cache()
+        bare = SATMapper(ibm_qx4(), use_subsets=True).map(
+            paper_example_cnot_skeleton()
+        )
+        seeded = _cold_run(ResultStore(tmp_path / "a.sqlite"))
+        assert seeded.added_cost == bare.added_cost
+        assert (
+            seeded.statistics["solver_conflicts"]
+            == bare.statistics["solver_conflicts"]
+        )
+        assert seeded.statistics["artifact_hits"] == 0
+        assert seeded.statistics["artifact_misses"] >= 1
+        assert seeded.statistics["artifact_seeding"] == 1
+        assert bare.statistics["artifact_seeding"] == 0
+
+    def test_corrupt_rows_degrade_to_cold(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite", max_memory_entries=0)
+        cold = _cold_run(store)
+        with sqlite3.connect(store.path) as conn:
+            conn.execute("UPDATE artifacts SET payload = '!corrupt!'")
+        second = _cold_run(ResultStore(store.path, max_memory_entries=0))
+        assert second.added_cost == cold.added_cost
+        assert second.statistics["artifact_hits"] == 0
+        assert second.statistics["artifact_clauses_imported"] == 0
+
+    def test_shape_mismatch_degrades_to_bound_only_with_note(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite", max_memory_entries=0)
+        cold = _cold_run(store)
+        with sqlite3.connect(store.path) as conn:
+            rows = conn.execute(
+                "SELECT skeleton_key, payload FROM artifacts"
+            ).fetchall()
+            for key, payload in rows:
+                data = json.loads(payload)
+                if data["clauses"]:
+                    data["x_var_limit"] += 1  # foreign block boundary
+                    conn.execute(
+                        "UPDATE artifacts SET payload = ? "
+                        "WHERE skeleton_key = ?",
+                        (json.dumps(data), key),
+                    )
+        warm = _cold_run(ResultStore(store.path, max_memory_entries=0))
+        assert warm.added_cost == cold.added_cost
+        assert warm.statistics["artifact_clauses_imported"] == 0
+        notes = warm.statistics.get("artifact_notes", [])
+        assert any("bound-only seeding" in note for note in notes)
+
+    def test_wrong_skeleton_key_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        _cold_run(store)
+        # A structurally different circuit shares no skeleton key with the
+        # paper circuit, so the populated store contributes nothing.
+        different = paper_example_cnot_skeleton().copy()
+        control, target = different.cnot_pairs()[0]
+        different.cx(control, target)
+        warm = _cold_run(store, circuit=different)
+        assert warm.statistics["artifact_hits"] == 0
+        assert warm.statistics["artifact_misses"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Providers, pipeline and service plumbing
+# ----------------------------------------------------------------------
+class _BoundOnlyStore:
+    """A store stub without an artifact tier (pre-PR-9 shape)."""
+
+    def best_added_cost(self, *args, **kwargs):
+        return None
+
+
+class TestProvidersAndService:
+    def test_clause_provider_offers_picklable_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        provider = ClauseProvider(store)
+        cache, notes = provider.artifact_cache(
+            paper_example_cnot_skeleton(), ibm_qx4()
+        )
+        assert isinstance(cache, ArtifactCache)
+        assert notes == []
+        assert provider.upper_bound(
+            paper_example_cnot_skeleton(), ibm_qx4()
+        ) is None
+
+    def test_clause_provider_degrades_without_artifact_tier(self):
+        provider = ClauseProvider(_BoundOnlyStore())
+        cache, notes = provider.artifact_cache(
+            paper_example_cnot_skeleton(), ibm_qx4()
+        )
+        assert cache is None
+        assert any("no artifact tier" in note for note in notes)
+
+    def test_chain_resolves_first_artifact_cache(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        chain = BoundProviderChain(
+            [ClauseProvider(_BoundOnlyStore()), ClauseProvider(store)]
+        )
+        cache, provider_name, notes = chain.resolve_artifacts(
+            paper_example_cnot_skeleton(), ibm_qx4()
+        )
+        assert isinstance(cache, ArtifactCache)
+        assert provider_name == "artifact"
+        assert any("no artifact tier" in note for note in notes)
+
+    def test_parallel_fanout_agrees_with_sequential(self, tmp_path):
+        circuit = paper_example_cnot_skeleton()
+        store = ResultStore(tmp_path / "a.sqlite")
+        options = {"use_subsets": True}
+        clear_skeleton_cache()
+        sequential = MappingPipeline(
+            ibm_qx4(), engine="sat", engine_options=options, workers=1,
+            bound_providers=[ClauseProvider(store)],
+        ).map(circuit)
+        clear_skeleton_cache()
+        parallel = MappingPipeline(
+            ibm_qx4(), engine="sat", engine_options=options, workers=4,
+            bound_providers=[ClauseProvider(store)],
+        ).map(circuit)
+        assert sequential.added_cost == parallel.added_cost
+        assert sequential.statistics["artifact_provider"] == "artifact"
+        assert parallel.statistics["artifact_provider"] == "artifact"
+        # The second (parallel) run is warm from the sequential harvest.
+        assert parallel.statistics["artifact_hits"] >= 1
+
+    def test_service_stamps_artifact_provenance_and_stats(self):
+        async def scenario():
+            circuit = paper_example_cnot_skeleton()
+            store = ResultStore()
+            async with MappingService(
+                ibm_qx4(), engine="sat",
+                engine_options={"use_subsets": True}, store=store,
+            ) as service:
+                first = await service.submit(circuit)
+                cold = await service.result(first, timeout=120)
+                cold_provenance = service.status(first)["provenance"]
+                fingerprint = service.status(first)["fingerprint"]
+                # Forget the *result* (artifact rows survive): the resubmit
+                # re-solves but warm-starts from the artifact tier.
+                assert store.delete(fingerprint)
+                second = await service.submit(circuit)
+                warm = await service.result(second, timeout=120)
+                warm_provenance = service.status(second)["provenance"]
+                return cold, cold_provenance, warm, warm_provenance, (
+                    service.stats()
+                )
+
+        cold, cold_prov, warm, warm_prov, stats = asyncio.run(scenario())
+        assert cold.added_cost == warm.added_cost == PAPER_MINIMAL_COST
+        assert cold_prov["artifact_provider"] == "artifact"
+        assert cold_prov["artifact_misses"] >= 1
+        assert warm_prov["cache_hit"] is False
+        assert warm_prov["artifact_hits"] >= 1
+        assert warm_prov["artifact_clauses_imported"] >= 1
+        assert (
+            warm.statistics["solver_conflicts"]
+            < cold.statistics["solver_conflicts"]
+        )
+        totals = stats["artifact_seeding"]
+        assert totals["artifact_hits"] >= 1
+        assert totals["artifact_misses"] >= 1
+        assert stats["store"]["artifact_rows"] >= 1
+
+    def test_service_artifact_seeding_can_be_disabled(self):
+        async def scenario():
+            circuit = paper_example_cnot_skeleton()
+            async with MappingService(
+                ibm_qx4(), engine="sat",
+                engine_options={"use_subsets": True},
+                store=ResultStore(), seed_artifacts=False,
+            ) as service:
+                job = await service.submit(circuit)
+                await service.result(job, timeout=120)
+                return service.status(job)["provenance"]
+
+        provenance = asyncio.run(scenario())
+        assert "artifact_provider" not in provenance
+        assert "artifact_hits" not in provenance
