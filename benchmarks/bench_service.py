@@ -24,11 +24,16 @@ Two modes:
   misread as a scaling result.
 * **--smoke** — one short 2-worker run for CI: zero errors required and a
   generous p99 gate (``--p99-gate``); exit 1 on violation.
+* **--chaos** — the same workload with a worker SIGKILLed mid-benchmark:
+  every accepted job must still reach a terminal state (result or
+  structured error) under its original id — zero lost jobs is the gate;
+  p50/p99 and the error rate are appended to ``BENCH_service.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py --record
     PYTHONPATH=src python benchmarks/bench_service.py --smoke
+    PYTHONPATH=src python benchmarks/bench_service.py --chaos
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ import asyncio
 import json
 import os
 import platform
+import signal
 import subprocess
 import sys
 import time
@@ -142,6 +148,7 @@ async def _client_loop(port, queue, latencies, errors, kinds_done):
         try:
             _status, _headers, raw = await wire.http_request(
                 "127.0.0.1", port, "POST", "/v1/jobs", body=body, timeout=120,
+                retries=2,
             )
             submitted = json.loads(raw)
             if submitted.get("type") != "job-status":
@@ -149,7 +156,7 @@ async def _client_loop(port, queue, latencies, errors, kinds_done):
             job_id = submitted["payload"]["job_id"]
             status, _headers, raw = await wire.http_request(
                 "127.0.0.1", port, "GET",
-                f"/v1/jobs/{job_id}/result?wait=120", timeout=150,
+                f"/v1/jobs/{job_id}/result?wait=120", timeout=150, retries=2,
             )
             if status != 200:
                 raise RuntimeError(f"result failed ({status}): {raw[:200]!r}")
@@ -158,6 +165,166 @@ async def _client_loop(port, queue, latencies, errors, kinds_done):
         else:
             latencies.append(time.perf_counter() - started)
             kinds_done[kind] = kinds_done.get(kind, 0) + 1
+
+
+#: Chaos mode: per-job polling deadline.  Redelivery after a worker kill
+#: takes a few heartbeat intervals plus one re-solve; anything still
+#: non-terminal after this long is genuinely lost.
+CHAOS_JOB_DEADLINE_SECONDS = 90.0
+
+#: Error codes that are legitimate *terminal* outcomes under chaos — the
+#: job is settled, just not with a result.
+CHAOS_TERMINAL_ERROR_CODES = frozenset(
+    {"service-unavailable", "mapping-failed", "routing-failed",
+     "deadline-exceeded", "job-cancelled"}
+)
+
+
+async def _chaos_client_loop(port, queue, ledger):
+    """Like ``_client_loop`` but tracks every job to a terminal outcome.
+
+    A worker kill mid-benchmark opens a window where the public id 404s
+    (worker dead, redelivery pending) or the proxy answers 502 — both are
+    transient and re-polled; only a job that never reaches a terminal
+    state before the deadline counts as *lost*.
+    """
+    while True:
+        try:
+            body, kind = queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return
+        record = {"kind": kind, "outcome": None, "terminal": False}
+        ledger.append(record)
+        started = time.perf_counter()
+        try:
+            status, _headers, raw = await wire.http_request(
+                "127.0.0.1", port, "POST", "/v1/jobs", body=body,
+                timeout=120, retries=4,
+            )
+            submitted = json.loads(raw)
+        except Exception as error:  # noqa: BLE001 - counted, not fatal
+            # Never accepted: nothing to lose, but the submit error counts.
+            record["outcome"] = f"submit-error:{type(error).__name__}"
+            record["terminal"] = True
+            continue
+        if submitted.get("type") != "job-status":
+            code = submitted.get("payload", {}).get("error_code", "unknown")
+            record["outcome"] = f"submit-rejected:{code}"
+            record["terminal"] = True
+            continue
+        record["job_id"] = submitted["payload"]["job_id"]
+        deadline = time.monotonic() + CHAOS_JOB_DEADLINE_SECONDS
+        while time.monotonic() < deadline:
+            try:
+                status, _headers, raw = await wire.http_request(
+                    "127.0.0.1", port, "GET",
+                    f"/v1/jobs/{record['job_id']}/result?wait=20",
+                    timeout=60, retries=4,
+                )
+                envelope = json.loads(raw)
+            except Exception:  # noqa: BLE001 - transport blip mid-restart
+                await asyncio.sleep(0.5)
+                continue
+            if status == 200 and envelope.get("type") == "result-payload":
+                record["outcome"] = "done"
+                record["terminal"] = True
+                record["latency"] = time.perf_counter() - started
+                break
+            code = envelope.get("payload", {}).get("error_code")
+            if code in CHAOS_TERMINAL_ERROR_CODES:
+                record["outcome"] = f"error:{code}"
+                record["terminal"] = True
+                break
+            # 404 (dead worker, redelivery pending), 502 (proxy hit the
+            # corpse), or a still-running 202: poll again.
+            await asyncio.sleep(0.5)
+
+
+async def run_chaos(
+    *,
+    requests: int,
+    concurrency: int,
+    cached_fraction: float,
+    seed_base: int,
+    kill_after: float,
+) -> dict:
+    """Chaos run: 2-worker fleet, one worker SIGKILLed mid-benchmark.
+
+    The invariant under test is the ISSUE's: every accepted job reaches a
+    terminal state under its original public id, even though one worker
+    (and every job queued on it) dies without warning.
+    """
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in _workload(requests, cached_fraction, seed_base):
+        queue.put_nowait(item)
+    ledger: list = []
+    killed = {}
+    async with Supervisor(
+        workers=2, engine="dp", service_workers=2
+    ) as supervisor:
+        async def _killer():
+            await asyncio.sleep(kill_after)
+            victim = supervisor.workers[0]
+            if victim.pid:
+                killed["worker_id"] = victim.worker_id
+                killed["pid"] = victim.pid
+                os.kill(victim.pid, signal.SIGKILL)
+
+        started = time.perf_counter()
+        killer = asyncio.ensure_future(_killer())
+        await asyncio.gather(
+            *(
+                _chaos_client_loop(supervisor.port, queue, ledger)
+                for _ in range(concurrency)
+            )
+        )
+        killer.cancel()
+        elapsed = time.perf_counter() - started
+        try:
+            _s, _h, raw = await wire.http_request(
+                "127.0.0.1", supervisor.port, "GET", "/v1/stats",
+                timeout=30, retries=2,
+            )
+            stats = json.loads(raw).get("payload", {}).get("stats", {})
+        except Exception:  # noqa: BLE001 - stats are best-effort garnish
+            stats = {}
+        restarts = sum(handle.restarts for handle in supervisor.workers)
+    latencies = sorted(
+        record["latency"] for record in ledger if "latency" in record
+    )
+    lost = [record for record in ledger if not record["terminal"]]
+    errored = [
+        record for record in ledger
+        if record["terminal"] and record["outcome"] != "done"
+    ]
+    summary = {
+        "workers": 2,
+        "requests": requests,
+        "concurrency": concurrency,
+        "completed": len(latencies),
+        "errors": len(errored),
+        "error_rate": len(errored) / requests if requests else 0.0,
+        "lost_jobs": len(lost),
+        "worker_killed": killed.get("worker_id"),
+        "worker_restarts": restarts,
+        "redeliveries": stats.get("redeliveries", 0),
+        "journal_enabled": stats.get("journal_enabled", False),
+        "wall_seconds": round(elapsed, 4),
+        "throughput_rps": round(len(latencies) / elapsed, 3) if elapsed else 0,
+    }
+    if latencies:
+        summary["latency"] = {
+            "p50_seconds": round(_quantile(latencies, 0.50), 5),
+            "p99_seconds": round(_quantile(latencies, 0.99), 5),
+            "mean_seconds": round(sum(latencies) / len(latencies), 5),
+            "max_seconds": round(latencies[-1], 5),
+        }
+    if errored:
+        summary["error_samples"] = [
+            record["outcome"] for record in errored[:5]
+        ]
+    summary["ledger"] = ledger
+    return summary
 
 
 async def run_load(
@@ -269,9 +436,83 @@ def main(argv=None) -> int:
     parser.add_argument("--record", action="store_true",
                         help="append the 1-vs-2-worker comparison to "
                         "benchmarks/BENCH_service.json")
+    parser.add_argument("--chaos", action="store_true",
+                        help="kill one worker mid-benchmark; gate on zero "
+                        "lost (non-terminal) jobs and append the entry to "
+                        "benchmarks/BENCH_service.json")
+    parser.add_argument("--kill-after", type=float, default=2.0,
+                        help="--chaos: seconds into the run before the "
+                        "worker is SIGKILLed (default 2.0)")
+    parser.add_argument("--seed", type=int, default=7000,
+                        help="--chaos: workload seed base (default 7000)")
     parser.add_argument("--output", default=None,
                         help="also write the run summaries to this JSON file")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        requests = min(args.requests, 36)
+        summary = asyncio.run(
+            run_chaos(
+                requests=requests,
+                concurrency=min(args.concurrency, 6),
+                cached_fraction=args.cached_fraction,
+                seed_base=args.seed,
+                kill_after=args.kill_after,
+            )
+        )
+        ledger = summary.pop("ledger")
+        label = f"chaos(s={args.seed})"
+        _print_summary(label, {
+            **summary,
+            "cached_completed": sum(
+                1 for r in ledger if r["outcome"] == "done"
+                and r["kind"] == "cached"
+            ),
+            "uncached_completed": sum(
+                1 for r in ledger if r["outcome"] == "done"
+                and r["kind"] == "uncached"
+            ),
+        })
+        print(f"{'':12s} killed {summary['worker_killed']} after "
+              f"{args.kill_after:.1f}s, {summary['worker_restarts']} "
+              f"restart(s), {summary['redeliveries']} redeliveries, "
+              f"{summary['lost_jobs']} lost")
+        ok = True
+        if summary["lost_jobs"]:
+            lost_ids = [r.get("job_id") for r in ledger if not r["terminal"]]
+            print(f"FAIL: {summary['lost_jobs']} job(s) never reached a "
+                  f"terminal state: {lost_ids}")
+            ok = False
+        if not summary["journal_enabled"]:
+            print("FAIL: job journal was not enabled — redelivery untested")
+            ok = False
+        if summary["worker_killed"] is None:
+            print("FAIL: the workload finished before the kill fired — "
+                  "raise --requests or lower --kill-after")
+            ok = False
+        if args.output:
+            Path(args.output).write_text(json.dumps(
+                {"summary": summary, "ledger": ledger,
+                 "seed": args.seed, "pass": ok}, indent=1) + "\n")
+        if ok:
+            config = {
+                "mode": "chaos",
+                "requests": requests,
+                "concurrency": min(args.concurrency, 6),
+                "cached_fraction": args.cached_fraction,
+                "kill_after_seconds": args.kill_after,
+                "seed": args.seed,
+                "faults": os.environ.get("REPRO_FAULTS", ""),
+                "workload_qubits": WORKLOAD_QUBITS,
+                "workload_cnots": WORKLOAD_CNOTS,
+                "engine": "dp",
+                "arch": "ibm_qx4",
+            }
+            path = Path(__file__).parent / "BENCH_service.json"
+            record_entry({"chaos_workers_2": summary}, config, path)
+            print(f"recorded entry -> {path}")
+        print("chaos:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
 
     if args.smoke:
         requests = min(args.requests, 24)

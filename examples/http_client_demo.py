@@ -29,6 +29,7 @@ import os
 import signal
 import subprocess
 import sys
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -49,19 +50,33 @@ cx q[0], q[1];
 """
 
 
+#: Transport-level retries per request: a fleet restarting a worker (or
+#: the whole supervisor re-binding) refuses connections for a moment, and
+#: a well-behaved client rides that out instead of crashing.
+RETRIES = 5
+RETRY_PAUSE_SECONDS = 0.5
+
+
 def request(base: str, method: str, target: str, payload: dict = None):
     """One JSON request/response exchange; returns (status, envelope)."""
     body = json.dumps(payload).encode() if payload is not None else None
-    req = urllib.request.Request(
-        f"http://{base}{target}", data=body, method=method,
-        headers={"Content-Type": "application/json"} if body else {},
-    )
-    try:
-        with urllib.request.urlopen(req, timeout=180) as response:
-            return response.status, json.loads(response.read())
-    except urllib.error.HTTPError as error:
-        # Error responses are protocol envelopes too.
-        return error.code, json.loads(error.read())
+    last_error = None
+    for attempt in range(RETRIES + 1):
+        req = urllib.request.Request(
+            f"http://{base}{target}", data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=180) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            # Error responses are protocol envelopes too.
+            return error.code, json.loads(error.read())
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            last_error = error
+            if attempt < RETRIES:
+                time.sleep(RETRY_PAUSE_SECONDS * (attempt + 1))
+    raise SystemExit(f"server at {base} unreachable after retries: {last_error}")
 
 
 def main() -> int:

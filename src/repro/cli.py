@@ -55,7 +55,7 @@ from repro.sim.equivalence import result_is_equivalent
 from repro.verify import verify_result
 
 #: Subcommand names dispatched away from the classic mapping invocation.
-_SUBCOMMANDS = ("cache", "serve", "listen")
+_SUBCOMMANDS = ("cache", "serve", "listen", "cancel")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -925,6 +925,46 @@ def _run_listen(argv: Sequence[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# cancel subcommand
+# ----------------------------------------------------------------------
+def _build_cancel_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-map cancel",
+        description="Cancel a job on a running repro-map listen/serve "
+        "server (DELETE /v1/jobs/{id}; the solver stops at its next "
+        "conflict boundary).",
+    )
+    parser.add_argument("job_id", help="public job id (e.g. w0-job-000001)")
+    parser.add_argument(
+        "--url", required=True, metavar="HOST:PORT",
+        help="address of the running server",
+    )
+    parser.add_argument(
+        "--reason", default=None,
+        help="optional reason recorded in the job's structured error",
+    )
+    return parser
+
+
+def _run_cancel(argv: Sequence[str]) -> int:
+    import json as _json
+
+    parser = _build_cancel_parser()
+    args = parser.parse_args(argv)
+    from repro.server.protocol import CancelRequest
+
+    body = _json.dumps(
+        CancelRequest(job_id=args.job_id, reason=args.reason).to_wire()
+    ).encode()
+    status, envelope = _http_json(
+        "DELETE", args.url, f"/v1/jobs/{args.job_id}", body
+    )
+    print(_json.dumps(envelope.get("payload", envelope),
+                      indent=2, sort_keys=True))
+    return 0 if status == 200 else 1
+
+
+# ----------------------------------------------------------------------
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-map`` command."""
     arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
@@ -933,6 +973,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_cache(arguments[1:])
         if arguments[0] == "listen":
             return _run_listen(arguments[1:])
+        if arguments[0] == "cancel":
+            return _run_cancel(arguments[1:])
         return _run_serve(arguments[1:])
     return _run_map(arguments)
 

@@ -751,6 +751,26 @@ class SATMapper:
         self.decompose_swaps = decompose_swaps
         self.share_clauses = share_clauses
         self.prune_families = prune_families
+        # Optional cooperative-cancellation token (see bind_control):
+        # every solver this mapper creates registers itself on it, so the
+        # owner can interrupt a running map() from another thread.
+        self.control = None
+
+    def bind_control(self, control) -> None:
+        """Attach a :class:`~repro.sat.control.SolveControl` token.
+
+        Every CDCL solver created by later :meth:`map`/:meth:`solve_subset`
+        calls registers on *control*; ``control.cancel()`` then interrupts
+        all of them at their next conflict boundary, and the sweep loop
+        stops launching further family solves.  Cancellation behaves like
+        an exhausted time budget: the best solution found so far (if any)
+        is returned as non-optimal, otherwise :class:`SATMapperError` is
+        raised.
+        """
+        self.control = control
+
+    def _cancelled(self) -> bool:
+        return self.control is not None and self.control.cancelled
 
     # ------------------------------------------------------------------
     # Instance preparation (shared with the batch pipeline)
@@ -906,10 +926,13 @@ class SATMapper:
             reuse_skeleton=self.share_clauses,
         )
         optimizer = OptimizingSolver(encoding.cnf, encoding.objective)
+        session = optimizer.make_session()
+        if self.control is not None:
+            self.control.register(session.solver)
         return _FamilyState(
             encoding=encoding,
             optimizer=optimizer,
-            session=optimizer.make_session(),
+            session=session,
         )
 
     @staticmethod
@@ -1429,9 +1452,10 @@ class SATMapper:
                     )
                 continue
             remaining = self._remaining_time(start)
-            if remaining is not None and remaining <= 0:
-                # Budget spent: do not launch further solver calls.  The best
-                # solution found so far (if any) is returned as non-optimal.
+            if (remaining is not None and remaining <= 0) or self._cancelled():
+                # Budget spent (or the job was cancelled): do not launch
+                # further solver calls.  The best solution found so far (if
+                # any) is returned as non-optimal.
                 budget_exhausted = True
                 break
             if self.prune_families and bound is not None:
@@ -1552,7 +1576,9 @@ class SATMapper:
                 mirrored = self._reuse_family_outcome(state, member, bound)
                 if mirrored is None:
                     remaining = self._remaining_time(start)
-                    if remaining is not None and remaining <= 0:
+                    if (
+                        remaining is not None and remaining <= 0
+                    ) or self._cancelled():
                         budget_exhausted = True
                         break
                     mirrored = self._solve_family(state, member, remaining, bound)

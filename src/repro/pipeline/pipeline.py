@@ -132,6 +132,7 @@ def _map_circuit_task(
     model_mappings: Optional[Tuple[Tuple[int, ...], ...]] = None,
     model_objective: Optional[int] = None,
     artifacts=None,
+    control=None,
 ) -> Tuple[str, Any, Optional[str], float]:
     """Worker task: map one circuit with a freshly built engine.
 
@@ -147,7 +148,18 @@ def _map_circuit_task(
     """
     start = time.monotonic()
     try:
+        if control is not None and control.cancelled:
+            return (
+                "error", "job cancelled before mapping started",
+                "JobCancelled", time.monotonic() - start,
+            )
         mapper = get_mapper(engine, coupling, **options)
+        if control is not None and hasattr(mapper, "bind_control"):
+            # Cooperative cancellation/deadline token (thread executors
+            # only — it never crosses a process boundary).  Engines without
+            # bind_control run to completion; their caller enforces the
+            # deadline by abandoning the result.
+            mapper.bind_control(control)
         result = _map_with_bound(
             mapper, circuit, upper_bound, model_mappings, model_objective,
             artifacts=artifacts,
@@ -308,15 +320,25 @@ class MappingPipeline:
     # ------------------------------------------------------------------
     # Single circuit
     # ------------------------------------------------------------------
-    def map(self, circuit: QuantumCircuit) -> MappingResult:
+    def map(
+        self, circuit: QuantumCircuit, control: Optional[Any] = None
+    ) -> MappingResult:
         """Map one circuit, fanning SAT subset instances out when possible.
 
         The parallel subset path is taken for the SAT engine with
         ``use_subsets=True`` and more than one worker; every other
         configuration simply delegates to the engine's own ``map`` (seeded
         with a provider-resolved upper bound where the engine allows it).
+        *control* is an optional cooperative-cancellation token (see
+        :meth:`map_many`; thread executor only).
         """
         mapper = self.create_mapper()
+        if (
+            control is not None
+            and self.executor == "thread"
+            and hasattr(mapper, "bind_control")
+        ):
+            mapper.bind_control(control)
         seed = self._resolve_seed(mapper, circuit)
         if (
             self.workers > 1
@@ -642,6 +664,7 @@ class MappingPipeline:
         self,
         circuits: Iterable[QuantumCircuit],
         workers: Optional[int] = None,
+        controls: Optional[Sequence[Any]] = None,
     ) -> List[BatchItem]:
         """Map a batch of circuits, one :class:`BatchItem` per input.
 
@@ -654,8 +677,19 @@ class MappingPipeline:
             circuits: The circuits to map.
             workers: Worker count for this call (defaults to the pipeline's
                 ``workers``); ``1`` maps sequentially in the calling thread.
+            controls: Optional per-circuit
+                :class:`~repro.sat.control.SolveControl` tokens (aligned
+                with *circuits*) for cooperative cancellation and deadline
+                interrupts.  Honoured under the thread executor only — the
+                tokens cannot cross a process boundary, so with
+                ``executor="process"`` cancellation degrades to the caller
+                abandoning the result.
         """
         batch = list(circuits)
+        batch_controls: List[Any] = list(controls or [])
+        batch_controls.extend([None] * (len(batch) - len(batch_controls)))
+        if self.executor == "process":
+            batch_controls = [None] * len(batch)
         pool_size = self.workers if workers is None else max(1, int(workers))
         pool_size = min(pool_size, max(1, len(batch)))
 
@@ -681,6 +715,7 @@ class MappingPipeline:
                 model.mappings if model is not None else None,
                 model.objective if model is not None else None,
                 seed.artifacts,
+                batch_controls[index],
             )
 
         if pool_size <= 1 or len(batch) <= 1:

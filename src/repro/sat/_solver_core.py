@@ -57,6 +57,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.sat._result import SolverResult
 from repro.sat.cnf import CNF, Literal
 
@@ -117,6 +118,7 @@ class CDCLSolver:
         # than in self._learned, so they are recorded separately.
         self._learned_units: List[Tuple[int, int]] = []
         self._import_keys: set = set()
+        self._interrupt_requested = False
         self.statistics: Dict[str, int] = {
             "conflicts": 0,
             "decisions": 0,
@@ -721,6 +723,11 @@ class CDCLSolver:
             :attr:`SolverResult.SAT`, :attr:`SolverResult.UNSAT` or
             :attr:`SolverResult.UNKNOWN`.
         """
+        if self._interrupt_requested:
+            # Interrupted between calls (a cancelled job whose descent loop
+            # is still issuing probes): answer UNKNOWN without searching.
+            self._last_core = ()
+            return SolverResult.UNKNOWN
         assumption_list: List[int] = []
         if assumptions is not None:
             for literal in assumptions:
@@ -782,6 +789,10 @@ class CDCLSolver:
                     return SolverResult.UNKNOWN
                 if time_limit is not None and time.monotonic() - start_time > time_limit:
                     return SolverResult.UNKNOWN
+                if self._interrupt_requested:
+                    return SolverResult.UNKNOWN
+                if faults.ARMED:
+                    faults.fire("solver.step")
                 if total_conflicts % 1024 == 0:
                     self._reduce_learned()
             else:
@@ -820,6 +831,32 @@ class CDCLSolver:
                 self._trail_lim.append(len(self._trail))
                 literal = variable if self._phase[variable] else -variable
                 self._enqueue(literal, 0)
+
+    # ------------------------------------------------------------------
+    # Cooperative interruption
+    # ------------------------------------------------------------------
+    def interrupt(self) -> None:
+        """Request that the running (or next) ``solve()`` stop cooperatively.
+
+        Safe to call from another thread: the flag is a single attribute
+        write, checked at every conflict boundary, so a running search
+        answers :attr:`SolverResult.UNKNOWN` within one conflict of the
+        request.  The flag is sticky — later ``solve()`` calls also return
+        UNKNOWN immediately until :meth:`clear_interrupt` — which is what
+        stops an optimiser's descent loop instead of just one probe.  The
+        solver state stays fully usable; nothing about the formula or the
+        learned clauses is affected.
+        """
+        self._interrupt_requested = True
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the solver after :meth:`interrupt` (new job, same session)."""
+        self._interrupt_requested = False
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether an interrupt request is pending."""
+        return self._interrupt_requested
 
     # ------------------------------------------------------------------
     # Model extraction

@@ -1,0 +1,84 @@
+"""Cooperative cancellation tokens for long-running solves.
+
+A :class:`SolveControl` is the bridge between the asynchronous service
+layer and the synchronous solver stack: the service holds one token per
+job, every :class:`~repro.sat.solver.CDCLSolver` the job's mapping work
+creates registers itself on the token, and a single :meth:`cancel` call
+interrupts them all at their next conflict boundary.  The token also
+carries the job's absolute deadline so deeply nested code can ask how much
+budget is left without threading a start timestamp everywhere.
+
+Thread-safety: ``register`` runs in worker threads while ``cancel`` runs on
+the event-loop thread, so the solver list is guarded by a lock.  The
+solvers' own ``interrupt()`` is a single attribute write and needs none.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+
+class SolveControl:
+    """Shared cancellation/deadline token for one mapping job.
+
+    Attributes:
+        deadline: Optional absolute ``time.monotonic()`` timestamp after
+            which the work should stop (informational; enforcement is the
+            owner's job).
+    """
+
+    def __init__(self, deadline: Optional[float] = None):
+        self.deadline = deadline
+        self._cancelled = False
+        self._lock = threading.Lock()
+        # Strong references: compiled solver classes are not reliably
+        # weakref-able.  The owner calls release() when the job reaches a
+        # terminal state, so solver arenas never outlive their job's run.
+        self._solvers: List = []
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def register(self, solver) -> None:
+        """Attach *solver* so a later :meth:`cancel` interrupts it.
+
+        A solver registered after cancellation is interrupted immediately —
+        the race between "cancel arrives" and "one more family solver is
+        being built" must not leave an uninterruptible search running.
+        """
+        with self._lock:
+            if self._cancelled:
+                solver.interrupt()
+                return
+            self._solvers.append(solver)
+
+    def cancel(self) -> None:
+        """Interrupt every registered solver and mark the token cancelled."""
+        with self._lock:
+            self._cancelled = True
+            solvers = list(self._solvers)
+        for solver in solvers:
+            solver.interrupt()
+
+    def release(self) -> None:
+        """Drop the solver references (the job is terminal; free the arenas)."""
+        with self._lock:
+            self._solvers.clear()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until :attr:`deadline` (``None`` when no deadline is set)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+
+__all__ = ["SolveControl"]

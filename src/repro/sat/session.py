@@ -103,6 +103,25 @@ class SolveSession:
         }
 
     # ------------------------------------------------------------------
+    def interrupt(self) -> None:
+        """Cooperatively stop the session's solver (see ``CDCLSolver.interrupt``).
+
+        Safe from another thread; the running (and every later) solve call
+        answers UNKNOWN until :meth:`clear_interrupt`, which is what makes
+        an optimiser descent loop on this session terminate promptly.
+        """
+        self.solver.interrupt()
+
+    def clear_interrupt(self) -> None:
+        """Re-arm the session's solver after :meth:`interrupt`."""
+        self.solver.clear_interrupt()
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether an interrupt request is pending on the session's solver."""
+        return self.solver.interrupted
+
+    # ------------------------------------------------------------------
     @property
     def total_weight(self) -> int:
         """Sum of all positive objective weights (the trivial upper bound)."""
@@ -152,31 +171,62 @@ class SolveSession:
 
         Returns ``None`` when the node is trivially true.  Nodes are cached
         for the session's lifetime, so overlapping bounds share clauses.
+
+        The construction walks an explicit stack instead of recursing: the
+        natural recursion is one frame per objective term, which overflows
+        the interpreter's recursion limit on instances with thousands of
+        terms.  The walk visits nodes in exactly the recursive order (node
+        created, low subtree, low clause, high subtree, high clause), so
+        variable numbering, clause order and the bound-node statistics are
+        identical to the recursive formulation.
         """
         if self._suffix_totals[index] <= budget:
             return None
-        key = (index, budget)
-        cached = self._nodes.get(key)
+        cached = self._nodes.get((index, budget))
         if cached is not None:
             self.statistics["bound_nodes_reused"] += 1
             return cached
-        weight, literal = self._ladder_terms[index]
-        node = self._pool.new_var(f"bound_n{index}_{budget}")
-        self._nodes[key] = node
-        self._node_info[node] = key
-        self.statistics["bound_nodes_created"] += 1
-        # Literal false: the budget is unchanged for the remaining terms.
-        low = self._build(index + 1, budget)
-        if low is not None:
-            self._add([-node, literal, low])
-        # Literal true: the budget shrinks by the term's weight.
-        if weight > budget:
-            self._add([-node, -literal])
-        else:
-            high = self._build(index + 1, budget - weight)
-            if high is not None:
-                self._add([-node, -literal, high])
-        return node
+        # Stack frames: (index, budget, phase) with phase 0 = create the
+        # node and descend into the low child, 1 = emit the low clause and
+        # descend into the high child, 2 = emit the high clause.
+        stack: List[Tuple[int, int, int]] = [(index, budget, 0)]
+        while stack:
+            idx, bgt, phase = stack.pop()
+            if phase == 0:
+                if self._suffix_totals[idx] <= bgt:
+                    continue  # trivially true: no node, no clause
+                if (idx, bgt) in self._nodes:
+                    self.statistics["bound_nodes_reused"] += 1
+                    continue
+                node = self._pool.new_var(f"bound_n{idx}_{bgt}")
+                self._nodes[(idx, bgt)] = node
+                self._node_info[node] = (idx, bgt)
+                self.statistics["bound_nodes_created"] += 1
+                stack.append((idx, bgt, 1))
+                # Literal false: the budget is unchanged for the rest.
+                stack.append((idx + 1, bgt, 0))
+            elif phase == 1:
+                node = self._nodes[(idx, bgt)]
+                weight, literal = self._ladder_terms[idx]
+                low = self._nodes.get((idx + 1, bgt))
+                if self._suffix_totals[idx + 1] > bgt and low is not None:
+                    self._add([-node, literal, low])
+                # Literal true: the budget shrinks by the term's weight.
+                if weight > bgt:
+                    self._add([-node, -literal])
+                else:
+                    stack.append((idx, bgt, 2))
+                    stack.append((idx + 1, bgt - weight, 0))
+            else:
+                node = self._nodes[(idx, bgt)]
+                weight, literal = self._ladder_terms[idx]
+                high = self._nodes.get((idx + 1, bgt - weight))
+                if (
+                    self._suffix_totals[idx + 1] > bgt - weight
+                    and high is not None
+                ):
+                    self._add([-node, -literal, high])
+        return self._nodes[(index, budget)]
 
     def selector(self, bound: int) -> Optional[int]:
         """The literal that, when assumed, asserts ``F <= bound``.

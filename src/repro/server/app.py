@@ -9,6 +9,7 @@ method     path                     meaning
 =========  =======================  ==========================================
 POST       /v1/jobs                 submit a circuit (SubmitRequest body)
 GET        /v1/jobs/{id}            job status snapshot
+DELETE     /v1/jobs/{id}            cancel a job (cooperative interrupt)
 GET        /v1/jobs/{id}/result     full result (``?wait=SECONDS`` to block)
 GET        /v1/stats                service + store counters and gauges
 GET        /v1/healthz              liveness + the queue-depth routing gauges
@@ -34,6 +35,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.circuit.qasm import parse_qasm
 from repro.server import wire
 from repro.server.protocol import (
+    CancelRequest,
     ErrorEnvelope,
     HealthReport,
     JobStatus,
@@ -217,9 +219,11 @@ class JobServer:
                     raise _method_not_allowed(method, path)
                 return await self._result(job_id, request)
             if "/" not in tail:
-                if method != "GET":
-                    raise _method_not_allowed(method, path)
-                return self._status(tail)
+                if method == "GET":
+                    return self._status(tail)
+                if method == "DELETE":
+                    return self._cancel(tail, request)
+                raise _method_not_allowed(method, path)
         if path == "/v1/stats":
             if method != "GET":
                 raise _method_not_allowed(method, path)
@@ -272,6 +276,28 @@ class JobServer:
 
     def _status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
         snapshot = self.service.status(job_id)
+        return 200, JobStatus.from_snapshot(snapshot).to_wire()
+
+    def _cancel(
+        self, job_id: str, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``DELETE /v1/jobs/{id}``: cooperatively cancel one job.
+
+        Returns the post-cancel snapshot (status 200) — cancelling an
+        already-terminal job is a no-op, not an error, so retried DELETEs
+        are safe.
+        """
+        reason = None
+        body = request.json()
+        if body:
+            message = from_wire(body)
+            if not isinstance(message, CancelRequest):
+                raise ProtocolError(
+                    "DELETE /v1/jobs/{id} expects a cancel-request body, "
+                    f"got {message.TYPE}"
+                )
+            reason = message.reason
+        snapshot = self.service.cancel(job_id, reason=reason)
         return 200, JobStatus.from_snapshot(snapshot).to_wire()
 
     async def _result(

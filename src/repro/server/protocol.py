@@ -52,6 +52,11 @@ HTTP_STATUS_BY_ERROR_CODE: Dict[str, int] = {
     "service-state": 409,
     "service-unavailable": 503,
     "protocol-error": 400,
+    # Cooperative cancellation / deadline enforcement (PR 10).  499 is the
+    # de-facto "client closed request" status nginx minted; a cancelled job
+    # is the closest semantic match our stack has.
+    "deadline-exceeded": 504,
+    "job-cancelled": 499,
     # Route-level codes minted by the HTTP layer itself.
     "not-found": 404,
     "method-not-allowed": 405,
@@ -326,6 +331,27 @@ class SubmitRequest(WireMessage):
         self._require_str("engine", optional=True)
         self._require_str("circuit_name", optional=True)
         self._require_dict("options")
+
+
+@register_message
+@dataclass(frozen=True)
+class CancelRequest(WireMessage):
+    """``DELETE /v1/jobs/{id}`` body (optional): why the job is cancelled.
+
+    The body may be empty — ``job_id`` in the path wins; carrying it in
+    the payload as well keeps the message self-describing for transports
+    without a path (the WebSocket control channel).
+    """
+
+    TYPE: ClassVar[str] = "cancel-request"
+    VERSION: ClassVar[int] = 1
+
+    job_id: str
+    reason: Optional[str] = None
+
+    def validate(self) -> None:
+        self._require_str("job_id")
+        self._require_str("reason", optional=True)
 
 
 @register_message
@@ -617,6 +643,7 @@ __all__ = [
     "from_json",
     "JOB_STATES",
     "SubmitRequest",
+    "CancelRequest",
     "JobStatus",
     "ResultPayload",
     "ErrorEnvelope",

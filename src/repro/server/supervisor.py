@@ -45,8 +45,9 @@ import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import faults
 from repro.server import wire
 from repro.server.protocol import (
     ErrorEnvelope,
@@ -57,7 +58,8 @@ from repro.server.protocol import (
     StatsReport,
     from_wire,
 )
-from repro.service.errors import ServiceError, ServiceUnavailable
+from repro.service.errors import ServiceError, ServiceUnavailable, StoreError
+from repro.service.store import JobJournal, JOURNAL_TERMINAL
 
 #: Seconds between heartbeat polls of each worker.
 HEARTBEAT_INTERVAL = 0.5
@@ -188,12 +190,34 @@ class Supervisor:
             maxlen=STREAM_REPLAY_SIZE
         )
         self._requests_served = 0
+        #: Durable submit journal (shares the workers' results.sqlite).
+        #: ``None`` when opening it failed — serving continues, durability
+        #: degrades, and stats report the condition truthfully.
+        self.journal: Optional[JobJournal] = None
+        self._journal_errors = 0
+        self._submit_seq = 0
+        #: Redelivered jobs keep their original public id:
+        #: public id -> (current worker id, current worker-local id) ...
+        self._aliases: Dict[str, Tuple[str, str]] = {}
+        #: ... and the reverse, for rewriting worker payloads on the way out.
+        self._redelivered_public: Dict[Tuple[str, str], str] = {}
+        #: Jobs that died with their worker when no redelivery target was
+        #: available (drain race): public id -> structured error dict.
+        self._lost: Dict[str, Dict[str, Any]] = {}
+        #: Public ids with a lazy result recovery in flight, so concurrent
+        #: polls don't double-dispatch the same replay.
+        self._recovering: Set[str] = set()
+        self._redeliveries = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "Supervisor":
         """Spawn all workers, wait for readiness, bind the public port."""
+        try:
+            self.journal = JobJournal.at(self.cache_dir)
+        except (StoreError, OSError):
+            self.journal = None  # durability degraded, serving continues
         self.workers = [
             WorkerHandle(worker_id=f"w{index}")
             for index in range(self.num_workers)
@@ -214,7 +238,13 @@ class Supervisor:
         return self
 
     async def stop(self) -> None:
-        """Graceful drain: close the public port, SIGTERM every worker."""
+        """Graceful drain: close the public port, SIGTERM every worker.
+
+        A worker that crashed while the drain was already underway gets no
+        replacement and no redelivery (the fleet is going away) — its
+        unfinished journal entries are settled as ``service-unavailable``
+        instead, so no accepted job is left in a non-terminal state.
+        """
         self.draining = True
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
@@ -231,9 +261,19 @@ class Supervisor:
                 with contextlib.suppress(asyncio.CancelledError):
                     await handle.stream_task
                 handle.stream_task = None
+        # Workers that died during the drain race: their in-memory jobs are
+        # unrecoverable now, so settle them before terminating the rest.
+        for handle in self.workers:
+            process = handle.process
+            if process is not None and process.returncode is not None:
+                await self._fail_lost(handle)
         await asyncio.gather(
             *(self._terminate(handle) for handle in self.workers)
         )
+        # Whatever is still journalled as unfinished (jobs the live workers
+        # failed during their own drain, whose terminal events we no longer
+        # observed) is equally dead with the fleet — settle it truthfully.
+        await self._settle_remaining_journal()
         if self._temp_cache is not None:
             self._temp_cache.cleanup()
             self._temp_cache = None
@@ -275,6 +315,15 @@ class Supervisor:
 
     async def _spawn(self, handle: WorkerHandle) -> None:
         """Start (or restart) the process behind *handle* and await readiness."""
+        if faults.ARMED:
+            try:
+                faults.fire("worker.spawn")
+            except faults.FaultInjectedError as error:
+                # Surface as the same ServiceError a real spawn failure
+                # produces so _restart's retry path handles both alike.
+                raise ServiceError(
+                    f"worker {handle.worker_id} spawn failed: {error}"
+                ) from error
         handle.port = _free_port()
         handle.healthy = False
         handle.missed_heartbeats = 0
@@ -366,16 +415,211 @@ class Supervisor:
             with contextlib.suppress(asyncio.CancelledError):
                 await handle.stream_task
             handle.stream_task = None
+        if self.draining:
+            # The fleet is going away; don't replace the worker, settle
+            # its unfinished jobs instead (see stop()).
+            await self._fail_lost(handle)
+            return
         try:
             await self._spawn(handle)
-        except ServiceError:  # pragma: no cover - respawn failure
+        except ServiceError:  # respawn failure (or injected spawn fault)
             handle.healthy = False
+            return
+        # The dead process took its in-memory jobs with it; every journal
+        # entry it owned that never reached a terminal state is replayed
+        # onto a live worker under the original public id.
+        await self._redeliver(handle.worker_id)
+
+    # ------------------------------------------------------------------
+    # Durable journal + redelivery
+    # ------------------------------------------------------------------
+    async def _journal_call(self, fn, *args) -> bool:
+        """Run one journal operation off-loop; False when it failed.
+
+        Journal failures degrade durability, never availability — the
+        submit/stream paths carry on and the error count is reported in
+        stats.
+        """
+        if self.journal is None:
+            return False
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, fn, *args)
+            return True
+        except StoreError:
+            self._journal_errors += 1
+            return False
+
+    def _public_id(self, worker_id: str, local_id: str) -> str:
+        """The public id for a worker-local job id (alias-aware)."""
+        return self._redelivered_public.get(
+            (worker_id, local_id), f"{worker_id}-{local_id}"
+        )
+
+    async def _redeliver(self, worker_id: str) -> None:
+        """Replay a dead worker's unfinished journal entries.
+
+        Each entry's original submit body is re-POSTed to a live worker
+        (possibly the restarted one) and the original public id is aliased
+        to the new worker-local id, so clients polling it never notice the
+        move beyond the job restarting.  At-least-once: a job whose
+        completion event was lost with the worker re-runs — the
+        fingerprint cache makes the repeat cheap.
+        """
+        if self.journal is None or self.draining:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            entries = await loop.run_in_executor(
+                None, self.journal.unfinished, worker_id
+            )
+        except StoreError:
+            self._journal_errors += 1
+            return
+        for entry in entries:
+            public_id = entry["public_id"]
+            if public_id in self._lost:
+                continue
+            try:
+                handle, status, envelope = await self._dispatch_submit(
+                    entry["body"]
+                )
+            except ServiceError as error:
+                # No live target right now; the entry stays unfinished and
+                # the next restart cycle tries again.
+                if isinstance(error, ServiceUnavailable):
+                    return
+                continue
+            payload = envelope.get("payload", {})
+            new_local = payload.get("job_id")
+            if status != 202 or not isinstance(new_local, str):
+                continue
+            self._aliases[public_id] = (handle.worker_id, new_local)
+            self._redelivered_public[(handle.worker_id, new_local)] = public_id
+            self._redeliveries += 1
+            await self._journal_call(
+                self.journal.redelivered, public_id, handle.worker_id,
+                new_local,
+            )
+
+    async def _recover_lost_result(
+        self, public_id: str
+    ) -> Optional[Tuple[WorkerHandle, str]]:
+        """Lazily replay a *finished* job whose outcome died with its worker.
+
+        Redelivery only covers non-terminal journal entries; a job that
+        reached DONE just before its worker was killed is terminal in the
+        journal but unknown to the restarted process, so polls for its id
+        would 404 forever.  When a poll hits that hole, re-dispatch the
+        original submit body (the fingerprint cache makes the repeat cheap)
+        and alias the public id to the new run.  Terminal *failures* are
+        replayed from the journal directly as their structured error.
+
+        Returns the new ``(handle, local_id)`` home, or ``None`` when the
+        caller should let the original not-found answer stand.
+        """
+        if self.journal is None or self.draining:
+            return None
+        if public_id in self._recovering:
+            return None
+        loop = asyncio.get_running_loop()
+        try:
+            entry = await loop.run_in_executor(
+                None, self.journal.get, public_id
+            )
+        except StoreError:
+            self._journal_errors += 1
+            return None
+        if entry is None or entry["state"] != JOURNAL_TERMINAL:
+            # Unknown id, or a non-terminal entry the redelivery sweep
+            # already owns — don't race it with a second dispatch.
+            return None
+        if entry["error_code"] is not None:
+            error = ServiceError(
+                f"job {public_id!r} failed before its worker died; "
+                "replaying its terminal error from the durable journal"
+            )
+            error.code = entry["error_code"]
+            raise error
+        self._recovering.add(public_id)
+        try:
+            try:
+                handle, status, envelope = await self._dispatch_submit(
+                    entry["body"]
+                )
+            except ServiceError:
+                return None
+            payload = envelope.get("payload", {})
+            new_local = payload.get("job_id")
+            if status != 202 or not isinstance(new_local, str):
+                return None
+            self._aliases[public_id] = (handle.worker_id, new_local)
+            self._redelivered_public[(handle.worker_id, new_local)] = public_id
+            self._redeliveries += 1
+            await self._journal_call(
+                self.journal.redelivered, public_id, handle.worker_id,
+                new_local,
+            )
+            return handle, new_local
+        finally:
+            self._recovering.discard(public_id)
+
+    async def _fail_lost(self, handle: WorkerHandle) -> None:
+        """Settle a dead worker's unfinished jobs when nothing can run them."""
+        if self.journal is None:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            entries = await loop.run_in_executor(
+                None, self.journal.unfinished, handle.worker_id
+            )
+        except StoreError:
+            self._journal_errors += 1
+            return
+        for entry in entries:
+            public_id = entry["public_id"]
+            error = ServiceUnavailable(
+                f"worker {handle.worker_id} died during drain; "
+                "job was not redelivered",
+                details={"job_id": public_id, "worker": handle.worker_id},
+            )
+            self._lost[public_id] = error.to_dict()
+            await self._journal_call(
+                self.journal.mark_terminal, public_id, error.code
+            )
+
+    async def _settle_remaining_journal(self) -> None:
+        """Mark every still-unfinished entry terminal at the end of a drain."""
+        if self.journal is None:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            entries = await loop.run_in_executor(None, self.journal.unfinished)
+        except StoreError:
+            self._journal_errors += 1
+            return
+        for entry in entries:
+            public_id = entry["public_id"]
+            error = ServiceUnavailable(
+                "supervisor drained before the job reached a terminal state",
+                details={"job_id": public_id},
+            )
+            self._lost.setdefault(public_id, error.to_dict())
+            await self._journal_call(
+                self.journal.mark_terminal, public_id, error.code
+            )
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _pick_worker(self) -> WorkerHandle:
-        candidates = [handle for handle in self.workers if handle.healthy]
+    def _pick_worker(
+        self, exclude: Optional[set] = None
+    ) -> WorkerHandle:
+        candidates = [
+            handle for handle in self.workers
+            if handle.healthy
+            and (exclude is None or handle.worker_id not in exclude)
+        ]
         if not candidates:
             raise ServiceUnavailable(
                 "no healthy worker available; retry shortly",
@@ -391,12 +635,31 @@ class Supervisor:
         return chosen
 
     def _worker_for_job(self, job_id: str) -> Tuple[WorkerHandle, str]:
+        alias = self._aliases.get(job_id)
+        if alias is not None:
+            alias_worker, alias_local = alias
+            for handle in self.workers:
+                if handle.worker_id == alias_worker:
+                    return handle, alias_local
         worker_id, _, local_id = job_id.partition("-")
+        from repro.service.errors import JobNotFoundError
+
+        # A restarted worker reuses its worker id and restarts its local
+        # job counter, so a redelivered job may occupy this worker-local
+        # slot under a *different* public id.  Routing the request through
+        # would hand the caller someone else's job; report not-found
+        # instead — the caller's own alias appears once redelivery
+        # reaches its journal entry, and clients already ride out the
+        # transient 404 window after a crash.
+        occupant = self._redelivered_public.get((worker_id, local_id))
+        if occupant is not None and occupant != job_id:
+            raise JobNotFoundError(
+                f"job id {job_id!r} is being redelivered after a worker "
+                "restart; retry shortly"
+            )
         for handle in self.workers:
             if handle.worker_id == worker_id and local_id:
                 return handle, local_id
-        from repro.service.errors import JobNotFoundError
-
         raise JobNotFoundError(
             f"unknown job id {job_id!r} (expected '<worker>-job-<n>')"
         )
@@ -407,7 +670,9 @@ class Supervisor:
         if isinstance(payload, dict) and isinstance(
             payload.get("job_id"), str
         ):
-            payload["job_id"] = f"{worker_id}-{payload['job_id']}"
+            # Redelivered jobs keep the public id they were first accepted
+            # under, wherever they run now.
+            payload["job_id"] = self._public_id(worker_id, payload["job_id"])
         return envelope
 
     async def _proxy(
@@ -418,14 +683,51 @@ class Supervisor:
         body: Optional[bytes] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         try:
+            if faults.ARMED:
+                mode = faults.fire("worker.dispatch")
+                if mode == "drop":
+                    raise ConnectionResetError("injected dispatch drop")
             status, _headers, raw = await wire.http_request(
                 "127.0.0.1", handle.port, method, target,
                 body=body, timeout=UPSTREAM_TIMEOUT,
             )
             return status, json.loads(raw)
-        except (ConnectionError, OSError, asyncio.TimeoutError,
-                ValueError) as error:
+        except (wire.RetryableWireError, ConnectionError, OSError,
+                asyncio.TimeoutError, ValueError) as error:
             raise _upstream_error(handle.worker_id, error) from error
+
+    async def _dispatch_submit(
+        self, body: bytes
+    ) -> Tuple[WorkerHandle, int, Dict[str, Any]]:
+        """POST one submit body to a worker, trying alternates on failure.
+
+        A worker that refuses or drops the connection (it may be mid-crash
+        between two heartbeats) is skipped and the submit retried on the
+        next least-loaded healthy worker, so one dying process does not
+        surface as a client-visible 502 when siblings could take the job.
+        """
+        tried: set = set()
+        last_error: Optional[ServiceError] = None
+        for _ in range(len(self.workers)):
+            try:
+                handle = self._pick_worker(exclude=tried)
+            except ServiceUnavailable as error:
+                if last_error is not None:
+                    raise last_error
+                raise error
+            try:
+                status, envelope = await self._proxy(
+                    handle, "POST", "/v1/jobs", body
+                )
+                return handle, status, envelope
+            except ServiceError as error:
+                if error.code != "upstream-failed":
+                    raise
+                tried.add(handle.worker_id)
+                last_error = error
+        raise last_error or ServiceUnavailable(
+            "no worker accepted the submission"
+        )
 
     # ------------------------------------------------------------------
     # Public HTTP surface
@@ -494,24 +796,60 @@ class Supervisor:
     ) -> Tuple[int, Dict[str, Any]]:
         path, method = request.path, request.method
         if path == "/v1/jobs" and method == "POST":
-            handle = self._pick_worker()
-            status, envelope = await self._proxy(
-                handle, "POST", "/v1/jobs", request.body
-            )
-            return status, self._prefix_job_ids(envelope, handle.worker_id)
-        if path.startswith("/v1/jobs/") and method == "GET":
+            return await self._submit(request)
+        if path.startswith("/v1/jobs/") and method in ("GET", "DELETE"):
             tail = path[len("/v1/jobs/"):]
             suffix = ""
-            if tail.endswith("/result"):
+            if method == "GET" and tail.endswith("/result"):
                 tail, suffix = tail[: -len("/result")], "/result"
-            handle, local_id = self._worker_for_job(tail)
-            target = f"/v1/jobs/{local_id}{suffix}"
-            if request.query:
-                pairs = "&".join(
-                    f"{key}={value}" for key, value in request.query.items()
+            lost = self._lost.get(tail)
+            if lost is not None:
+                # The job died with its worker and nothing could take it
+                # over; answer with its structured terminal error instead
+                # of a misleading 404/502.
+                envelope = ErrorEnvelope(
+                    error_code=lost.get("code", "service-unavailable"),
+                    message=lost.get("message", "job lost with its worker"),
+                    details=dict(lost.get("details", {})),
+                    http_status=503,
                 )
-                target = f"{target}?{pairs}"
-            status, envelope = await self._proxy(handle, "GET", target)
+                return 503, envelope.to_wire()
+            from repro.service.errors import JobNotFoundError
+
+            try:
+                handle, local_id = self._worker_for_job(tail)
+            except JobNotFoundError:
+                if method != "GET":
+                    raise
+                recovered = await self._recover_lost_result(tail)
+                if recovered is None:
+                    raise
+                handle, local_id = recovered
+
+            def _target(local: str) -> str:
+                target = f"/v1/jobs/{local}{suffix}"
+                if request.query:
+                    pairs = "&".join(
+                        f"{key}={value}"
+                        for key, value in request.query.items()
+                    )
+                    target = f"{target}?{pairs}"
+                return target
+
+            status, envelope = await self._proxy(
+                handle, method, _target(local_id),
+                request.body if method == "DELETE" else None,
+            )
+            if status == 404 and method == "GET":
+                # The worker doesn't know the job — usually a restarted
+                # process asked about a job that finished on its previous
+                # incarnation.  Replay from the journal and re-ask once.
+                recovered = await self._recover_lost_result(tail)
+                if recovered is not None:
+                    handle, local_id = recovered
+                    status, envelope = await self._proxy(
+                        handle, "GET", _target(local_id), None
+                    )
             return status, self._prefix_job_ids(envelope, handle.worker_id)
         if path == "/v1/stats" and method == "GET":
             return await self._stats()
@@ -532,6 +870,47 @@ class Supervisor:
         not_found = ServiceError(f"no such endpoint: {method} {path}")
         not_found.code = "not-found"
         raise not_found
+
+    async def _submit(
+        self, request: wire.HTTPRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Accept one submission: journal first, then dispatch.
+
+        The body is journalled under a provisional id *before* any worker
+        sees it, then re-keyed to the public id the dispatch produced —
+        so from the moment a client could ever learn a job id, the submit
+        is durable and redeliverable.
+        """
+        provisional: Optional[str] = None
+        if self.journal is not None:
+            self._submit_seq += 1
+            provisional = f"pending-{os.getpid()}-{self._submit_seq:06d}"
+            await self._journal_call(
+                self.journal.record, provisional, request.body
+            )
+        try:
+            handle, status, envelope = await self._dispatch_submit(
+                request.body
+            )
+        except ServiceError as error:
+            if provisional is not None:
+                await self._journal_call(
+                    self.journal.mark_terminal, provisional, error.code
+                )
+            raise
+        payload = envelope.get("payload", {})
+        local_id = payload.get("job_id")
+        if status == 202 and isinstance(local_id, str) and self.journal is not None:
+            public_id = f"{handle.worker_id}-{local_id}"
+            await self._journal_call(
+                self.journal.record, public_id, request.body
+            )
+            await self._journal_call(
+                self.journal.assign, public_id, handle.worker_id, local_id
+            )
+        if provisional is not None:
+            await self._journal_call(self.journal.discard, provisional)
+        return status, self._prefix_job_ids(envelope, handle.worker_id)
 
     async def _stats(self) -> Tuple[int, Dict[str, Any]]:
         per_worker: Dict[str, Any] = {}
@@ -557,6 +936,10 @@ class Supervisor:
             "queue_depth": sum(handle.queue_depth for handle in self.workers),
             "in_flight": sum(handle.in_flight for handle in self.workers),
             "requests_served": self._requests_served,
+            "redeliveries": self._redeliveries,
+            "journal_enabled": self.journal is not None,
+            "journal_errors": self._journal_errors,
+            "lost_jobs": len(self._lost),
             "uptime_seconds": (
                 time.monotonic() - self.started_at
                 if self.started_at is not None
@@ -676,12 +1059,28 @@ class Supervisor:
                         envelope = json.loads(message)
                     except ValueError:
                         continue
-                    self._broadcast(
-                        self._prefix_job_ids(envelope, handle.worker_id)
+                    envelope = self._prefix_job_ids(
+                        envelope, handle.worker_id
                     )
+                    self._broadcast(envelope)
+                    await self._note_terminal(envelope)
             finally:
                 await ws.close()
             await asyncio.sleep(HEARTBEAT_INTERVAL)
+
+    async def _note_terminal(self, envelope: Dict[str, Any]) -> None:
+        """Settle the journal entry behind a done/failed stream event."""
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            return
+        if payload.get("status") not in ("done", "failed"):
+            return
+        job_id = payload.get("job_id")
+        if not isinstance(job_id, str) or self.journal is None:
+            return
+        await self._journal_call(
+            self.journal.mark_terminal, job_id, payload.get("error_code")
+        )
 
     def _broadcast(self, envelope: Dict[str, Any]) -> None:
         self._stream_seq += 1

@@ -32,15 +32,23 @@ import base64
 import hashlib
 import json
 import os
+import random
 import struct
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import unquote, urlsplit
 
+from repro import faults
 from repro.server.protocol import ProtocolError
 
 #: Upper bound on one request's header block.
 MAX_HEADER_BYTES = 64 * 1024
+
+#: Base of the jittered exponential backoff between client retries.
+RETRY_BACKOFF_BASE_SECONDS = 0.1
+
+#: Upper bound on any single retry pause.
+RETRY_BACKOFF_CAP_SECONDS = 2.0
 
 #: Upper bound on one request/response body (QASM sources are small).
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -57,8 +65,9 @@ _REASONS = {
     101: "Switching Protocols", 200: "OK", 202: "Accepted",
     400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
     408: "Request Timeout", 409: "Conflict", 411: "Length Required",
-    413: "Payload Too Large", 500: "Internal Server Error",
-    502: "Bad Gateway", 503: "Service Unavailable",
+    413: "Payload Too Large", 499: "Client Closed Request",
+    500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
@@ -72,6 +81,42 @@ class WireError(Exception):
     def __init__(self, message: str, status: int = 400):
         super().__init__(message)
         self.status = status
+
+
+class RetryableWireError(WireError):
+    """A transport-level failure that a fresh attempt may well fix.
+
+    Raised by the client helpers when the TCP layer fails (connection
+    refused/reset, stream truncated) — conditions a fleet produces
+    routinely during worker restarts.  Callers distinguish "retry this"
+    (here) from "the peer is speaking garbage" (plain :class:`WireError`)
+    by type, not by parsing messages.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, status: int = 503):
+        super().__init__(message, status=status)
+
+
+def _retryable(error: BaseException) -> bool:
+    """Whether a client-side attempt failure is worth retrying."""
+    if isinstance(error, (ConnectionError, asyncio.IncompleteReadError)):
+        return True
+    if isinstance(error, WireError):
+        # 502-family wire errors are truncated/refused upstream streams;
+        # anything else (malformed peer output) will not improve on retry.
+        return error.status in (502, 503)
+    return isinstance(error, OSError)
+
+
+async def _backoff(attempt: int) -> None:
+    """Sleep the jittered exponential backoff for retry number *attempt*."""
+    pause = min(
+        RETRY_BACKOFF_CAP_SECONDS,
+        RETRY_BACKOFF_BASE_SECONDS * (2 ** (attempt - 1)),
+    )
+    await asyncio.sleep(pause * (0.5 + random.random() / 2.0))
 
 
 @dataclass
@@ -261,14 +306,25 @@ async def http_request(
     body: Optional[bytes] = None,
     headers: Optional[Dict[str, str]] = None,
     timeout: float = 30.0,
+    retries: int = 0,
 ) -> Tuple[int, Dict[str, str], bytes]:
     """Run one HTTP/1.1 request; returns ``(status, headers, body)``.
 
     One connection per request (``Connection: close``) — the proxy hop is
     local, so connection reuse buys little and error handling stays simple.
+
+    Transport failures (refused/reset connections, truncated streams) are
+    raised as :class:`RetryableWireError` so callers see a structured,
+    explicitly-retryable condition instead of a raw :class:`ConnectionError`.
+    With ``retries > 0`` the helper performs that many additional attempts
+    itself, spaced by jittered exponential backoff, before giving up.
     """
 
     async def _run() -> Tuple[int, Dict[str, str], bytes]:
+        if faults.ARMED:
+            mode = faults.fire("wire.write")
+            if mode == "drop":
+                raise RetryableWireError("injected fault dropped the request")
         reader, writer = await asyncio.open_connection(host, port)
         try:
             payload = body or b""
@@ -286,7 +342,14 @@ async def http_request(
                 ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
             )
             await writer.drain()
-            return await _read_response(reader)
+            status, response_headers, response_body = await _read_response(reader)
+            if faults.ARMED:
+                mode = faults.fire("wire.read")
+                if mode == "drop":
+                    raise RetryableWireError("injected fault dropped the response")
+                if mode == "corrupt":
+                    response_body = faults.mangle("wire.read", response_body)
+            return status, response_headers, response_body
         finally:
             writer.close()
             try:
@@ -294,7 +357,26 @@ async def http_request(
             except (ConnectionError, OSError):  # pragma: no cover - teardown
                 pass
 
-    return await asyncio.wait_for(_run(), timeout)
+    attempt = 0
+    while True:
+        try:
+            return await asyncio.wait_for(_run(), timeout)
+        except RetryableWireError as error:
+            last_error: BaseException = error
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as error:
+            last_error = error
+        except WireError as error:
+            if not _retryable(error):
+                raise
+            last_error = error
+        if attempt >= retries:
+            if isinstance(last_error, RetryableWireError):
+                raise last_error
+            raise RetryableWireError(
+                f"request to {host}:{port} failed: {last_error}"
+            ) from last_error
+        attempt += 1
+        await _backoff(attempt)
 
 
 # ----------------------------------------------------------------------
@@ -351,8 +433,20 @@ class WebSocketConnection:
         await self.writer.drain()
 
     async def send_text(self, text: str) -> None:
-        """Send one unfragmented text frame."""
-        await self._send(OP_TEXT, text.encode("utf-8"))
+        """Send one unfragmented text frame.
+
+        Under an armed ``wire.write`` fault in ``drop`` mode the frame is
+        silently discarded — the lost-event case stream consumers must
+        recover from via the ``?since`` replay cursor.
+        """
+        payload = text.encode("utf-8")
+        if faults.ARMED:
+            mode = faults.fire("wire.write")
+            if mode == "drop":
+                return
+            if mode == "corrupt":
+                payload = faults.mangle("wire.write", payload)
+        await self._send(OP_TEXT, payload)
 
     async def send_ping(self, payload: bytes = b"") -> None:
         await self._send(OP_PING, payload)
@@ -418,6 +512,16 @@ class WebSocketConnection:
             if opcode in (OP_TEXT, OP_BINARY):
                 if fragmented:
                     raise WireError("interleaved websocket fragments")
+                if faults.ARMED:
+                    try:
+                        mode = faults.fire("wire.read")
+                    except faults.FaultInjectedError:
+                        # Model a torn connection: consumers see the same
+                        # clean end-of-stream a real reset produces.
+                        self.closed = True
+                        return None
+                    if mode == "drop":
+                        continue  # injected receive-side frame loss
                 buffer = payload
                 if fin:
                     return buffer.decode("utf-8", errors="replace")
@@ -449,12 +553,15 @@ class WebSocketConnection:
 
 
 async def open_websocket(
-    host: str, port: int, path: str, *, timeout: float = 10.0
+    host: str, port: int, path: str, *, timeout: float = 10.0, retries: int = 0
 ) -> WebSocketConnection:
     """Open a client WebSocket to ``ws://host:port{path}``.
 
     Performs the HTTP upgrade handshake (including the accept-key check)
-    and returns the framed connection.
+    and returns the framed connection.  Transport failures surface as
+    :class:`RetryableWireError`; with ``retries > 0`` the helper re-attempts
+    the handshake that many times with jittered backoff first — stream
+    consumers that track a ``?since`` cursor lose nothing across the gap.
     """
 
     async def _run() -> WebSocketConnection:
@@ -496,14 +603,39 @@ async def open_websocket(
             raise WireError("websocket accept key mismatch", status=502)
         return WebSocketConnection(reader, writer, client=True)
 
-    return await asyncio.wait_for(_run(), timeout)
+    attempt = 0
+    while True:
+        try:
+            return await asyncio.wait_for(_run(), timeout)
+        except (
+            RetryableWireError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            OSError,
+        ) as error:
+            last_error: BaseException = error
+        except WireError as error:
+            if not _retryable(error):
+                raise
+            last_error = error
+        if attempt >= retries:
+            if isinstance(last_error, RetryableWireError):
+                raise last_error
+            raise RetryableWireError(
+                f"websocket to {host}:{port}{path} failed: {last_error}"
+            ) from last_error
+        attempt += 1
+        await _backoff(attempt)
 
 
 __all__ = [
     "MAX_HEADER_BYTES",
     "MAX_BODY_BYTES",
+    "RETRY_BACKOFF_BASE_SECONDS",
+    "RETRY_BACKOFF_CAP_SECONDS",
     "WEBSOCKET_GUID",
     "WireError",
+    "RetryableWireError",
     "HTTPRequest",
     "read_request",
     "serialize_response",

@@ -79,6 +79,28 @@ class ServiceStateError(ServiceError):
     code = "service-state"
 
 
+class DeadlineExceededError(ServiceError):
+    """A job's server-side ``time_limit`` elapsed before a result was found.
+
+    The deadline is enforced cooperatively: the running solver is
+    interrupted at its next conflict boundary, so the job fails promptly
+    instead of running an unbounded exact search to completion.
+    """
+
+    code = "deadline-exceeded"
+
+
+class JobCancelledError(ServiceError):
+    """The job was cancelled by an explicit client request.
+
+    Raised for jobs cancelled while queued (never started) and for running
+    jobs whose solver was cooperatively interrupted via
+    ``DELETE /v1/jobs/{id}`` or :meth:`MappingService.cancel`.
+    """
+
+    code = "job-cancelled"
+
+
 class ServiceUnavailable(ServiceError):
     """The service is shutting down (or overloaded) and cannot take the job.
 
@@ -94,7 +116,9 @@ class ServiceUnavailable(ServiceError):
 
 __all__ = [
     "ServiceError",
+    "DeadlineExceededError",
     "InvalidResultError",
+    "JobCancelledError",
     "JobNotFoundError",
     "MappingFailedError",
     "RoutingError",

@@ -62,8 +62,11 @@ from repro.pipeline.bounds import (
 )
 from repro.pipeline.pipeline import MappingPipeline
 from repro.pipeline.registry import resolve_mapper_name
+from repro.sat.control import SolveControl
 from repro.service.errors import (
+    DeadlineExceededError,
     InvalidResultError,
+    JobCancelledError,
     JobNotFoundError,
     MappingFailedError,
     RoutingError,
@@ -109,6 +112,11 @@ class Job:
         error: The structured failure once ``failed``.
         provenance: How the result came to be (cache hit/miss, coalescing,
             batch size, elapsed seconds, ...).
+        time_limit: Optional server-enforced wall-clock budget in seconds
+            (from the submit options); the job fails with
+            ``deadline-exceeded`` when it elapses first.
+        control: Cooperative cancellation token shared with every solver
+            the job's mapping work creates.
     """
 
     job_id: str
@@ -123,6 +131,10 @@ class Job:
     provenance: Dict[str, Any] = field(default_factory=dict)
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
     followers: List["Job"] = field(default_factory=list)
+    time_limit: Optional[float] = None
+    control: SolveControl = field(default_factory=SolveControl)
+    cancel_requested: bool = False
+    deadline_handle: Optional[Any] = None
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready status view of the job."""
@@ -284,10 +296,11 @@ class MappingService:
            from the moment ``stop`` is entered.
         2. Dispatching stops — no queued job is promoted to ``running``
            any more.
-        3. Every already-*running* batch is awaited to completion (the
-           pipeline offers no safe mid-solve cancellation), and its results
-           are written to the store before the jobs complete — there is
-           nothing left to flush afterwards.
+        3. Every already-*running* batch is awaited to completion, and its
+           results are written to the store before the jobs complete — there
+           is nothing left to flush afterwards.  (Individual jobs *can* be
+           interrupted mid-solve via :meth:`cancel`; a drain deliberately
+           lets running work finish instead.)
         4. Jobs still ``queued`` (never dispatched) are failed with a
            structured :class:`ServiceUnavailable`; no job is ever left in a
            non-terminal state, so ``result()`` waiters always wake up.
@@ -414,6 +427,18 @@ class MappingService:
         job_engine = self.engine if engine is None else resolve_mapper_name(engine)
         job_options = dict(self.engine_options)
         job_options.update(options or {})
+        # ``time_limit`` is a *serving* concern, enforced here with a
+        # deadline watchdog plus cooperative solver interrupts — it is
+        # popped before fingerprinting so a cached result (solved under any
+        # or no budget) still satisfies a budgeted resubmission.
+        time_limit = job_options.pop("time_limit", None)
+        if time_limit is not None:
+            time_limit = float(time_limit)
+            if time_limit <= 0:
+                raise ServiceStateError(
+                    "time_limit must be positive",
+                    details={"time_limit": time_limit},
+                )
         arch_name, coupling = self.route(circuit, arch)
         fingerprint = job_fingerprint(circuit, coupling, job_engine, job_options)
         job = Job(
@@ -423,6 +448,7 @@ class MappingService:
             arch_name=arch_name,
             engine=job_engine,
             options=job_options,
+            time_limit=time_limit,
         )
         job.provenance.update(
             {
@@ -435,6 +461,11 @@ class MappingService:
         self._jobs[job.job_id] = job
         self._counters["submitted"] += 1
         self._engine_counter(job_engine, "submitted")
+        if time_limit is not None:
+            job.provenance["time_limit"] = time_limit
+            job.deadline_handle = asyncio.get_running_loop().call_later(
+                time_limit, self._expire_job, job
+            )
         self._emit(job)
 
         # The store may do SQLite I/O (and wait on another writer's file
@@ -508,6 +539,51 @@ class MappingService:
             raise job.error
         assert job.result is not None
         return job.result
+
+    # ------------------------------------------------------------------
+    # Cancellation and deadlines
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str, reason: Optional[str] = None) -> Dict[str, Any]:
+        """Cancel a job: interrupt its solvers, fail it with ``job-cancelled``.
+
+        Queued jobs never start; running jobs are interrupted cooperatively
+        at the solvers' next conflict boundary (engines without cooperative
+        support finish their computation, but the job is failed immediately
+        and the late result discarded).  Cancelling a terminal job is an
+        idempotent no-op.  Returns the job's status snapshot.
+
+        Raises:
+            JobNotFoundError: Unknown job id.
+        """
+        job = self._job(job_id)
+        if job.status in (DONE, FAILED):
+            return job.snapshot()
+        job.cancel_requested = True
+        job.provenance["cancelled"] = True
+        job.control.cancel()
+        self._fail(
+            job,
+            JobCancelledError(
+                reason or "job cancelled by client request",
+                details={"job_id": job.job_id},
+            ),
+        )
+        return job.snapshot()
+
+    def _expire_job(self, job: Job) -> None:
+        """Deadline watchdog callback: enforce the job's ``time_limit``."""
+        if job.status in (DONE, FAILED):
+            return
+        job.provenance["deadline_enforced"] = True
+        job.control.cancel()
+        self._fail(
+            job,
+            DeadlineExceededError(
+                f"time_limit of {job.time_limit}s elapsed before a result "
+                "was found",
+                details={"job_id": job.job_id, "time_limit": job.time_limit},
+            ),
+        )
 
     def stats(self) -> Dict[str, Any]:
         """Service-level counters, load gauges and latency quantiles.
@@ -662,6 +738,11 @@ class MappingService:
                     self._fail(job, failure)
 
     async def _map_group(self, coupling: CouplingMap, jobs: List[Job]) -> None:
+        # A job may already be terminal by dispatch time (cancelled, or its
+        # deadline fired while it sat in the queue) — never (re)start those.
+        jobs = [job for job in jobs if job.status == QUEUED]
+        if not jobs:
+            return
         for job in jobs:
             job.status = RUNNING
             self._in_flight += 1
@@ -684,6 +765,7 @@ class MappingService:
                     pipeline.map_many,
                     [job.circuit for job in jobs],
                     workers=self.workers,
+                    controls=[job.control for job in jobs],
                 ),
             )
         except Exception as error:  # noqa: BLE001 - surfaced per job
@@ -696,6 +778,10 @@ class MappingService:
             return
         elapsed = time.monotonic() - start
         for job, item in zip(jobs, items):
+            if job.status in (DONE, FAILED):
+                # Cancelled or deadline-failed while solving: the batch
+                # item (however it ended) is no longer this job's answer.
+                continue
             if item.ok:
                 try:
                     await loop.run_in_executor(
@@ -716,6 +802,11 @@ class MappingService:
                     # fail a successfully solved job — the result is simply
                     # not cached this time.
                     job.provenance["store_error"] = error.to_dict()
+                if getattr(self.store, "degraded", False):
+                    # The store's circuit breaker is open: the result was
+                    # kept in memory only.  Say so truthfully instead of
+                    # implying durable caching.
+                    job.provenance["store_degraded"] = True
                 self._counters["solved"] += 1
                 statistics = item.result.statistics
                 if "external_bound" in statistics:
@@ -769,6 +860,10 @@ class MappingService:
     def _complete(
         self, job: Job, result: MappingResult, *, cache_hit: bool, elapsed: float
     ) -> None:
+        if job.status in (DONE, FAILED):
+            # Already terminal (cancelled / deadline-failed) — a late batch
+            # result must not resurrect the job or double-count gauges.
+            return
         if job.status == RUNNING:
             self._in_flight -= 1
         if not cache_hit and job.status == RUNNING:
@@ -779,6 +874,7 @@ class MappingService:
             {"cache_hit": cache_hit, "elapsed_seconds": elapsed}
         )
         self._latencies.append(elapsed)
+        self._settle(job)
         job.done_event.set()
         self._emit(job)
         self._release(job)
@@ -791,11 +887,14 @@ class MappingService:
         job.followers = []
 
     def _fail(self, job: Job, error: ServiceError) -> None:
+        if job.status in (DONE, FAILED):
+            return
         if job.status == RUNNING:
             self._in_flight -= 1
         job.error = error
         job.status = FAILED
         job.provenance["cache_hit"] = False
+        self._settle(job)
         job.done_event.set()
         self._counters["failed"] += 1
         self._engine_counter(job.engine, "failed")
@@ -804,6 +903,17 @@ class MappingService:
         for follower in job.followers:
             self._fail(follower, error)
         job.followers = []
+
+    def _settle(self, job: Job) -> None:
+        """Terminal-state housekeeping shared by completion and failure.
+
+        Disarms the deadline watchdog and drops the control token's solver
+        references so solver arenas never outlive their job's run.
+        """
+        if job.deadline_handle is not None:
+            job.deadline_handle.cancel()
+            job.deadline_handle = None
+        job.control.release()
 
     def _release(self, job: Job) -> None:
         if self._primary_by_fp.get(job.fingerprint) is job:

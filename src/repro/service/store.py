@@ -58,6 +58,7 @@ degrades to no artifact seeding on the far side).
 from __future__ import annotations
 
 import json
+import random
 import sqlite3
 import threading
 import time
@@ -65,11 +66,26 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import faults
 from repro.exact.result import MappingResult
 from repro.service.errors import InvalidResultError, StoreError
 
 #: How long concurrent writers wait on SQLite's file lock before failing.
 SQLITE_TIMEOUT_SECONDS = 30.0
+
+#: Bounded in-process retries when SQLite reports a transient busy/locked
+#: condition (on top of SQLite's own file-lock wait above).
+BUSY_RETRY_LIMIT = 3
+
+#: Base of the jittered exponential backoff between busy retries.
+BUSY_RETRY_BASE_SECONDS = 0.02
+
+#: Consecutive hard disk failures that open the circuit breaker.
+BREAKER_THRESHOLD = 3
+
+#: How long an open breaker keeps the store memory-only before the next
+#: disk attempt is allowed through.
+BREAKER_COOLDOWN_SECONDS = 30.0
 
 #: Default capacity of the in-memory LRU tier.
 DEFAULT_MEMORY_ENTRIES = 256
@@ -114,6 +130,29 @@ MAX_ARTIFACT_CLAUSES = 4096
 
 #: Per-orientation bound entries kept per artifact row.
 MAX_ARTIFACT_BOUNDS = 8
+
+
+def _transient_disk_error(error: BaseException) -> bool:
+    """Whether *error* is worth an in-process retry.
+
+    Injected faults always are (the chaos harness models transient
+    infrastructure failures); of SQLite's errors only the busy/locked
+    contention family is — schema or corruption errors would fail the
+    retry identically.
+    """
+    if isinstance(error, faults.FaultInjectedError):
+        return True
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def _retry_pause(attempt: int) -> None:
+    """Sleep the jittered exponential backoff for retry number *attempt*."""
+    time.sleep(
+        BUSY_RETRY_BASE_SECONDS * (2 ** (attempt - 1)) * (0.5 + random.random() / 2.0)
+    )
 
 
 class _MemoryEntry:
@@ -189,7 +228,14 @@ class ResultStore:
             "artifact_puts": 0,
             "artifact_corrupt_dropped": 0,
             "artifact_expired_dropped": 0,
+            "disk_errors": 0,
+            "busy_retries": 0,
+            "breaker_trips": 0,
         }
+        #: Circuit-breaker state: consecutive hard failures, and the wall
+        #: clock until which the disk tier is bypassed (0.0 = closed).
+        self._disk_failures = 0
+        self._degraded_until = 0.0
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self._connect() as conn:
@@ -213,6 +259,62 @@ class ResultStore:
     def _connect(self) -> sqlite3.Connection:
         assert self.path is not None
         return sqlite3.connect(str(self.path), timeout=SQLITE_TIMEOUT_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Disk-failure circuit breaker
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the breaker is open (disk bypassed; memory tier only).
+
+        The store trips after :data:`BREAKER_THRESHOLD` consecutive hard
+        disk failures and stays memory-only for
+        :data:`BREAKER_COOLDOWN_SECONDS`, so a sick database file degrades
+        caching instead of stalling every job on retries.  The service
+        layer stamps ``store_degraded`` into job provenance while this is
+        True, keeping the degradation visible to clients.
+        """
+        with self._lock:
+            return time.time() < self._degraded_until
+
+    def _disk_ok(self) -> None:
+        with self._lock:
+            self._disk_failures = 0
+
+    def _disk_failed(self) -> None:
+        with self._lock:
+            self._disk_failures += 1
+            self._stats["disk_errors"] += 1
+            if self._disk_failures >= BREAKER_THRESHOLD:
+                self._degraded_until = time.time() + BREAKER_COOLDOWN_SECONDS
+                self._disk_failures = 0
+                self._stats["breaker_trips"] += 1
+
+    def _run_disk(self, point: str, operation):
+        """Run one disk operation under the retry/breaker policy.
+
+        Transient conditions (SQLite busy/locked contention and armed
+        ``store.*`` fault points) get :data:`BUSY_RETRY_LIMIT` jittered
+        retries; exhaustion or a hard error feeds the breaker and
+        re-raises for the caller to map into its own failure contract.
+        """
+        attempt = 0
+        while True:
+            try:
+                if faults.ARMED:
+                    faults.fire(point)
+                result = operation()
+            except (sqlite3.Error, faults.FaultInjectedError) as error:
+                if _transient_disk_error(error) and attempt < BUSY_RETRY_LIMIT:
+                    attempt += 1
+                    with self._lock:
+                        self._stats["busy_retries"] += 1
+                    _retry_pause(attempt)
+                    continue
+                self._disk_failed()
+                raise
+            self._disk_ok()
+            return result
 
     def _expired(self, created_at: float, now: Optional[float] = None) -> bool:
         if self.ttl_seconds is None:
@@ -246,10 +348,15 @@ class ResultStore:
 
     def _delete_row(self, fingerprint: str) -> None:
         if self.path is not None:
-            with self._connect() as conn:
-                conn.execute(
-                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
-                )
+            try:
+                with self._connect() as conn:
+                    conn.execute(
+                        "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                    )
+            except sqlite3.Error:
+                # Purges are advisory — a failed one just leaves a row the
+                # next reader will re-attempt to drop.
+                pass
 
     def _delete_expired_row(self, fingerprint: str) -> None:
         """Purge a row only while it is actually expired.
@@ -262,11 +369,14 @@ class ResultStore:
         cutoff = self._cutoff()
         if cutoff is None or self.path is None:
             return
-        with self._connect() as conn:
-            conn.execute(
-                "DELETE FROM results WHERE fingerprint = ? AND created_at <= ?",
-                (fingerprint, cutoff),
-            )
+        try:
+            with self._connect() as conn:
+                conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ? AND created_at <= ?",
+                    (fingerprint, cutoff),
+                )
+        except sqlite3.Error:
+            pass  # advisory purge; see _delete_row
 
     # ------------------------------------------------------------------
     def put(
@@ -303,8 +413,10 @@ class ResultStore:
                 ) from error
         payload = json.dumps(result.to_dict())
         created_at = time.time()
-        if self.path is not None:
-            try:
+        store_error: Optional[StoreError] = None
+        if self.path is not None and not self.degraded:
+
+            def _write() -> None:
                 with self._connect() as conn:
                     conn.execute(
                         "INSERT OR REPLACE INTO results "
@@ -322,14 +434,23 @@ class ResultStore:
                             arch_fp,
                         ),
                     )
-            except sqlite3.Error as error:
-                raise StoreError(
+
+            try:
+                self._run_disk("store.put", _write)
+            except (sqlite3.Error, faults.FaultInjectedError) as error:
+                store_error = StoreError(
                     f"failed to persist result: {error}",
                     details={"fingerprint": fingerprint, "path": str(self.path)},
-                ) from error
+                )
+                store_error.__cause__ = error
+        # The memory tier is populated even when the disk write failed —
+        # that *is* the degraded mode the breaker promises: same-process
+        # lookups keep hitting while the database is sick.
         self._memory_put(fingerprint, result, created_at, circuit_fp, arch_fp)
         with self._lock:
             self._stats["puts"] += 1
+        if store_error is not None:
+            raise store_error
 
     def get(self, fingerprint: str) -> Optional[MappingResult]:
         """The cached result for *fingerprint*, or ``None``.
@@ -357,13 +478,22 @@ class ResultStore:
                 # Then fall through to the disk read below, which serves
                 # exactly such a refreshed row instead of reporting a miss.
                 self._delete_expired_row(fingerprint)
-        if self.path is not None:
-            with self._connect() as conn:
-                row = conn.execute(
-                    "SELECT payload, created_at, circuit_fp, arch_fp "
-                    "FROM results WHERE fingerprint = ?",
-                    (fingerprint,),
-                ).fetchone()
+        if self.path is not None and not self.degraded:
+
+            def _read():
+                with self._connect() as conn:
+                    return conn.execute(
+                        "SELECT payload, created_at, circuit_fp, arch_fp "
+                        "FROM results WHERE fingerprint = ?",
+                        (fingerprint,),
+                    ).fetchone()
+
+            try:
+                row = self._run_disk("store.get", _read)
+            except (sqlite3.Error, faults.FaultInjectedError):
+                # A sick disk tier reads as a miss (the caller re-solves);
+                # the failure was counted toward the breaker above.
+                row = None
             if row is not None:
                 if self._expired(row[1]):
                     self._delete_expired_row(fingerprint)
@@ -859,6 +989,7 @@ class ResultStore:
             stats["memory_entries"] = len(self._memory)
         stats["persistent"] = self.path is not None
         stats["ttl_seconds"] = self.ttl_seconds
+        stats["degraded"] = self.degraded
         if self.path is not None:
             stats["disk_entries"] = len(self)
         rows, size = self.artifact_rows()
@@ -1024,11 +1155,192 @@ class ArtifactCache:
         store.put_artifact(skeleton_key, payload)
 
 
+_JOURNAL_SCHEMA = """
+CREATE TABLE IF NOT EXISTS job_journal (
+    public_id    TEXT PRIMARY KEY,
+    body         BLOB NOT NULL,
+    worker_id    TEXT,
+    local_id     TEXT,
+    state        TEXT NOT NULL,
+    error_code   TEXT,
+    redeliveries INTEGER NOT NULL DEFAULT 0,
+    created_at   REAL NOT NULL,
+    updated_at   REAL NOT NULL
+)
+"""
+
+#: Journal entry lifecycle states.  ``accepted`` means the submit body is
+#: durable but no worker owns it yet; ``dispatched`` means a worker was
+#: assigned; ``terminal`` means the job reached DONE or FAILED and must
+#: never be redelivered.
+JOURNAL_ACCEPTED = "accepted"
+JOURNAL_DISPATCHED = "dispatched"
+JOURNAL_TERMINAL = "terminal"
+
+
+class JobJournal:
+    """Durable at-least-once journal of accepted submits.
+
+    The supervisor records every accepted submit here *before* dispatching
+    it to a worker, and marks the entry terminal when the job completes or
+    fails.  When a worker dies, its non-terminal entries are the exact
+    set of jobs that must be redelivered to a live worker — under the same
+    public job id, so clients polling ``GET /v1/jobs/{id}`` never see an
+    accepted job vanish.
+
+    The journal shares the supervisor's ``results.sqlite`` file (one
+    durable surface per cache directory) but owns its own table and
+    connection discipline: connection-per-operation, bounded busy retries,
+    and failures surfacing as :class:`StoreError` for the caller to treat
+    as "durability degraded" rather than "service down".
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            with self._connect() as conn:
+                conn.execute(_JOURNAL_SCHEMA)
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"failed to open job journal: {error}",
+                details={"path": str(self.path)},
+            ) from error
+
+    @classmethod
+    def at(cls, cache_dir) -> "JobJournal":
+        """The journal for a cache *directory* (``<dir>/results.sqlite``)."""
+        return cls(Path(cache_dir) / RESULTS_DB_NAME)
+
+    def _connect(self) -> sqlite3.Connection:
+        return sqlite3.connect(str(self.path), timeout=SQLITE_TIMEOUT_SECONDS)
+
+    def _execute(self, sql: str, params: Tuple = ()) -> List[Tuple]:
+        """Run one statement with busy retries and the journal fault point."""
+        attempt = 0
+        while True:
+            try:
+                if faults.ARMED:
+                    faults.fire("store.journal")
+                with self._connect() as conn:
+                    return conn.execute(sql, params).fetchall()
+            except (sqlite3.Error, faults.FaultInjectedError) as error:
+                if _transient_disk_error(error) and attempt < BUSY_RETRY_LIMIT:
+                    attempt += 1
+                    _retry_pause(attempt)
+                    continue
+                raise StoreError(
+                    f"journal operation failed: {error}",
+                    details={"path": str(self.path)},
+                ) from error
+
+    # ------------------------------------------------------------------
+    def record(self, public_id: str, body: bytes) -> None:
+        """Persist an accepted submit *before* it is dispatched anywhere.
+
+        *body* is the raw submit envelope exactly as the client sent it —
+        replaying it through a worker's submit path reproduces the job
+        (same fingerprints, same options) without re-deriving anything.
+        """
+        now = time.time()
+        self._execute(
+            "INSERT OR REPLACE INTO job_journal "
+            "(public_id, body, worker_id, local_id, state, error_code, "
+            " redeliveries, created_at, updated_at) "
+            "VALUES (?, ?, NULL, NULL, ?, NULL, 0, ?, ?)",
+            (public_id, sqlite3.Binary(body), JOURNAL_ACCEPTED, now, now),
+        )
+
+    def assign(self, public_id: str, worker_id: str, local_id: str) -> None:
+        """Record which worker owns the job and its worker-local id."""
+        self._execute(
+            "UPDATE job_journal SET worker_id = ?, local_id = ?, state = ?, "
+            "updated_at = ? WHERE public_id = ?",
+            (worker_id, local_id, JOURNAL_DISPATCHED, time.time(), public_id),
+        )
+
+    def redelivered(self, public_id: str, worker_id: str, local_id: str) -> None:
+        """Re-assign after a worker death (bumps the redelivery counter)."""
+        self._execute(
+            "UPDATE job_journal SET worker_id = ?, local_id = ?, state = ?, "
+            "redeliveries = redeliveries + 1, updated_at = ? "
+            "WHERE public_id = ?",
+            (worker_id, local_id, JOURNAL_DISPATCHED, time.time(), public_id),
+        )
+
+    def mark_terminal(self, public_id: str, error_code: Optional[str] = None) -> None:
+        """The job reached DONE/FAILED; it must never be redelivered."""
+        self._execute(
+            "UPDATE job_journal SET state = ?, error_code = ?, updated_at = ? "
+            "WHERE public_id = ?",
+            (JOURNAL_TERMINAL, error_code, time.time(), public_id),
+        )
+
+    def discard(self, public_id: str) -> None:
+        """Drop one entry outright (e.g. a provisional pre-dispatch row)."""
+        self._execute(
+            "DELETE FROM job_journal WHERE public_id = ?", (public_id,)
+        )
+
+    def get(self, public_id: str) -> Optional[Dict[str, Any]]:
+        """One journal entry as a dict, or ``None``."""
+        rows = self._execute(
+            "SELECT public_id, body, worker_id, local_id, state, error_code, "
+            "redeliveries FROM job_journal WHERE public_id = ?",
+            (public_id,),
+        )
+        if not rows:
+            return None
+        return self._row_to_entry(rows[0])
+
+    def unfinished(self, worker_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Non-terminal entries, optionally only those owned by one worker.
+
+        With ``worker_id=None`` this also returns ``accepted`` entries that
+        were never dispatched (e.g. the supervisor died between record and
+        dispatch) — recovery must replay those too.
+        """
+        if worker_id is None:
+            rows = self._execute(
+                "SELECT public_id, body, worker_id, local_id, state, "
+                "error_code, redeliveries FROM job_journal WHERE state != ? "
+                "ORDER BY created_at",
+                (JOURNAL_TERMINAL,),
+            )
+        else:
+            rows = self._execute(
+                "SELECT public_id, body, worker_id, local_id, state, "
+                "error_code, redeliveries FROM job_journal "
+                "WHERE state != ? AND worker_id = ? ORDER BY created_at",
+                (JOURNAL_TERMINAL, worker_id),
+            )
+        return [self._row_to_entry(row) for row in rows]
+
+    @staticmethod
+    def _row_to_entry(row: Tuple) -> Dict[str, Any]:
+        return {
+            "public_id": row[0],
+            "body": bytes(row[1]),
+            "worker_id": row[2],
+            "local_id": row[3],
+            "state": row[4],
+            "error_code": row[5],
+            "redeliveries": row[6],
+        }
+
+
 __all__ = [
     "ArtifactCache",
+    "JobJournal",
     "ResultStore",
     "ARTIFACT_PAYLOAD_VERSION",
+    "BREAKER_COOLDOWN_SECONDS",
+    "BREAKER_THRESHOLD",
+    "BUSY_RETRY_LIMIT",
     "DEFAULT_MEMORY_ENTRIES",
+    "JOURNAL_ACCEPTED",
+    "JOURNAL_DISPATCHED",
+    "JOURNAL_TERMINAL",
     "MAX_ARTIFACT_BOUNDS",
     "MAX_ARTIFACT_CLAUSES",
     "RESULTS_DB_NAME",

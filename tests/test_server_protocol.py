@@ -12,6 +12,7 @@ import pytest
 from repro.server.protocol import (
     DEFAULT_ERROR_STATUS,
     HTTP_STATUS_BY_ERROR_CODE,
+    CancelRequest,
     ErrorEnvelope,
     HealthReport,
     JobStatus,
@@ -45,6 +46,10 @@ SAMPLES = [
         engine="sat",
         options={"strategy": "odd", "use_subsets": True},
         circuit_name="example",
+    ),
+    CancelRequest(
+        job_id="w1-job-000007",
+        reason="operator requested shutdown of the sweep",
     ),
     JobStatus(
         job_id="w1-job-000007",
